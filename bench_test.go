@@ -1,0 +1,279 @@
+// Benchmark harness: one bench per table and figure in the paper's
+// evaluation, plus the ablations called out in DESIGN.md. Each benchmark
+// regenerates its experiment end-to-end and reports the experiment's
+// headline numbers as custom benchmark metrics, so `go test -bench .`
+// doubles as the reproduction run.
+//
+// Scale is selected with the NETCOORD_BENCH_SCALE environment variable:
+// "quick" (default; preserves every qualitative shape) or "paper"
+// (269 nodes, four hours, per-second sampling — the paper's deployment).
+// cmd/ncbench renders the full tables these benches summarize.
+package netcoord
+
+import (
+	"os"
+	"testing"
+
+	"netcoord/internal/experiments"
+)
+
+// benchScale resolves the benchmark scale from the environment.
+func benchScale() experiments.Scale {
+	if os.Getenv("NETCOORD_BENCH_SCALE") == "paper" {
+		return experiments.PaperScale()
+	}
+	return experiments.QuickScale()
+}
+
+func BenchmarkFig02RawLatencyHistogram(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig02RawLatencyHistogram(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FractionAboveOneSecond*100, "%ge1s")
+		b.ReportMetric(float64(r.Total), "samples")
+	}
+}
+
+func BenchmarkFig03SingleLinkDistribution(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig03SingleLinkDistribution(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Max/r.Median, "max/median")
+	}
+}
+
+func BenchmarkFig04HistorySizeSweep(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig04HistorySizeSweep(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.BestHistory), "best-h")
+	}
+}
+
+func BenchmarkFig05FilterCDFs(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig05FilterCDFs(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MP.Summary.MedianRelErr, "mp-err")
+		b.ReportMetric(r.Raw.Summary.MedianRelErr, "raw-err")
+		b.ReportMetric(r.WorstInstabilityRatio, "tail-ratio")
+	}
+}
+
+func BenchmarkTable1FilterComparison(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1FilterComparison(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			switch row.Name {
+			case "MP Filter":
+				b.ReportMetric(row.MedianRelErr, "mp-err")
+			case "No Filter":
+				b.ReportMetric(row.MedianRelErr, "none-err")
+			case "EWMA a=0.20":
+				b.ReportMetric(row.MedianRelErr, "ewma20-err")
+			}
+		}
+	}
+}
+
+func BenchmarkFig06ConfidenceBuilding(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig06ConfidenceBuilding(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SteadyWith, "conf-with")
+		b.ReportMetric(r.SteadyWithout, "conf-without")
+	}
+}
+
+func BenchmarkFig07CoordinateDrift(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig07CoordinateDrift(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.DriftRatio, "drift/path")
+	}
+}
+
+func BenchmarkFig08ThresholdSweep(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig08ThresholdSweep(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The paper's recommended operating points.
+		for _, p := range r.Energy {
+			if p.Param == 8 {
+				b.ReportMetric(p.MedianRelErr, "energy-t8-err")
+				b.ReportMetric(p.MedianInstability, "energy-t8-inst")
+			}
+		}
+	}
+}
+
+func BenchmarkFig09WindowSizeSweep(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig09WindowSizeSweep(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Energy[len(r.Energy)-1]
+		b.ReportMetric(last.MeanUpdateFraction*100, "upd%@maxw")
+	}
+}
+
+func BenchmarkFig10HeuristicComparison(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10HeuristicComparison(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.System[len(r.System)-1].MedianRelErr, "sys-t256-err")
+		b.ReportMetric(r.Energy[len(r.Energy)-1].MedianRelErr, "energy-t256-err")
+	}
+}
+
+func BenchmarkFig11AppLevelCDFs(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11AppLevelCDFs(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.EnergyMP.Summary.MedianInstability, "energy-inst")
+		b.ReportMetric(r.RawMP.Summary.MedianInstability, "raw-inst")
+	}
+}
+
+func BenchmarkFig12ApplicationCentroid(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12ApplicationCentroid(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[len(r.Points)-1].MedianRelErr, "t256-err")
+	}
+}
+
+func BenchmarkFig13PlanetLabComparison(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13PlanetLabComparison(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ErrImprovement*100, "%err-impr")
+		b.ReportMetric(r.InstabilityImprovement*100, "%inst-impr")
+		b.ReportMetric(r.Quiet*100, "%quiet")
+	}
+}
+
+func BenchmarkFig14ConvergenceTimeline(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14ConvergenceTimeline(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.ConvergedBy)/60, "conv-min")
+	}
+}
+
+func BenchmarkAblationStaticMatrix(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationStaticMatrix(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Static.MedianRelErr, "static-err")
+		b.ReportMetric(r.Live.MedianRelErr, "live-err")
+	}
+}
+
+func BenchmarkAblationThresholdFilter(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationThresholdFilter(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "Cutoff 1000ms" {
+				b.ReportMetric(row.MedianRelErr, "cutoff1s-err")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationDampedVivaldi(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDampedVivaldi(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.DampedAfter/r.DampedBefore, "damped-degr")
+		b.ReportMetric(r.MPAfter/r.MPBefore, "mp-degr")
+	}
+}
+
+func BenchmarkAblationFilterWarmup(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationFilterWarmup(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ImmediateEarly, "early-inst-1")
+		b.ReportMetric(r.WarmupEarly, "early-inst-2")
+	}
+}
+
+func BenchmarkExtensionDetectorComparison(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionDetectorComparison(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Energy.MedianRelErr, "energy-err")
+		b.ReportMetric(r.RankSum.MedianRelErr, "ranksum-err")
+	}
+}
+
+func BenchmarkExtensionChurnRobustness(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionChurnRobustness(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ImmediateTail, "p99-inst-w1")
+		b.ReportMetric(r.WarmupTail, "p99-inst-w2")
+	}
+}

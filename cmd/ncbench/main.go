@@ -1,0 +1,158 @@
+// Command ncbench regenerates every table and figure in the paper's
+// evaluation, rendering the full experiment output (the rows/series the
+// paper plots) to stdout or a file. EXPERIMENTS.md is produced from this
+// tool's output.
+//
+// Usage:
+//
+//	ncbench                        # every experiment, quick scale
+//	ncbench -scale paper           # the paper's 269-node 4-hour scale
+//	ncbench -only fig13,fig14      # a subset
+//	ncbench -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"netcoord/internal/experiments"
+)
+
+// renderer is the common experiment output contract.
+type renderer interface {
+	Render() string
+}
+
+// experiment couples an id with its runner.
+type experiment struct {
+	id  string
+	run func(experiments.Scale) (renderer, error)
+}
+
+// wrap adapts a typed experiment constructor to the renderer interface.
+func wrap[T renderer](f func(experiments.Scale) (T, error)) func(experiments.Scale) (renderer, error) {
+	return func(s experiments.Scale) (renderer, error) {
+		r, err := f(s)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+func allExperiments() []experiment {
+	return []experiment{
+		{id: "fig2", run: wrap(experiments.Fig02RawLatencyHistogram)},
+		{id: "fig3", run: wrap(experiments.Fig03SingleLinkDistribution)},
+		{id: "fig4", run: wrap(experiments.Fig04HistorySizeSweep)},
+		{id: "fig5", run: wrap(experiments.Fig05FilterCDFs)},
+		{id: "table1", run: wrap(experiments.Table1FilterComparison)},
+		{id: "fig6", run: wrap(experiments.Fig06ConfidenceBuilding)},
+		{id: "fig7", run: wrap(experiments.Fig07CoordinateDrift)},
+		{id: "fig8", run: wrap(experiments.Fig08ThresholdSweep)},
+		{id: "fig9", run: wrap(experiments.Fig09WindowSizeSweep)},
+		{id: "fig10", run: wrap(experiments.Fig10HeuristicComparison)},
+		{id: "fig11", run: wrap(experiments.Fig11AppLevelCDFs)},
+		{id: "fig12", run: wrap(experiments.Fig12ApplicationCentroid)},
+		{id: "fig13", run: wrap(experiments.Fig13PlanetLabComparison)},
+		{id: "fig14", run: wrap(experiments.Fig14ConvergenceTimeline)},
+		{id: "a1", run: wrap(experiments.AblationStaticMatrix)},
+		{id: "a2", run: wrap(experiments.AblationThresholdFilter)},
+		{id: "a3", run: wrap(experiments.AblationDampedVivaldi)},
+		{id: "a4", run: wrap(experiments.AblationFilterWarmup)},
+		{id: "e1", run: wrap(experiments.ExtensionDetectorComparison)},
+		{id: "e2", run: wrap(experiments.ExtensionChurnRobustness)},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "ncbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("ncbench", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "quick", "experiment scale: quick | paper")
+		only      = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		out       = fs.String("out", "", "output file (default: stdout)")
+		list      = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exps := allExperiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Println(e.id)
+		}
+		return nil
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	selected := exps
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		selected = selected[:0:0]
+		for _, e := range exps {
+			if want[e.id] {
+				selected = append(selected, e)
+				delete(want, e.id)
+			}
+		}
+		if len(want) > 0 {
+			return fmt.Errorf("unknown experiment ids: %v (use -list)", keys(want))
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return fmt.Errorf("create %s: %w", *out, ferr)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+
+	fmt.Fprintf(w, "netcoord experiment suite — scale %s (%d nodes, %d s, %d s interval)\n\n",
+		*scaleName, scale.Nodes, scale.DurationTicks, scale.IntervalTicks)
+	for _, e := range selected {
+		started := time.Now()
+		r, rerr := e.run(scale)
+		if rerr != nil {
+			return fmt.Errorf("%s: %w", e.id, rerr)
+		}
+		fmt.Fprintf(w, "[%s] (%.1fs)\n%s\n", e.id, time.Since(started).Seconds(), r.Render())
+	}
+	return nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

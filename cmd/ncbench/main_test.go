@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range allExperiments() {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.run == nil {
+			t.Fatalf("experiment %q has no runner", e.id)
+		}
+	}
+	// Every figure/table from the paper plus the four ablations and the
+	// extension.
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "table1", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"a1", "a2", "a3", "a4", "e1", "e2",
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Errorf("have %d experiments, want %d", len(seen), len(want))
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if err := run([]string{"-only", "fig999"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	if err := run([]string{"-out", "/no/such/dir/results.txt", "-only", "fig2"}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}
+
+func TestRunSubsetToFile(t *testing.T) {
+	// fig2 is the cheapest experiment; quick scale keeps this test
+	// meaningful but fast.
+	out := filepath.Join(t.TempDir(), "results.txt")
+	if err := run([]string{"-only", "fig2", "-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read results: %v", err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "Figure 2") {
+		t.Fatalf("results missing Figure 2 section:\n%s", text)
+	}
+	if !strings.Contains(text, "fraction >= 1s") {
+		t.Fatal("results missing calibration line")
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netcoord/internal/trace"
+)
+
+func TestRunGeneratesReadableTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "test.nctr")
+	if err := run([]string{"-nodes", "8", "-seconds", "60", "-out", out, "-stats=false"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer func() {
+		_ = f.Close() // read-only
+	}()
+	r := trace.NewReader(f)
+	samples := trace.Collect(r, 0)
+	if err := r.Err(); err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if len(samples) != 8*60 {
+		t.Fatalf("trace has %d samples, want 480", len(samples))
+	}
+	for _, s := range samples {
+		if s.From < 0 || s.From >= 8 || s.To < 0 || s.To >= 8 {
+			t.Fatalf("sample out of range: %+v", s)
+		}
+	}
+}
+
+func TestRunStaticMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "static.nctr")
+	if err := run([]string{"-nodes", "6", "-seconds", "30", "-out", out, "-static", "-stats=false"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer func() {
+		_ = f.Close() // read-only
+	}()
+	samples := trace.Collect(trace.NewReader(f), 0)
+	// Static mode: every link's samples are identical across ticks.
+	type link struct{ from, to int }
+	seen := map[link]float64{}
+	for _, s := range samples {
+		if s.Lost {
+			t.Fatal("static trace lost a sample")
+		}
+		k := link{s.From, s.To}
+		if prev, ok := seen[k]; ok && prev != s.RTT {
+			t.Fatalf("link %v varied in static mode: %v vs %v", k, prev, s.RTT)
+		}
+		seen[k] = s.RTT
+	}
+}
+
+func TestRunStatsOnly(t *testing.T) {
+	if err := run([]string{"-nodes", "6", "-seconds", "30"}); err != nil {
+		t.Fatalf("run without -out: %v", err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-nodes", "1", "-seconds", "30"}); err == nil {
+		t.Fatal("one-node network accepted")
+	}
+	if err := run([]string{"-nodes", "8", "-seconds", "0"}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if err := run([]string{"-out", "/no/such/dir/x.nctr", "-nodes", "8", "-seconds", "30"}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadListenAddr(t *testing.T) {
+	if err := run([]string{"-listen", "999.999.0.1:not-a-port"}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestRunWithDeadline(t *testing.T) {
+	// A single node with no peers: starts, reports, exits on deadline.
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-interval", "50ms",
+			"-report", "100ms",
+			"-duration", "400ms",
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("node did not exit on -duration")
+	}
+}
+
+func TestTwoNodesOverCLI(t *testing.T) {
+	// Start a seed node in the background, then a second node that
+	// joins it; both exit on their deadlines without error.
+	seedDone := make(chan error, 1)
+	go func() {
+		seedDone <- run([]string{
+			"-listen", "127.0.0.1:29471",
+			"-interval", "50ms",
+			"-report", "1s",
+			"-duration", "2s",
+		})
+	}()
+	time.Sleep(200 * time.Millisecond)
+	joinDone := make(chan error, 1)
+	go func() {
+		joinDone <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-join", "127.0.0.1:29471",
+			"-interval", "50ms",
+			"-report", "1s",
+			"-duration", "1500ms",
+		})
+	}()
+	for i, ch := range []chan error{seedDone, joinDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("node %d did not exit", i)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package netcoord_test
+
+import (
+	"fmt"
+
+	"netcoord"
+)
+
+// The basic loop: feed RTT measurements, read coordinates. Your wire
+// protocol carries each peer's coordinate and error weight; Vivaldi
+// needs both.
+func ExampleClient_Observe() {
+	client, err := netcoord.NewClient(netcoord.DefaultConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A peer we have measured a steady 50 ms to. Its coordinate arrived
+	// on the same message as the measurement.
+	peer := netcoord.Origin(3)
+	var state netcoord.State
+	for i := 0; i < 100; i++ {
+		state, err = client.Observe("peer-7", 50, peer, 0.5)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	est, err := client.DistanceTo(peer)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("estimate within 5ms of truth: %v\n", est > 45 && est < 55)
+	fmt.Printf("confidence grew: %v\n", state.Error < 1)
+	// Output:
+	// estimate within 5ms of truth: true
+	// confidence grew: true
+}
+
+// Latency-aware replica selection from coordinates.
+func ExampleNearest() {
+	self := netcoord.Origin(3)
+	mk := func(x float64) netcoord.Coordinate {
+		c := netcoord.Origin(3)
+		c.Vec[0] = x
+		return c
+	}
+	replicas := []netcoord.Candidate{
+		{ID: "tokyo", Coord: mk(160)},
+		{ID: "frankfurt", Coord: mk(90)},
+		{ID: "chicago", Coord: mk(25)},
+	}
+	nearest, err := netcoord.Nearest(self, replicas, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range nearest {
+		fmt.Printf("%s %.0fms\n", r.ID, r.EstimatedRTT)
+	}
+	// Output:
+	// chicago 25ms
+	// frankfurt 90ms
+}
+
+// Stream-operator placement between two endpoints: minimize the worst
+// leg.
+func ExampleMinimaxPlacement() {
+	mk := func(x float64) netcoord.Coordinate {
+		c := netcoord.Origin(3)
+		c.Vec[0] = x
+		return c
+	}
+	producer, consumer := mk(0), mk(100)
+	hosts := []netcoord.Candidate{
+		{ID: "near-producer", Coord: mk(10)},
+		{ID: "midpoint", Coord: mk(50)},
+		{ID: "near-consumer", Coord: mk(95)},
+	}
+	best, err := netcoord.MinimaxPlacement([]netcoord.Coordinate{producer, consumer}, hosts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s (worst leg %.0fms)\n", best.ID, best.EstimatedRTT)
+	// Output:
+	// midpoint (worst leg 50ms)
+}
+
+// Evaluate configuration choices on a synthetic WAN before deploying —
+// here, the paper's core claim that filtering beats raw Vivaldi.
+func ExampleSimulate() {
+	filtered, err := netcoord.Simulate(netcoord.SimulationConfig{
+		Nodes: 16, Seconds: 600, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rawCfg := netcoord.DefaultConfig()
+	rawCfg.DisableFilter = true
+	raw, err := netcoord.Simulate(netcoord.SimulationConfig{
+		Nodes: 16, Seconds: 600, Seed: 1, Client: rawCfg,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("MP filter more accurate: %v\n", filtered.System.MedianRelErr < raw.System.MedianRelErr)
+	fmt.Printf("MP filter more stable:   %v\n", filtered.System.MedianInstability < raw.System.MedianInstability)
+	// Output:
+	// MP filter more accurate: true
+	// MP filter more stable:   true
+}
+
+// Persist coordinates across restarts.
+func ExampleClient_Snapshot() {
+	cfg := netcoord.DefaultConfig()
+	cfg.Seed = 1
+	client, err := netcoord.NewClient(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	peer := netcoord.Origin(3)
+	for i := 0; i < 50; i++ {
+		if _, err := client.Observe("p", 60, peer, 0.5); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	data, err := client.Snapshot().MarshalBinaryJSON()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// ... process restarts ...
+	restored, err := netcoord.NewClient(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	snap, err := netcoord.ParseSnapshot(data)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := restored.Restore(snap); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("resumed at the converged coordinate: %v\n",
+		restored.Coordinate().Equal(client.Coordinate()))
+	// Output:
+	// resumed at the converged coordinate: true
+}

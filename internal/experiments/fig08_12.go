@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"netcoord/internal/heuristic"
+	"netcoord/internal/metrics"
+	"netcoord/internal/sim"
+)
+
+// SweepPoint is one (parameter, metrics) point of a heuristic sweep.
+type SweepPoint struct {
+	Param              float64
+	MedianRelErr       float64
+	MedianInstability  float64
+	MeanUpdateFraction float64
+}
+
+// sweep runs one policy configuration per parameter value and reads the
+// application-level metrics over the measurement half.
+func sweep(scale Scale, params []float64, build func(p float64) sim.PolicyFactory) ([]SweepPoint, error) {
+	from, to := scale.MeasureFrom(), scale.DurationTicks
+	out := make([]SweepPoint, 0, len(params))
+	for _, p := range params {
+		r, err := run(runSpec{scale: scale, filter: mpFactory, policy: build(p)})
+		if err != nil {
+			return nil, fmt.Errorf("sweep param %v: %w", p, err)
+		}
+		var s metrics.Summary
+		if s, err = r.App().Summarize(from, to); err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Param:              p,
+			MedianRelErr:       s.MedianRelErr,
+			MedianInstability:  s.MedianInstability,
+			MeanUpdateFraction: s.MeanUpdateFraction,
+		})
+	}
+	return out, nil
+}
+
+func renderSweep(name, param string, pts []SweepPoint) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("--- %s ---\n", name))
+	sb.WriteString(fmt.Sprintf("%-10s %-14s %-14s %-14s\n", param, "med rel err", "instability", "updates/s (%)"))
+	for _, p := range pts {
+		sb.WriteString(fmt.Sprintf("%-10.4g %-14.4f %-14.3f %-14.2f\n",
+			p.Param, p.MedianRelErr, p.MedianInstability, p.MeanUpdateFraction*100))
+	}
+	return sb.String()
+}
+
+// energyTaus is the paper's Figure 8/10 x-axis for ENERGY.
+func energyTaus() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+// relativeEpsilons is the paper's Figure 8/10 x-axis for RELATIVE.
+func relativeEpsilons() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// Fig08Result reproduces Figure 8: instability and median relative error
+// as the update threshold varies, window fixed at 32. The paper's
+// finding: both window heuristics gain stability with threshold at
+// little accuracy cost; accuracy starts to decline after tau = 8
+// (ENERGY) and epsilon = 0.3 (RELATIVE).
+type Fig08Result struct {
+	Energy   []SweepPoint
+	Relative []SweepPoint
+}
+
+// Fig08ThresholdSweep runs both window-based heuristics across their
+// threshold ranges.
+func Fig08ThresholdSweep(scale Scale) (*Fig08Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	energy, err := sweep(scale, energyTaus(), func(tau float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewEnergy(dim, heuristic.DefaultWindow, tau)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	relative, err := sweep(scale, relativeEpsilons(), func(eps float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewRelative(dim, heuristic.DefaultWindow, eps)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig08Result{Energy: energy, Relative: relative}, nil
+}
+
+// Render implements the experiment output contract.
+func (r *Fig08Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString(header("Figure 8: threshold sweep for ENERGY and RELATIVE (window 32)"))
+	sb.WriteString(renderSweep("ENERGY (tau)", "tau", r.Energy))
+	sb.WriteString(renderSweep("RELATIVE (epsilon)", "eps", r.Relative))
+	sb.WriteString("paper: stability grows with threshold; accuracy declines after tau=8 / eps=0.3\n")
+	return sb.String()
+}
+
+// Fig09Result reproduces Figure 9: window-size sweep at fixed thresholds
+// (tau=8, eps=0.3). The paper's finding: windows 2^5..2^9 improve all
+// three metrics; very large windows update too rarely.
+type Fig09Result struct {
+	Energy   []SweepPoint
+	Relative []SweepPoint
+}
+
+// Fig09WindowSizeSweep varies the window size exponentially.
+func Fig09WindowSizeSweep(scale Scale) (*Fig09Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	windows := []float64{4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	// Cap window sizes at what the run can actually fill a few times
+	// over, otherwise the sweep measures nothing but warm-up.
+	maxW := float64(scale.DurationTicks / scale.IntervalTicks / 4)
+	var usable []float64
+	for _, w := range windows {
+		if w <= maxW {
+			usable = append(usable, w)
+		}
+	}
+	energy, err := sweep(scale, usable, func(w float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewEnergy(dim, int(w), heuristic.DefaultEnergyTau)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	relative, err := sweep(scale, usable, func(w float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewRelative(dim, int(w), heuristic.DefaultRelativeEpsilon)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig09Result{Energy: energy, Relative: relative}, nil
+}
+
+// Render implements the experiment output contract.
+func (r *Fig09Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString(header("Figure 9: window-size sweep for ENERGY (tau=8) and RELATIVE (eps=0.3)"))
+	sb.WriteString(renderSweep("ENERGY", "window", r.Energy))
+	sb.WriteString(renderSweep("RELATIVE", "window", r.Relative))
+	sb.WriteString("paper: large windows improve stability and cut update frequency at stable accuracy\n")
+	return sb.String()
+}
+
+// Fig10Result reproduces Figure 10: all four heuristics across their
+// threshold ranges. The windowless heuristics can only trade accuracy
+// for stability; the window-based ones keep both.
+type Fig10Result struct {
+	Energy      []SweepPoint
+	Relative    []SweepPoint
+	System      []SweepPoint
+	Application []SweepPoint
+}
+
+// Fig10HeuristicComparison sweeps all four policies.
+func Fig10HeuristicComparison(scale Scale) (*Fig10Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	energy, err := sweep(scale, energyTaus(), func(tau float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewEnergy(dim, heuristic.DefaultWindow, tau)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	relative, err := sweep(scale, relativeEpsilons(), func(eps float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewRelative(dim, heuristic.DefaultWindow, eps)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	system, err := sweep(scale, energyTaus(), func(tau float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewSystem(dim, tau)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	application, err := sweep(scale, energyTaus(), func(tau float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewApplication(dim, tau)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Energy: energy, Relative: relative, System: system, Application: application}, nil
+}
+
+// Render implements the experiment output contract.
+func (r *Fig10Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString(header("Figure 10: all four heuristics vs threshold"))
+	sb.WriteString(renderSweep("ENERGY (window 32)", "tau", r.Energy))
+	sb.WriteString(renderSweep("RELATIVE (window 32)", "eps", r.Relative))
+	sb.WriteString(renderSweep("SYSTEM", "tau", r.System))
+	sb.WriteString(renderSweep("APPLICATION", "tau", r.Application))
+	sb.WriteString("paper: windowless heuristics trade accuracy for stability; window-based keep both\n")
+	return sb.String()
+}
+
+// Fig11Result reproduces Figure 11: application-level suppression vs the
+// raw MP stream — full CDFs of per-node median error and instability.
+type Fig11Result struct {
+	EnergyMP   StreamCDFs
+	RelativeMP StreamCDFs
+	RawMP      StreamCDFs
+}
+
+// Fig11AppLevelCDFs runs ENERGY+MP and RELATIVE+MP and compares their
+// app-level streams with the raw (Direct) MP stream.
+func Fig11AppLevelCDFs(scale Scale) (*Fig11Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	from, to := scale.MeasureFrom(), scale.DurationTicks
+
+	energyRun, err := run(runSpec{scale: scale, filter: mpFactory, policy: func(dim int) (heuristic.Policy, error) {
+		return heuristic.NewEnergy(dim, heuristic.DefaultWindow, heuristic.DefaultEnergyTau)
+	}})
+	if err != nil {
+		return nil, err
+	}
+	energy, err := collectStreamCDFs("ENERGY + MP filter", energyRun.App(), from, to)
+	if err != nil {
+		return nil, err
+	}
+	relativeRun, err := run(runSpec{scale: scale, filter: mpFactory, policy: func(dim int) (heuristic.Policy, error) {
+		return heuristic.NewRelative(dim, heuristic.DefaultWindow, heuristic.DefaultRelativeEpsilon)
+	}})
+	if err != nil {
+		return nil, err
+	}
+	relative, err := collectStreamCDFs("RELATIVE + MP filter", relativeRun.App(), from, to)
+	if err != nil {
+		return nil, err
+	}
+	// The raw MP stream is the system level of either run; reuse the
+	// energy run's.
+	raw, err := collectStreamCDFs("Raw MP filter", energyRun.Sys(), from, to)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11Result{EnergyMP: energy, RelativeMP: relative, RawMP: raw}, nil
+}
+
+// Render implements the experiment output contract.
+func (r *Fig11Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString(header("Figure 11: application-level suppression vs raw MP stream"))
+	sb.WriteString(renderStream(r.EnergyMP))
+	sb.WriteString(renderStream(r.RelativeMP))
+	sb.WriteString(renderStream(r.RawMP))
+	sb.WriteString("paper: ENERGY and RELATIVE keep the raw filter's accuracy while shifting instability far left\n")
+	return sb.String()
+}
+
+// Fig12Result reproduces Figure 12: the APPLICATION/CENTROID hybrid.
+type Fig12Result struct {
+	Points []SweepPoint
+}
+
+// Fig12ApplicationCentroid sweeps APPLICATION/CENTROID's threshold with
+// the standard window of 32.
+func Fig12ApplicationCentroid(scale Scale) (*Fig12Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	pts, err := sweep(scale, energyTaus(), func(tau float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewApplicationCentroid(dim, heuristic.DefaultWindow, tau)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig12Result{Points: pts}, nil
+}
+
+// Render implements the experiment output contract.
+func (r *Fig12Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString(header("Figure 12: APPLICATION/CENTROID threshold sweep (window 32)"))
+	sb.WriteString(renderSweep("APPLICATION/CENTROID", "tau", r.Points))
+	sb.WriteString("paper: more stable than plain APPLICATION, but gains stability only at accuracy's expense\n")
+	return sb.String()
+}

@@ -1,0 +1,62 @@
+package filter
+
+// Bank owns one filter per remote peer. Nodes keep a Bank so that each
+// link's observation stream is filtered independently — the whole point of
+// the MP filter is that outlier structure is per-link, so a shared filter
+// (or a global threshold) cannot work.
+//
+// The key type is generic: the simulator keys peers by node index, the
+// UDP transport by address string.
+//
+// Bank is not safe for concurrent use; the owning node serializes access.
+type Bank[K comparable] struct {
+	factory Factory
+	filters map[K]Filter
+	// maxPeers bounds memory on gossip-heavy deployments; 0 means
+	// unbounded. When full, unknown peers are filtered with a throwaway
+	// instance (their samples still produce estimates but build no
+	// history).
+	maxPeers int
+}
+
+// NewBank builds a Bank producing per-peer filters from factory.
+// maxPeers <= 0 means no bound.
+func NewBank[K comparable](factory Factory, maxPeers int) *Bank[K] {
+	return &Bank[K]{
+		factory:  factory,
+		filters:  make(map[K]Filter),
+		maxPeers: maxPeers,
+	}
+}
+
+// Observe routes a sample through the filter owned by peer, creating it on
+// first use.
+func (b *Bank[K]) Observe(peer K, sample float64) (float64, bool) {
+	f, ok := b.filters[peer]
+	if !ok {
+		if b.maxPeers > 0 && len(b.filters) >= b.maxPeers {
+			// Table full: smooth statelessly rather than evicting an
+			// established link's history.
+			return b.factory().Observe(sample)
+		}
+		f = b.factory()
+		b.filters[peer] = f
+	}
+	return f.Observe(sample)
+}
+
+// Forget drops the filter state for a peer (e.g. after it leaves the
+// neighbor set).
+func (b *Bank[K]) Forget(peer K) {
+	delete(b.filters, peer)
+}
+
+// Reset clears every per-peer filter but keeps the peers known.
+func (b *Bank[K]) Reset() {
+	for _, f := range b.filters {
+		f.Reset()
+	}
+}
+
+// Peers reports how many peers currently hold filter state.
+func (b *Bank[K]) Peers() int { return len(b.filters) }

@@ -1,0 +1,434 @@
+package filter
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"netcoord/internal/stats"
+	"netcoord/internal/xrand"
+)
+
+func mustMP(t *testing.T, cfg MPConfig) *MP {
+	t.Helper()
+	f, err := NewMP(cfg)
+	if err != nil {
+		t.Fatalf("NewMP: %v", err)
+	}
+	return f
+}
+
+func TestMPConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     MPConfig
+		wantErr bool
+	}{
+		{name: "defaults", cfg: DefaultMPConfig()},
+		{name: "history 1", cfg: MPConfig{History: 1, Percentile: 50, UpdateAfter: 1}},
+		{name: "zero history", cfg: MPConfig{History: 0, Percentile: 25, UpdateAfter: 1}, wantErr: true},
+		{name: "negative percentile", cfg: MPConfig{History: 4, Percentile: -1, UpdateAfter: 1}, wantErr: true},
+		{name: "percentile over 100", cfg: MPConfig{History: 4, Percentile: 101, UpdateAfter: 1}, wantErr: true},
+		{name: "zero update-after", cfg: MPConfig{History: 4, Percentile: 25, UpdateAfter: 0}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if tt.wantErr && err == nil {
+				t.Fatal("Validate succeeded, want error")
+			}
+			if !tt.wantErr && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestDefaultMPConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultMPConfig()
+	if cfg.History != 4 {
+		t.Errorf("History = %d, want 4 (paper Figure 4)", cfg.History)
+	}
+	if cfg.Percentile != 25 {
+		t.Errorf("Percentile = %v, want 25 (paper Section IV-A)", cfg.Percentile)
+	}
+	if cfg.UpdateAfter != 2 {
+		t.Errorf("UpdateAfter = %d, want 2 (paper Section VI)", cfg.UpdateAfter)
+	}
+}
+
+func TestMPWarmup(t *testing.T) {
+	f := mustMP(t, MPConfig{History: 4, Percentile: 25, UpdateAfter: 2})
+	if _, ok := f.Observe(100); ok {
+		t.Fatal("first observation produced output with UpdateAfter=2")
+	}
+	if _, ok := f.Observe(100); !ok {
+		t.Fatal("second observation produced no output")
+	}
+}
+
+func TestMPDiscardsOutliers(t *testing.T) {
+	f := mustMP(t, MPConfig{History: 4, Percentile: 25, UpdateAfter: 1})
+	// Common case ~50 ms, one 5000 ms spike.
+	f.Observe(50)
+	f.Observe(52)
+	f.Observe(51)
+	est, ok := f.Observe(5000)
+	if !ok {
+		t.Fatal("no output")
+	}
+	if est > 55 {
+		t.Fatalf("estimate %v polluted by spike, want ~50", est)
+	}
+}
+
+func TestMPTracksShift(t *testing.T) {
+	f := mustMP(t, MPConfig{History: 4, Percentile: 25, UpdateAfter: 1})
+	for i := 0; i < 8; i++ {
+		f.Observe(50)
+	}
+	// Link latency genuinely shifts to 120 ms (route change); within h
+	// observations the estimate must follow.
+	var est float64
+	for i := 0; i < 4; i++ {
+		est, _ = f.Observe(120)
+	}
+	if est != 120 {
+		t.Fatalf("estimate %v after full window of 120s, want 120", est)
+	}
+}
+
+func TestMPWindowEviction(t *testing.T) {
+	f := mustMP(t, MPConfig{History: 2, Percentile: 100, UpdateAfter: 1})
+	f.Observe(10)
+	f.Observe(20)
+	est, _ := f.Observe(5) // window now {20, 5}; max = 20
+	if est != 20 {
+		t.Fatalf("estimate %v, want 20", est)
+	}
+	est, _ = f.Observe(5) // window now {5, 5}
+	if est != 5 {
+		t.Fatalf("estimate %v, want 5 after 10 evicted", est)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+}
+
+func TestMPPercentileAgainstStats(t *testing.T) {
+	// The internal percentile must agree with the stats package's
+	// definition on full windows.
+	rng := xrand.NewStream(1)
+	for trial := 0; trial < 50; trial++ {
+		h := 1 + rng.Intn(16)
+		p := rng.Float64() * 100
+		f := mustMP(t, MPConfig{History: h, Percentile: p, UpdateAfter: 1})
+		window := make([]float64, 0, h)
+		var got float64
+		for i := 0; i < h; i++ {
+			s := rng.Float64() * 1000
+			window = append(window, s)
+			got, _ = f.Observe(s)
+		}
+		sort.Float64s(window)
+		want, err := stats.PercentileSorted(window, p)
+		if err != nil {
+			t.Fatalf("PercentileSorted: %v", err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (h=%d p=%.1f): filter=%v stats=%v", trial, h, p, got, want)
+		}
+	}
+}
+
+func TestMPReset(t *testing.T) {
+	f := mustMP(t, MPConfig{History: 4, Percentile: 25, UpdateAfter: 2})
+	f.Observe(10)
+	f.Observe(10)
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", f.Len())
+	}
+	if _, ok := f.Observe(10); ok {
+		t.Fatal("filter produced output immediately after Reset with UpdateAfter=2")
+	}
+}
+
+// Property: the MP estimate always lies within [min, max] of the current
+// window contents.
+func TestMPEstimateBounded(t *testing.T) {
+	f := func(samples []float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		mp, err := NewMP(MPConfig{History: 4, Percentile: 25, UpdateAfter: 1})
+		if err != nil {
+			return false
+		}
+		window := make([]float64, 0, 4)
+		for _, s := range samples {
+			s = math.Abs(s)
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				s = 1
+			}
+			if len(window) == 4 {
+				window = window[1:]
+			}
+			window = append(window, s)
+			est, ok := mp.Observe(s)
+			if !ok {
+				return false
+			}
+			lo, hi := window[0], window[0]
+			for _, w := range window {
+				lo = math.Min(lo, w)
+				hi = math.Max(hi, w)
+			}
+			if est < lo-1e-9 || est > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	f, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatalf("NewEWMA: %v", err)
+	}
+	est, ok := f.Observe(100)
+	if !ok || est != 100 {
+		t.Fatalf("first observation = %v, %v; want 100, true", est, ok)
+	}
+	est, _ = f.Observe(200)
+	if est != 150 {
+		t.Fatalf("second estimate = %v, want 150", est)
+	}
+	est, _ = f.Observe(150)
+	if est != 150 {
+		t.Fatalf("third estimate = %v, want 150", est)
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.1, 1.1} {
+		if _, err := NewEWMA(alpha); err == nil {
+			t.Errorf("NewEWMA(%v) succeeded", alpha)
+		}
+	}
+	if _, err := NewEWMA(1); err != nil {
+		t.Errorf("NewEWMA(1) failed: %v", err)
+	}
+}
+
+func TestEWMAOutlierContaminates(t *testing.T) {
+	// Documents the pathology from Table I: an EWMA drags the estimate
+	// toward outliers instead of discarding them.
+	f, err := NewEWMA(0.2)
+	if err != nil {
+		t.Fatalf("NewEWMA: %v", err)
+	}
+	var est float64
+	for i := 0; i < 20; i++ {
+		est, _ = f.Observe(50)
+	}
+	est, _ = f.Observe(5000)
+	if est < 1000 {
+		t.Fatalf("estimate %v after 5000 ms spike; EWMA should be contaminated (>= 1000)", est)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	f, err := NewEWMA(0.1)
+	if err != nil {
+		t.Fatalf("NewEWMA: %v", err)
+	}
+	f.Observe(500)
+	f.Reset()
+	est, _ := f.Observe(10)
+	if est != 10 {
+		t.Fatalf("estimate after Reset = %v, want 10 (re-primed)", est)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	f, err := NewThreshold(1000)
+	if err != nil {
+		t.Fatalf("NewThreshold: %v", err)
+	}
+	if est, ok := f.Observe(500); !ok || est != 500 {
+		t.Fatalf("below-cutoff = %v, %v", est, ok)
+	}
+	if _, ok := f.Observe(1500); ok {
+		t.Fatal("above-cutoff sample passed")
+	}
+	if est, ok := f.Observe(1000); !ok || est != 1000 {
+		t.Fatalf("at-cutoff = %v, %v; want pass", est, ok)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	for _, cutoff := range []float64{0, -5} {
+		if _, err := NewThreshold(cutoff); err == nil {
+			t.Errorf("NewThreshold(%v) succeeded", cutoff)
+		}
+	}
+}
+
+func TestNonePassesEverything(t *testing.T) {
+	f := NewNone()
+	for _, s := range []float64{0, 1, 1e6} {
+		est, ok := f.Observe(s)
+		if !ok || est != s {
+			t.Fatalf("Observe(%v) = %v, %v", s, est, ok)
+		}
+	}
+	f.Reset() // must not panic or change behavior
+	if est, ok := f.Observe(7); !ok || est != 7 {
+		t.Fatal("None changed behavior after Reset")
+	}
+}
+
+func TestBankPerPeerIsolation(t *testing.T) {
+	bank := NewBank[string](func() Filter {
+		f, _ := NewMP(MPConfig{History: 4, Percentile: 25, UpdateAfter: 1})
+		return f
+	}, 0)
+	// Peer A sees 50s; peer B sees 200s. Estimates must not mix.
+	for i := 0; i < 4; i++ {
+		bank.Observe("a", 50)
+		bank.Observe("b", 200)
+	}
+	estA, _ := bank.Observe("a", 50)
+	estB, _ := bank.Observe("b", 200)
+	if estA != 50 {
+		t.Fatalf("peer a estimate = %v", estA)
+	}
+	if estB != 200 {
+		t.Fatalf("peer b estimate = %v", estB)
+	}
+	if bank.Peers() != 2 {
+		t.Fatalf("Peers = %d", bank.Peers())
+	}
+}
+
+func TestBankForget(t *testing.T) {
+	warm := 0
+	bank := NewBank[string](func() Filter {
+		warm++
+		f, _ := NewMP(DefaultMPConfig())
+		return f
+	}, 0)
+	bank.Observe("a", 50)
+	bank.Forget("a")
+	bank.Observe("a", 50)
+	if warm != 2 {
+		t.Fatalf("factory called %d times, want 2 (state dropped)", warm)
+	}
+}
+
+func TestBankMaxPeers(t *testing.T) {
+	bank := NewBank[string](func() Filter { return NewNone() }, 2)
+	bank.Observe("a", 1)
+	bank.Observe("b", 2)
+	// Third peer: over the bound, must still produce output but not grow
+	// the table.
+	est, ok := bank.Observe("c", 3)
+	if !ok || est != 3 {
+		t.Fatalf("over-bound peer output = %v, %v", est, ok)
+	}
+	if bank.Peers() != 2 {
+		t.Fatalf("Peers = %d, want 2", bank.Peers())
+	}
+}
+
+func TestBankReset(t *testing.T) {
+	bank := NewBank[string](func() Filter {
+		f, _ := NewMP(MPConfig{History: 4, Percentile: 25, UpdateAfter: 2})
+		return f
+	}, 0)
+	bank.Observe("a", 50)
+	bank.Observe("a", 50)
+	if _, ok := bank.Observe("a", 50); !ok {
+		t.Fatal("expected warm filter before Reset")
+	}
+	bank.Reset()
+	if _, ok := bank.Observe("a", 50); ok {
+		t.Fatal("filter warm immediately after Reset")
+	}
+	if bank.Peers() != 1 {
+		t.Fatalf("Peers = %d, want 1 (peers retained)", bank.Peers())
+	}
+}
+
+// The headline claim of Figure 4: on heavy-tailed input, a short history
+// with a low percentile predicts the next observation far better than the
+// raw stream does.
+func TestMPPredictsBetterThanRawOnHeavyTail(t *testing.T) {
+	rng := xrand.NewStream(42)
+	const base = 80.0
+	gen := func() float64 {
+		if rng.Bernoulli(0.05) {
+			return base * rng.Uniform(5, 40) // spike
+		}
+		return base * (1 + math.Abs(rng.Normal(0, 0.05)))
+	}
+	mp := mustMP(t, MPConfig{History: 4, Percentile: 25, UpdateAfter: 1})
+	var rawPrev float64
+	var mpErrs, rawErrs []float64
+	prevSet := false
+	var mpPrev float64
+	mpSet := false
+	for i := 0; i < 20000; i++ {
+		s := gen()
+		if prevSet {
+			rawErrs = append(rawErrs, math.Abs(rawPrev-s)/s)
+		}
+		if mpSet {
+			mpErrs = append(mpErrs, math.Abs(mpPrev-s)/s)
+		}
+		rawPrev, prevSet = s, true
+		if est, ok := mp.Observe(s); ok {
+			mpPrev, mpSet = est, true
+		}
+	}
+	mpMed, err := stats.Median(mpErrs)
+	if err != nil {
+		t.Fatalf("Median: %v", err)
+	}
+	rawMed, err := stats.Median(rawErrs)
+	if err != nil {
+		t.Fatalf("Median: %v", err)
+	}
+	if mpMed >= rawMed {
+		t.Fatalf("MP median prediction error %v not better than raw %v", mpMed, rawMed)
+	}
+}
+
+func BenchmarkMPObserve(b *testing.B) {
+	f, err := NewMP(DefaultMPConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Observe(float64(i % 100))
+	}
+}
+
+func BenchmarkBankObserve(b *testing.B) {
+	bank := NewBank[string](func() Filter {
+		f, _ := NewMP(DefaultMPConfig())
+		return f
+	}, 0)
+	peers := []string{"a", "b", "c", "d", "e"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bank.Observe(peers[i%len(peers)], float64(i%100))
+	}
+}

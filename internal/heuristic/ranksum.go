@@ -1,0 +1,78 @@
+package heuristic
+
+import (
+	"fmt"
+
+	"netcoord/internal/coord"
+	"netcoord/internal/window"
+)
+
+// DefaultRankSumZ is the conventional 5% significance threshold for the
+// rank-sum baseline policy.
+const DefaultRankSumZ = 1.96
+
+// RankSum is the one-dimensional baseline policy (an extension beyond
+// the paper's four heuristics): the Kifer-style two-window scheme with a
+// Wilcoxon rank-sum test over each point's distance from the start
+// centroid. Structurally identical to ENERGY — same windows, same
+// centroid publication — differing only in the statistical test, so the
+// extension experiment isolates exactly the value of a genuinely
+// multi-dimensional statistic.
+type RankSum struct {
+	windowed
+	det *window.RankSumDetector
+}
+
+// NewRankSum builds the RANKSUM policy with window size k and |z|
+// threshold z.
+func NewRankSum(dim, k int, z float64) (*RankSum, error) {
+	w, err := newWindowed(dim, k)
+	if err != nil {
+		return nil, err
+	}
+	det, err := window.NewRankSumDetector(z)
+	if err != nil {
+		return nil, err
+	}
+	return &RankSum{windowed: w, det: det}, nil
+}
+
+// Observe implements Policy.
+func (r *RankSum) Observe(obs Observation) (coord.Coordinate, bool, error) {
+	first, err := r.prime(obs.Sys)
+	if err != nil {
+		return r.App(), false, err
+	}
+	if err := r.push(obs.Sys); err != nil {
+		return r.App(), false, fmt.Errorf("rank-sum policy: %w", err)
+	}
+	if first {
+		return r.App(), true, nil
+	}
+	fired, err := r.det.Diverged(r.pair)
+	if err != nil {
+		return r.App(), false, fmt.Errorf("rank-sum policy: %w", err)
+	}
+	if !fired {
+		return r.App(), false, nil
+	}
+	centroid, err := r.currentCentroid()
+	if err != nil {
+		return r.App(), false, fmt.Errorf("rank-sum policy: %w", err)
+	}
+	r.app = centroid
+	r.resetWindows()
+	return r.App(), true, nil
+}
+
+// Name implements Policy.
+func (*RankSum) Name() string { return "ranksum" }
+
+// Reset implements Policy.
+func (r *RankSum) Reset() {
+	r.reset(r.dim)
+	r.resetWindows()
+}
+
+// Interface conformance.
+var _ Policy = (*RankSum)(nil)

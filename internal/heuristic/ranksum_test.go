@@ -1,0 +1,86 @@
+package heuristic
+
+import (
+	"math"
+	"testing"
+
+	"netcoord/internal/coord"
+	"netcoord/internal/xrand"
+)
+
+func TestRankSumValidation(t *testing.T) {
+	if _, err := NewRankSum(3, 0, 1.96); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewRankSum(3, 32, 0); err == nil {
+		t.Fatal("z=0 accepted")
+	}
+	if _, err := NewRankSum(0, 32, 1.96); err == nil {
+		t.Fatal("dim=0 accepted")
+	}
+}
+
+func TestRankSumPrimesAndNames(t *testing.T) {
+	p, err := NewRankSum(3, 8, DefaultRankSumZ)
+	if err != nil {
+		t.Fatalf("NewRankSum: %v", err)
+	}
+	if p.Name() != "ranksum" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	first := coord.New(5, 5, 5)
+	app, changed, err := p.Observe(Observation{Sys: first})
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if !changed || !app.Equal(first) {
+		t.Fatalf("prime failed: changed=%v app=%v", changed, app)
+	}
+}
+
+func TestRankSumStationaryQuiet(t *testing.T) {
+	p, err := NewRankSum(3, 32, 3) // conservative threshold
+	if err != nil {
+		t.Fatalf("NewRankSum: %v", err)
+	}
+	rng := xrand.NewStream(31)
+	updates := observeAll(t, p, noisyWalk(rng, 600, 50, 50, 50, 0.5))
+	if updates > 2 {
+		t.Fatalf("updates = %d on stationary stream", updates)
+	}
+}
+
+func TestRankSumTracksGradualDrift(t *testing.T) {
+	p, err := NewRankSum(3, 16, DefaultRankSumZ)
+	if err != nil {
+		t.Fatalf("NewRankSum: %v", err)
+	}
+	rng := xrand.NewStream(32)
+	stream := noisyWalk(rng, 32, 50, 50, 50, 0.3)
+	for i := 0; i < 150; i++ {
+		x := 50 + 30*float64(i)/149
+		stream = append(stream, coord.New(x+rng.Normal(0, 0.3), 50+rng.Normal(0, 0.3), 50+rng.Normal(0, 0.3)))
+	}
+	stream = append(stream, noisyWalk(rng, 64, 80, 50, 50, 0.3)...)
+	updates := observeAll(t, p, stream)
+	if updates < 2 {
+		t.Fatal("rank-sum missed a 30 ms radial drift")
+	}
+	if math.Abs(p.App().Vec[0]-80) > 6 {
+		t.Fatalf("App x = %v, want near 80", p.App().Vec[0])
+	}
+}
+
+func TestRankSumReset(t *testing.T) {
+	p, err := NewRankSum(3, 8, DefaultRankSumZ)
+	if err != nil {
+		t.Fatalf("NewRankSum: %v", err)
+	}
+	if _, _, err := p.Observe(Observation{Sys: coord.New(9, 9, 9)}); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	p.Reset()
+	if !p.App().Equal(coord.Origin(3)) {
+		t.Fatalf("App after Reset = %v", p.App())
+	}
+}

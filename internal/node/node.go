@@ -1,0 +1,386 @@
+// Package node runs a live network-coordinate participant: the
+// deployable counterpart of the simulator, equivalent to the
+// implementation the paper ran on 270 PlanetLab nodes (Section VI).
+//
+// A Node owns a UDP transport peer, a per-link filter bank, a Vivaldi
+// endpoint, and an application-update policy. A background sampler pings
+// one neighbor at a time in round-robin order on a fixed interval —
+// matching the paper's five-second PlanetLab cadence — and each pong
+// drives the filter -> Vivaldi -> policy pipeline. Neighbor discovery is
+// by gossip: every message carries one neighbor address, and ping sources
+// are learned passively.
+//
+// Lifecycle follows the project's goroutine hygiene rules: Start spawns
+// the sampler, Stop cancels and joins it; the transport read loop is
+// owned by the embedded peer and joined on Close.
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"netcoord/internal/coord"
+	"netcoord/internal/filter"
+	"netcoord/internal/heuristic"
+	"netcoord/internal/transport"
+	"netcoord/internal/vivaldi"
+)
+
+// Defaults mirroring the paper's PlanetLab deployment.
+const (
+	// DefaultSampleInterval is the paper's five-second sampling cadence.
+	DefaultSampleInterval = 5 * time.Second
+	// DefaultPingTimeout bounds how long a sample may take.
+	DefaultPingTimeout = 2 * time.Second
+	// DefaultMaxNeighbors bounds the gossip-grown neighbor set.
+	DefaultMaxNeighbors = 64
+)
+
+// Update is one application-level coordinate change notification.
+type Update struct {
+	// Coord is the new application-level coordinate.
+	Coord coord.Coordinate
+	// At is when the change was detected.
+	At time.Time
+}
+
+// Config assembles a node.
+type Config struct {
+	// ListenAddr is the UDP bind address ("127.0.0.1:0" for ephemeral).
+	ListenAddr string
+	// Seeds are initial neighbor addresses; at least one is required to
+	// join an existing system (a brand-new system's first node may start
+	// with none).
+	Seeds []string
+	// Vivaldi configures the update algorithm.
+	Vivaldi vivaldi.Config
+	// Filter builds the per-link filter; nil means the paper's MP
+	// defaults.
+	Filter filter.Factory
+	// Policy is the application-update policy; nil means ENERGY with the
+	// paper's PlanetLab parameters (window 32, tau 8).
+	Policy heuristic.Policy
+	// SampleInterval is the time between pings; 0 means the default.
+	SampleInterval time.Duration
+	// PingTimeout bounds each ping; 0 means the default.
+	PingTimeout time.Duration
+	// MaxNeighbors bounds the neighbor set; 0 means the default.
+	MaxNeighbors int
+	// Updates, if non-nil, receives application-level coordinate
+	// changes. The channel should be buffered; when it is full,
+	// notifications are dropped rather than blocking the sampler.
+	Updates chan<- Update
+}
+
+// Node is a running coordinate-system participant.
+type Node struct {
+	cfg  Config
+	peer *transport.Peer
+
+	mu          sync.Mutex
+	viv         *vivaldi.Node
+	bank        *filter.Bank[string]
+	policy      heuristic.Policy
+	neighbors   []string
+	neighborSet map[string]bool
+	cursor      int
+	nnAddr      string
+	nnDist      float64
+	nnCoord     coord.Coordinate
+	hasNN       bool
+	samples     uint64
+	failures    uint64
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Start builds and launches a node.
+func Start(cfg Config) (*Node, error) {
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = DefaultSampleInterval
+	}
+	if cfg.PingTimeout <= 0 {
+		cfg.PingTimeout = DefaultPingTimeout
+	}
+	if cfg.MaxNeighbors <= 0 {
+		cfg.MaxNeighbors = DefaultMaxNeighbors
+	}
+	if cfg.Vivaldi.Dimension == 0 {
+		cfg.Vivaldi = vivaldi.DefaultConfig()
+	}
+	viv, err := vivaldi.New(cfg.Vivaldi)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	factory := cfg.Filter
+	if factory == nil {
+		factory = func() filter.Filter {
+			f, err := filter.NewMP(filter.DefaultMPConfig())
+			if err != nil {
+				return filter.NewNone()
+			}
+			return f
+		}
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy, err = heuristic.NewEnergy(cfg.Vivaldi.Dimension, heuristic.DefaultWindow, heuristic.DefaultEnergyTau)
+		if err != nil {
+			return nil, fmt.Errorf("node: %w", err)
+		}
+	}
+
+	n := &Node{
+		cfg:         cfg,
+		viv:         viv,
+		bank:        filter.NewBank[string](factory, cfg.MaxNeighbors),
+		policy:      policy,
+		neighborSet: make(map[string]bool),
+		nnDist:      math.Inf(1),
+	}
+	for _, s := range cfg.Seeds {
+		n.addNeighborLocked(s)
+	}
+
+	peer, err := transport.Listen(cfg.ListenAddr, n.transportState, n.observeInbound)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	n.peer = peer
+
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	n.wg.Add(1)
+	go n.sampleLoop(ctx)
+	return n, nil
+}
+
+// Stop terminates the sampler and closes the transport.
+func (n *Node) Stop() error {
+	n.cancel()
+	n.wg.Wait()
+	if err := n.peer.Close(); err != nil {
+		return fmt.Errorf("node stop: %w", err)
+	}
+	return nil
+}
+
+// Addr returns the node's bound UDP address.
+func (n *Node) Addr() string { return n.peer.Addr() }
+
+// Coordinate returns the current system-level coordinate.
+func (n *Node) Coordinate() coord.Coordinate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.viv.Coordinate()
+}
+
+// AppCoordinate returns the current application-level coordinate.
+func (n *Node) AppCoordinate() coord.Coordinate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.policy.App()
+}
+
+// Confidence returns 1 - w (the paper's Figure 6 quantity).
+func (n *Node) Confidence() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.viv.Confidence()
+}
+
+// EstimateRTT predicts the RTT in milliseconds to a remote coordinate.
+func (n *Node) EstimateRTT(remote coord.Coordinate) (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.viv.EstimateRTT(remote)
+}
+
+// Neighbors returns a snapshot of the neighbor set.
+func (n *Node) Neighbors() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.neighbors))
+	copy(out, n.neighbors)
+	return out
+}
+
+// Samples reports the number of successful latency observations applied.
+func (n *Node) Samples() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.samples
+}
+
+// Failures reports the number of pings that timed out or failed.
+func (n *Node) Failures() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failures
+}
+
+// transportState snapshots local state for outgoing messages, attaching
+// one gossiped neighbor in round-robin order.
+func (n *Node) transportState() transport.State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := transport.State{
+		Coord: n.viv.Coordinate(),
+		Error: n.viv.Error(),
+	}
+	if len(n.neighbors) > 0 {
+		st.Gossip = n.neighbors[int(n.samples)%len(n.neighbors)]
+	}
+	return st
+}
+
+// observeInbound learns neighbors passively: the sender of any inbound
+// ping and any gossiped address join the neighbor set.
+func (n *Node) observeInbound(remoteAddr string, msg transport.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.Type == transport.TypePing {
+		n.addNeighborLocked(remoteAddr)
+	}
+	if msg.Gossip != "" {
+		n.addNeighborLocked(msg.Gossip)
+	}
+}
+
+// addNeighborLocked inserts an address if new, respecting the bound.
+// Callers hold n.mu.
+func (n *Node) addNeighborLocked(addr string) {
+	if addr == "" || n.neighborSet[addr] {
+		return
+	}
+	if n.peer != nil && addr == n.peer.Addr() {
+		return // never sample ourselves
+	}
+	if len(n.neighbors) >= n.cfg.MaxNeighbors {
+		return
+	}
+	n.neighborSet[addr] = true
+	n.neighbors = append(n.neighbors, addr)
+}
+
+// nextNeighborLocked returns the next round-robin target, or "" if the
+// neighbor set is empty. Callers hold n.mu.
+func (n *Node) nextNeighborLocked() string {
+	if len(n.neighbors) == 0 {
+		return ""
+	}
+	addr := n.neighbors[n.cursor%len(n.neighbors)]
+	n.cursor++
+	return addr
+}
+
+// sampleLoop pings one neighbor per interval until cancelled.
+func (n *Node) sampleLoop(ctx context.Context) {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.SampleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			n.sampleOnce(ctx)
+		}
+	}
+}
+
+// sampleOnce performs one ping and applies the observation pipeline.
+func (n *Node) sampleOnce(ctx context.Context) {
+	n.mu.Lock()
+	target := n.nextNeighborLocked()
+	n.mu.Unlock()
+	if target == "" {
+		return
+	}
+	res, err := n.peer.Ping(ctx, target, n.cfg.PingTimeout)
+	if err != nil {
+		n.mu.Lock()
+		n.failures++
+		n.mu.Unlock()
+		return
+	}
+	n.applyObservation(target, res)
+}
+
+// applyObservation runs filter -> Vivaldi -> policy for one pong.
+func (n *Node) applyObservation(target string, res transport.PingResult) {
+	rttMS := float64(res.RTT) / float64(time.Millisecond)
+	if rttMS <= 0 {
+		rttMS = 0.01 // clock granularity floor: loopback pings can
+		// complete inside one timer tick
+	}
+	if err := res.Coord.Validate(n.cfg.Vivaldi.Dimension); err != nil {
+		return // hostile or mismatched peer: ignore
+	}
+
+	var notify *Update
+	n.mu.Lock()
+	if res.Gossip != "" {
+		n.addNeighborLocked(res.Gossip)
+	}
+	filtered, ok := n.bank.Observe(target, rttMS)
+	if ok {
+		if filtered < n.nnDist || target == n.nnAddr {
+			n.nnAddr = target
+			n.nnDist = filtered
+			n.nnCoord = res.Coord
+			n.hasNN = true
+		}
+		newSys, err := n.viv.Update(filtered, res.Coord, res.Error)
+		if err == nil {
+			n.samples++
+			app, changed, perr := n.policy.Observe(heuristic.Observation{
+				Sys:         newSys,
+				Neighbor:    n.nnCoord,
+				HasNeighbor: n.hasNN,
+			})
+			if perr == nil && changed && n.cfg.Updates != nil {
+				notify = &Update{Coord: app, At: time.Now()}
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	if notify != nil {
+		select {
+		case n.cfg.Updates <- *notify:
+		default:
+			// Receiver is slow: drop rather than stall sampling. The
+			// whole point of application-level coordinates is that
+			// updates are rare, so a full channel means a stuck app.
+		}
+	}
+}
+
+// ErrNoNeighbors is reported by SampleNow when there is nobody to ping.
+var ErrNoNeighbors = errors.New("node: no neighbors")
+
+// SampleNow performs one synchronous sample, for tests and
+// fast-convergence bootstraps.
+func (n *Node) SampleNow(ctx context.Context) error {
+	n.mu.Lock()
+	target := n.nextNeighborLocked()
+	n.mu.Unlock()
+	if target == "" {
+		return ErrNoNeighbors
+	}
+	res, err := n.peer.Ping(ctx, target, n.cfg.PingTimeout)
+	if err != nil {
+		n.mu.Lock()
+		n.failures++
+		n.mu.Unlock()
+		return fmt.Errorf("sample %s: %w", target, err)
+	}
+	n.applyObservation(target, res)
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package sim is the deterministic trace-driven simulator: the
+// counterpart of the simulator the paper built to compare Vivaldi
+// configurations on the same input ("we built a simulator that accepted
+// our raw ping trace as input and mimicked the distributed behavior of
+// Vivaldi").
+//
+// A Runner hosts one Vivaldi endpoint per node, each with its own
+// per-link filter bank and application-update policy, and replays a
+// trace.Source through them. For every observation the runner measures —
+// before applying the update, as the paper does — the system-level and
+// application-level relative error against the raw observed latency, then
+// applies the filter, the Vivaldi update, and the policy, recording
+// coordinate displacement at both levels.
+//
+// Because trace generation and every node's randomness are seeded, two
+// runners fed identically configured generators process bit-identical
+// observation streams, which is how the experiments compare filters the
+// way the paper compares them ("we ran them on the same set of PlanetLab
+// nodes at the same time, using different ports").
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netcoord/internal/coord"
+	"netcoord/internal/filter"
+	"netcoord/internal/heuristic"
+	"netcoord/internal/metrics"
+	"netcoord/internal/trace"
+	"netcoord/internal/vivaldi"
+	"netcoord/internal/xrand"
+)
+
+// PolicyFactory builds one application-update policy for a node.
+type PolicyFactory func(dim int) (heuristic.Policy, error)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Nodes is the number of simulated hosts; must cover every node id
+	// in the trace.
+	Nodes int
+	// Vivaldi configures every node's update algorithm; the per-node RNG
+	// seed is derived from Vivaldi.Seed and the node id.
+	Vivaldi vivaldi.Config
+	// Filter builds each node's per-link filter; nil means no filtering
+	// (the paper's "No Filter" configuration).
+	Filter filter.Factory
+	// Policy builds each node's application-update policy; nil means
+	// Direct (application coordinate follows the system coordinate).
+	Policy PolicyFactory
+}
+
+// Runner executes a simulation.
+type Runner struct {
+	cfg   Config
+	nodes []*nodeState
+	sys   *metrics.Collector
+	app   *metrics.Collector
+
+	samples uint64
+	lost    uint64
+	last    uint64
+}
+
+// nodeState is one simulated host.
+type nodeState struct {
+	viv    *vivaldi.Node
+	bank   *filter.Bank[int]
+	policy heuristic.Policy
+
+	// Nearest-neighbor tracking for the RELATIVE policy: the paper's
+	// nodes learn an approximate nearest neighbor from the latency
+	// samples themselves.
+	nnID    int
+	nnDist  float64
+	nnCoord coord.Coordinate
+	hasNN   bool
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("sim: %d nodes, want >= 2", cfg.Nodes)
+	}
+	if err := cfg.Vivaldi.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	sys, err := metrics.NewCollector(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	app, err := metrics.NewCollector(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{cfg: cfg, sys: sys, app: app, nodes: make([]*nodeState, cfg.Nodes)}
+	for i := 0; i < cfg.Nodes; i++ {
+		vcfg := cfg.Vivaldi
+		vcfg.Seed = xrand.Hash64(cfg.Vivaldi.Seed, uint64(i))
+		viv, err := vivaldi.New(vcfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim node %d: %w", i, err)
+		}
+		factory := cfg.Filter
+		if factory == nil {
+			factory = func() filter.Filter { return filter.NewNone() }
+		}
+		var policy heuristic.Policy
+		if cfg.Policy != nil {
+			policy, err = cfg.Policy(vcfg.Dimension)
+		} else {
+			policy, err = heuristic.NewDirect(vcfg.Dimension)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim node %d policy: %w", i, err)
+		}
+		r.nodes[i] = &nodeState{
+			viv:    viv,
+			bank:   filter.NewBank[int](factory, 0),
+			policy: policy,
+			nnDist: math.Inf(1),
+		}
+	}
+	return r, nil
+}
+
+// Step processes one trace sample.
+func (r *Runner) Step(s trace.Sample) error {
+	if s.From < 0 || s.From >= len(r.nodes) || s.To < 0 || s.To >= len(r.nodes) {
+		return fmt.Errorf("sim: sample references node outside [0, %d): %+v", len(r.nodes), s)
+	}
+	if s.From == s.To {
+		return errors.New("sim: self-sample")
+	}
+	if s.Tick > r.last {
+		r.last = s.Tick
+	}
+	r.samples++
+	if s.Lost {
+		r.lost++
+		return nil
+	}
+	src := r.nodes[s.From]
+	dst := r.nodes[s.To]
+
+	// The pong carries the remote's current system coordinate, error
+	// weight, and application coordinate.
+	remoteSys := dst.viv.Coordinate()
+	remoteErr := dst.viv.Error()
+	remoteApp := dst.policy.App()
+
+	// Measure prediction error of the current coordinates against the
+	// raw observation, before updating (paper Section II-A).
+	sysEst, err := src.viv.EstimateRTT(remoteSys)
+	if err != nil {
+		return fmt.Errorf("sim: estimate: %w", err)
+	}
+	if err := r.sys.RecordError(s.From, s.Tick, math.Abs(sysEst-s.RTT)/s.RTT); err != nil {
+		return err
+	}
+	appEst, err := src.policy.App().DistanceTo(remoteApp)
+	if err != nil {
+		return fmt.Errorf("sim: app estimate: %w", err)
+	}
+	if err := r.app.RecordError(s.From, s.Tick, math.Abs(appEst-s.RTT)/s.RTT); err != nil {
+		return err
+	}
+
+	// Filter the raw observation; a warming-up filter withholds the
+	// Vivaldi update entirely.
+	filtered, ok := src.bank.Observe(s.To, s.RTT)
+	if !ok {
+		return nil
+	}
+
+	// Nearest-neighbor bookkeeping from the filtered estimate.
+	if filtered < src.nnDist || s.To == src.nnID {
+		src.nnID = s.To
+		src.nnDist = filtered
+		src.nnCoord = remoteSys
+		src.hasNN = true
+	}
+
+	prevSys := src.viv.Coordinate()
+	newSys, err := src.viv.Update(filtered, remoteSys, remoteErr)
+	if err != nil {
+		return fmt.Errorf("sim: vivaldi update: %w", err)
+	}
+	moved, err := newSys.DisplacementFrom(prevSys)
+	if err != nil {
+		return err
+	}
+	if err := r.sys.RecordMovement(s.From, s.Tick, moved, moved > 0); err != nil {
+		return err
+	}
+
+	prevApp := src.policy.App()
+	newApp, changed, err := src.policy.Observe(heuristic.Observation{
+		Sys:         newSys,
+		Neighbor:    src.nnCoord,
+		HasNeighbor: src.hasNN,
+	})
+	if err != nil {
+		return fmt.Errorf("sim: policy: %w", err)
+	}
+	appMoved, err := newApp.DisplacementFrom(prevApp)
+	if err != nil {
+		return err
+	}
+	if err := r.app.RecordMovement(s.From, s.Tick, appMoved, changed); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run drains a trace source through the runner.
+func (r *Runner) Run(src trace.Source) error {
+	for {
+		s, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if err := r.Step(s); err != nil {
+			return err
+		}
+	}
+}
+
+// Sys returns the system-level metrics collector.
+func (r *Runner) Sys() *metrics.Collector { return r.sys }
+
+// App returns the application-level metrics collector.
+func (r *Runner) App() *metrics.Collector { return r.app }
+
+// Samples reports how many trace samples were processed (including lost
+// ones).
+func (r *Runner) Samples() uint64 { return r.samples }
+
+// Lost reports how many samples were lost pings.
+func (r *Runner) Lost() uint64 { return r.lost }
+
+// LastTick reports the latest tick seen.
+func (r *Runner) LastTick() uint64 { return r.last }
+
+// Coordinate returns node i's current system-level coordinate.
+func (r *Runner) Coordinate(i int) (coord.Coordinate, error) {
+	if i < 0 || i >= len(r.nodes) {
+		return coord.Coordinate{}, fmt.Errorf("sim: node %d out of range", i)
+	}
+	return r.nodes[i].viv.Coordinate(), nil
+}
+
+// AppCoordinate returns node i's current application-level coordinate.
+func (r *Runner) AppCoordinate(i int) (coord.Coordinate, error) {
+	if i < 0 || i >= len(r.nodes) {
+		return coord.Coordinate{}, fmt.Errorf("sim: node %d out of range", i)
+	}
+	return r.nodes[i].policy.App(), nil
+}
+
+// Confidence returns node i's confidence (1 - error weight), the
+// quantity plotted in the paper's Figure 6.
+func (r *Runner) Confidence(i int) (float64, error) {
+	if i < 0 || i >= len(r.nodes) {
+		return 0, fmt.Errorf("sim: node %d out of range", i)
+	}
+	return r.nodes[i].viv.Confidence(), nil
+}

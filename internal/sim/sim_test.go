@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"testing"
+
+	"netcoord/internal/filter"
+	"netcoord/internal/heuristic"
+	"netcoord/internal/netsim"
+	"netcoord/internal/trace"
+	"netcoord/internal/vivaldi"
+)
+
+func wideAreaTrace(t *testing.T, nodes int, seconds uint64, seed uint64) *trace.Generator {
+	t.Helper()
+	net, err := netsim.New(netsim.DefaultWideArea(nodes, seed))
+	if err != nil {
+		t.Fatalf("netsim.New: %v", err)
+	}
+	g, err := trace.NewGenerator(net, trace.GeneratorConfig{IntervalTicks: 1, DurationTicks: seconds, Seed: seed})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
+func mpFactory() filter.Filter {
+	f, err := filter.NewMP(filter.DefaultMPConfig())
+	if err != nil {
+		// Static default config cannot fail validation; keep the factory
+		// signature simple.
+		return filter.NewNone()
+	}
+	return f
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(Config{Nodes: 1, Vivaldi: vivaldi.DefaultConfig()}); err == nil {
+		t.Fatal("one node accepted")
+	}
+	bad := vivaldi.DefaultConfig()
+	bad.CC = 0
+	if _, err := NewRunner(Config{Nodes: 4, Vivaldi: bad}); err == nil {
+		t.Fatal("invalid vivaldi config accepted")
+	}
+	broken := func(dim int) (heuristic.Policy, error) {
+		return heuristic.NewEnergy(dim, 0, 8) // invalid window
+	}
+	if _, err := NewRunner(Config{Nodes: 4, Vivaldi: vivaldi.DefaultConfig(), Policy: broken}); err == nil {
+		t.Fatal("broken policy factory accepted")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	r, err := NewRunner(Config{Nodes: 4, Vivaldi: vivaldi.DefaultConfig()})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	if err := r.Step(trace.Sample{From: 9, To: 0, RTT: 50}); err == nil {
+		t.Fatal("out-of-range From accepted")
+	}
+	if err := r.Step(trace.Sample{From: 0, To: 9, RTT: 50}); err == nil {
+		t.Fatal("out-of-range To accepted")
+	}
+	if err := r.Step(trace.Sample{From: 1, To: 1, RTT: 50}); err == nil {
+		t.Fatal("self-sample accepted")
+	}
+}
+
+func TestLostSamplesSkipped(t *testing.T) {
+	r, err := NewRunner(Config{Nodes: 2, Vivaldi: vivaldi.DefaultConfig()})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	if err := r.Step(trace.Sample{Tick: 1, From: 0, To: 1, Lost: true}); err != nil {
+		t.Fatalf("Step lost sample: %v", err)
+	}
+	if r.Lost() != 1 || r.Samples() != 1 {
+		t.Fatalf("Lost=%d Samples=%d", r.Lost(), r.Samples())
+	}
+	c, err := r.Coordinate(0)
+	if err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	if c.Vec.Norm() != 0 {
+		t.Fatal("lost sample moved a coordinate")
+	}
+}
+
+func TestRunConvergesOnWideArea(t *testing.T) {
+	const nodes = 24
+	r, err := NewRunner(Config{
+		Nodes:   nodes,
+		Vivaldi: vivaldi.DefaultConfig(),
+		Filter:  mpFactory,
+	})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	const seconds = 1200
+	if err := r.Run(wideAreaTrace(t, nodes, seconds, 5)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Samples() == 0 {
+		t.Fatal("no samples processed")
+	}
+	// Second-half accuracy must be materially better than a random
+	// embedding: median relative error well under 0.5 on this easy
+	// network.
+	sum, err := r.Sys().Summarize(seconds/2, seconds)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if sum.MedianRelErr > 0.35 {
+		t.Fatalf("median relative error = %v after convergence", sum.MedianRelErr)
+	}
+	// And convergence means the second half is better than the first.
+	first, err := r.Sys().Summarize(0, seconds/2-1)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if sum.MedianRelErr >= first.MedianRelErr {
+		t.Fatalf("no convergence: first half %v, second half %v", first.MedianRelErr, sum.MedianRelErr)
+	}
+}
+
+func TestMPFilterBeatsNoFilter(t *testing.T) {
+	// The core Table I comparison in miniature: identical traces, MP
+	// filter vs none; the MP run must be more accurate and more stable.
+	const nodes = 24
+	const seconds = 1200
+	run := func(factory filter.Factory) (relErr, instability float64) {
+		r, err := NewRunner(Config{Nodes: nodes, Vivaldi: vivaldi.DefaultConfig(), Filter: factory})
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		if err := r.Run(wideAreaTrace(t, nodes, seconds, 11)); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		sum, err := r.Sys().Summarize(seconds/2, seconds)
+		if err != nil {
+			t.Fatalf("Summarize: %v", err)
+		}
+		return sum.MedianRelErr, sum.MedianInstability
+	}
+	mpErr, mpInst := run(mpFactory)
+	rawErr, rawInst := run(nil)
+	if mpErr >= rawErr {
+		t.Fatalf("MP median rel err %v not better than raw %v", mpErr, rawErr)
+	}
+	if mpInst >= rawInst {
+		t.Fatalf("MP instability %v not better than raw %v", mpInst, rawInst)
+	}
+}
+
+func TestEnergyPolicyStabilizesAppCoordinates(t *testing.T) {
+	const nodes = 24
+	const seconds = 1200
+	r, err := NewRunner(Config{
+		Nodes:   nodes,
+		Vivaldi: vivaldi.DefaultConfig(),
+		Filter:  mpFactory,
+		Policy: func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewEnergy(dim, heuristic.DefaultWindow, heuristic.DefaultEnergyTau)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	if err := r.Run(wideAreaTrace(t, nodes, seconds, 7)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sysSum, err := r.Sys().Summarize(seconds/2, seconds)
+	if err != nil {
+		t.Fatalf("Summarize sys: %v", err)
+	}
+	appSum, err := r.App().Summarize(seconds/2, seconds)
+	if err != nil {
+		t.Fatalf("Summarize app: %v", err)
+	}
+	if appSum.MedianInstability >= sysSum.MedianInstability {
+		t.Fatalf("app instability %v not below sys %v", appSum.MedianInstability, sysSum.MedianInstability)
+	}
+	// Accuracy must not collapse: app error within 2x of system error.
+	if appSum.MedianRelErr > 2*sysSum.MedianRelErr+0.05 {
+		t.Fatalf("app error %v vs sys %v: accuracy collapsed", appSum.MedianRelErr, sysSum.MedianRelErr)
+	}
+	// And the app level must see far fewer updates than one per
+	// observation.
+	if appSum.MeanUpdateFraction > 0.5 {
+		t.Fatalf("app update fraction %v, want well below 1", appSum.MeanUpdateFraction)
+	}
+}
+
+func TestRunnerDeterminism(t *testing.T) {
+	const nodes = 10
+	const seconds = 300
+	run := func() []float64 {
+		r, err := NewRunner(Config{Nodes: nodes, Vivaldi: vivaldi.DefaultConfig(), Filter: mpFactory})
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		if err := r.Run(wideAreaTrace(t, nodes, seconds, 13)); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var out []float64
+		for i := 0; i < nodes; i++ {
+			c, err := r.Coordinate(i)
+			if err != nil {
+				t.Fatalf("Coordinate: %v", err)
+			}
+			out = append(out, c.Vec...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at component %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConfidenceAccessor(t *testing.T) {
+	r, err := NewRunner(Config{Nodes: 3, Vivaldi: vivaldi.DefaultConfig()})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	c, err := r.Confidence(0)
+	if err != nil {
+		t.Fatalf("Confidence: %v", err)
+	}
+	if c != 0 {
+		t.Fatalf("initial confidence = %v, want 0", c)
+	}
+	if _, err := r.Confidence(99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := r.Coordinate(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := r.AppCoordinate(99); err == nil {
+		t.Fatal("out-of-range app coordinate accepted")
+	}
+}
+
+func TestStaticMatrixModeIsStable(t *testing.T) {
+	// A1 ablation seed: with a static latency matrix (the original
+	// Vivaldi evaluation methodology), even the unfiltered system is
+	// accurate and stable — the instability pathology only appears with
+	// real observation streams.
+	const nodes = 16
+	const seconds = 900
+	cfg := netsim.DefaultWideArea(nodes, 3)
+	cfg.Static = true
+	net, err := netsim.New(cfg)
+	if err != nil {
+		t.Fatalf("netsim.New: %v", err)
+	}
+	g, err := trace.NewGenerator(net, trace.GeneratorConfig{IntervalTicks: 1, DurationTicks: seconds})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	r, err := NewRunner(Config{Nodes: nodes, Vivaldi: vivaldi.DefaultConfig()})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	if err := r.Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sum, err := r.Sys().Summarize(seconds/2, seconds)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if sum.MedianRelErr > 0.2 {
+		t.Fatalf("static-matrix median rel err = %v, want small", sum.MedianRelErr)
+	}
+}
+
+func BenchmarkRunnerStep(b *testing.B) {
+	const nodes = 100
+	net, err := netsim.New(netsim.DefaultWideArea(nodes, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := trace.NewGenerator(net, trace.GeneratorConfig{IntervalTicks: 1, DurationTicks: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewRunner(Config{Nodes: nodes, Vivaldi: vivaldi.DefaultConfig(), Filter: mpFactory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, ok := g.Next()
+		if !ok {
+			b.Fatal("trace exhausted")
+		}
+		if err := r.Step(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

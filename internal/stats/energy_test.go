@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"netcoord/internal/vec"
+	"netcoord/internal/xrand"
+)
+
+func randomCloud(rng *xrand.Stream, n, dim int, center vec.Vector, spread float64) []vec.Vector {
+	out := make([]vec.Vector, n)
+	for i := range out {
+		v := make(vec.Vector, dim)
+		for d := 0; d < dim; d++ {
+			v[d] = center[d] + rng.Normal(0, spread)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestEnergyDistanceIdenticalSamplesNearZero(t *testing.T) {
+	rng := xrand.NewStream(1)
+	a := randomCloud(rng, 40, 3, vec.New(0, 0, 0), 1)
+	b := make([]vec.Vector, len(a))
+	copy(b, a)
+	e, err := EnergyDistance(a, b)
+	if err != nil {
+		t.Fatalf("EnergyDistance: %v", err)
+	}
+	if math.Abs(e) > 1e-9 {
+		t.Fatalf("energy of identical samples = %v, want ~0", e)
+	}
+}
+
+func TestEnergyDistanceNonNegative(t *testing.T) {
+	rng := xrand.NewStream(2)
+	for trial := 0; trial < 30; trial++ {
+		a := randomCloud(rng, 5+rng.Intn(30), 3, vec.New(0, 0, 0), 1+rng.Float64()*5)
+		b := randomCloud(rng, 5+rng.Intn(30), 3, vec.New(rng.Float64()*10, 0, 0), 1+rng.Float64()*5)
+		e, err := EnergyDistance(a, b)
+		if err != nil {
+			t.Fatalf("EnergyDistance: %v", err)
+		}
+		// Energy distance between distributions is non-negative; the
+		// finite-sample statistic can dip microscopically below zero only
+		// through float error.
+		if e < -1e-9 {
+			t.Fatalf("trial %d: energy = %v < 0", trial, e)
+		}
+	}
+}
+
+func TestEnergyDistanceGrowsWithSeparation(t *testing.T) {
+	rng := xrand.NewStream(3)
+	base := randomCloud(rng, 32, 3, vec.New(0, 0, 0), 1)
+	var prev float64
+	for i, sep := range []float64{0.5, 2, 8, 32, 128} {
+		shifted := randomCloud(rng, 32, 3, vec.New(sep, 0, 0), 1)
+		e, err := EnergyDistance(base, shifted)
+		if err != nil {
+			t.Fatalf("EnergyDistance: %v", err)
+		}
+		if e <= prev {
+			t.Fatalf("separation %v: energy %v did not grow past %v", sep, e, prev)
+		}
+		_ = i
+		prev = e
+	}
+}
+
+func TestEnergyDistanceSymmetric(t *testing.T) {
+	rng := xrand.NewStream(4)
+	a := randomCloud(rng, 20, 3, vec.New(0, 0, 0), 2)
+	b := randomCloud(rng, 25, 3, vec.New(5, 5, 5), 2)
+	e1, err := EnergyDistance(a, b)
+	if err != nil {
+		t.Fatalf("EnergyDistance: %v", err)
+	}
+	e2, err := EnergyDistance(b, a)
+	if err != nil {
+		t.Fatalf("EnergyDistance: %v", err)
+	}
+	if math.Abs(e1-e2) > 1e-9 {
+		t.Fatalf("energy not symmetric: %v vs %v", e1, e2)
+	}
+}
+
+func TestEnergyDistanceKnownValue(t *testing.T) {
+	// Two singletons at distance d: e = (1/2) * (2d - 0 - 0) = d.
+	a := []vec.Vector{vec.New(0, 0)}
+	b := []vec.Vector{vec.New(3, 4)}
+	e, err := EnergyDistance(a, b)
+	if err != nil {
+		t.Fatalf("EnergyDistance: %v", err)
+	}
+	if !almostEqual(e, 5, 1e-12) {
+		t.Fatalf("energy = %v, want 5", e)
+	}
+}
+
+func TestEnergyDistanceHandComputed(t *testing.T) {
+	// A = {0, 2}, B = {1} in one dimension.
+	// S_AB = |0-1| + |2-1| = 2; S_AA = 2*|0-2| = 4; S_BB = 0.
+	// e = (2*1/3) * (2/2*2 - 4/4 - 0) = (2/3) * (2 - 1) = 2/3.
+	a := []vec.Vector{vec.New(0), vec.New(2)}
+	b := []vec.Vector{vec.New(1)}
+	e, err := EnergyDistance(a, b)
+	if err != nil {
+		t.Fatalf("EnergyDistance: %v", err)
+	}
+	if !almostEqual(e, 2.0/3.0, 1e-12) {
+		t.Fatalf("energy = %v, want 2/3", e)
+	}
+}
+
+func TestEnergyDistanceErrors(t *testing.T) {
+	if _, err := EnergyDistance(nil, []vec.Vector{vec.New(1)}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty A error = %v", err)
+	}
+	if _, err := EnergyDistance([]vec.Vector{vec.New(1)}, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty B error = %v", err)
+	}
+	if _, err := EnergyDistance([]vec.Vector{vec.New(1)}, []vec.Vector{vec.New(1, 2)}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestRankSumNoDifference(t *testing.T) {
+	rng := xrand.NewStream(6)
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.Normal(50, 10)
+		b[i] = rng.Normal(50, 10)
+	}
+	z, err := RankSum(a, b)
+	if err != nil {
+		t.Fatalf("RankSum: %v", err)
+	}
+	if math.Abs(z) > 2.5 {
+		t.Fatalf("z = %v for identical distributions, want |z| small", z)
+	}
+}
+
+func TestRankSumDetectsShift(t *testing.T) {
+	rng := xrand.NewStream(7)
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = rng.Normal(50, 5)
+		b[i] = rng.Normal(70, 5)
+	}
+	z, err := RankSum(a, b)
+	if err != nil {
+		t.Fatalf("RankSum: %v", err)
+	}
+	if z > -5 {
+		t.Fatalf("z = %v, want strongly negative (a shifted below b)", z)
+	}
+}
+
+func TestRankSumAllTied(t *testing.T) {
+	a := []float64{5, 5, 5}
+	b := []float64{5, 5}
+	z, err := RankSum(a, b)
+	if err != nil {
+		t.Fatalf("RankSum: %v", err)
+	}
+	if z != 0 {
+		t.Fatalf("z = %v for fully tied samples, want 0", z)
+	}
+}
+
+func TestRankSumEmpty(t *testing.T) {
+	if _, err := RankSum(nil, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty error = %v", err)
+	}
+}
+
+func TestRankSumSymmetricSignFlip(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	z1, err := RankSum(a, b)
+	if err != nil {
+		t.Fatalf("RankSum: %v", err)
+	}
+	z2, err := RankSum(b, a)
+	if err != nil {
+		t.Fatalf("RankSum: %v", err)
+	}
+	if !almostEqual(z1, -z2, 1e-9) {
+		t.Fatalf("swap should flip sign: %v vs %v", z1, z2)
+	}
+}
+
+func BenchmarkEnergyDistance32(b *testing.B) {
+	rng := xrand.NewStream(1)
+	x := randomCloud(rng, 32, 3, vec.New(0, 0, 0), 1)
+	y := randomCloud(rng, 32, 3, vec.New(1, 1, 1), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EnergyDistance(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankSum200(b *testing.B) {
+	rng := xrand.NewStream(1)
+	x := make([]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RankSum(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

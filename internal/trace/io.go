@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format: a fixed header followed by fixed-width records.
+//
+//	header:  magic "NCTR" | uint16 version | uint32 reserved
+//	record:  uint64 tick | uint32 from | uint32 to | float64 rtt | uint8 lost
+//
+// Little endian throughout. The format is deliberately dumb — traces are
+// large and sequential, so a fixed record width plus bufio gives fast,
+// simple streaming.
+const (
+	magic       = "NCTR"
+	version     = uint16(1)
+	recordBytes = 8 + 4 + 4 + 8 + 1
+)
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace data")
+
+// Writer streams samples to an io.Writer in the binary trace format.
+type Writer struct {
+	w       *bufio.Writer
+	buf     [recordBytes]byte
+	wrote   uint64
+	started bool
+}
+
+// NewWriter wraps w. The header is written lazily on the first sample
+// (or by Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (t *Writer) writeHeader() error {
+	if t.started {
+		return nil
+	}
+	t.started = true
+	var hdr [10]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write trace header: %w", err)
+	}
+	return nil
+}
+
+// Write appends one sample.
+func (t *Writer) Write(s Sample) error {
+	if err := t.writeHeader(); err != nil {
+		return err
+	}
+	if s.From < 0 || s.To < 0 {
+		return fmt.Errorf("%w: negative node id", ErrBadTrace)
+	}
+	b := t.buf[:]
+	binary.LittleEndian.PutUint64(b[0:8], s.Tick)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(s.From))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(s.To))
+	binary.LittleEndian.PutUint64(b[16:24], math.Float64bits(s.RTT))
+	if s.Lost {
+		b[24] = 1
+	} else {
+		b[24] = 0
+	}
+	if _, err := t.w.Write(b); err != nil {
+		return fmt.Errorf("write trace record: %w", err)
+	}
+	t.wrote++
+	return nil
+}
+
+// Count reports how many samples have been written.
+func (t *Writer) Count() uint64 { return t.wrote }
+
+// Flush writes the header (if nothing was written yet) and flushes
+// buffers. Callers must Flush before closing the underlying writer.
+func (t *Writer) Flush() error {
+	if err := t.writeHeader(); err != nil {
+		return err
+	}
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("flush trace: %w", err)
+	}
+	return nil
+}
+
+// Reader streams samples from a binary trace. It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	buf    [recordBytes]byte
+	primed bool
+	err    error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (t *Reader) readHeader() error {
+	var hdr [10]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrBadTrace, err)
+	}
+	if string(hdr[:4]) != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != version {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	return nil
+}
+
+// Next implements Source.
+func (t *Reader) Next() (Sample, bool) {
+	if t.err != nil {
+		return Sample{}, false
+	}
+	if !t.primed {
+		t.primed = true
+		if err := t.readHeader(); err != nil {
+			t.err = err
+			return Sample{}, false
+		}
+	}
+	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
+		if !errors.Is(err, io.EOF) {
+			t.err = fmt.Errorf("%w: record: %v", ErrBadTrace, err)
+		} else {
+			t.err = io.EOF
+		}
+		return Sample{}, false
+	}
+	b := t.buf[:]
+	return Sample{
+		Tick: binary.LittleEndian.Uint64(b[0:8]),
+		From: int(binary.LittleEndian.Uint32(b[8:12])),
+		To:   int(binary.LittleEndian.Uint32(b[12:16])),
+		RTT:  math.Float64frombits(binary.LittleEndian.Uint64(b[16:24])),
+		Lost: b[24] == 1,
+	}, true
+}
+
+// Err reports the terminal error, nil after clean EOF or before
+// exhaustion.
+func (t *Reader) Err() error {
+	if t.err == nil || errors.Is(t.err, io.EOF) {
+		return nil
+	}
+	return t.err
+}

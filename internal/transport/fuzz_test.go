@@ -1,0 +1,45 @@
+package transport
+
+import (
+	"testing"
+
+	"netcoord/internal/coord"
+)
+
+// FuzzDecode drives the packet decoder with arbitrary bytes: it must
+// never panic, and any packet it accepts must re-encode decodable.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid packets of both types and common corruptions.
+	ping := Message{Type: TypePing, Seq: 1, Error: 0.5, Coord: coord.New(1, 2, 3), Gossip: "10.0.0.1:9000"}
+	pong := Message{Type: TypePong, Seq: 99, Error: 1, Coord: coord.Origin(3)}
+	for _, m := range []Message{ping, pong} {
+		pkt, err := m.Encode(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(pkt)
+		if len(pkt) > 4 {
+			f.Add(pkt[:len(pkt)-3]) // truncated
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("NC"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted packets must survive a round trip.
+		out, err := m.Encode(nil)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		back, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if back.Type != m.Type || back.Seq != m.Seq || back.Gossip != m.Gossip {
+			t.Fatalf("round trip mutated message: %+v vs %+v", back, m)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netcoord/internal/coord"
+)
+
+// ErrClosed is returned by operations on a closed peer.
+var ErrClosed = errors.New("transport: peer closed")
+
+// ErrTimeout is returned when a ping receives no pong in time.
+var ErrTimeout = errors.New("transport: ping timeout")
+
+// State is the local coordinate state stamped onto outgoing messages.
+type State struct {
+	// Coord is the node's current system-level coordinate.
+	Coord coord.Coordinate
+	// Error is the node's Vivaldi error weight.
+	Error float64
+	// Gossip optionally names one neighbor address to share.
+	Gossip string
+}
+
+// PingResult is what a successful ping learns about the remote.
+type PingResult struct {
+	// RTT is the measured round-trip time.
+	RTT time.Duration
+	// Coord is the remote's system-level coordinate.
+	Coord coord.Coordinate
+	// Error is the remote's Vivaldi error weight.
+	Error float64
+	// Gossip is the neighbor address the remote shared ("" if none).
+	Gossip string
+}
+
+// StateFunc supplies the current local state; called for every outgoing
+// message, so it must be cheap and safe for concurrent use.
+type StateFunc func() State
+
+// ObserveFunc is notified of every inbound message's metadata: the
+// remote's address, its state, and its gossiped neighbor. The node layer
+// uses it to learn neighbors passively.
+type ObserveFunc func(remoteAddr string, msg Message)
+
+// Peer is one UDP endpoint of the ping protocol. It answers pings
+// automatically and matches pongs to outstanding pings.
+type Peer struct {
+	conn  *net.UDPConn
+	state StateFunc
+	obs   ObserveFunc
+
+	mu      sync.Mutex
+	pending map[uint32]chan pong
+	seq     uint32
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type pong struct {
+	at  time.Time
+	msg Message
+}
+
+// Listen opens a UDP socket on addr ("127.0.0.1:0" for an ephemeral
+// port). state must be non-nil; observe may be nil.
+func Listen(addr string, state StateFunc, observe ObserveFunc) (*Peer, error) {
+	if state == nil {
+		return nil, errors.New("transport: nil state func")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %q: %w", addr, err)
+	}
+	p := &Peer{
+		conn:    conn,
+		state:   state,
+		obs:     observe,
+		pending: make(map[uint32]chan pong),
+	}
+	p.wg.Add(1)
+	go p.readLoop()
+	return p, nil
+}
+
+// Addr returns the bound address (host:port).
+func (p *Peer) Addr() string { return p.conn.LocalAddr().String() }
+
+// Close shuts the socket and joins the read loop. Outstanding pings fail
+// with ErrClosed.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for seq, ch := range p.pending {
+		close(ch)
+		delete(p.pending, seq)
+	}
+	p.mu.Unlock()
+	err := p.conn.Close()
+	p.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("close peer: %w", err)
+	}
+	return nil
+}
+
+// readLoop services the socket until Close.
+func (p *Peer) readLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, MaxPacket)
+	out := make([]byte, 0, MaxPacket)
+	for {
+		n, remote, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed (or unrecoverable); Close joins us
+		}
+		at := time.Now()
+		msg, err := Decode(buf[:n])
+		if err != nil {
+			continue // hostile or corrupt packet: drop
+		}
+		if p.obs != nil {
+			p.obs(remote.String(), msg)
+		}
+		switch msg.Type {
+		case TypePing:
+			st := p.state()
+			reply := Message{
+				Type:   TypePong,
+				Seq:    msg.Seq,
+				Error:  st.Error,
+				Coord:  st.Coord,
+				Gossip: st.Gossip,
+			}
+			pkt, err := reply.Encode(out[:0])
+			if err != nil {
+				continue
+			}
+			// Best effort; a lost pong is a lost sample.
+			if _, err := p.conn.WriteToUDP(pkt, remote); err != nil {
+				continue
+			}
+		case TypePong:
+			p.mu.Lock()
+			ch, ok := p.pending[msg.Seq]
+			if ok {
+				delete(p.pending, msg.Seq)
+			}
+			p.mu.Unlock()
+			if ok {
+				ch <- pong{at: at, msg: msg}
+			}
+		}
+	}
+}
+
+// Ping measures the RTT to addr, exchanging coordinate state. It blocks
+// until the pong arrives, the timeout elapses, or ctx is done.
+func (p *Peer) Ping(ctx context.Context, addr string, timeout time.Duration) (PingResult, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return PingResult{}, fmt.Errorf("resolve %q: %w", addr, err)
+	}
+
+	ch := make(chan pong, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return PingResult{}, ErrClosed
+	}
+	p.seq++
+	seq := p.seq
+	p.pending[seq] = ch
+	p.mu.Unlock()
+
+	cancelPending := func() {
+		p.mu.Lock()
+		delete(p.pending, seq)
+		p.mu.Unlock()
+	}
+
+	st := p.state()
+	msg := Message{Type: TypePing, Seq: seq, Error: st.Error, Coord: st.Coord, Gossip: st.Gossip}
+	pkt, err := msg.Encode(nil)
+	if err != nil {
+		cancelPending()
+		return PingResult{}, err
+	}
+	start := time.Now()
+	if _, err := p.conn.WriteToUDP(pkt, udpAddr); err != nil {
+		cancelPending()
+		return PingResult{}, fmt.Errorf("send ping: %w", err)
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case pg, ok := <-ch:
+		if !ok {
+			return PingResult{}, ErrClosed
+		}
+		return PingResult{
+			RTT:    pg.at.Sub(start),
+			Coord:  pg.msg.Coord,
+			Error:  pg.msg.Error,
+			Gossip: pg.msg.Gossip,
+		}, nil
+	case <-timer.C:
+		cancelPending()
+		return PingResult{}, fmt.Errorf("%w: %s after %v", ErrTimeout, addr, timeout)
+	case <-ctx.Done():
+		cancelPending()
+		return PingResult{}, fmt.Errorf("ping %s: %w", addr, ctx.Err())
+	}
+}

@@ -1,0 +1,407 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netcoord/internal/coord"
+)
+
+// netResolve resolves a UDP address for raw-packet tests.
+func netResolve(addr string) (*net.UDPAddr, error) {
+	return net.ResolveUDPAddr("udp", addr)
+}
+
+func TestMessageEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  Message
+	}{
+		{
+			name: "ping with gossip",
+			msg: Message{
+				Type:   TypePing,
+				Seq:    42,
+				Error:  0.5,
+				Coord:  coord.New(1.5, -2.5, 3),
+				Gossip: "10.0.0.1:9000",
+			},
+		},
+		{
+			name: "pong no gossip",
+			msg: Message{
+				Type:  TypePong,
+				Seq:   7,
+				Error: 1,
+				Coord: coord.New(0, 0, 0),
+			},
+		},
+		{
+			name: "height carried",
+			msg: Message{
+				Type:  TypePing,
+				Seq:   1,
+				Error: 0.25,
+				Coord: coord.Coordinate{Vec: coord.New(5, 6, 7).Vec, Height: 2.5},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pkt, err := tt.msg.Encode(nil)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if len(pkt) > MaxPacket {
+				t.Fatalf("packet %d bytes exceeds MaxPacket %d", len(pkt), MaxPacket)
+			}
+			got, err := Decode(pkt)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got.Type != tt.msg.Type || got.Seq != tt.msg.Seq || got.Error != tt.msg.Error || got.Gossip != tt.msg.Gossip {
+				t.Fatalf("round trip: got %+v, want %+v", got, tt.msg)
+			}
+			if !got.Coord.Equal(tt.msg.Coord) {
+				t.Fatalf("coordinate: got %v, want %v", got.Coord, tt.msg.Coord)
+			}
+		})
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := (Message{Type: 9}).Encode(nil); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("bad type: %v", err)
+	}
+	long := make([]byte, MaxGossipAddr+1)
+	if _, err := (Message{Type: TypePing, Gossip: string(long)}).Encode(nil); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("oversize gossip: %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		pkt  []byte
+	}{
+		{name: "empty", pkt: nil},
+		{name: "short", pkt: []byte{1, 2, 3}},
+		{name: "bad magic", pkt: append([]byte{'X', 'X', 1, 1}, make([]byte, 20)...)},
+		{name: "bad version", pkt: append([]byte{'N', 'C', 9, 1}, make([]byte, 20)...)},
+		{name: "bad type", pkt: append([]byte{'N', 'C', 1, 9}, make([]byte, 20)...)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.pkt); err == nil {
+				t.Fatal("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestDecodeTruncatedGossip(t *testing.T) {
+	msg := Message{Type: TypePing, Seq: 1, Coord: coord.New(1, 2, 3), Gossip: "somewhere:1234"}
+	pkt, err := msg.Encode(nil)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := Decode(pkt[:len(pkt)-3]); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("truncated gossip: %v", err)
+	}
+}
+
+// Property: arbitrary byte strings never panic the decoder.
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	f := func(pkt []byte) bool {
+		_, _ = Decode(pkt)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func staticState(c coord.Coordinate, w float64, gossip string) StateFunc {
+	return func() State { return State{Coord: c, Error: w, Gossip: gossip} }
+}
+
+func TestPingPongOverLoopback(t *testing.T) {
+	serverCoord := coord.New(10, 20, 30)
+	server, err := Listen("127.0.0.1:0", staticState(serverCoord, 0.25, "peer:1"), nil)
+	if err != nil {
+		t.Fatalf("Listen server: %v", err)
+	}
+	defer func() {
+		if err := server.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+	client, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen client: %v", err)
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("close client: %v", err)
+		}
+	}()
+
+	res, err := client.Ping(context.Background(), server.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if res.RTT <= 0 || res.RTT > time.Second {
+		t.Fatalf("RTT = %v", res.RTT)
+	}
+	if !res.Coord.Equal(serverCoord) {
+		t.Fatalf("remote coord = %v, want %v", res.Coord, serverCoord)
+	}
+	if res.Error != 0.25 {
+		t.Fatalf("remote error = %v", res.Error)
+	}
+	if res.Gossip != "peer:1" {
+		t.Fatalf("gossip = %q", res.Gossip)
+	}
+}
+
+func TestPingTimeout(t *testing.T) {
+	client, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	// Reserve a port with no responder behind it.
+	dead, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen dead: %v", err)
+	}
+	deadAddr := dead.Addr()
+	if err := dead.Close(); err != nil {
+		t.Fatalf("close dead: %v", err)
+	}
+	_, err = client.Ping(context.Background(), deadAddr, 150*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPingContextCancel(t *testing.T) {
+	client, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	dead, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen dead: %v", err)
+	}
+	deadAddr := dead.Addr()
+	if err := dead.Close(); err != nil {
+		t.Fatalf("close dead: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err = client.Ping(ctx, deadAddr, 5*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestPingAfterCloseFails(t *testing.T) {
+	p, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := p.Ping(context.Background(), "127.0.0.1:1", time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("error = %v, want ErrClosed", err)
+	}
+	// Double close is a no-op.
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestObserveSeesInboundTraffic(t *testing.T) {
+	var mu sync.Mutex
+	var seen []Message
+	server, err := Listen("127.0.0.1:0", staticState(coord.New(1, 1, 1), 0.5, ""), func(remote string, m Message) {
+		mu.Lock()
+		seen = append(seen, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Listen server: %v", err)
+	}
+	defer func() {
+		if err := server.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+	client, err := Listen("127.0.0.1:0", staticState(coord.New(2, 2, 2), 0.75, "gossip:9"), nil)
+	if err != nil {
+		t.Fatalf("Listen client: %v", err)
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("close client: %v", err)
+		}
+	}()
+	if _, err := client.Ping(context.Background(), server.Addr(), 2*time.Second); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 {
+		t.Fatalf("observer saw %d messages, want 1", len(seen))
+	}
+	if seen[0].Type != TypePing || seen[0].Gossip != "gossip:9" {
+		t.Fatalf("observed %+v", seen[0])
+	}
+	if !seen[0].Coord.Equal(coord.New(2, 2, 2)) {
+		t.Fatalf("observed coord %v", seen[0].Coord)
+	}
+}
+
+func TestConcurrentPings(t *testing.T) {
+	server, err := Listen("127.0.0.1:0", staticState(coord.New(5, 5, 5), 0.5, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen server: %v", err)
+	}
+	defer func() {
+		if err := server.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+	client, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen client: %v", err)
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("close client: %v", err)
+		}
+	}()
+	const workers = 8
+	const pingsEach = 10
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pingsEach; i++ {
+				if _, err := client.Ping(context.Background(), server.Addr(), 2*time.Second); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent ping: %v", err)
+	}
+}
+
+func TestHostilePacketsIgnored(t *testing.T) {
+	server, err := Listen("127.0.0.1:0", staticState(coord.New(1, 2, 3), 0.5, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen server: %v", err)
+	}
+	defer func() {
+		if err := server.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+	client, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen client: %v", err)
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("close client: %v", err)
+		}
+	}()
+	// Throw garbage at the server, then confirm it still answers pings.
+	raw, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		t.Fatalf("Listen raw: %v", err)
+	}
+	defer func() {
+		if err := raw.Close(); err != nil {
+			t.Errorf("close raw: %v", err)
+		}
+	}()
+	serverUDP := server.Addr()
+	conn := raw.conn
+	addr, err := netResolve(serverUDP)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	for _, pkt := range [][]byte{nil, {0}, []byte("garbage!"), make([]byte, MaxPacket)} {
+		if len(pkt) == 0 {
+			continue
+		}
+		if _, err := conn.WriteToUDP(pkt, addr); err != nil {
+			t.Fatalf("send garbage: %v", err)
+		}
+	}
+	if _, err := client.Ping(context.Background(), server.Addr(), 2*time.Second); err != nil {
+		t.Fatalf("Ping after garbage: %v", err)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	msg := Message{Type: TypePing, Seq: 1, Error: 0.5, Coord: coord.New(1, 2, 3), Gossip: "10.0.0.1:9000"}
+	buf := make([]byte, 0, MaxPacket)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt, err := msg.Encode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoopbackPing(b *testing.B) {
+	server, err := Listen("127.0.0.1:0", staticState(coord.New(1, 2, 3), 0.5, ""), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := Listen("127.0.0.1:0", staticState(coord.Origin(3), 1, ""), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Ping(context.Background(), server.Addr(), 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package transport implements the UDP ping protocol the live coordinate
+// node runs: application-level pings (the paper's input source), pong
+// replies carrying the responder's coordinate state, and one gossiped
+// neighbor address per message ("nodes learn new neighbors by attaching
+// the address of one other node to each sampling message").
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"netcoord/internal/coord"
+)
+
+// Message types.
+const (
+	// TypePing requests a pong.
+	TypePing = byte(1)
+	// TypePong answers a ping, echoing its sequence number.
+	TypePong = byte(2)
+)
+
+// Wire format constants.
+const (
+	wireMagic0  = byte('N')
+	wireMagic1  = byte('C')
+	wireVersion = byte(1)
+	// headerLen = magic(2) + version(1) + type(1) + seq(4) + err(8).
+	headerLen = 16
+	// MaxGossipAddr bounds the gossiped address string.
+	MaxGossipAddr = 255
+	// MaxPacket is the largest packet Encode can produce and the read
+	// buffer size.
+	MaxPacket = headerLen + 1 + coord.MaxDimension*8 + 8 + 1 + MaxGossipAddr
+)
+
+// ErrBadPacket reports an undecodable packet.
+var ErrBadPacket = errors.New("transport: malformed packet")
+
+// Message is a decoded ping or pong.
+type Message struct {
+	// Type is TypePing or TypePong.
+	Type byte
+	// Seq matches pongs to outstanding pings.
+	Seq uint32
+	// Error is the sender's Vivaldi error weight w.
+	Error float64
+	// Coord is the sender's current system-level coordinate.
+	Coord coord.Coordinate
+	// Gossip optionally carries one neighbor address the sender knows.
+	Gossip string
+}
+
+// Encode appends the wire form of m to dst.
+//
+// Layout: magic(2) version(1) type(1) seq(4, BE) error(8, BE float)
+// coordinate(coord encoding) gossipLen(1) gossip.
+func (m Message) Encode(dst []byte) ([]byte, error) {
+	if m.Type != TypePing && m.Type != TypePong {
+		return nil, fmt.Errorf("%w: type %d", ErrBadPacket, m.Type)
+	}
+	if len(m.Gossip) > MaxGossipAddr {
+		return nil, fmt.Errorf("%w: gossip address %d bytes", ErrBadPacket, len(m.Gossip))
+	}
+	dst = append(dst, wireMagic0, wireMagic1, wireVersion, m.Type)
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Error))
+	var err error
+	dst, err = m.Coord.Encode(dst)
+	if err != nil {
+		return nil, fmt.Errorf("encode message coordinate: %w", err)
+	}
+	dst = append(dst, byte(len(m.Gossip)))
+	dst = append(dst, m.Gossip...)
+	return dst, nil
+}
+
+// Decode parses a packet.
+func Decode(pkt []byte) (Message, error) {
+	if len(pkt) < headerLen {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(pkt))
+	}
+	if pkt[0] != wireMagic0 || pkt[1] != wireMagic1 {
+		return Message{}, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	if pkt[2] != wireVersion {
+		return Message{}, fmt.Errorf("%w: version %d", ErrBadPacket, pkt[2])
+	}
+	m := Message{Type: pkt[3]}
+	if m.Type != TypePing && m.Type != TypePong {
+		return Message{}, fmt.Errorf("%w: type %d", ErrBadPacket, m.Type)
+	}
+	m.Seq = binary.BigEndian.Uint32(pkt[4:8])
+	m.Error = math.Float64frombits(binary.BigEndian.Uint64(pkt[8:16]))
+	var rest []byte
+	var err error
+	m.Coord, rest, err = coord.Decode(pkt[headerLen:])
+	if err != nil {
+		return Message{}, fmt.Errorf("decode message coordinate: %w", err)
+	}
+	if len(rest) < 1 {
+		return Message{}, fmt.Errorf("%w: missing gossip length", ErrBadPacket)
+	}
+	glen := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < glen {
+		return Message{}, fmt.Errorf("%w: truncated gossip address", ErrBadPacket)
+	}
+	m.Gossip = string(rest[:glen])
+	return m, nil
+}

@@ -1,0 +1,217 @@
+// Package vec provides small fixed-dimension Euclidean vector math used by
+// the coordinate system. Vectors are plain float64 slices; all operations
+// allocate their result unless an explicit in-place variant is provided.
+//
+// The package is deliberately minimal: network coordinates are low
+// dimensional (the paper uses three dimensions), so clarity wins over
+// BLAS-style tuning. Operations on vectors of mismatched dimension return
+// an error rather than panicking, per the project's no-panic policy.
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when two vectors of different
+// dimensionality are combined.
+var ErrDimensionMismatch = errors.New("vec: dimension mismatch")
+
+// Vector is an n-dimensional point or displacement. The zero value is a
+// zero-dimensional vector; use New or Zero to create one of a given
+// dimension.
+type Vector []float64
+
+// Zero returns the origin of the given dimension.
+func Zero(dim int) Vector {
+	if dim <= 0 {
+		return Vector{}
+	}
+	return make(Vector, dim)
+}
+
+// New builds a vector from the given components.
+func New(components ...float64) Vector {
+	v := make(Vector, len(components))
+	copy(v, components)
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dim reports the dimensionality of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("add %d-dim and %d-dim: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("sub %d-dim and %d-dim: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Scale returns v scaled by s.
+func (v Vector) Scale(s float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// AddInPlace adds w into v without allocating.
+func (v Vector) AddInPlace(w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("add in place %d-dim and %d-dim: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return nil
+}
+
+// Norm returns the Euclidean (L2) magnitude of v.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, c := range v {
+		sum += c * c
+	}
+	return math.Sqrt(sum)
+}
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vector) Dist(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("dist %d-dim and %d-dim: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	var sum float64
+	for i := range v {
+		d := v[i] - w[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("dot %d-dim and %d-dim: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	var sum float64
+	for i := range v {
+		sum += v[i] * w[i]
+	}
+	return sum, nil
+}
+
+// Equal reports whether v and w have the same dimension and components.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every component is a finite number. Coordinates
+// received over the network must be validated with this before use: a
+// single NaN would otherwise poison every coordinate it touches.
+func (v Vector) IsFinite() bool {
+	for _, c := range v {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// zeroThreshold is the magnitude below which two coordinates are treated
+// as co-located, requiring a random direction for the repulsive force.
+const zeroThreshold = 1e-6
+
+// UnitDirection returns the unit vector pointing from w toward v together
+// with the distance between them. If the two points are effectively
+// co-located (distance below an internal threshold) the direction is taken
+// from random, which must yield values in [0,1), and the returned distance
+// is zero. This is the standard Vivaldi bootstrap trick: nodes all start
+// at the origin and need a random push to separate.
+func UnitDirection(v, w Vector, random func() float64) (Vector, float64, error) {
+	diff, err := v.Sub(w)
+	if err != nil {
+		return nil, 0, err
+	}
+	mag := diff.Norm()
+	if mag > zeroThreshold {
+		return diff.Scale(1 / mag), mag, nil
+	}
+	// Co-located: pick a random direction on the unit sphere.
+	dir := make(Vector, len(v))
+	for {
+		var norm float64
+		for i := range dir {
+			dir[i] = random()*2 - 1
+			norm += dir[i] * dir[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm > zeroThreshold {
+			return dir.Scale(1 / norm), 0, nil
+		}
+	}
+}
+
+// Centroid returns the arithmetic mean of the given vectors. All vectors
+// must share a dimension; an empty input returns an error.
+func Centroid(vs []Vector) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("vec: centroid of empty set")
+	}
+	dim := len(vs[0])
+	sum := make(Vector, dim)
+	for _, v := range vs {
+		if len(v) != dim {
+			return nil, fmt.Errorf("centroid with %d-dim and %d-dim members: %w", dim, len(v), ErrDimensionMismatch)
+		}
+		for i := range v {
+			sum[i] += v[i]
+		}
+	}
+	return sum.Scale(1 / float64(len(vs))), nil
+}
+
+// String renders the vector in a compact bracketed form.
+func (v Vector) String() string {
+	out := "["
+	for i, c := range v {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%.3f", c)
+	}
+	return out + "]"
+}

@@ -1,0 +1,558 @@
+package vivaldi
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"netcoord/internal/coord"
+	"netcoord/internal/vec"
+	"netcoord/internal/xrand"
+)
+
+func mustNode(t *testing.T, cfg Config) *Node {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{name: "defaults", mutate: func(*Config) {}},
+		{name: "zero dimension", mutate: func(c *Config) { c.Dimension = 0 }, wantErr: true},
+		{name: "oversize dimension", mutate: func(c *Config) { c.Dimension = coord.MaxDimension + 1 }, wantErr: true},
+		{name: "cc zero", mutate: func(c *Config) { c.CC = 0 }, wantErr: true},
+		{name: "cc over one", mutate: func(c *Config) { c.CC = 1.5 }, wantErr: true},
+		{name: "ce zero", mutate: func(c *Config) { c.CE = 0 }, wantErr: true},
+		{name: "initial error zero", mutate: func(c *Config) { c.InitialError = 0 }, wantErr: true},
+		{name: "initial error above one", mutate: func(c *Config) { c.InitialError = 1.1 }, wantErr: true},
+		{name: "negative margin", mutate: func(c *Config) { c.ErrorMargin = -1 }, wantErr: true},
+		{name: "negative height min", mutate: func(c *Config) { c.HeightMin = -1 }, wantErr: true},
+		{name: "negative damping", mutate: func(c *Config) { c.DampingConstant = -1 }, wantErr: true},
+		{name: "2d allowed", mutate: func(c *Config) { c.Dimension = 2 }},
+		{name: "margin allowed", mutate: func(c *Config) { c.ErrorMargin = 3 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if tt.wantErr && err == nil {
+				t.Fatal("Validate succeeded, want error")
+			}
+			if !tt.wantErr && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.CC != 0.25 || cfg.CE != 0.25 {
+		t.Fatalf("cc, ce = %v, %v; paper uses 0.25, 0.25", cfg.CC, cfg.CE)
+	}
+	if cfg.Dimension != 3 {
+		t.Fatalf("dimension = %d; paper presents results in 3 dimensions", cfg.Dimension)
+	}
+	if cfg.UseHeight {
+		t.Fatal("paper runs without height")
+	}
+}
+
+func TestNewStartsAtOrigin(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	c := n.Coordinate()
+	if c.Vec.Norm() != 0 {
+		t.Fatalf("initial coordinate %v, want origin", c)
+	}
+	if n.Error() != 1 {
+		t.Fatalf("initial error %v, want 1", n.Error())
+	}
+	if n.Confidence() != 0 {
+		t.Fatalf("initial confidence %v, want 0", n.Confidence())
+	}
+}
+
+func TestUpdateRejectsBadSamples(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	remote := coord.New(10, 0, 0)
+	for _, rtt := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if _, err := n.Update(rtt, remote, 0.5); !errors.Is(err, ErrBadSample) {
+			t.Errorf("Update(rtt=%v) error = %v, want ErrBadSample", rtt, err)
+		}
+	}
+}
+
+func TestUpdateRejectsInvalidRemote(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	tests := []struct {
+		name   string
+		remote coord.Coordinate
+	}{
+		{name: "wrong dimension", remote: coord.New(1, 2)},
+		{name: "nan component", remote: coord.New(math.NaN(), 0, 0)},
+		{name: "negative height", remote: coord.Coordinate{Vec: vec.New(1, 2, 3), Height: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := n.Update(50, tt.remote, 0.5); !errors.Is(err, coord.ErrInvalid) {
+				t.Fatalf("error = %v, want coord.ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestUpdateMovesTowardRemoteWhenTooFar(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	if err := n.SetCoordinate(coord.New(100, 0, 0)); err != nil {
+		t.Fatalf("SetCoordinate: %v", err)
+	}
+	remote := coord.New(0, 0, 0)
+	// Estimated distance 100, measured 10: the spring pulls us toward
+	// the remote.
+	c, err := n.Update(10, remote, 0.5)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if c.Vec[0] >= 100 {
+		t.Fatalf("coordinate did not move toward remote: %v", c)
+	}
+	if c.Vec[0] <= 0 {
+		t.Fatalf("coordinate overshot the remote in one step: %v", c)
+	}
+}
+
+func TestUpdateMovesAwayWhenTooClose(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	if err := n.SetCoordinate(coord.New(10, 0, 0)); err != nil {
+		t.Fatalf("SetCoordinate: %v", err)
+	}
+	remote := coord.New(0, 0, 0)
+	// Estimated 10, measured 100: push apart.
+	c, err := n.Update(100, remote, 0.5)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if c.Vec[0] <= 10 {
+		t.Fatalf("coordinate did not move away from remote: %v", c)
+	}
+}
+
+func TestColocatedNodesSeparate(t *testing.T) {
+	// Both at the origin: the random direction must separate them.
+	n := mustNode(t, DefaultConfig())
+	c, err := n.Update(50, coord.Origin(3), 1)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if c.Vec.Norm() == 0 {
+		t.Fatal("co-located nodes did not separate")
+	}
+}
+
+// The paper's worked confidence example (Section IV-B): two nodes with
+// confidence 0.5, expected distance 1 ms, a single 3 ms sample reduces
+// confidence "by almost 5%".
+func TestConfidenceWorkedExample(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	if err := n.SetCoordinate(coord.New(1, 0, 0)); err != nil {
+		t.Fatalf("SetCoordinate: %v", err)
+	}
+	n.SetError(0.5)
+	remote := coord.New(0, 0, 0) // 1 ms away in coordinate space
+	if _, err := n.Update(3, remote, 0.5); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	// ws = 0.5, eps = |1-3|/3 = 2/3, alpha = 0.25*0.5 = 0.125
+	// w' = 0.125*(2/3) + 0.875*0.5 = 0.52083...
+	wantErr := 0.125*(2.0/3.0) + 0.875*0.5
+	if math.Abs(n.Error()-wantErr) > 1e-9 {
+		t.Fatalf("error weight = %v, want %v", n.Error(), wantErr)
+	}
+	// Confidence drop: 0.5 -> 0.47917, a ~4.2% relative drop ("almost
+	// 5%" in the paper's words).
+	drop := (0.5 - n.Confidence()) / 0.5
+	if drop < 0.03 || drop > 0.05 {
+		t.Fatalf("confidence drop = %.4f, want ~0.042", drop)
+	}
+}
+
+func TestConfidenceBuildingTreatsMarginAsEqual(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ErrorMargin = 3
+	n := mustNode(t, cfg)
+	if err := n.SetCoordinate(coord.New(1, 0, 0)); err != nil {
+		t.Fatalf("SetCoordinate: %v", err)
+	}
+	n.SetError(0.5)
+	before := n.Coordinate()
+	// Same scenario as the worked example, but the 2 ms gap is within
+	// the 3 ms margin: treated as a perfect prediction.
+	if _, err := n.Update(3, coord.New(0, 0, 0), 0.5); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if n.Error() >= 0.5 {
+		t.Fatalf("error weight = %v, want < 0.5 (confidence must grow)", n.Error())
+	}
+	after := n.Coordinate()
+	if !after.Equal(before) {
+		t.Fatalf("coordinate moved %v -> %v despite in-margin sample", before, after)
+	}
+}
+
+func TestConfidenceBuildingConvergesToFull(t *testing.T) {
+	// On a stable low-latency link, confidence building should drive
+	// confidence to ~100%, the paper's Figure 6 behavior.
+	cfg := DefaultConfig()
+	cfg.ErrorMargin = 3
+	n := mustNode(t, cfg)
+	if err := n.SetCoordinate(coord.New(1, 0, 0)); err != nil {
+		t.Fatalf("SetCoordinate: %v", err)
+	}
+	remote := coord.New(0, 0, 0)
+	rng := xrand.NewStream(3)
+	for i := 0; i < 600; i++ {
+		// Jittery sub-precision latencies between 0.4 and 1.2 ms.
+		rtt := rng.Uniform(0.4, 1.2)
+		if _, err := n.Update(rtt, remote, 0.5); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	if n.Confidence() < 0.99 {
+		t.Fatalf("confidence = %v after stable link, want ~1 (Figure 6)", n.Confidence())
+	}
+}
+
+func TestWithoutConfidenceBuildingJitterHurts(t *testing.T) {
+	// Without the margin, the same jittery link keeps relative error
+	// high and confidence wavers well below 100% (Figure 6's lower
+	// curves sit near 75%).
+	n := mustNode(t, DefaultConfig())
+	if err := n.SetCoordinate(coord.New(1, 0, 0)); err != nil {
+		t.Fatalf("SetCoordinate: %v", err)
+	}
+	remote := coord.New(0, 0, 0)
+	rng := xrand.NewStream(4)
+	for i := 0; i < 600; i++ {
+		rtt := rng.Uniform(0.4, 1.2)
+		if _, err := n.Update(rtt, remote, 0.5); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	if n.Confidence() > 0.95 {
+		t.Fatalf("confidence = %v without margin, want clearly below full", n.Confidence())
+	}
+}
+
+func TestTwoNodeConvergence(t *testing.T) {
+	// Two nodes exchanging a constant 50 ms RTT must converge to
+	// coordinates ~50 ms apart.
+	cfgA := DefaultConfig()
+	cfgA.Seed = 1
+	cfgB := DefaultConfig()
+	cfgB.Seed = 2
+	a := mustNode(t, cfgA)
+	b := mustNode(t, cfgB)
+	for i := 0; i < 500; i++ {
+		if _, err := a.Update(50, b.Coordinate(), b.Error()); err != nil {
+			t.Fatalf("a.Update: %v", err)
+		}
+		if _, err := b.Update(50, a.Coordinate(), a.Error()); err != nil {
+			t.Fatalf("b.Update: %v", err)
+		}
+	}
+	est, err := a.EstimateRTT(b.Coordinate())
+	if err != nil {
+		t.Fatalf("EstimateRTT: %v", err)
+	}
+	if math.Abs(est-50) > 2 {
+		t.Fatalf("estimated RTT = %v, want ~50", est)
+	}
+	if a.Error() > 0.1 {
+		t.Fatalf("node error = %v after convergence, want small", a.Error())
+	}
+}
+
+func TestTriangleConvergence(t *testing.T) {
+	// Three nodes with consistent pairwise RTTs 60/80/100 (a valid
+	// triangle) embed with low error in 3 dimensions.
+	rtts := [3][3]float64{
+		{0, 60, 80},
+		{60, 0, 100},
+		{80, 100, 0},
+	}
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		cfg := DefaultConfig()
+		cfg.Seed = uint64(i + 1)
+		nodes[i] = mustNode(t, cfg)
+	}
+	rng := xrand.NewStream(9)
+	for iter := 0; iter < 3000; iter++ {
+		i := rng.Intn(3)
+		j := rng.Intn(3)
+		if i == j {
+			continue
+		}
+		if _, err := nodes[i].Update(rtts[i][j], nodes[j].Coordinate(), nodes[j].Error()); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			est, err := nodes[i].EstimateRTT(nodes[j].Coordinate())
+			if err != nil {
+				t.Fatalf("EstimateRTT: %v", err)
+			}
+			relErr := math.Abs(est-rtts[i][j]) / rtts[i][j]
+			if relErr > 0.12 {
+				t.Fatalf("link %d-%d: estimate %v vs true %v (rel err %.3f)", i, j, est, rtts[i][j], relErr)
+			}
+		}
+	}
+}
+
+func TestErrorStaysClamped(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	remote := coord.New(1, 0, 0)
+	rng := xrand.NewStream(5)
+	for i := 0; i < 2000; i++ {
+		// Wild observations: error weight must stay in (0, 1].
+		rtt := rng.Uniform(0.1, 10000)
+		if _, err := n.Update(rtt, remote, rng.Float64()); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		if w := n.Error(); w <= 0 || w > 1 || math.IsNaN(w) {
+			t.Fatalf("error weight escaped (0,1]: %v at step %d", w, i)
+		}
+	}
+}
+
+func TestRemoteErrorClamped(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	remote := coord.New(10, 0, 0)
+	// Hostile remote error weights must not produce NaN.
+	for _, w := range []float64{0, -1, 2, math.NaN()} {
+		if _, err := n.Update(50, remote, w); err != nil {
+			t.Fatalf("Update with remote error %v: %v", w, err)
+		}
+		if math.IsNaN(n.Error()) || !n.Coordinate().Vec.IsFinite() {
+			t.Fatalf("state corrupted by remote error %v", w)
+		}
+	}
+}
+
+func TestHeightModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseHeight = true
+	cfg.HeightMin = 0.1
+	n := mustNode(t, cfg)
+	c := n.Coordinate()
+	if c.Height != 0.1 {
+		t.Fatalf("initial height = %v, want HeightMin", c.Height)
+	}
+	remote := coord.Coordinate{Vec: vec.New(10, 0, 0), Height: 5}
+	for i := 0; i < 200; i++ {
+		var err error
+		c, err = n.Update(100, remote, 0.5)
+		if err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		if c.Height < cfg.HeightMin {
+			t.Fatalf("height %v fell below minimum", c.Height)
+		}
+	}
+	// With a measured RTT far above Euclidean distance, height should
+	// have absorbed some of the excess.
+	if c.Height <= cfg.HeightMin {
+		t.Fatalf("height never grew: %v", c.Height)
+	}
+}
+
+func TestDampingFreezesCoordinates(t *testing.T) {
+	// A3 ablation: with de Launois damping, late observations move the
+	// coordinate far less than early ones, even when the network truly
+	// changed.
+	cfg := DefaultConfig()
+	cfg.DampingConstant = 10
+	n := mustNode(t, cfg)
+	remote := coord.New(50, 0, 0)
+	for i := 0; i < 500; i++ {
+		if _, err := n.Update(50, remote, 0.5); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	frozen := n.Coordinate()
+	// The network "changes": the true RTT is now 500 ms. A damped node
+	// barely reacts.
+	for i := 0; i < 100; i++ {
+		if _, err := n.Update(500, remote, 0.5); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	moved, err := n.Coordinate().DisplacementFrom(frozen)
+	if err != nil {
+		t.Fatalf("DisplacementFrom: %v", err)
+	}
+
+	// Control: the undamped node chases the change by far more.
+	ctrl := mustNode(t, DefaultConfig())
+	for i := 0; i < 500; i++ {
+		if _, err := ctrl.Update(50, remote, 0.5); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	ctrlFrozen := ctrl.Coordinate()
+	for i := 0; i < 100; i++ {
+		if _, err := ctrl.Update(500, remote, 0.5); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	ctrlMoved, err := ctrl.Coordinate().DisplacementFrom(ctrlFrozen)
+	if err != nil {
+		t.Fatalf("DisplacementFrom: %v", err)
+	}
+	if moved > ctrlMoved/3 {
+		t.Fatalf("damped moved %v vs undamped %v; damping should suppress adaptation by >3x", moved, ctrlMoved)
+	}
+	// The undamped node must have essentially closed the 450 ms gap
+	// while the damped one is still far from the new equilibrium.
+	ctrlEst, err := ctrl.EstimateRTT(remote)
+	if err != nil {
+		t.Fatalf("EstimateRTT: %v", err)
+	}
+	dampedEst, err := n.EstimateRTT(remote)
+	if err != nil {
+		t.Fatalf("EstimateRTT: %v", err)
+	}
+	if math.Abs(ctrlEst-500) > 100 {
+		t.Fatalf("undamped estimate %v, want near 500", ctrlEst)
+	}
+	if math.Abs(dampedEst-500) < math.Abs(ctrlEst-500) {
+		t.Fatalf("damped estimate %v adapted better than undamped %v", dampedEst, ctrlEst)
+	}
+}
+
+func TestSetCoordinateValidates(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	if err := n.SetCoordinate(coord.New(1, 2)); err == nil {
+		t.Fatal("wrong-dimension SetCoordinate accepted")
+	}
+	if err := n.SetCoordinate(coord.New(math.Inf(1), 0, 0)); err == nil {
+		t.Fatal("non-finite SetCoordinate accepted")
+	}
+}
+
+func TestUpdatesCounter(t *testing.T) {
+	n := mustNode(t, DefaultConfig())
+	remote := coord.New(10, 0, 0)
+	if _, err := n.Update(50, remote, 0.5); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	// Failed updates must not advance the counter.
+	if _, err := n.Update(-1, remote, 0.5); err == nil {
+		t.Fatal("bad update accepted")
+	}
+	if n.Updates() != 1 {
+		t.Fatalf("Updates = %d, want 1", n.Updates())
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	run := func() coord.Coordinate {
+		cfg := DefaultConfig()
+		cfg.Seed = 42
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		remote := coord.Origin(3)
+		rng := xrand.NewStream(7)
+		var c coord.Coordinate
+		for i := 0; i < 100; i++ {
+			c, err = n.Update(rng.Uniform(10, 100), remote, 0.5)
+			if err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+		}
+		return c
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Fatalf("same-seed runs diverged: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	n, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote := coord.New(10, 20, 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Update(50, remote, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: on random consistent geometries (true distances drawn from
+// actual 3-D point placements, so they are embeddable by construction), a
+// mesh of Vivaldi nodes converges to low median relative error.
+func TestRandomGeometryConvergence(t *testing.T) {
+	rng := xrand.NewStream(99)
+	for trial := 0; trial < 5; trial++ {
+		const n = 8
+		// Ground-truth positions in a 200ms-wide cube.
+		truth := make([][3]float64, n)
+		for i := range truth {
+			truth[i] = [3]float64{rng.Uniform(0, 200), rng.Uniform(0, 200), rng.Uniform(0, 200)}
+		}
+		dist := func(i, j int) float64 {
+			dx := truth[i][0] - truth[j][0]
+			dy := truth[i][1] - truth[j][1]
+			dz := truth[i][2] - truth[j][2]
+			return math.Max(math.Sqrt(dx*dx+dy*dy+dz*dz), 1)
+		}
+		nodes := make([]*Node, n)
+		for i := range nodes {
+			cfg := DefaultConfig()
+			cfg.Seed = rng.Uint64()
+			nodes[i] = mustNode(t, cfg)
+		}
+		for iter := 0; iter < 6000; iter++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			if _, err := nodes[i].Update(dist(i, j), nodes[j].Coordinate(), nodes[j].Error()); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+		}
+		var errs []float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				est, err := nodes[i].EstimateRTT(nodes[j].Coordinate())
+				if err != nil {
+					t.Fatalf("EstimateRTT: %v", err)
+				}
+				errs = append(errs, math.Abs(est-dist(i, j))/dist(i, j))
+			}
+		}
+		sort.Float64s(errs)
+		median := errs[len(errs)/2]
+		if median > 0.15 {
+			t.Fatalf("trial %d: median relative error %v after convergence on embeddable geometry", trial, median)
+		}
+	}
+}

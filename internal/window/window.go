@@ -1,0 +1,239 @@
+// Package window implements the two-window change-detection scheme the
+// paper borrows from Kifer, Ben-David and Gehrke (VLDB 2004) and applies
+// to streams of network coordinates (Section V-A).
+//
+// A single stream S = {s0, s1, ...} is split into two sets of size k:
+// Ws, the frozen *start* window holding the first k elements since the
+// last change point, and Wc, the sliding *current* window holding the most
+// recent k elements. Once both are full, each new element slides Wc and
+// the two windows are compared with a statistical distance; when they are
+// declared different, a change point is recorded and both windows restart
+// from empty.
+//
+// The package maintains the Szekely-Rizzo energy statistic between Ws and
+// Wc incrementally: sliding Wc by one element updates the cross-window and
+// within-window distance sums in O(k) instead of recomputing the O(k^2)
+// definition, which matters because the detector runs on every coordinate
+// observation of every node.
+package window
+
+import (
+	"fmt"
+
+	"netcoord/internal/vec"
+)
+
+// Pair manages the start window Ws and current window Wc over a stream of
+// multi-dimensional points, with incremental energy bookkeeping.
+//
+// Pair is not safe for concurrent use.
+type Pair struct {
+	k   int
+	dim int
+
+	start   []vec.Vector // Ws: frozen once full
+	current []vec.Vector // Wc: ring, oldest at head
+	head    int          // ring index of oldest element of current
+	curLen  int
+
+	// Incremental sums for the energy statistic. Valid whenever both
+	// windows are full (maintained from the moment they fill).
+	//
+	// sumCross  = sum over a in Ws, b in Wc of ||a-b||
+	// sumWithinS = full double sum over Ws (both orders, diagonal zero)
+	// sumWithinC = full double sum over Wc
+	sumCross   float64
+	sumWithinS float64
+	sumWithinC float64
+	sumsValid  bool
+
+	// startCentroid caches C(Ws); the paper notes this cacheability as
+	// one of RELATIVE's virtues.
+	startCentroid    vec.Vector
+	startCentroidSet bool
+}
+
+// NewPair builds a window pair with windows of size k over points of the
+// given dimension.
+func NewPair(k, dim int) (*Pair, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("window: size %d, want >= 1", k)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("window: dimension %d, want >= 1", dim)
+	}
+	return &Pair{
+		k:       k,
+		dim:     dim,
+		start:   make([]vec.Vector, 0, k),
+		current: make([]vec.Vector, k),
+	}, nil
+}
+
+// K returns the configured window size.
+func (p *Pair) K() int { return p.k }
+
+// Full reports whether both windows hold k elements, i.e. whether the
+// change test is currently defined.
+func (p *Pair) Full() bool { return len(p.start) == p.k && p.curLen == p.k }
+
+// Append adds the next stream element. The element is deep-copied, so the
+// caller may reuse its buffer. Returns an error on dimension mismatch.
+func (p *Pair) Append(v vec.Vector) error {
+	if v.Dim() != p.dim {
+		return fmt.Errorf("window: append %d-dim point to %d-dim pair: %w", v.Dim(), p.dim, vec.ErrDimensionMismatch)
+	}
+	cp := v.Clone()
+
+	// Phase 1: both windows fill together ("As each element si arrives,
+	// it is added to Ws and Wc until they are both of size k").
+	if len(p.start) < p.k {
+		p.start = append(p.start, cp)
+		p.current[p.curLen] = cp
+		p.curLen++
+		p.head = 0
+		if len(p.start) == p.k {
+			p.initSums()
+		}
+		return nil
+	}
+
+	// Phase 2: Ws is frozen, Wc slides.
+	old := p.current[p.head]
+	p.slideSums(old, cp)
+	p.current[p.head] = cp
+	p.head = (p.head + 1) % p.k
+	return nil
+}
+
+// Reset clears both windows; called after a change point is declared
+// ("both windows Ws and Wc are cleared and the process begins again").
+func (p *Pair) Reset() {
+	p.start = p.start[:0]
+	p.curLen = 0
+	p.head = 0
+	p.sumsValid = false
+	p.startCentroidSet = false
+}
+
+// Start returns the frozen start window in arrival order. The returned
+// slice aliases internal storage and must not be modified.
+func (p *Pair) Start() []vec.Vector { return p.start }
+
+// Current returns the current window in arrival order (oldest first).
+// The slice is freshly allocated.
+func (p *Pair) Current() []vec.Vector {
+	out := make([]vec.Vector, 0, p.curLen)
+	for i := 0; i < p.curLen; i++ {
+		out = append(out, p.current[(p.head+i)%p.k])
+	}
+	return out
+}
+
+// StartCentroid returns C(Ws), cached after first computation.
+func (p *Pair) StartCentroid() (vec.Vector, error) {
+	if !p.Full() {
+		return nil, fmt.Errorf("window: centroid requested before windows full")
+	}
+	if !p.startCentroidSet {
+		c, err := vec.Centroid(p.start)
+		if err != nil {
+			return nil, fmt.Errorf("start centroid: %w", err)
+		}
+		p.startCentroid = c
+		p.startCentroidSet = true
+	}
+	return p.startCentroid, nil
+}
+
+// CurrentCentroid returns C(Wc).
+func (p *Pair) CurrentCentroid() (vec.Vector, error) {
+	if !p.Full() {
+		return nil, fmt.Errorf("window: centroid requested before windows full")
+	}
+	c, err := vec.Centroid(p.Current())
+	if err != nil {
+		return nil, fmt.Errorf("current centroid: %w", err)
+	}
+	return c, nil
+}
+
+// Energy returns the Szekely-Rizzo energy statistic e(Ws, Wc), maintained
+// incrementally. Only defined when both windows are full.
+func (p *Pair) Energy() (float64, error) {
+	if !p.Full() {
+		return 0, fmt.Errorf("window: energy requested before windows full")
+	}
+	if !p.sumsValid {
+		p.initSums()
+	}
+	n := float64(p.k)
+	// e(A,B) = (n1 n2/(n1+n2)) (2 S_AB/(n1 n2) - S_AA/n1^2 - S_BB/n2^2)
+	// with n1 = n2 = k.
+	return (n * n / (2 * n)) *
+		(2/(n*n)*p.sumCross - p.sumWithinS/(n*n) - p.sumWithinC/(n*n)), nil
+}
+
+// initSums computes the three distance sums from scratch (O(k^2)); called
+// once when the windows first fill, and as a fallback if sums were
+// invalidated.
+func (p *Pair) initSums() {
+	cur := p.Current()
+	p.sumCross = 0
+	for _, a := range p.start {
+		for _, b := range cur {
+			p.sumCross += mustDist(a, b)
+		}
+	}
+	p.sumWithinS = 0
+	for i := range p.start {
+		for j := i + 1; j < len(p.start); j++ {
+			p.sumWithinS += 2 * mustDist(p.start[i], p.start[j])
+		}
+	}
+	p.sumWithinC = 0
+	for i := range cur {
+		for j := i + 1; j < len(cur); j++ {
+			p.sumWithinC += 2 * mustDist(cur[i], cur[j])
+		}
+	}
+	p.sumsValid = true
+}
+
+// slideSums updates the distance sums for Wc dropping old and gaining nw.
+// O(k) work.
+func (p *Pair) slideSums(old, nw vec.Vector) {
+	if !p.sumsValid {
+		return // will be rebuilt lazily by Energy
+	}
+	for _, a := range p.start {
+		p.sumCross += mustDist(a, nw) - mustDist(a, old)
+	}
+	// Remove old's distances to the other current members, add nw's.
+	// old sits at p.head and is excluded from its own sum (distance 0).
+	for i := 0; i < p.k; i++ {
+		if i == p.head {
+			continue
+		}
+		m := p.current[i]
+		p.sumWithinC -= 2 * mustDist(m, old)
+		p.sumWithinC += 2 * mustDist(m, nw)
+	}
+	// nw replaces old in the ring before the next slide, and the nw<->old
+	// cross term was handled above by skipping index head for old and
+	// then... careful: nw's distance to old must not be included because
+	// old leaves the window. The loop above adds nw's distance to every
+	// *remaining* member (excluding the departing old), which is exactly
+	// right.
+}
+
+// mustDist returns the distance between two vectors of equal dimension.
+// Dimension equality is enforced at Append, so the error path is
+// unreachable; a zero fallback keeps the no-panic policy.
+func mustDist(a, b vec.Vector) float64 {
+	d, err := a.Dist(b)
+	if err != nil {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,377 @@
+package netcoord
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"netcoord/internal/xrand"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Dimension != 3 || cfg.CC != 0.25 || cfg.CE != 0.25 {
+		t.Fatalf("vivaldi defaults wrong: %+v", cfg)
+	}
+	if cfg.FilterHistory != 4 || cfg.FilterPercentile != 25 {
+		t.Fatalf("filter defaults wrong: %+v", cfg)
+	}
+	if cfg.Policy != PolicyEnergy || cfg.WindowSize != 32 || cfg.Threshold != 8 {
+		t.Fatalf("policy defaults wrong: %+v", cfg)
+	}
+}
+
+func TestNewClientPolicyVariants(t *testing.T) {
+	kinds := []PolicyKind{
+		PolicyEnergy, PolicyRelative, PolicySystem,
+		PolicyApplication, PolicyApplicationCentroid, PolicyDirect,
+	}
+	for _, k := range kinds {
+		cfg := DefaultConfig()
+		cfg.Policy = k
+		cfg.Threshold = 0 // force per-policy default resolution
+		if _, err := NewClient(cfg); err != nil {
+			t.Errorf("policy %d: %v", k, err)
+		}
+	}
+	bad := DefaultConfig()
+	bad.Policy = PolicyKind(99)
+	if _, err := NewClient(bad); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestNewClientRejectsBadFilter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FilterPercentile = 200
+	if _, err := NewClient(cfg); err == nil {
+		t.Fatal("bad percentile accepted")
+	}
+}
+
+func TestObserveRejectsBadRemote(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := c.Observe("x", 50, Origin(2), 0.5); err == nil {
+		t.Fatal("wrong-dimension remote accepted")
+	}
+	nan := Origin(3)
+	nan.Vec[0] = math.NaN()
+	if _, err := c.Observe("x", 50, nan, 0.5); err == nil {
+		t.Fatal("NaN remote accepted")
+	}
+}
+
+func TestObserveWarmupThenUpdates(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	// Remote at the origin with a 50 ms RTT: once the filter opens, the
+	// spring must push us away.
+	remote := Origin(3)
+	// First observation: filter warming up (warm-up 2), no movement.
+	st, err := c.Observe("peer", 50, remote, 0.5)
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if st.Sys.Vec.Norm() != 0 {
+		t.Fatalf("coordinate moved during warm-up: %v", st.Sys)
+	}
+	// Second observation: update applies.
+	st, err = c.Observe("peer", 50, remote, 0.5)
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if st.Sys.Vec.Norm() == 0 {
+		t.Fatal("coordinate did not move after warm-up")
+	}
+	// A few more consistent samples must grow confidence.
+	for i := 0; i < 20; i++ {
+		st, err = c.Observe("peer", 50, remote, 0.5)
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if st.Error >= 1 {
+		t.Fatalf("error weight %v did not improve", st.Error)
+	}
+}
+
+func TestTwoClientsConverge(t *testing.T) {
+	cfgA := DefaultConfig()
+	cfgA.Seed = 1
+	cfgB := DefaultConfig()
+	cfgB.Seed = 2
+	a, err := NewClient(cfgA)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	b, err := NewClient(cfgB)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	rng := xrand.NewStream(3)
+	for i := 0; i < 400; i++ {
+		// Jittery 50 ms link with occasional spikes — the MP filter
+		// must keep convergence clean.
+		rtt := 50 * (1 + math.Abs(rng.Normal(0, 0.05)))
+		if rng.Bernoulli(0.02) {
+			rtt = rng.Uniform(1000, 5000)
+		}
+		if _, err := a.Observe("b", rtt, b.Coordinate(), b.Error()); err != nil {
+			t.Fatalf("a.Observe: %v", err)
+		}
+		if _, err := b.Observe("a", rtt, a.Coordinate(), a.Error()); err != nil {
+			t.Fatalf("b.Observe: %v", err)
+		}
+	}
+	est, err := a.DistanceTo(b.Coordinate())
+	if err != nil {
+		t.Fatalf("DistanceTo: %v", err)
+	}
+	if math.Abs(est-50) > 10 {
+		t.Fatalf("estimate = %v ms, want ~50 despite spikes", est)
+	}
+	if a.Confidence() < 0.5 {
+		t.Fatalf("confidence = %v", a.Confidence())
+	}
+}
+
+func TestAppCoordinateMoreStableThanSys(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 4
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	remote := Origin(3)
+	remote.Vec[0] = 80
+	rng := xrand.NewStream(5)
+	var sysMoves, appChanges int
+	var prevSys Coordinate
+	first := true
+	for i := 0; i < 1500; i++ {
+		rtt := 80 * (1 + math.Abs(rng.Normal(0, 0.08)))
+		st, err := c.Observe("r", rtt, remote, 0.5)
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if !first && !st.Sys.Equal(prevSys) {
+			sysMoves++
+		}
+		if st.AppChanged {
+			appChanges++
+		}
+		prevSys, first = st.Sys, false
+	}
+	if sysMoves == 0 {
+		t.Fatal("system coordinate never moved")
+	}
+	if appChanges*10 > sysMoves {
+		t.Fatalf("app changed %d times vs %d sys moves; want >10x suppression", appChanges, sysMoves)
+	}
+}
+
+func TestDistanceAccessors(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	remote := Origin(3)
+	remote.Vec = append(remote.Vec[:0], 3, 4, 0)
+	d, err := c.DistanceTo(remote)
+	if err != nil {
+		t.Fatalf("DistanceTo: %v", err)
+	}
+	if d != 5 {
+		t.Fatalf("DistanceTo = %v, want 5", d)
+	}
+	ad, err := c.AppDistanceTo(remote)
+	if err != nil {
+		t.Fatalf("AppDistanceTo: %v", err)
+	}
+	if ad != 5 {
+		t.Fatalf("AppDistanceTo = %v, want 5", ad)
+	}
+	if _, err := c.DistanceTo(Origin(2)); err == nil {
+		t.Fatal("mismatched DistanceTo accepted")
+	}
+}
+
+func TestForgetLink(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	remote := Origin(3)
+	remote.Vec[0] = 50
+	if _, err := c.Observe("p", 50, remote, 0.5); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if c.Links() != 1 {
+		t.Fatalf("Links = %d", c.Links())
+	}
+	c.ForgetLink("p")
+	if c.Links() != 0 {
+		t.Fatalf("Links after forget = %d", c.Links())
+	}
+}
+
+func TestClientConcurrentAccess(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	remote := Origin(3)
+	remote.Vec[0] = 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := c.Observe("peer", 50, remote, 0.5); err != nil {
+					errCh <- err
+					return
+				}
+				_ = c.Coordinate()
+				_ = c.AppCoordinate()
+				if _, err := c.DistanceTo(remote); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent access: %v", err)
+	}
+}
+
+func TestLiveNodePair(t *testing.T) {
+	a, err := StartNode(NodeConfig{
+		ListenAddr:     "127.0.0.1:0",
+		SampleInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartNode a: %v", err)
+	}
+	defer func() {
+		if err := a.Stop(); err != nil {
+			t.Errorf("stop a: %v", err)
+		}
+	}()
+	b, err := StartNode(NodeConfig{
+		ListenAddr:     "127.0.0.1:0",
+		Seeds:          []string{a.Addr()},
+		SampleInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartNode b: %v", err)
+	}
+	defer func() {
+		if err := b.Stop(); err != nil {
+			t.Errorf("stop b: %v", err)
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		if err := b.SampleNow(context.Background()); err != nil {
+			t.Fatalf("SampleNow: %v", err)
+		}
+	}
+	if b.Samples() == 0 {
+		t.Fatal("live node applied no samples")
+	}
+	if est, err := b.EstimateRTT(a.Coordinate()); err != nil || est < 0 {
+		t.Fatalf("EstimateRTT = %v, %v", est, err)
+	}
+	if len(b.Neighbors()) == 0 {
+		t.Fatal("no neighbors")
+	}
+}
+
+func BenchmarkClientObserve(b *testing.B) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote := Origin(3)
+	remote.Vec[0] = 50
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Observe("peer", 50, remote, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestClientWithHeightModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseHeight = true
+	cfg.HeightMin = 0.1
+	cfg.Seed = 11
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if c.Coordinate().Height != 0.1 {
+		t.Fatalf("initial height = %v, want HeightMin", c.Coordinate().Height)
+	}
+	remote := Origin(3)
+	remote.Height = 5
+	for i := 0; i < 200; i++ {
+		if _, err := c.Observe("peer", 80, remote, 0.5); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	got := c.Coordinate()
+	if got.Height < cfg.HeightMin {
+		t.Fatalf("height %v fell below minimum", got.Height)
+	}
+	est, err := c.DistanceTo(remote)
+	if err != nil {
+		t.Fatalf("DistanceTo: %v", err)
+	}
+	if math.Abs(est-80) > 15 {
+		t.Fatalf("estimate = %v with height model, want ~80", est)
+	}
+}
+
+func TestConfigZeroValueResolvesToDefaults(t *testing.T) {
+	// A zero-value Config must resolve to the paper's defaults rather
+	// than failing — zero values should be useful.
+	c, err := NewClient(Config{})
+	if err != nil {
+		t.Fatalf("NewClient(zero): %v", err)
+	}
+	if c.Coordinate().Dim() != 3 {
+		t.Fatalf("dimension = %d", c.Coordinate().Dim())
+	}
+	remote := Origin(3)
+	if _, err := c.Observe("p", 50, remote, 0.5); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+}
+
+func TestPerPolicyDefaultThresholds(t *testing.T) {
+	// Threshold 0 must resolve to each policy's paper value without
+	// error, including the windowless policies.
+	for _, kind := range []PolicyKind{PolicySystem, PolicyApplication, PolicyApplicationCentroid, PolicyDirect} {
+		cfg := Config{Policy: kind}
+		c, err := NewClient(cfg)
+		if err != nil {
+			t.Fatalf("policy %d: %v", kind, err)
+		}
+		if _, err := c.Observe("p", 50, Origin(3), 0.5); err != nil {
+			t.Fatalf("policy %d observe: %v", kind, err)
+		}
+	}
+}

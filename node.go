@@ -1,0 +1,119 @@
+package netcoord
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netcoord/internal/node"
+	"netcoord/internal/vivaldi"
+)
+
+// NodeConfig configures a live, self-contained coordinate node: UDP
+// application-level pings, gossip neighbor discovery, background
+// round-robin sampling — the full stack the paper deployed on PlanetLab.
+type NodeConfig struct {
+	// ListenAddr is the UDP bind address, e.g. "0.0.0.0:7946" or
+	// "127.0.0.1:0" for an ephemeral port.
+	ListenAddr string
+	// Seeds are addresses of existing participants; empty for the first
+	// node of a new system.
+	Seeds []string
+	// Client tunes the coordinate pipeline; zero value means
+	// DefaultConfig.
+	Client Config
+	// SampleInterval is the ping cadence (0 = the paper's 5 s).
+	SampleInterval time.Duration
+	// PingTimeout bounds each sample (0 = 2 s).
+	PingTimeout time.Duration
+	// MaxNeighbors bounds the gossip-grown neighbor set (0 = 64).
+	MaxNeighbors int
+	// Updates, if non-nil, receives application-level coordinate change
+	// notifications. Use a buffered channel; overflow is dropped.
+	Updates chan<- NodeUpdate
+}
+
+// NodeUpdate is an application-level coordinate change from a live node.
+type NodeUpdate = node.Update
+
+// Node is a running live coordinate participant.
+type Node struct {
+	inner *node.Node
+}
+
+// StartNode launches a live node. Stop it with Stop.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	clientCfg := cfg.Client
+	if clientCfg.Dimension == 0 && clientCfg.Policy == 0 {
+		clientCfg = DefaultConfig()
+	}
+	resolved, vcfg, err := resolve(clientCfg)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := buildPolicy(resolved)
+	if err != nil {
+		return nil, fmt.Errorf("netcoord: %w", err)
+	}
+	factory, err := buildFilterFactory(resolved)
+	if err != nil {
+		return nil, fmt.Errorf("netcoord: %w", err)
+	}
+	var updates chan<- node.Update
+	if cfg.Updates != nil {
+		updates = cfg.Updates
+	}
+	inner, err := node.Start(node.Config{
+		ListenAddr:     cfg.ListenAddr,
+		Seeds:          cfg.Seeds,
+		Vivaldi:        vcfgWithDefaults(vcfg),
+		Filter:         factory,
+		Policy:         policy,
+		SampleInterval: cfg.SampleInterval,
+		PingTimeout:    cfg.PingTimeout,
+		MaxNeighbors:   cfg.MaxNeighbors,
+		Updates:        updates,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netcoord: %w", err)
+	}
+	return &Node{inner: inner}, nil
+}
+
+func vcfgWithDefaults(v vivaldi.Config) vivaldi.Config {
+	if v.Dimension == 0 {
+		return vivaldi.DefaultConfig()
+	}
+	return v
+}
+
+// Stop terminates sampling and closes the socket.
+func (n *Node) Stop() error { return n.inner.Stop() }
+
+// Addr returns the node's bound UDP address; hand it to other nodes as a
+// seed.
+func (n *Node) Addr() string { return n.inner.Addr() }
+
+// Coordinate returns the current system-level coordinate.
+func (n *Node) Coordinate() Coordinate { return n.inner.Coordinate() }
+
+// AppCoordinate returns the current application-level coordinate.
+func (n *Node) AppCoordinate() Coordinate { return n.inner.AppCoordinate() }
+
+// Confidence returns 1 - w.
+func (n *Node) Confidence() float64 { return n.inner.Confidence() }
+
+// EstimateRTT predicts the RTT in milliseconds to a remote coordinate.
+func (n *Node) EstimateRTT(remote Coordinate) (float64, error) {
+	return n.inner.EstimateRTT(remote)
+}
+
+// Neighbors snapshots the known neighbor addresses.
+func (n *Node) Neighbors() []string { return n.inner.Neighbors() }
+
+// Samples reports applied observations.
+func (n *Node) Samples() uint64 { return n.inner.Samples() }
+
+// SampleNow performs one synchronous sample; useful for fast bootstrap
+// and tests.
+func (n *Node) SampleNow(ctx context.Context) error { return n.inner.SampleNow(ctx) }

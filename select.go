@@ -1,0 +1,82 @@
+package netcoord
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Candidate pairs an application identifier with that node's coordinate,
+// for latency-aware selection.
+type Candidate struct {
+	// ID is the caller's name for the node.
+	ID string
+	// Coord is the node's coordinate — use application-level coordinates
+	// here, so selections do not churn with every Vivaldi refinement.
+	Coord Coordinate
+}
+
+// Ranked is a Candidate with its estimated RTT from the reference
+// coordinate.
+type Ranked struct {
+	Candidate
+	// EstimatedRTT is the predicted round-trip time in milliseconds.
+	EstimatedRTT float64
+}
+
+// Nearest returns the k candidates with the smallest estimated RTT from
+// the reference coordinate, ascending — the distributed
+// k-nearest-neighbors primitive the paper's overlay work builds on. If
+// fewer than k candidates are given, all are returned. Candidates whose
+// coordinates cannot be compared with from (dimension mismatch) produce
+// an error: silently dropping them would corrupt placement decisions.
+func Nearest(from Coordinate, candidates []Candidate, k int) ([]Ranked, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("netcoord: k = %d, want > 0", k)
+	}
+	ranked := make([]Ranked, 0, len(candidates))
+	for _, c := range candidates {
+		d, err := from.DistanceTo(c.Coord)
+		if err != nil {
+			return nil, fmt.Errorf("netcoord: candidate %q: %w", c.ID, err)
+		}
+		ranked = append(ranked, Ranked{Candidate: c, EstimatedRTT: d})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].EstimatedRTT < ranked[j].EstimatedRTT
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k], nil
+}
+
+// MinimaxPlacement picks the candidate minimizing the worst-case
+// estimated RTT to every anchor — the stream-operator placement decision
+// from the paper's motivating application (e.g. a join operator between
+// a producer and a consumer). Returns the best candidate and its
+// worst-case RTT.
+func MinimaxPlacement(anchors []Coordinate, candidates []Candidate) (Ranked, error) {
+	if len(anchors) == 0 {
+		return Ranked{}, fmt.Errorf("netcoord: no anchors")
+	}
+	if len(candidates) == 0 {
+		return Ranked{}, fmt.Errorf("netcoord: no candidates")
+	}
+	best := Ranked{EstimatedRTT: -1}
+	for _, c := range candidates {
+		worst := 0.0
+		for _, a := range anchors {
+			d, err := c.Coord.DistanceTo(a)
+			if err != nil {
+				return Ranked{}, fmt.Errorf("netcoord: candidate %q: %w", c.ID, err)
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if best.EstimatedRTT < 0 || worst < best.EstimatedRTT {
+			best = Ranked{Candidate: c, EstimatedRTT: worst}
+		}
+	}
+	return best, nil
+}

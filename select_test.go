@@ -1,0 +1,208 @@
+package netcoord
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netcoord/internal/xrand"
+)
+
+func c3(x, y, z float64) Coordinate {
+	c := Origin(3)
+	c.Vec[0], c.Vec[1], c.Vec[2] = x, y, z
+	return c
+}
+
+func TestNearestRanksByDistance(t *testing.T) {
+	from := c3(0, 0, 0)
+	candidates := []Candidate{
+		{ID: "far", Coord: c3(100, 0, 0)},
+		{ID: "near", Coord: c3(10, 0, 0)},
+		{ID: "mid", Coord: c3(50, 0, 0)},
+	}
+	got, err := Nearest(from, candidates, 2)
+	if err != nil {
+		t.Fatalf("Nearest: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if got[0].ID != "near" || got[1].ID != "mid" {
+		t.Fatalf("order = %s, %s; want near, mid", got[0].ID, got[1].ID)
+	}
+	if got[0].EstimatedRTT != 10 {
+		t.Fatalf("EstimatedRTT = %v", got[0].EstimatedRTT)
+	}
+}
+
+func TestNearestKLargerThanPool(t *testing.T) {
+	got, err := Nearest(c3(0, 0, 0), []Candidate{{ID: "a", Coord: c3(1, 0, 0)}}, 5)
+	if err != nil {
+		t.Fatalf("Nearest: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d, want all (1)", len(got))
+	}
+}
+
+func TestNearestValidation(t *testing.T) {
+	if _, err := Nearest(c3(0, 0, 0), nil, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	bad := []Candidate{{ID: "2d", Coord: Origin(2)}}
+	if _, err := Nearest(c3(0, 0, 0), bad, 1); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestNearestEmptyPool(t *testing.T) {
+	got, err := Nearest(c3(0, 0, 0), nil, 3)
+	if err != nil {
+		t.Fatalf("Nearest: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d from empty pool", len(got))
+	}
+}
+
+func TestNearestStableOnTies(t *testing.T) {
+	from := c3(0, 0, 0)
+	candidates := []Candidate{
+		{ID: "first", Coord: c3(10, 0, 0)},
+		{ID: "second", Coord: c3(0, 10, 0)},
+	}
+	got, err := Nearest(from, candidates, 2)
+	if err != nil {
+		t.Fatalf("Nearest: %v", err)
+	}
+	if got[0].ID != "first" {
+		t.Fatal("tie order not stable")
+	}
+}
+
+func TestMinimaxPlacement(t *testing.T) {
+	producer := c3(0, 0, 0)
+	consumer := c3(100, 0, 0)
+	candidates := []Candidate{
+		{ID: "edge", Coord: c3(90, 0, 0)},   // worst = 90
+		{ID: "middle", Coord: c3(50, 0, 0)}, // worst = 50
+		{ID: "offside", Coord: c3(50, 80, 0)},
+	}
+	best, err := MinimaxPlacement([]Coordinate{producer, consumer}, candidates)
+	if err != nil {
+		t.Fatalf("MinimaxPlacement: %v", err)
+	}
+	if best.ID != "middle" {
+		t.Fatalf("best = %s, want middle", best.ID)
+	}
+	if best.EstimatedRTT != 50 {
+		t.Fatalf("worst-case RTT = %v, want 50", best.EstimatedRTT)
+	}
+}
+
+func TestMinimaxPlacementValidation(t *testing.T) {
+	if _, err := MinimaxPlacement(nil, []Candidate{{ID: "a", Coord: c3(0, 0, 0)}}); err == nil {
+		t.Fatal("no anchors accepted")
+	}
+	if _, err := MinimaxPlacement([]Coordinate{c3(0, 0, 0)}, nil); err == nil {
+		t.Fatal("no candidates accepted")
+	}
+	if _, err := MinimaxPlacement([]Coordinate{Origin(2)}, []Candidate{{ID: "a", Coord: c3(0, 0, 0)}}); err == nil {
+		t.Fatal("mismatched anchor accepted")
+	}
+}
+
+// Property: Nearest(k) results are sorted ascending, and the k-th result
+// is no farther than any excluded candidate.
+func TestNearestProperty(t *testing.T) {
+	rng := xrand.NewStream(77)
+	f := func(seed uint64) bool {
+		local := xrand.NewStream(seed ^ rng.Uint64())
+		n := 2 + local.Intn(20)
+		candidates := make([]Candidate, n)
+		for i := range candidates {
+			candidates[i] = Candidate{
+				ID:    string(rune('a' + i)),
+				Coord: c3(local.Uniform(-100, 100), local.Uniform(-100, 100), local.Uniform(-100, 100)),
+			}
+		}
+		k := 1 + local.Intn(n)
+		from := c3(local.Uniform(-100, 100), 0, 0)
+		got, err := Nearest(from, candidates, k)
+		if err != nil || len(got) != k {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].EstimatedRTT < got[i-1].EstimatedRTT {
+				return false
+			}
+		}
+		// No excluded candidate may be closer than the k-th selected.
+		selected := map[string]bool{}
+		for _, r := range got {
+			selected[r.ID] = true
+		}
+		kth := got[len(got)-1].EstimatedRTT
+		for _, c := range candidates {
+			if selected[c.ID] {
+				continue
+			}
+			d, err := from.DistanceTo(c.Coord)
+			if err != nil {
+				return false
+			}
+			if d < kth-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestWithClientCoordinates(t *testing.T) {
+	// End-to-end: build a few clients, converge them pairwise, then
+	// select the nearest from real coordinates.
+	mk := func(seed uint64) *Client {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		c, err := NewClient(cfg)
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		return c
+	}
+	hub := mk(1)
+	near := mk(2)
+	far := mk(3)
+	for i := 0; i < 300; i++ {
+		if _, err := hub.Observe("near", 20, near.Coordinate(), near.Error()); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if _, err := near.Observe("hub", 20, hub.Coordinate(), hub.Error()); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if _, err := hub.Observe("far", 200, far.Coordinate(), far.Error()); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if _, err := far.Observe("hub", 200, hub.Coordinate(), hub.Error()); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	got, err := Nearest(hub.Coordinate(), []Candidate{
+		{ID: "far", Coord: far.Coordinate()},
+		{ID: "near", Coord: near.Coordinate()},
+	}, 1)
+	if err != nil {
+		t.Fatalf("Nearest: %v", err)
+	}
+	if got[0].ID != "near" {
+		t.Fatalf("selected %s, want near", got[0].ID)
+	}
+	if math.Abs(got[0].EstimatedRTT-20) > 10 {
+		t.Fatalf("estimate %v, want ~20", got[0].EstimatedRTT)
+	}
+}

@@ -1,0 +1,98 @@
+package netcoord
+
+import "testing"
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimulationConfig{Nodes: 2, Seconds: 600}); err == nil {
+		t.Fatal("tiny node count accepted")
+	}
+	if _, err := Simulate(SimulationConfig{Nodes: 16, Seconds: 10}); err == nil {
+		t.Fatal("tiny duration accepted")
+	}
+	bad := SimulationConfig{Nodes: 16, Seconds: 600}
+	bad.Client = DefaultConfig()
+	bad.Client.FilterPercentile = 200
+	if _, err := Simulate(bad); err == nil {
+		t.Fatal("bad client config accepted")
+	}
+}
+
+func TestSimulateDefaultsReproducePaperShape(t *testing.T) {
+	res, err := Simulate(SimulationConfig{Nodes: 24, Seconds: 900, Seed: 5})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Samples == 0 {
+		t.Fatal("no samples processed")
+	}
+	// Converged accuracy, and the app stream far more stable than the
+	// system stream at comparable accuracy.
+	if res.System.MedianRelErr > 0.3 {
+		t.Fatalf("system median rel err = %v", res.System.MedianRelErr)
+	}
+	if res.App.MedianInstability >= res.System.MedianInstability {
+		t.Fatalf("app instability %v not below system %v",
+			res.App.MedianInstability, res.System.MedianInstability)
+	}
+	if res.App.UpdatesPerSecond >= res.System.UpdatesPerSecond {
+		t.Fatal("app updates not suppressed")
+	}
+}
+
+func TestSimulateFilterComparison(t *testing.T) {
+	// The facade must let a user reproduce the paper's core comparison
+	// in a few lines.
+	base := SimulationConfig{Nodes: 24, Seconds: 900, Seed: 6}
+	withFilter, err := Simulate(base)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	noFilter := base
+	noFilter.Client = DefaultConfig()
+	noFilter.Client.DisableFilter = true
+	without, err := Simulate(noFilter)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if withFilter.System.MedianRelErr >= without.System.MedianRelErr {
+		t.Fatalf("filtered err %v >= unfiltered %v",
+			withFilter.System.MedianRelErr, without.System.MedianRelErr)
+	}
+	if withFilter.System.MedianInstability >= without.System.MedianInstability {
+		t.Fatalf("filtered instability %v >= unfiltered %v",
+			withFilter.System.MedianInstability, without.System.MedianInstability)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := SimulationConfig{Nodes: 12, Seconds: 300, Seed: 7}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if a != b {
+		t.Fatalf("same-seed simulations diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSimulateWithChurn(t *testing.T) {
+	res, err := Simulate(SimulationConfig{Nodes: 16, Seconds: 600, Seed: 8, Churn: true})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Samples == 0 {
+		t.Fatal("no samples under churn")
+	}
+	// Fewer samples than the no-churn run (late joiners skip early ticks).
+	full, err := Simulate(SimulationConfig{Nodes: 16, Seconds: 600, Seed: 8})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Samples >= full.Samples {
+		t.Fatalf("churn run processed %d samples vs %d without churn", res.Samples, full.Samples)
+	}
+}

@@ -1,0 +1,98 @@
+package netcoord
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"netcoord/internal/heuristic"
+)
+
+// observationFor primes a policy with a restored system coordinate.
+func observationFor(sys Coordinate) heuristic.Observation {
+	return heuristic.Observation{Sys: sys}
+}
+
+// Snapshot is a serializable capture of a Client's coordinate state.
+// Persisting one across restarts lets a node rejoin the coordinate space
+// where it left off instead of re-converging from the origin — the same
+// practice the Vivaldi deployments the paper influenced (Azureus/Pyxida,
+// hashicorp/serf) adopted.
+//
+// Snapshots deliberately exclude per-link filter state and the
+// change-detection windows: both are short (h = 4 observations, one
+// window pair) and rebuild within seconds, while a stale window carried
+// across downtime would mislead the detector.
+type Snapshot struct {
+	// Version guards the serialization format.
+	Version int `json:"version"`
+	// Sys is the system-level coordinate.
+	Sys Coordinate `json:"sys"`
+	// App is the application-level coordinate.
+	App Coordinate `json:"app"`
+	// Error is the Vivaldi error weight w.
+	Error float64 `json:"error"`
+}
+
+// snapshotVersion is the current Snapshot format.
+const snapshotVersion = 1
+
+// Snapshot captures the client's current coordinates and error weight.
+func (c *Client) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		Version: snapshotVersion,
+		Sys:     c.viv.Coordinate(),
+		App:     c.policy.App(),
+		Error:   c.viv.Error(),
+	}
+}
+
+// Restore loads a snapshot into the client. The coordinate is validated
+// against the client's dimension; the application-level coordinate is
+// re-primed from the restored system coordinate (the snapshot's App is
+// advisory — the policy windows restart empty, so the next significant
+// change will republish).
+func (c *Client) Restore(s Snapshot) error {
+	if s.Version != snapshotVersion {
+		return fmt.Errorf("netcoord: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := s.Sys.Validate(c.cfg.Dimension); err != nil {
+		return fmt.Errorf("netcoord: restore: %w", err)
+	}
+	if err := c.viv.SetCoordinate(s.Sys); err != nil {
+		return fmt.Errorf("netcoord: restore: %w", err)
+	}
+	c.viv.SetError(s.Error)
+	// Restart the policy from the restored position: its windows refill
+	// from live observations.
+	c.policy.Reset()
+	if _, _, err := c.policy.Observe(observationFor(s.Sys)); err != nil {
+		return fmt.Errorf("netcoord: restore: %w", err)
+	}
+	// Per-link filters restart; their four-observation histories are
+	// stale after any downtime.
+	c.bank.Reset()
+	return nil
+}
+
+// MarshalBinaryJSON renders the snapshot as JSON bytes, the stable
+// on-disk form.
+func (s Snapshot) MarshalBinaryJSON() ([]byte, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("netcoord: marshal snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// ParseSnapshot parses JSON bytes produced by MarshalBinaryJSON.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("netcoord: parse snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,176 @@
+package netcoord
+
+import (
+	"math"
+	"testing"
+)
+
+// convergedClient builds a client that has seen enough observations to
+// hold a meaningful coordinate.
+func convergedClient(t *testing.T) *Client {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	remote := Origin(3)
+	for i := 0; i < 100; i++ {
+		if _, err := c.Observe("peer", 60, remote, 0.5); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	return c
+}
+
+func TestSnapshotCapturesState(t *testing.T) {
+	c := convergedClient(t)
+	s := c.Snapshot()
+	if s.Version != snapshotVersion {
+		t.Fatalf("Version = %d", s.Version)
+	}
+	if !s.Sys.Equal(c.Coordinate()) {
+		t.Fatalf("Sys = %v, want %v", s.Sys, c.Coordinate())
+	}
+	if s.Error != c.Error() {
+		t.Fatalf("Error = %v, want %v", s.Error, c.Error())
+	}
+	if s.Sys.Vec.Norm() == 0 {
+		t.Fatal("snapshot captured an unconverged origin coordinate")
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	orig := convergedClient(t)
+	s := orig.Snapshot()
+
+	fresh, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := fresh.Restore(s); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !fresh.Coordinate().Equal(s.Sys) {
+		t.Fatalf("restored coordinate %v != snapshot %v", fresh.Coordinate(), s.Sys)
+	}
+	if fresh.Error() != s.Error {
+		t.Fatalf("restored error %v != snapshot %v", fresh.Error(), s.Error)
+	}
+	// The app coordinate is re-primed from the system coordinate.
+	if !fresh.AppCoordinate().Equal(s.Sys) {
+		t.Fatalf("restored app coordinate %v, want primed to %v", fresh.AppCoordinate(), s.Sys)
+	}
+}
+
+func TestRestoreResumesConvergedState(t *testing.T) {
+	// A restored client should predict latencies immediately, without
+	// re-convergence.
+	orig := convergedClient(t)
+	snap := orig.Snapshot()
+	restored, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	est, err := restored.DistanceTo(Origin(3))
+	if err != nil {
+		t.Fatalf("DistanceTo: %v", err)
+	}
+	if math.Abs(est-60) > 10 {
+		t.Fatalf("restored estimate %v, want ~60 (converged)", est)
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	tests := []struct {
+		name string
+		s    Snapshot
+	}{
+		{name: "wrong version", s: Snapshot{Version: 99, Sys: Origin(3)}},
+		{name: "wrong dimension", s: Snapshot{Version: snapshotVersion, Sys: Origin(2)}},
+		{
+			name: "nan coordinate",
+			s: func() Snapshot {
+				sys := Origin(3)
+				sys.Vec[0] = math.NaN()
+				return Snapshot{Version: snapshotVersion, Sys: sys}
+			}(),
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := c.Restore(tt.s); err == nil {
+				t.Fatal("bad snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestRestoreClampsErrorWeight(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	s := Snapshot{Version: snapshotVersion, Sys: Origin(3), App: Origin(3), Error: 5}
+	if err := c.Restore(s); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if w := c.Error(); w <= 0 || w > 1 {
+		t.Fatalf("restored error weight %v escaped (0, 1]", w)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	orig := convergedClient(t).Snapshot()
+	data, err := orig.MarshalBinaryJSON()
+	if err != nil {
+		t.Fatalf("MarshalBinaryJSON: %v", err)
+	}
+	back, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatalf("ParseSnapshot: %v", err)
+	}
+	if !back.Sys.Equal(orig.Sys) || back.Error != orig.Error || back.Version != orig.Version {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, orig)
+	}
+}
+
+func TestParseSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ParseSnapshot([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRestoreThenObserveContinues(t *testing.T) {
+	// After a restore, observations must keep refining normally.
+	orig := convergedClient(t)
+	snap := orig.Snapshot()
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := c.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	remote := Origin(3)
+	for i := 0; i < 50; i++ {
+		if _, err := c.Observe("peer", 60, remote, 0.5); err != nil {
+			t.Fatalf("Observe after restore: %v", err)
+		}
+	}
+	est, err := c.DistanceTo(remote)
+	if err != nil {
+		t.Fatalf("DistanceTo: %v", err)
+	}
+	if math.Abs(est-60) > 8 {
+		t.Fatalf("estimate %v after restore+observe, want ~60", est)
+	}
+}
