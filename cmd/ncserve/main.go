@@ -1,0 +1,342 @@
+// Command ncserve exposes a coordinate Registry as an HTTP JSON service:
+// a deployable proximity oracle. Nodes (or a bridge from your coordinate
+// gossip) POST their application-level coordinates in; clients ask
+// "nearest k nodes to this coordinate", "RTT between these two nodes",
+// or "who is inside my latency budget".
+//
+//	ncserve -listen 127.0.0.1:8700 -ttl 5m
+//
+// Endpoints (all JSON):
+//
+//	POST /upsert   {"id":"n1","coord":{"vec":[1,2,3]},"error":0.3}
+//	               or {"entries":[{...},{...}]} for batches
+//	POST /remove   {"id":"n1"}
+//	POST /nearest  {"coord":{"vec":[1,2,3]},"k":8}
+//	GET  /nearest?id=n1&k=8            (centered on a registered node)
+//	GET  /estimate?a=n1&b=n2
+//	GET  /stats
+//
+// A TTL (with the -ttl flag) makes the registry self-cleaning: nodes
+// that stop refreshing their coordinate age out instead of attracting
+// traffic forever.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"netcoord"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "ncserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ncserve", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:8700", "HTTP listen address")
+		dim     = fs.Int("dim", 0, "coordinate dimension (0 = library default, 3)")
+		shards  = fs.Int("shards", 0, "registry shard count (0 = default)")
+		ttl     = fs.Duration("ttl", 0, "evict entries not refreshed within this duration (0 = keep forever)")
+		maxBody = fs.Int64("max-body", 1<<20, "maximum request body size in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg, err := netcoord.NewRegistry(netcoord.RegistryConfig{
+		Dimension: *dim,
+		Shards:    *shards,
+		TTL:       *ttl,
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           newServer(reg, *maxBody),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("ncserve listening on http://%s (ttl %v)\n", *listen, *ttl)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCh:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// server wires a Registry to the HTTP surface.
+type server struct {
+	reg     *netcoord.Registry
+	started time.Time
+	maxBody int64
+}
+
+// newServer builds the HTTP handler around a registry. Split from run so
+// tests can drive it with httptest.
+func newServer(reg *netcoord.Registry, maxBody int64) http.Handler {
+	s := &server{reg: reg, started: time.Now(), maxBody: maxBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /upsert", s.handleUpsert)
+	mux.HandleFunc("POST /remove", s.handleRemove)
+	mux.HandleFunc("GET /nearest", s.handleNearestGet)
+	mux.HandleFunc("POST /nearest", s.handleNearestPost)
+	mux.HandleFunc("GET /estimate", s.handleEstimate)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// upsertRequest accepts a single entry, a batch, or both.
+type upsertRequest struct {
+	ID      string              `json:"id"`
+	Coord   netcoord.Coordinate `json:"coord"`
+	Error   float64             `json:"error"`
+	Entries []upsertEntry       `json:"entries"`
+}
+
+type upsertEntry struct {
+	ID    string              `json:"id"`
+	Coord netcoord.Coordinate `json:"coord"`
+	Error float64             `json:"error"`
+}
+
+type rankedJSON struct {
+	ID           string              `json:"id"`
+	Coord        netcoord.Coordinate `json:"coord"`
+	EstimatedRTT float64             `json:"estimated_rtt_ms"`
+}
+
+func toRankedJSON(rs []netcoord.Ranked) []rankedJSON {
+	out := make([]rankedJSON, len(rs))
+	for i, r := range rs {
+		out[i] = rankedJSON{ID: r.ID, Coord: r.Coord, EstimatedRTT: r.EstimatedRTT}
+	}
+	return out
+}
+
+func (s *server) handleUpsert(w http.ResponseWriter, req *http.Request) {
+	var body upsertRequest
+	if !s.decode(w, req, &body) {
+		return
+	}
+	// Fold the single-entry form into the batch so the whole request is
+	// one atomic UpsertBatch: a 400 always means nothing was applied.
+	batch := make([]netcoord.RegistryEntry, 0, len(body.Entries)+1)
+	if body.ID != "" {
+		batch = append(batch, netcoord.RegistryEntry{ID: body.ID, Coord: body.Coord, Error: body.Error})
+	}
+	for _, e := range body.Entries {
+		batch = append(batch, netcoord.RegistryEntry{ID: e.ID, Coord: e.Coord, Error: e.Error})
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no id or entries in request"))
+		return
+	}
+	if err := s.reg.UpsertBatch(batch); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": len(batch), "entries": s.reg.Len()})
+}
+
+func (s *server) handleRemove(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		ID string `json:"id"`
+	}
+	if !s.decode(w, req, &body) {
+		return
+	}
+	if body.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("no id in request"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": s.reg.Remove(body.ID)})
+}
+
+// handleNearestGet answers proximity queries centered on a registered
+// node: /nearest?id=n1&k=8, or radius mode with &radius_ms=50.
+func (s *server) handleNearestGet(w http.ResponseWriter, req *http.Request) {
+	id := req.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing id parameter (POST a coordinate for coordinate-centered queries)"))
+		return
+	}
+	if radiusStr := req.URL.Query().Get("radius_ms"); radiusStr != "" {
+		radius, err := strconv.ParseFloat(radiusStr, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad radius_ms: %w", err))
+			return
+		}
+		entry, ok := s.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown id %q", id))
+			return
+		}
+		// Bounded like k-mode: +1 slack for the excluded center, +1 to
+		// detect truncation.
+		res, err := s.reg.WithinLimit(entry.Coord, radius, maxK+2)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Consistent with k-mode: the center node is not its own peer.
+		filtered := res[:0]
+		for _, rk := range res {
+			if rk.ID != id {
+				filtered = append(filtered, rk)
+			}
+		}
+		truncated := len(filtered) > maxK
+		if truncated {
+			filtered = filtered[:maxK]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(filtered), "truncated": truncated})
+		return
+	}
+	k, ok := parseK(w, req.URL.Query().Get("k"))
+	if !ok {
+		return
+	}
+	res, err := s.reg.NearestTo(id, k)
+	if errors.Is(err, netcoord.ErrUnknownID) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(res)})
+}
+
+// handleNearestPost answers proximity queries centered on an arbitrary
+// coordinate — the "nearest replicas to this client" call for clients
+// that are not registered themselves.
+func (s *server) handleNearestPost(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Coord    netcoord.Coordinate `json:"coord"`
+		K        int                 `json:"k"`
+		RadiusMS *float64            `json:"radius_ms"`
+	}
+	if !s.decode(w, req, &body) {
+		return
+	}
+	if body.RadiusMS != nil {
+		res, err := s.reg.WithinLimit(body.Coord, *body.RadiusMS, maxK+1)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		truncated := len(res) > maxK
+		if truncated {
+			res = res[:maxK]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(res), "truncated": truncated})
+		return
+	}
+	k := body.K
+	if k == 0 {
+		k = defaultK
+	}
+	if k < 1 || k > maxK {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be an integer in [1, %d]", maxK))
+		return
+	}
+	res, err := s.reg.Nearest(body.Coord, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(res)})
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, req *http.Request) {
+	a, b := req.URL.Query().Get("a"), req.URL.Query().Get("b")
+	if a == "" || b == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing a or b parameter"))
+		return
+	}
+	d, err := s.reg.Estimate(a, b)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"a": a, "b": b, "rtt_ms": d})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"registry":       s.reg.Stats(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// defaultK is the k used when a nearest query does not specify one.
+const defaultK = 8
+
+// maxK bounds a single query's result size so one request cannot ask
+// the service to rank the whole registry.
+const maxK = 1024
+
+func parseK(w http.ResponseWriter, raw string) (int, bool) {
+	if raw == "" {
+		return defaultK, true
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 || k > maxK {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be an integer in [1, %d]", maxK))
+		return 0, false
+	}
+	return k, true
+}
+
+// decode reads a bounded JSON body, rejecting unknown fields.
+func (s *server) decode(w http.ResponseWriter, req *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

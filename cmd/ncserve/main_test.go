@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"netcoord"
+)
+
+func newTestService(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg, err := netcoord.NewRegistry(netcoord.RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reg.Close)
+	ts := httptest.NewServer(newServer(reg, 1<<20))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// results unpacks the {"results": [...]} envelope into id order.
+func resultIDs(t *testing.T, out map[string]any) []string {
+	t.Helper()
+	raw, ok := out["results"].([]any)
+	if !ok {
+		t.Fatalf("no results in %v", out)
+	}
+	ids := make([]string, len(raw))
+	for i, r := range raw {
+		ids[i] = r.(map[string]any)["id"].(string)
+	}
+	return ids
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	ts := newTestService(t)
+
+	// Single upsert plus a batch.
+	code, out := postJSON(t, ts.URL+"/upsert", `{"id":"a","coord":{"vec":[0,0,0]},"error":0.2}`)
+	if code != http.StatusOK || out["applied"].(float64) != 1 {
+		t.Fatalf("upsert: %d %v", code, out)
+	}
+	code, out = postJSON(t, ts.URL+"/upsert", `{"entries":[
+		{"id":"b","coord":{"vec":[30,0,0]}},
+		{"id":"c","coord":{"vec":[0,40,0]}},
+		{"id":"d","coord":{"vec":[100,100,0]}}]}`)
+	if code != http.StatusOK || out["applied"].(float64) != 3 || out["entries"].(float64) != 4 {
+		t.Fatalf("batch upsert: %d %v", code, out)
+	}
+
+	// Coordinate-centered nearest.
+	code, out = postJSON(t, ts.URL+"/nearest", `{"coord":{"vec":[1,0,0]},"k":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("nearest: %d %v", code, out)
+	}
+	if ids := resultIDs(t, out); len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("nearest ids = %v, want [a b]", ids)
+	}
+
+	// Node-centered nearest excludes the center.
+	code, out = getJSON(t, ts.URL+"/nearest?id=a&k=2")
+	if code != http.StatusOK {
+		t.Fatalf("nearest?id: %d %v", code, out)
+	}
+	if ids := resultIDs(t, out); len(ids) != 2 || ids[0] != "b" || ids[1] != "c" {
+		t.Fatalf("nearest?id=a ids = %v, want [b c]", ids)
+	}
+
+	// Radius mode excludes the center node, like k-mode.
+	code, out = getJSON(t, ts.URL+"/nearest?id=a&radius_ms=50")
+	if code != http.StatusOK {
+		t.Fatalf("radius: %d %v", code, out)
+	}
+	if ids := resultIDs(t, out); len(ids) != 2 || ids[0] != "b" || ids[1] != "c" {
+		t.Fatalf("radius ids = %v, want [b c]", ids)
+	}
+
+	// Estimate.
+	code, out = getJSON(t, ts.URL+"/estimate?a=a&b=b")
+	if code != http.StatusOK || out["rtt_ms"].(float64) != 30 {
+		t.Fatalf("estimate: %d %v", code, out)
+	}
+
+	// Remove, then the estimate 404s.
+	code, out = postJSON(t, ts.URL+"/remove", `{"id":"b"}`)
+	if code != http.StatusOK || out["removed"].(bool) != true {
+		t.Fatalf("remove: %d %v", code, out)
+	}
+	code, _ = getJSON(t, ts.URL+"/estimate?a=a&b=b")
+	if code != http.StatusNotFound {
+		t.Fatalf("estimate after remove: %d, want 404", code)
+	}
+
+	// Stats reflect the traffic.
+	code, out = getJSON(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	regStats, ok := out["registry"].(map[string]any)
+	if !ok || regStats["entries"].(float64) != 3 {
+		t.Fatalf("stats = %v", out)
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	ts := newTestService(t)
+
+	for _, tc := range []struct {
+		name string
+		do   func() int
+		want int
+	}{
+		{"bad json", func() int {
+			code, _ := postJSON(t, ts.URL+"/upsert", `{`)
+			return code
+		}, http.StatusBadRequest},
+		{"unknown field", func() int {
+			code, _ := postJSON(t, ts.URL+"/upsert", `{"id":"x","coord":{"vec":[0,0,0]},"bogus":1}`)
+			return code
+		}, http.StatusBadRequest},
+		{"wrong dimension", func() int {
+			code, _ := postJSON(t, ts.URL+"/upsert", `{"id":"x","coord":{"vec":[0,0]}}`)
+			return code
+		}, http.StatusBadRequest},
+		{"empty upsert", func() int {
+			code, _ := postJSON(t, ts.URL+"/upsert", `{}`)
+			return code
+		}, http.StatusBadRequest},
+		{"nearest unknown id", func() int {
+			code, _ := getJSON(t, ts.URL+"/nearest?id=ghost")
+			return code
+		}, http.StatusNotFound},
+		{"nearest no id", func() int {
+			code, _ := getJSON(t, ts.URL+"/nearest")
+			return code
+		}, http.StatusBadRequest},
+		{"nearest bad k", func() int {
+			seedOne(t, ts)
+			code, _ := getJSON(t, ts.URL+"/nearest?id=seed&k=0")
+			return code
+		}, http.StatusBadRequest},
+		{"nearest huge k", func() int {
+			code, _ := getJSON(t, ts.URL+"/nearest?id=seed&k=99999")
+			return code
+		}, http.StatusBadRequest},
+		{"post nearest huge k", func() int {
+			code, _ := postJSON(t, ts.URL+"/nearest", `{"coord":{"vec":[0,0,0]},"k":1000000000}`)
+			return code
+		}, http.StatusBadRequest},
+		{"post nearest negative k", func() int {
+			code, _ := postJSON(t, ts.URL+"/nearest", `{"coord":{"vec":[0,0,0]},"k":-1}`)
+			return code
+		}, http.StatusBadRequest},
+		{"estimate missing param", func() int {
+			code, _ := getJSON(t, ts.URL+"/estimate?a=x")
+			return code
+		}, http.StatusBadRequest},
+		{"remove no id", func() int {
+			code, _ := postJSON(t, ts.URL+"/remove", `{}`)
+			return code
+		}, http.StatusBadRequest},
+	} {
+		if got := tc.do(); got != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func seedOne(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	code, _ := postJSON(t, ts.URL+"/upsert", `{"id":"seed","coord":{"vec":[0,0,0]}}`)
+	if code != http.StatusOK {
+		t.Fatalf("seed upsert failed: %d", code)
+	}
+}
+
+// TestServiceBodyLimit: a body over the configured cap is rejected, not
+// buffered.
+func TestServiceBodyLimit(t *testing.T) {
+	reg, err := netcoord.NewRegistry(netcoord.RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ts := httptest.NewServer(newServer(reg, 64))
+	defer ts.Close()
+
+	var big bytes.Buffer
+	big.WriteString(`{"entries":[`)
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		fmt.Fprintf(&big, `{"id":"n%d","coord":{"vec":[1,2,3]}}`, i)
+	}
+	big.WriteString(`]}`)
+	resp, err := http.Post(ts.URL+"/upsert", "application/json", &big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,3 @@
+module netcoord
+
+go 1.24

@@ -1,0 +1,85 @@
+// Package bheap provides the bounded max-heap used for k-best selection
+// by the spatial index and the one-shot Nearest API: keep the best k
+// elements seen so far under a total order, evicting the worst in
+// O(log k) when a better candidate arrives.
+package bheap
+
+// Heap is a bounded max-heap under the given order: the root is the
+// element that sorts last among the kept ones, so it is the one a
+// better candidate displaces. The zero value is not usable; call New.
+type Heap[T any] struct {
+	// before reports whether a sorts before b. It must be a strict
+	// total order for deterministic results.
+	before func(a, b T) bool
+	cap    int
+	items  []T
+}
+
+// New builds a heap keeping the cap best elements under before.
+func New[T any](cap int, before func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{before: before, cap: cap}
+}
+
+// Len reports how many elements are held.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Full reports whether the heap holds cap elements.
+func (h *Heap[T]) Full() bool { return len(h.items) == h.cap }
+
+// Worst returns the element that sorts last among those held. It must
+// not be called on an empty heap.
+func (h *Heap[T]) Worst() T { return h.items[0] }
+
+// Items returns the held elements in heap order (not sorted). The slice
+// is the heap's backing store; callers take ownership only once they
+// stop calling Offer.
+func (h *Heap[T]) Items() []T { return h.items }
+
+// Offer inserts x if the heap has room or x sorts before the current
+// worst element.
+func (h *Heap[T]) Offer(x T) {
+	if h.cap == 0 {
+		return
+	}
+	if len(h.items) < h.cap {
+		h.items = append(h.items, x)
+		h.siftUp(len(h.items) - 1)
+		return
+	}
+	if !h.before(x, h.items[0]) {
+		return
+	}
+	h.items[0] = x
+	h.siftDown(0)
+}
+
+func (h *Heap[T]) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		// Stop when the parent sorts after (or equal to) the child.
+		if h.before(h.items[p], h.items[i]) {
+			h.items[i], h.items[p] = h.items[p], h.items[i]
+			i = p
+			continue
+		}
+		return
+	}
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h.items) && h.before(h.items[worst], h.items[l]) {
+			worst = l
+		}
+		if r < len(h.items) && h.before(h.items[worst], h.items[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}

@@ -1,0 +1,63 @@
+package bheap
+
+import (
+	"sort"
+	"testing"
+
+	"netcoord/internal/xrand"
+)
+
+// Property: offering any sequence and then sorting the kept items must
+// equal the first k of the fully sorted input.
+func TestHeapKeepsBestK(t *testing.T) {
+	rng := xrand.NewStream(11)
+	intBefore := func(a, b int) bool { return a < b }
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(50)
+		k := rng.Intn(12)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(40) // duplicates are common on purpose
+		}
+		h := New(k, intBefore)
+		for _, x := range in {
+			h.Offer(x)
+		}
+		got := append([]int(nil), h.Items()...)
+		sort.Ints(got)
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d k=%d): kept %d, want %d", trial, n, k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): kept %v, want %v", trial, n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestHeapZeroCap(t *testing.T) {
+	h := New(0, func(a, b int) bool { return a < b })
+	h.Offer(1)
+	if h.Len() != 0 {
+		t.Fatalf("zero-cap heap kept %d items", h.Len())
+	}
+}
+
+func TestHeapWorstTracksRoot(t *testing.T) {
+	h := New(3, func(a, b int) bool { return a < b })
+	for _, x := range []int{5, 1, 9, 3, 2} {
+		h.Offer(x)
+	}
+	if !h.Full() {
+		t.Fatal("heap not full after 5 offers with cap 3")
+	}
+	if h.Worst() != 3 {
+		t.Fatalf("Worst = %d, want 3 (kept best three of 1,2,3)", h.Worst())
+	}
+}

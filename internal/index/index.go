@@ -1,0 +1,457 @@
+// Package index provides an incremental spatial index over network
+// coordinates: the data structure behind the Registry's k-nearest-neighbor
+// and radius queries.
+//
+// The index is a kd-tree over the Euclidean component of the coordinate,
+// with the non-Euclidean height term folded into the metric: the distance
+// between a query q and a point p is ||q - p|| + h_q + h_p, exactly
+// coord.Coordinate.DistanceTo. Because a point's height only ever adds to
+// its distance, every subtree tracks the minimum height among its points,
+// and the search lower-bounds a subtree by (axis distance to the splitting
+// plane) + h_q + minHeight — pruning stays correct under the height model.
+//
+// Mutation strategy: inserts descend to a leaf; removals tombstone the
+// node in place. Both are O(depth). Tombstones and unbalanced insertion
+// degrade the tree over time, so the index rebuilds itself — a balanced
+// median build over the live points — whenever tombstones exceed half the
+// live count or the inserts since the last rebuild exceed the size at that
+// rebuild. The doubling rule bounds the amortized rebuild cost per insert
+// to O(log n) and keeps depth within a constant factor of optimal.
+//
+// A Tree is not safe for concurrent use; the Registry wraps one per shard
+// under the shard lock. Brute is the O(n)-scan reference implementation
+// with identical semantics, used as the correctness oracle in tests and as
+// the baseline in benchmarks.
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"netcoord/internal/bheap"
+	"netcoord/internal/coord"
+)
+
+// Neighbor is one query result: a stored point and its distance (the
+// estimated RTT in milliseconds) from the query coordinate.
+type Neighbor struct {
+	// ID is the stored point's identifier.
+	ID string
+	// Coord is the stored coordinate.
+	Coord coord.Coordinate
+	// Distance is coord.DistanceTo between the query and Coord.
+	Distance float64
+}
+
+// Index is the query contract shared by the kd-tree and the brute-force
+// oracle. Results are sorted by (distance, id) ascending, which makes
+// every query deterministic and lets tests compare implementations
+// exactly, ties included.
+type Index interface {
+	// Insert adds or replaces the point with the given id.
+	Insert(id string, c coord.Coordinate) error
+	// Remove deletes the point; it reports whether the id was present.
+	Remove(id string) bool
+	// Len reports the number of live points.
+	Len() int
+	// KNearest returns the k points nearest to from, fewer if the index
+	// holds fewer.
+	KNearest(from coord.Coordinate, k int) ([]Neighbor, error)
+	// Within returns every point at distance <= radius from from.
+	Within(from coord.Coordinate, radius float64) ([]Neighbor, error)
+}
+
+// Stats describes the internal shape of a Tree, for observability.
+type Stats struct {
+	// Live is the number of queryable points.
+	Live int
+	// Tombstones is the number of removed-but-unreclaimed nodes.
+	Tombstones int
+	// Rebuilds counts balanced rebuilds performed.
+	Rebuilds uint64
+	// Height is an upper bound on the current tree height (0 for an
+	// empty tree), tracked incrementally so Stats stays O(1): it is
+	// exact after a rebuild and grows with the deepest insertion since.
+	Height int
+}
+
+// treeNode is one kd-tree node. A node whose deleted flag is set is a
+// tombstone: it still splits space but no longer matches queries.
+type treeNode struct {
+	id   string
+	c    coord.Coordinate
+	axis int
+
+	deleted             bool
+	parent, left, right *treeNode
+
+	// size counts live points in this subtree; a subtree with size 0 is
+	// skipped entirely during search.
+	size int
+	// minHeight lower-bounds the height of every point in this subtree.
+	// It is maintained exactly on insert and left stale (conservatively
+	// low) on removal, so it is always a valid pruning bound.
+	minHeight float64
+}
+
+// Tree is the incremental kd-tree. Not safe for concurrent use.
+type Tree struct {
+	dim  int
+	root *treeNode
+	ids  map[string]*treeNode
+
+	dead          int
+	liveAtRebuild int
+	inserts       int
+	rebuilds      uint64
+	// heightHint upper-bounds the tree height: reset to the balanced
+	// height on rebuild, raised by insertions that land deeper.
+	heightHint int
+}
+
+// New builds an empty Tree for coordinates of the given dimension.
+func New(dim int) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("index: dimension %d, want > 0", dim)
+	}
+	return &Tree{dim: dim, ids: make(map[string]*treeNode)}, nil
+}
+
+// Len reports the number of live points.
+func (t *Tree) Len() int { return len(t.ids) }
+
+// Stats snapshots the tree's shape in O(1).
+func (t *Tree) Stats() Stats {
+	return Stats{
+		Live:       len(t.ids),
+		Tombstones: t.dead,
+		Rebuilds:   t.rebuilds,
+		Height:     t.heightHint,
+	}
+}
+
+// balancedHeight is the height of a balanced tree over n nodes.
+func balancedHeight(n int) int {
+	return bits.Len(uint(n))
+}
+
+// Insert adds the point, replacing any existing point with the same id.
+func (t *Tree) Insert(id string, c coord.Coordinate) error {
+	if err := c.Validate(t.dim); err != nil {
+		return fmt.Errorf("index insert %q: %w", id, err)
+	}
+	if old, ok := t.ids[id]; ok {
+		t.tombstone(old)
+	}
+	n := &treeNode{id: id, c: c, size: 1, minHeight: c.Height}
+	t.ids[id] = n
+	depth := 1
+	if t.root == nil {
+		t.root = n
+	} else {
+		cur := t.root
+		for {
+			depth++
+			if c.Vec[cur.axis] < cur.c.Vec[cur.axis] {
+				if cur.left == nil {
+					cur.left = n
+					break
+				}
+				cur = cur.left
+			} else {
+				if cur.right == nil {
+					cur.right = n
+					break
+				}
+				cur = cur.right
+			}
+		}
+		n.parent = cur
+		n.axis = (cur.axis + 1) % t.dim
+		for p := cur; p != nil; p = p.parent {
+			p.size++
+			if c.Height < p.minHeight {
+				p.minHeight = c.Height
+			}
+		}
+	}
+	t.inserts++
+	if depth > t.heightHint {
+		t.heightHint = depth
+	}
+	if depth > maxDepth(len(t.ids)) {
+		// Scapegoat-style trigger: an insertion that lands far below the
+		// balanced depth means the tree has drifted into a chain (e.g.
+		// sorted-order insertion); rebalance immediately.
+		t.Rebuild()
+		return nil
+	}
+	t.maybeRebuild()
+	return nil
+}
+
+// maxDepth is the deepest insertion tolerated for a tree of n live
+// points. Randomly ordered insertions stay well under it (expected max
+// depth ~3·log2 n), so it only fires on genuinely degenerate shapes.
+func maxDepth(n int) int {
+	return 4*bits.Len(uint(n)) + 8
+}
+
+// Remove tombstones the point with the given id.
+func (t *Tree) Remove(id string) bool {
+	n, ok := t.ids[id]
+	if !ok {
+		return false
+	}
+	delete(t.ids, id)
+	t.tombstone(n)
+	t.maybeRebuild()
+	return true
+}
+
+// tombstone marks n deleted and fixes live counts on the path to the
+// root. The caller removes the id-map entry.
+func (t *Tree) tombstone(n *treeNode) {
+	if n.deleted {
+		return
+	}
+	n.deleted = true
+	t.dead++
+	for p := n; p != nil; p = p.parent {
+		p.size--
+	}
+}
+
+// maybeRebuild rebalances when tombstones dominate or inserts since the
+// last rebuild exceed the tree size at that rebuild (the doubling rule).
+func (t *Tree) maybeRebuild() {
+	live := len(t.ids)
+	if live == 0 {
+		if t.root != nil {
+			t.root = nil
+			t.dead = 0
+			t.liveAtRebuild = 0
+			t.inserts = 0
+			t.rebuilds++
+			t.heightHint = 0
+		}
+		return
+	}
+	if t.dead > live/2 || t.inserts > t.liveAtRebuild+minRebuildSlack {
+		t.Rebuild()
+	}
+}
+
+// minRebuildSlack keeps tiny trees from rebuilding on every insert.
+const minRebuildSlack = 32
+
+// Rebuild replaces the tree with a balanced median build over the live
+// points. O(n log n) expected.
+func (t *Tree) Rebuild() {
+	pts := make([]*treeNode, 0, len(t.ids))
+	for _, n := range t.ids {
+		pts = append(pts, n)
+	}
+	// Deterministic starting order so rebuilds do not depend on map
+	// iteration order.
+	sort.Slice(pts, func(i, j int) bool { return pts[i].id < pts[j].id })
+	t.root = build(pts, 0, t.dim, nil)
+	t.dead = 0
+	t.liveAtRebuild = len(pts)
+	t.inserts = 0
+	t.rebuilds++
+	t.heightHint = balancedHeight(len(pts))
+}
+
+// build constructs a balanced subtree from pts, splitting on axis. It
+// reuses the existing nodes, resetting their link and bookkeeping fields.
+func build(pts []*treeNode, axis, dim int, parent *treeNode) *treeNode {
+	if len(pts) == 0 {
+		return nil
+	}
+	mid := len(pts) / 2
+	selectMedian(pts, mid, axis)
+	n := pts[mid]
+	n.axis = axis
+	n.parent = parent
+	n.deleted = false
+	n.size = len(pts)
+	n.minHeight = n.c.Height
+	n.left = build(pts[:mid], (axis+1)%dim, dim, n)
+	n.right = build(pts[mid+1:], (axis+1)%dim, dim, n)
+	if n.left != nil && n.left.minHeight < n.minHeight {
+		n.minHeight = n.left.minHeight
+	}
+	if n.right != nil && n.right.minHeight < n.minHeight {
+		n.minHeight = n.right.minHeight
+	}
+	return n
+}
+
+// selectMedian partially sorts pts so that pts[mid] is the element that a
+// full sort by (axis value, id) would place there, with smaller elements
+// before it and larger after. Expected O(n) quickselect.
+func selectMedian(pts []*treeNode, mid, axis int) {
+	lo, hi := 0, len(pts)-1
+	for lo < hi {
+		// Median-of-three pivot guards against sorted inputs.
+		m := lo + (hi-lo)/2
+		if ptLess(pts[m], pts[lo], axis) {
+			pts[m], pts[lo] = pts[lo], pts[m]
+		}
+		if ptLess(pts[hi], pts[lo], axis) {
+			pts[hi], pts[lo] = pts[lo], pts[hi]
+		}
+		if ptLess(pts[hi], pts[m], axis) {
+			pts[hi], pts[m] = pts[m], pts[hi]
+		}
+		pivot := pts[m]
+		i, j := lo, hi
+		for i <= j {
+			for ptLess(pts[i], pivot, axis) {
+				i++
+			}
+			for ptLess(pivot, pts[j], axis) {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				i++
+				j--
+			}
+		}
+		if mid <= j {
+			hi = j
+		} else if mid >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// ptLess orders points by (axis value, id): a total order, so rebuilds
+// are deterministic even with duplicate coordinates.
+func ptLess(a, b *treeNode, axis int) bool {
+	if a.c.Vec[axis] != b.c.Vec[axis] {
+		return a.c.Vec[axis] < b.c.Vec[axis]
+	}
+	return a.id < b.id
+}
+
+// KNearest returns the k nearest points to from, sorted by
+// (distance, id) ascending.
+func (t *Tree) KNearest(from coord.Coordinate, k int) ([]Neighbor, error) {
+	return t.KNearestBound(from, k, math.Inf(1))
+}
+
+// KNearestBound is KNearest restricted to points at distance <= bound.
+// A caller that already holds k candidates — the Registry merging across
+// shards — passes its current kth-best distance so the search prunes
+// subtrees that cannot improve the merged result, instead of doing k
+// full nearest-neighbor searches per stripe.
+func (t *Tree) KNearestBound(from coord.Coordinate, k int, bound float64) ([]Neighbor, error) {
+	if err := from.Validate(t.dim); err != nil {
+		return nil, fmt.Errorf("index knearest: %w", err)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("index knearest: k = %d, want > 0", k)
+	}
+	if math.IsNaN(bound) {
+		return nil, fmt.Errorf("index knearest: bound is NaN")
+	}
+	h := bheap.New(k, neighborBefore)
+	t.searchKNN(t.root, from, h, bound)
+	res := h.Items()
+	sortNeighbors(res)
+	return res, nil
+}
+
+// searchKNN walks the near side first, then visits the far side only if
+// the splitting-plane lower bound could still beat the current kth best
+// and the caller's bound.
+func (t *Tree) searchKNN(n *treeNode, from coord.Coordinate, h *bheap.Heap[Neighbor], bound float64) {
+	if n == nil || n.size == 0 {
+		return
+	}
+	if !n.deleted {
+		// Dimensions were validated at insert and query time, so the
+		// distance cannot fail.
+		d, _ := from.DistanceTo(n.c)
+		if d <= bound {
+			h.Offer(Neighbor{ID: n.id, Coord: n.c, Distance: d})
+		}
+	}
+	delta := from.Vec[n.axis] - n.c.Vec[n.axis]
+	near, far := n.left, n.right
+	if delta >= 0 {
+		near, far = n.right, n.left
+	}
+	if near != nil && near.size > 0 {
+		lb := from.Height + near.minHeight
+		if lb <= bound && (!h.Full() || lb <= h.Worst().Distance) {
+			t.searchKNN(near, from, h, bound)
+		}
+	}
+	if far != nil && far.size > 0 {
+		lb := math.Abs(delta) + from.Height + far.minHeight
+		if lb <= bound && (!h.Full() || lb <= h.Worst().Distance) {
+			t.searchKNN(far, from, h, bound)
+		}
+	}
+}
+
+// Within returns every point at distance <= radius, sorted by
+// (distance, id) ascending.
+func (t *Tree) Within(from coord.Coordinate, radius float64) ([]Neighbor, error) {
+	if err := from.Validate(t.dim); err != nil {
+		return nil, fmt.Errorf("index within: %w", err)
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		return nil, fmt.Errorf("index within: radius %v, want >= 0", radius)
+	}
+	var res []Neighbor
+	t.searchRadius(t.root, from, radius, &res)
+	sortNeighbors(res)
+	return res, nil
+}
+
+func (t *Tree) searchRadius(n *treeNode, from coord.Coordinate, radius float64, res *[]Neighbor) {
+	if n == nil || n.size == 0 {
+		return
+	}
+	if !n.deleted {
+		d, _ := from.DistanceTo(n.c)
+		if d <= radius {
+			*res = append(*res, Neighbor{ID: n.id, Coord: n.c, Distance: d})
+		}
+	}
+	delta := from.Vec[n.axis] - n.c.Vec[n.axis]
+	near, far := n.left, n.right
+	if delta >= 0 {
+		near, far = n.right, n.left
+	}
+	t.searchRadius(near, from, radius, res)
+	if far != nil && far.size > 0 {
+		if math.Abs(delta)+from.Height+far.minHeight <= radius {
+			t.searchRadius(far, from, radius, res)
+		}
+	}
+}
+
+// sortNeighbors orders results by (distance, id) ascending — the
+// deterministic order every Index implementation promises.
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool { return neighborBefore(ns[i], ns[j]) })
+}
+
+// neighborBefore is the (Distance, ID) total order every Index query
+// returns results in; it also drives the bounded k-best heap.
+func neighborBefore(a, b Neighbor) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.ID < b.ID
+}

@@ -1,0 +1,306 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"netcoord/internal/coord"
+	"netcoord/internal/xrand"
+)
+
+// randomCoord draws a coordinate in a [0, 200)^dim box, with a height in
+// [0, 20) on roughly half the points so the height-aware pruning path is
+// always exercised.
+func randomCoord(rng *xrand.Stream, dim int) coord.Coordinate {
+	c := coord.Origin(dim)
+	for i := range c.Vec {
+		c.Vec[i] = rng.Uniform(0, 200)
+	}
+	if rng.Bernoulli(0.5) {
+		c.Height = rng.Uniform(0, 20)
+	}
+	return c
+}
+
+func neighborsEqual(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Distance != b[i].Distance {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTreeMatchesBruteRandomWorkload is the oracle property test: a
+// random interleaving of inserts, updates, and removals, with kNN and
+// radius queries after every batch, must agree exactly — ties included —
+// with the brute-force scan.
+func TestTreeMatchesBruteRandomWorkload(t *testing.T) {
+	const (
+		dim    = 3
+		ops    = 4000
+		checks = 40
+	)
+	for seed := uint64(1); seed <= 3; seed++ {
+		rng := xrand.NewStream(seed)
+		tree, err := New(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := NewBrute(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op := 0; op < ops; op++ {
+			id := fmt.Sprintf("node-%d", rng.Intn(600))
+			switch {
+			case rng.Bernoulli(0.25) && brute.Len() > 0:
+				gotTree := tree.Remove(id)
+				gotBrute := brute.Remove(id)
+				if gotTree != gotBrute {
+					t.Fatalf("seed %d op %d: Remove(%q) tree=%v brute=%v", seed, op, id, gotTree, gotBrute)
+				}
+			default:
+				c := randomCoord(rng, dim)
+				if err := tree.Insert(id, c); err != nil {
+					t.Fatalf("seed %d op %d: tree insert: %v", seed, op, err)
+				}
+				if err := brute.Insert(id, c); err != nil {
+					t.Fatalf("seed %d op %d: brute insert: %v", seed, op, err)
+				}
+			}
+			if tree.Len() != brute.Len() {
+				t.Fatalf("seed %d op %d: Len tree=%d brute=%d", seed, op, tree.Len(), brute.Len())
+			}
+			if op%(ops/checks) != 0 {
+				continue
+			}
+			q := randomCoord(rng, dim)
+			for _, k := range []int{1, 3, 8, 1000} {
+				want, err := brute.KNearest(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tree.KNearest(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !neighborsEqual(got, want) {
+					t.Fatalf("seed %d op %d k=%d: tree %v != brute %v", seed, op, k, got, want)
+				}
+			}
+			// KNearestBound must equal the brute answer restricted to
+			// the bound: Within(bound) truncated to k.
+			for _, bound := range []float64{10, 60, 300} {
+				all, err := brute.Within(q, bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := all
+				if len(want) > 8 {
+					want = want[:8]
+				}
+				got, err := tree.KNearestBound(q, 8, bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !neighborsEqual(got, want) {
+					t.Fatalf("seed %d op %d bound=%v: tree %v != brute %v", seed, op, bound, got, want)
+				}
+			}
+			for _, r := range []float64{0, 25, 120, 1e9} {
+				want, err := brute.Within(q, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tree.Within(q, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !neighborsEqual(got, want) {
+					t.Fatalf("seed %d op %d r=%v: tree has %d results, brute %d", seed, op, r, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestTreeBasics(t *testing.T) {
+	tree, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("empty tree Len = %d", tree.Len())
+	}
+	got, err := tree.KNearest(coord.New(0, 0, 0), 5)
+	if err != nil {
+		t.Fatalf("kNN on empty tree: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("kNN on empty tree returned %v", got)
+	}
+
+	if err := tree.Insert("a", coord.New(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert("b", coord.New(10, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert("c", coord.New(0, 20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = tree.KNearest(coord.New(1, 0, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("kNN = %v, want a then b", got)
+	}
+
+	// Upsert moves a point.
+	if err := tree.Insert("a", coord.New(100, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 3 {
+		t.Fatalf("Len after upsert = %d, want 3", tree.Len())
+	}
+	got, err = tree.KNearest(coord.New(1, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != "b" {
+		t.Fatalf("nearest after moving a = %q, want b", got[0].ID)
+	}
+
+	if !tree.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	if tree.Remove("b") {
+		t.Fatal("second Remove(b) = true")
+	}
+	if tree.Len() != 2 {
+		t.Fatalf("Len after remove = %d, want 2", tree.Len())
+	}
+}
+
+// TestTreeHeightModel checks the additive height term: a Euclidean-close
+// point with a huge height must lose to a farther flat point.
+func TestTreeHeightModel(t *testing.T) {
+	tree, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tall := coord.New(1, 0, 0)
+	tall.Height = 500
+	if err := tree.Insert("tall", tall); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert("flat", coord.New(50, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.KNearest(coord.New(0, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != "flat" {
+		t.Fatalf("nearest = %q, want flat (height must count)", got[0].ID)
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	tree, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert("x", coord.New(1, 2)); err == nil {
+		t.Fatal("wrong-dimension insert succeeded")
+	}
+	bad := coord.New(1, 2, math.NaN())
+	if err := tree.Insert("x", bad); err == nil {
+		t.Fatal("NaN insert succeeded")
+	}
+	if _, err := tree.KNearest(coord.New(1, 2), 1); err == nil {
+		t.Fatal("wrong-dimension query succeeded")
+	}
+	if _, err := tree.KNearest(coord.New(1, 2, 3), 0); err == nil {
+		t.Fatal("k=0 query succeeded")
+	}
+	if _, err := tree.Within(coord.New(1, 2, 3), -1); err == nil {
+		t.Fatal("negative radius succeeded")
+	}
+}
+
+// TestTreeRebuildBoundsShape drives sorted-order insertion — the kd-tree
+// worst case — and churn, then checks the rebuild machinery kept the tree
+// shallow and reclaimed tombstones.
+func TestTreeRebuildBoundsShape(t *testing.T) {
+	tree, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		// Strictly increasing on every axis: unbalanced without rebuilds.
+		v := float64(i)
+		if err := tree.Insert(fmt.Sprintf("n%04d", i), coord.New(v, v, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tree.Stats()
+	if st.Rebuilds == 0 {
+		t.Fatal("no rebuilds after sorted insertion")
+	}
+	// A balanced tree of 4096 has height 13; the depth trigger caps the
+	// degenerate shape at 4*log2(n)+8. Far below the 4096-long chain a
+	// plain kd-tree would build here.
+	if st.Height > 4*13+8 {
+		t.Fatalf("height %d after sorted insertion, want <= %d", st.Height, 4*13+8)
+	}
+	for i := 0; i < n/2; i++ {
+		tree.Remove(fmt.Sprintf("n%04d", i))
+	}
+	st = tree.Stats()
+	if st.Live != n/2 {
+		t.Fatalf("live = %d, want %d", st.Live, n/2)
+	}
+	if st.Tombstones > st.Live/2+1 {
+		t.Fatalf("tombstones %d never reclaimed (live %d)", st.Tombstones, st.Live)
+	}
+}
+
+// TestTreeDeterministic: identical operation sequences must produce
+// identical trees and query results regardless of map iteration order.
+func TestTreeDeterministic(t *testing.T) {
+	run := func() []Neighbor {
+		rng := xrand.NewStream(99)
+		tree, err := New(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			id := fmt.Sprintf("node-%d", rng.Intn(500))
+			if rng.Bernoulli(0.3) {
+				tree.Remove(id)
+			} else if err := tree.Insert(id, randomCoord(rng, 3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := tree.KNearest(coord.New(100, 100, 100), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !neighborsEqual(a, b) {
+		t.Fatalf("same workload, different results:\n%v\n%v", a, b)
+	}
+}

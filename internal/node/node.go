@@ -46,6 +46,9 @@ type Update struct {
 	Coord coord.Coordinate
 	// At is when the change was detected.
 	At time.Time
+	// Error is the node's Vivaldi error weight at the time of the change,
+	// so registry consumers can weight entries by confidence.
+	Error float64
 }
 
 // Config assembles a node.
@@ -151,7 +154,17 @@ func Start(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}
+	// The transport's read loop is already live and calls back into
+	// observeInbound, which reads n.peer under n.mu — publish it under
+	// the same lock. addNeighborLocked tolerates the brief nil window.
+	n.mu.Lock()
 	n.peer = peer
+	// Neighbors added before the bind address was known (the seed list,
+	// or gossip that raced the publish above) could include ourselves;
+	// a node must never sample itself, so purge now that we know who we
+	// are.
+	n.removeNeighborLocked(peer.Addr())
+	n.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	n.cancel = cancel
@@ -268,6 +281,21 @@ func (n *Node) addNeighborLocked(addr string) {
 	n.neighbors = append(n.neighbors, addr)
 }
 
+// removeNeighborLocked deletes an address from the neighbor set if
+// present. Callers hold n.mu.
+func (n *Node) removeNeighborLocked(addr string) {
+	if !n.neighborSet[addr] {
+		return
+	}
+	delete(n.neighborSet, addr)
+	for i, a := range n.neighbors {
+		if a == addr {
+			n.neighbors = append(n.neighbors[:i], n.neighbors[i+1:]...)
+			break
+		}
+	}
+}
+
 // nextNeighborLocked returns the next round-robin target, or "" if the
 // neighbor set is empty. Callers hold n.mu.
 func (n *Node) nextNeighborLocked() string {
@@ -345,7 +373,7 @@ func (n *Node) applyObservation(target string, res transport.PingResult) {
 				HasNeighbor: n.hasNN,
 			})
 			if perr == nil && changed && n.cfg.Updates != nil {
-				notify = &Update{Coord: app, At: time.Now()}
+				notify = &Update{Coord: app, At: time.Now(), Error: n.viv.Error()}
 			}
 		}
 	}

@@ -242,3 +242,42 @@ func TestCustomFilterAndPolicyWiring(t *testing.T) {
 		t.Fatalf("Samples = %d, want 1 (None filter passes first observation)", b.Samples())
 	}
 }
+
+// TestSelfSeedPurged: a deployment handing every node the same seed
+// list — including the node's own address — must not leave the node
+// sampling itself. The self-address filter cannot fire while seeds are
+// added (the socket is not bound yet), so Start purges it afterwards.
+func TestSelfSeedPurged(t *testing.T) {
+	// Grab a concrete port by binding an ephemeral node first.
+	first := startNode(t, nil, nil)
+	addr := first.Addr()
+	if err := first.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	// Start inline rather than via the helper: losing the just-freed
+	// port to another process is an environment hazard, not a failure.
+	n, err := Start(Config{
+		ListenAddr:     addr,
+		Seeds:          []string{addr, "127.0.0.1:19"},
+		Vivaldi:        vivaldi.DefaultConfig(),
+		SampleInterval: 20 * time.Millisecond,
+		PingTimeout:    500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Skipf("port %s was reclaimed by the OS: %v", addr, err)
+	}
+	t.Cleanup(func() {
+		if err := n.Stop(); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+	})
+	for _, nb := range n.Neighbors() {
+		if nb == addr {
+			t.Fatalf("node kept itself (%s) as a neighbor: %v", addr, n.Neighbors())
+		}
+	}
+	if len(n.Neighbors()) != 1 {
+		t.Fatalf("neighbors = %v, want only the other seed", n.Neighbors())
+	}
+}

@@ -32,6 +32,21 @@
 // coordinate package). StartNode runs the full live stack — UDP pings,
 // gossip neighbor discovery, background sampling — when you want a
 // self-contained deployment.
+//
+// # Consuming coordinates at scale
+//
+// Stable coordinates exist so that consumers — server selection,
+// operator placement, proximity routing — can act on them. Registry is
+// that consumer layer: a sharded, concurrency-safe store of node
+// coordinates backed by a per-shard spatial index, answering exact
+// k-nearest-neighbor (Nearest, NearestTo), latency-budget (Within), and
+// pairwise (Estimate) queries without scanning the node set. Feed wires
+// a live Node's update channel straight into a Registry, and a TTL ages
+// out nodes that stop refreshing. cmd/ncserve exposes a Registry over
+// HTTP JSON as a deployable proximity service.
+//
+// For one-shot selections over a slice you already hold, Nearest and
+// MinimaxPlacement remain the lightweight entry points.
 package netcoord
 
 import (

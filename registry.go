@@ -1,0 +1,575 @@
+package netcoord
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netcoord/internal/index"
+)
+
+// ErrUnknownID is returned by id-centered registry queries (NearestTo,
+// Estimate) for ids not currently registered; match with errors.Is so
+// services can map it to a not-found response.
+var ErrUnknownID = errors.New("netcoord: registry: unknown id")
+
+// Registry defaults.
+const (
+	// DefaultRegistryShards is the lock-striping factor: enough that a
+	// many-core upsert storm rarely contends, small enough that fan-out
+	// queries stay cheap.
+	DefaultRegistryShards = 16
+)
+
+// RegistryEntry is one node stored in a Registry: its identifier, its
+// (application-level) coordinate, and freshness/confidence metadata.
+type RegistryEntry struct {
+	// ID is the node's identifier.
+	ID string
+	// Coord is the node's coordinate — application-level in normal use,
+	// so placements do not churn with every Vivaldi refinement.
+	Coord Coordinate
+	// Error is the node's Vivaldi error weight (0 = unknown/perfect,
+	// toward 1 = low confidence), as carried by coordinate protocols.
+	Error float64
+	// UpdatedAt is when the entry was last upserted; the TTL eviction
+	// clock.
+	UpdatedAt time.Time
+}
+
+// RegistryConfig assembles a Registry.
+type RegistryConfig struct {
+	// Dimension of the stored coordinates; 0 means DefaultConfig's.
+	Dimension int
+	// Shards is the lock-striping factor, rounded up to a power of two;
+	// 0 means DefaultRegistryShards.
+	Shards int
+	// TTL evicts entries not upserted within this duration; 0 disables
+	// staleness eviction.
+	TTL time.Duration
+	// JanitorInterval is how often the background janitor sweeps when TTL
+	// is set; 0 means TTL/2.
+	JanitorInterval time.Duration
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// RegistryStats is an operational snapshot of a Registry.
+type RegistryStats struct {
+	// Entries is the number of live entries.
+	Entries int `json:"entries"`
+	// Shards is the configured stripe count.
+	Shards int `json:"shards"`
+	// Upserts, Removes, Queries, and Evictions count operations since
+	// construction. Queries counts Nearest/NearestTo/Within calls.
+	Upserts   uint64 `json:"upserts"`
+	Removes   uint64 `json:"removes"`
+	Queries   uint64 `json:"queries"`
+	Evictions uint64 `json:"evictions"`
+	// FeedErrors counts updates from Feed channels the registry had to
+	// reject (e.g. wrong-dimension coordinates).
+	FeedErrors uint64 `json:"feed_errors"`
+	// IndexTombstones and IndexRebuilds aggregate the per-shard spatial
+	// index internals.
+	IndexTombstones int    `json:"index_tombstones"`
+	IndexRebuilds   uint64 `json:"index_rebuilds"`
+}
+
+// registryShard is one lock stripe: a map for point lookups and a
+// spatial index for proximity queries, kept in lockstep.
+type registryShard struct {
+	mu      sync.RWMutex
+	entries map[string]RegistryEntry
+	tree    *index.Tree
+}
+
+// Registry is a sharded, concurrency-safe store of node coordinates that
+// answers k-nearest-neighbor and radius queries through a per-shard
+// spatial index — the consumer layer that turns coordinates into server
+// selection and operator placement decisions at scale.
+//
+// IDs are hashed onto shards; each shard pairs a hash map (point
+// lookups) with an incremental kd-tree (proximity queries) under one
+// RWMutex, so queries from many goroutines proceed in parallel and
+// upserts contend only within a stripe. Proximity queries ask every
+// shard for its best k and merge, which preserves exactness.
+//
+// Entries carry an update timestamp; configure TTL to have a background
+// janitor evict nodes that stopped refreshing — crashed or partitioned
+// peers age out instead of attracting traffic forever.
+//
+// Create with NewRegistry, stop the janitor and any feeds with Close.
+type Registry struct {
+	dim   int
+	ttl   time.Duration
+	clock func() time.Time
+
+	mask   uint32
+	shards []*registryShard
+
+	upserts    atomic.Uint64
+	removes    atomic.Uint64
+	queries    atomic.Uint64
+	evictions  atomic.Uint64
+	feedErrors atomic.Uint64
+
+	// lifeMu orders goroutine starts (janitor, feeds) against Close:
+	// wg.Add never races wg.Wait, and no feed can start after Close.
+	lifeMu    sync.Mutex
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewRegistry builds a Registry and, when cfg.TTL is set, starts its
+// staleness janitor. Call Close when done.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if cfg.Dimension == 0 {
+		cfg.Dimension = DefaultConfig().Dimension
+	}
+	if cfg.Dimension < 0 {
+		return nil, fmt.Errorf("netcoord: registry dimension %d, want > 0", cfg.Dimension)
+	}
+	if cfg.TTL < 0 {
+		return nil, fmt.Errorf("netcoord: registry TTL %v, want >= 0", cfg.TTL)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultRegistryShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	if shards&(shards-1) != 0 {
+		shards = 1 << bits.Len(uint(shards))
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	r := &Registry{
+		dim:    cfg.Dimension,
+		ttl:    cfg.TTL,
+		clock:  clock,
+		mask:   uint32(shards - 1),
+		shards: make([]*registryShard, shards),
+		closed: make(chan struct{}),
+	}
+	for i := range r.shards {
+		tree, err := index.New(cfg.Dimension)
+		if err != nil {
+			return nil, fmt.Errorf("netcoord: registry: %w", err)
+		}
+		r.shards[i] = &registryShard{
+			entries: make(map[string]RegistryEntry),
+			tree:    tree,
+		}
+	}
+	if cfg.TTL > 0 {
+		interval := cfg.JanitorInterval
+		if interval <= 0 {
+			interval = cfg.TTL / 2
+		}
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		r.wg.Add(1)
+		go r.janitor(interval)
+	}
+	return r, nil
+}
+
+// Close stops the janitor and every Feed goroutine. The registry remains
+// queryable after Close; only background work stops.
+func (r *Registry) Close() {
+	r.closeOnce.Do(func() {
+		r.lifeMu.Lock()
+		close(r.closed)
+		r.lifeMu.Unlock()
+	})
+	r.wg.Wait()
+}
+
+// janitor periodically evicts stale entries until Close.
+func (r *Registry) janitor(interval time.Duration) {
+	defer r.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-ticker.C:
+			r.EvictStale()
+		}
+	}
+}
+
+// shardFor maps an id to its stripe.
+func (r *Registry) shardFor(id string) *registryShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return r.shards[h.Sum32()&r.mask]
+}
+
+// Upsert inserts or refreshes a node. Error is the node's Vivaldi error
+// weight (pass 0 if your protocol does not carry it). The update
+// timestamp is taken from the registry clock.
+func (r *Registry) Upsert(id string, c Coordinate, errWeight float64) error {
+	return r.upsertEntry(RegistryEntry{ID: id, Coord: c, Error: errWeight})
+}
+
+// UpsertBatch applies many upserts, locking each shard once per batch
+// rather than once per entry. Entries with a zero UpdatedAt are stamped
+// with the registry clock. The whole batch is validated before anything
+// is applied: on error, the registry is unchanged.
+func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
+	now := r.clock()
+	// Validate everything first so a bad entry cannot leave the batch
+	// half-applied, then group per shard so each stripe is locked once.
+	groups := make(map[*registryShard][]RegistryEntry, len(r.shards))
+	for _, e := range entries {
+		if e.ID == "" {
+			return fmt.Errorf("netcoord: registry upsert: empty id")
+		}
+		if err := e.Coord.Validate(r.dim); err != nil {
+			return fmt.Errorf("netcoord: registry upsert %q: %w", e.ID, err)
+		}
+		if e.UpdatedAt.IsZero() {
+			e.UpdatedAt = now
+		}
+		s := r.shardFor(e.ID)
+		groups[s] = append(groups[s], e)
+	}
+	for s, group := range groups {
+		s.mu.Lock()
+		for _, e := range group {
+			// Same pure-refresh shortcut as upsertEntry.
+			if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
+				s.entries[e.ID] = e
+				r.upserts.Add(1)
+				continue
+			}
+			if err := s.tree.Insert(e.ID, e.Coord); err != nil {
+				// Unreachable: coordinates were validated above, and
+				// validation is the tree's only insert failure.
+				s.mu.Unlock()
+				return fmt.Errorf("netcoord: registry upsert: %w", err)
+			}
+			s.entries[e.ID] = e
+			r.upserts.Add(1)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+func (r *Registry) upsertEntry(e RegistryEntry) error {
+	if e.ID == "" {
+		return fmt.Errorf("netcoord: registry upsert: empty id")
+	}
+	if e.UpdatedAt.IsZero() {
+		e.UpdatedAt = r.clock()
+	}
+	s := r.shardFor(e.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// TTL heartbeats re-upsert unchanged coordinates constantly (stable
+	// app-level coordinates are the norm); a pure refresh must not
+	// churn the index with tombstone+reinsert cycles and the rebuilds
+	// they trigger.
+	if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
+		s.entries[e.ID] = e
+		r.upserts.Add(1)
+		return nil
+	}
+	if err := s.tree.Insert(e.ID, e.Coord); err != nil {
+		return fmt.Errorf("netcoord: registry upsert: %w", err)
+	}
+	s.entries[e.ID] = e
+	r.upserts.Add(1)
+	return nil
+}
+
+// Remove deletes a node, reporting whether it was present.
+func (r *Registry) Remove(id string) bool {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; !ok {
+		return false
+	}
+	delete(s.entries, id)
+	s.tree.Remove(id)
+	r.removes.Add(1)
+	return true
+}
+
+// Get returns the stored entry for id.
+func (r *Registry) Get(id string) (RegistryEntry, bool) {
+	s := r.shardFor(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[id]
+	return e, ok
+}
+
+// Len reports the number of live entries.
+func (r *Registry) Len() int {
+	n := 0
+	for _, s := range r.shards {
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Nearest returns the k registered nodes with the smallest estimated RTT
+// from the given coordinate, ascending (ties broken by id). Fewer than k
+// are returned if the registry holds fewer. Each shard answers from its
+// spatial index and the per-shard bests are merged, so the result is
+// exact while the work stays O(shards · log n · k) instead of a full
+// scan.
+func (r *Registry) Nearest(from Coordinate, k int) ([]Ranked, error) {
+	return r.nearest(from, k, "", inf())
+}
+
+// NearestTo is Nearest centered on a registered node, excluding the node
+// itself — "which replicas are closest to this client".
+func (r *Registry) NearestTo(id string, k int) ([]Ranked, error) {
+	e, ok := r.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownID, id)
+	}
+	return r.nearest(e.Coord, k, id, inf())
+}
+
+// WithinLimit returns the up-to-limit nearest nodes with estimated RTT
+// <= radiusMillis, ascending — Within with a result bound, for callers
+// (like ncserve) that must not let one query rank an unbounded slice of
+// the registry. The radius doubles as the search's pruning bound, so
+// the work is proportional to the results returned, not the matches
+// that exist.
+func (r *Registry) WithinLimit(from Coordinate, radiusMillis float64, limit int) ([]Ranked, error) {
+	if radiusMillis < 0 || math.IsNaN(radiusMillis) {
+		return nil, fmt.Errorf("netcoord: registry within: radius %v, want >= 0", radiusMillis)
+	}
+	return r.nearest(from, limit, "", radiusMillis)
+}
+
+// nearest merges per-shard k-nearest answers, restricted to distance <=
+// bound (pass inf for pure kNN).
+func (r *Registry) nearest(from Coordinate, k int, exclude string, bound float64) ([]Ranked, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("netcoord: k = %d, want > 0", k)
+	}
+	r.queries.Add(1)
+	// Ask each shard for one extra result so dropping the excluded node
+	// still leaves k.
+	perShard := k
+	if exclude != "" {
+		perShard++
+	}
+	// Query shards sequentially, carrying the current worst of the best
+	// perShard distances as a pruning bound: after the first stripe the
+	// remaining trees only descend into regions that could still improve
+	// the merged answer. Ties are kept (the bound check is <=), so the
+	// result is identical to merging full per-shard answers.
+	var merged []index.Neighbor
+	for _, s := range r.shards {
+		s.mu.RLock()
+		ns, err := s.tree.KNearestBound(from, perShard, bound)
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("netcoord: registry nearest: %w", err)
+		}
+		merged = append(merged, ns...)
+		sort.Slice(merged, func(i, j int) bool {
+			if merged[i].Distance != merged[j].Distance {
+				return merged[i].Distance < merged[j].Distance
+			}
+			return merged[i].ID < merged[j].ID
+		})
+		if len(merged) > perShard {
+			merged = merged[:perShard]
+		}
+		if len(merged) == perShard {
+			bound = merged[len(merged)-1].Distance
+		}
+	}
+	out := make([]Ranked, 0, k)
+	for _, n := range merged {
+		if n.ID == exclude {
+			continue
+		}
+		out = append(out, Ranked{
+			Candidate:    Candidate{ID: n.ID, Coord: n.Coord},
+			EstimatedRTT: n.Distance,
+		})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Within returns every registered node with estimated RTT <= radiusMillis
+// from the given coordinate, ascending (ties broken by id) — the
+// "replicas inside my latency budget" query. Cost is proportional to the
+// number of matches; services exposed to untrusted radii should use
+// WithinLimit instead.
+func (r *Registry) Within(from Coordinate, radiusMillis float64) ([]Ranked, error) {
+	r.queries.Add(1)
+	var merged []index.Neighbor
+	for _, s := range r.shards {
+		s.mu.RLock()
+		ns, err := s.tree.Within(from, radiusMillis)
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("netcoord: registry within: %w", err)
+		}
+		merged = append(merged, ns...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Distance != merged[j].Distance {
+			return merged[i].Distance < merged[j].Distance
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	out := make([]Ranked, len(merged))
+	for i, n := range merged {
+		out[i] = Ranked{
+			Candidate:    Candidate{ID: n.ID, Coord: n.Coord},
+			EstimatedRTT: n.Distance,
+		}
+	}
+	return out, nil
+}
+
+// Estimate predicts the RTT in milliseconds between two registered
+// nodes.
+func (r *Registry) Estimate(aID, bID string) (float64, error) {
+	a, ok := r.Get(aID)
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownID, aID)
+	}
+	b, ok := r.Get(bID)
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownID, bID)
+	}
+	d, err := a.Coord.DistanceTo(b.Coord)
+	if err != nil {
+		return 0, fmt.Errorf("netcoord: registry estimate: %w", err)
+	}
+	return d, nil
+}
+
+// EvictStale removes every entry whose last upsert is older than the
+// configured TTL, returning how many were evicted. The background
+// janitor calls this; it is exported for deployments that prefer to
+// drive eviction themselves.
+func (r *Registry) EvictStale() int {
+	if r.ttl <= 0 {
+		return 0
+	}
+	cutoff := r.clock().Add(-r.ttl)
+	evicted := 0
+	for _, s := range r.shards {
+		s.mu.Lock()
+		for id, e := range s.entries {
+			if e.UpdatedAt.Before(cutoff) {
+				delete(s.entries, id)
+				s.tree.Remove(id)
+				evicted++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if evicted > 0 {
+		r.evictions.Add(uint64(evicted))
+	}
+	return evicted
+}
+
+// Snapshot returns every live entry, sorted by id — for persistence,
+// debugging, or bulk hand-off to another registry via UpsertBatch.
+func (r *Registry) Snapshot() []RegistryEntry {
+	var out []RegistryEntry
+	for _, s := range r.shards {
+		s.mu.RLock()
+		for _, e := range s.entries {
+			out = append(out, e)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats snapshots operational counters.
+func (r *Registry) Stats() RegistryStats {
+	st := RegistryStats{
+		Shards:     len(r.shards),
+		Upserts:    r.upserts.Load(),
+		Removes:    r.removes.Load(),
+		Queries:    r.queries.Load(),
+		Evictions:  r.evictions.Load(),
+		FeedErrors: r.feedErrors.Load(),
+	}
+	for _, s := range r.shards {
+		s.mu.RLock()
+		st.Entries += len(s.entries)
+		ts := s.tree.Stats()
+		st.IndexTombstones += ts.Tombstones
+		st.IndexRebuilds += ts.Rebuilds
+		s.mu.RUnlock()
+	}
+	return st
+}
+
+// Feed consumes a live node's application-level update channel and keeps
+// the registry entry for id current — wire a Node's NodeConfig.Updates
+// channel here and the registry tracks the cluster automatically. The
+// feed stops when the channel closes, when the returned stop function is
+// called, or when the registry is closed. Feed on a closed registry is a
+// no-op and returns a stop function that does nothing.
+func (r *Registry) Feed(id string, updates <-chan NodeUpdate) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(done) }) }
+	r.lifeMu.Lock()
+	select {
+	case <-r.closed:
+		r.lifeMu.Unlock()
+		return stop
+	default:
+	}
+	r.wg.Add(1)
+	r.lifeMu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		for {
+			select {
+			case <-r.closed:
+				return
+			case <-done:
+				return
+			case u, ok := <-updates:
+				if !ok {
+					return
+				}
+				if err := r.Upsert(id, u.Coord, u.Error); err != nil {
+					// A node emitting invalid coordinates is a bug, but
+					// the registry must not wedge the feed; count it.
+					r.feedErrors.Add(1)
+				}
+			}
+		}
+	}()
+	return stop
+}

@@ -1,0 +1,142 @@
+// Registry and selection benchmarks: the spatial index versus the
+// brute-force scan at increasing scale. The acceptance bar for the
+// registry subsystem is Nearest(k=8) at n=100k answering >= 10x faster
+// than the brute-force Nearest over the same entries.
+//
+//	go test -bench 'RegistryNearest|BruteNearest' -benchtime 1x
+package netcoord
+
+import (
+	"fmt"
+	"testing"
+
+	"netcoord/internal/xrand"
+)
+
+// benchSizes are the registry populations benchmarked. 1M demonstrates
+// the "millions of users" regime; its setup builds the index once and is
+// excluded from timing.
+var benchSizes = []int{10_000, 100_000, 1_000_000}
+
+// buildBenchRegistry populates a registry (and a parallel candidate
+// slice for the brute-force baseline) with n random coordinates.
+func buildBenchRegistry(b *testing.B, n int) (*Registry, []Candidate) {
+	b.Helper()
+	r, err := NewRegistry(RegistryConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(r.Close)
+	rng := xrand.NewStream(uint64(n))
+	batch := make([]RegistryEntry, 0, 1024)
+	cands := make([]Candidate, 0, n)
+	for i := 0; i < n; i++ {
+		c := Origin(3)
+		for d := range c.Vec {
+			c.Vec[d] = rng.Uniform(0, 300)
+		}
+		id := fmt.Sprintf("node-%07d", i)
+		batch = append(batch, RegistryEntry{ID: id, Coord: c})
+		cands = append(cands, Candidate{ID: id, Coord: c})
+		if len(batch) == cap(batch) {
+			if err := r.UpsertBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := r.UpsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r, cands
+}
+
+func benchQuery(rng *xrand.Stream) Coordinate {
+	q := Origin(3)
+	for d := range q.Vec {
+		q.Vec[d] = rng.Uniform(0, 300)
+	}
+	return q
+}
+
+// BenchmarkRegistryNearest measures k=8 proximity queries against the
+// sharded kd-tree registry.
+func BenchmarkRegistryNearest(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r, _ := buildBenchRegistry(b, n)
+			rng := xrand.NewStream(99)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := r.Nearest(benchQuery(rng), 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 8 {
+					b.Fatalf("got %d results", len(res))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBruteNearest is the baseline the index must beat: the
+// O(n log k) scan over a candidate slice of the same n coordinates.
+func BenchmarkBruteNearest(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			_, cands := buildBenchRegistry(b, n)
+			rng := xrand.NewStream(99)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Nearest(benchQuery(rng), cands, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 8 {
+					b.Fatalf("got %d results", len(res))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegistryUpsert measures steady-state refresh throughput: the
+// write path a heartbeat-driven deployment exercises continuously.
+func BenchmarkRegistryUpsert(b *testing.B) {
+	r, _ := buildBenchRegistry(b, 100_000)
+	rng := xrand.NewStream(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("node-%07d", rng.Intn(100_000))
+		if err := r.Upsert(id, benchQuery(rng), 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNearestHeap and BenchmarkNearestFullSort quantify the
+// bounded-heap win in the one-shot selection API for k << n.
+func BenchmarkNearestHeap(b *testing.B) {
+	_, cands := buildBenchRegistry(b, 100_000)
+	rng := xrand.NewStream(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Nearest(benchQuery(rng), cands, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearestFullSort(b *testing.B) {
+	_, cands := buildBenchRegistry(b, 100_000)
+	rng := xrand.NewStream(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := fullSortNearest(benchQuery(rng), cands, 8); len(got) != 8 {
+			b.Fatal("full sort returned short result")
+		}
+	}
+}

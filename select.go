@@ -3,6 +3,8 @@ package netcoord
 import (
 	"fmt"
 	"sort"
+
+	"netcoord/internal/bheap"
 )
 
 // Candidate pairs an application identifier with that node's coordinate,
@@ -29,25 +31,51 @@ type Ranked struct {
 // fewer than k candidates are given, all are returned. Candidates whose
 // coordinates cannot be compared with from (dimension mismatch) produce
 // an error: silently dropping them would corrupt placement decisions.
+//
+// Selection runs in O(n log k): a bounded max-heap keeps the best k seen
+// so far, so for the common k ≪ n case no full sort of the candidate set
+// ever happens. Equal-RTT candidates rank in input order, exactly as the
+// previous full stable sort ordered them. For repeated queries over a
+// long-lived node set, use a Registry instead: its spatial index answers
+// without visiting every candidate.
 func Nearest(from Coordinate, candidates []Candidate, k int) ([]Ranked, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("netcoord: k = %d, want > 0", k)
 	}
-	ranked := make([]Ranked, 0, len(candidates))
-	for _, c := range candidates {
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	h := bheap.New(k, rankedBefore)
+	for i, c := range candidates {
 		d, err := from.DistanceTo(c.Coord)
 		if err != nil {
 			return nil, fmt.Errorf("netcoord: candidate %q: %w", c.ID, err)
 		}
-		ranked = append(ranked, Ranked{Candidate: c, EstimatedRTT: d})
+		h.Offer(rankedAt{Ranked: Ranked{Candidate: c, EstimatedRTT: d}, pos: i})
 	}
-	sort.SliceStable(ranked, func(i, j int) bool {
-		return ranked[i].EstimatedRTT < ranked[j].EstimatedRTT
-	})
-	if k > len(ranked) {
-		k = len(ranked)
+	kept := h.Items()
+	sort.Slice(kept, func(i, j int) bool { return rankedBefore(kept[i], kept[j]) })
+	out := make([]Ranked, len(kept))
+	for i, it := range kept {
+		out[i] = it.Ranked
 	}
-	return ranked[:k], nil
+	return out, nil
+}
+
+// rankedAt carries the candidate's input position so that equal-RTT
+// candidates keep their input order, matching a stable sort.
+type rankedAt struct {
+	Ranked
+	pos int
+}
+
+// rankedBefore is the total order Nearest returns: RTT ascending, input
+// position breaking ties.
+func rankedBefore(a, b rankedAt) bool {
+	if a.EstimatedRTT != b.EstimatedRTT {
+		return a.EstimatedRTT < b.EstimatedRTT
+	}
+	return a.pos < b.pos
 }
 
 // MinimaxPlacement picks the candidate minimizing the worst-case

@@ -1,7 +1,9 @@
 package netcoord
 
 import (
+	"fmt"
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -205,4 +207,58 @@ func TestNearestWithClientCoordinates(t *testing.T) {
 	if math.Abs(got[0].EstimatedRTT-20) > 10 {
 		t.Fatalf("estimate %v, want ~20", got[0].EstimatedRTT)
 	}
+}
+
+// TestNearestMatchesFullSort pins the heap-based selection to the
+// original full-stable-sort semantics, exactly — including input-order
+// ties from duplicated coordinates.
+func TestNearestMatchesFullSort(t *testing.T) {
+	rng := xrand.NewStream(4242)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		candidates := make([]Candidate, n)
+		for i := range candidates {
+			// Draw from a tiny grid so exact-distance ties are common.
+			candidates[i] = Candidate{
+				ID:    fmt.Sprintf("c%d", i),
+				Coord: c3(float64(rng.Intn(4)*10), float64(rng.Intn(4)*10), 0),
+			}
+		}
+		from := c3(float64(rng.Intn(4)*10), 0, 0)
+		k := 1 + rng.Intn(n+3)
+		got, err := Nearest(from, candidates, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fullSortNearest(from, candidates, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || got[i].EstimatedRTT != want[i].EstimatedRTT {
+				t.Fatalf("trial %d rank %d: got %q@%v, want %q@%v",
+					trial, i, got[i].ID, got[i].EstimatedRTT, want[i].ID, want[i].EstimatedRTT)
+			}
+		}
+	}
+}
+
+// fullSortNearest is the pre-optimization O(n log n) implementation,
+// kept as the reference for the equivalence test.
+func fullSortNearest(from Coordinate, candidates []Candidate, k int) []Ranked {
+	ranked := make([]Ranked, 0, len(candidates))
+	for _, c := range candidates {
+		d, err := from.DistanceTo(c.Coord)
+		if err != nil {
+			return nil
+		}
+		ranked = append(ranked, Ranked{Candidate: c, EstimatedRTT: d})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].EstimatedRTT < ranked[j].EstimatedRTT
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
 }
