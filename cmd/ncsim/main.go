@@ -44,9 +44,15 @@ func run(args []string) error {
 		policySpec = fs.String("policy", "energy", "policy: direct | energy | relative | system | application | centroid")
 		window     = fs.Int("window", heuristic.DefaultWindow, "change-detection window size")
 		threshold  = fs.Float64("threshold", 0, "policy threshold (0 = paper default for the policy)")
+		parallel   = fs.Int("parallel", 0, "simulator worker count (0 = GOMAXPROCS, 1 = sequential; results are bit-identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *interval < 1 {
+		// The generator path validates this inside trace.GeneratorConfig,
+		// but the -in path would otherwise divide by it below.
+		return fmt.Errorf("interval %d, want >= 1", *interval)
 	}
 
 	factory, err := parseFilter(*filterSpec)
@@ -91,10 +97,13 @@ func run(args []string) error {
 	vcfg := vivaldi.DefaultConfig()
 	vcfg.Seed = *seed + 2
 	runner, err := sim.NewRunner(sim.Config{
-		Nodes:   *nodes,
-		Vivaldi: vcfg,
-		Filter:  factory,
-		Policy:  policy,
+		Nodes:                  *nodes,
+		Vivaldi:                vcfg,
+		Filter:                 factory,
+		Policy:                 policy,
+		Parallelism:            *parallel, // 0 = GOMAXPROCS, resolved by Run
+		ExpectedTicks:          duration,
+		ExpectedSamplesPerNode: int(duration / *interval),
 	})
 	if err != nil {
 		return err

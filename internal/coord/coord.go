@@ -59,6 +59,18 @@ func (c Coordinate) Clone() Coordinate {
 	return Coordinate{Vec: c.Vec.Clone(), Height: c.Height}
 }
 
+// CopyFrom overwrites c with other, reusing c's backing vector when the
+// dimensions match so steady-state copies perform no allocation. It is
+// the in-place counterpart of Clone for hot paths that maintain a
+// long-lived scratch coordinate.
+func (c *Coordinate) CopyFrom(other Coordinate) {
+	if c.Vec.Set(other.Vec) != nil {
+		// Dimension changed: fall back to a fresh clone.
+		c.Vec = other.Vec.Clone()
+	}
+	c.Height = other.Height
+}
+
 // Dim reports the Euclidean dimensionality of the coordinate.
 func (c Coordinate) Dim() int { return c.Vec.Dim() }
 

@@ -329,3 +329,31 @@ func BenchmarkEncode(b *testing.B) {
 		}
 	}
 }
+
+func TestCopyFrom(t *testing.T) {
+	dst := Origin(3)
+	buf := dst.Vec // backing array must be reused on same-dim copies
+	src := Coordinate{Vec: []float64{1, 2, 3}, Height: 4}
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom = %v, want %v", dst, src)
+	}
+	if &buf[0] != &dst.Vec[0] {
+		t.Fatal("same-dimension CopyFrom reallocated the vector")
+	}
+	// Mutating the source afterwards must not leak into the copy.
+	src.Vec[0] = 99
+	if dst.Vec[0] == 99 {
+		t.Fatal("CopyFrom aliased the source")
+	}
+	// Dimension change falls back to a fresh clone.
+	var zero Coordinate
+	zero.CopyFrom(src)
+	if !zero.Equal(src) {
+		t.Fatalf("growing CopyFrom = %v, want %v", zero, src)
+	}
+	allocs := testing.AllocsPerRun(100, func() { dst.CopyFrom(src) })
+	if allocs != 0 {
+		t.Fatalf("same-dimension CopyFrom allocated %v per run", allocs)
+	}
+}

@@ -32,6 +32,27 @@ type Scale struct {
 	IntervalTicks uint64
 	// Seed drives all randomness.
 	Seed uint64
+	// Parallelism is the simulator worker count: 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces the sequential engine. Every
+	// setting produces bit-identical results (the simulator's
+	// tick-barrier guarantee), so experiment output never depends on it.
+	Parallelism int
+}
+
+// runnerConfig assembles the common sim.Config for this scale, including
+// the metric-storage reservations that keep the replay loop
+// allocation-free. Parallelism passes through unchanged: 0 means
+// GOMAXPROCS at every layer, resolved once by Runner.Run.
+func (s Scale) runnerConfig(vcfg vivaldi.Config, f filter.Factory, p sim.PolicyFactory) sim.Config {
+	return sim.Config{
+		Nodes:                  s.Nodes,
+		Vivaldi:                vcfg,
+		Filter:                 f,
+		Policy:                 p,
+		Parallelism:            s.Parallelism,
+		ExpectedTicks:          s.DurationTicks,
+		ExpectedSamplesPerNode: int(s.DurationTicks/s.IntervalTicks) + 1,
+	}
 }
 
 // PaperScale matches the paper's PlanetLab runs: 269 nodes, four hours,
@@ -110,12 +131,7 @@ func run(spec runSpec) (*sim.Runner, error) {
 	if spec.vivMutate != nil {
 		spec.vivMutate(&vcfg)
 	}
-	runner, err := sim.NewRunner(sim.Config{
-		Nodes:   spec.scale.Nodes,
-		Vivaldi: vcfg,
-		Filter:  spec.filter,
-		Policy:  spec.policy,
-	})
+	runner, err := sim.NewRunner(spec.scale.runnerConfig(vcfg, spec.filter, spec.policy))
 	if err != nil {
 		return nil, err
 	}

@@ -121,7 +121,7 @@ func ExtensionChurnRobustness(scale Scale) (*ExtensionChurnResult, error) {
 		}
 		vcfg := vivaldi.DefaultConfig()
 		vcfg.Seed = scale.Seed + 2
-		runner, err := sim.NewRunner(sim.Config{Nodes: scale.Nodes, Vivaldi: vcfg, Filter: f})
+		runner, err := sim.NewRunner(scale.runnerConfig(vcfg, f, nil))
 		if err != nil {
 			return nil, err
 		}

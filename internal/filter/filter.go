@@ -118,8 +118,27 @@ func (f *MP) Observe(sample float64) (float64, bool) {
 		return 0, false
 	}
 	f.sorted = append(f.sorted[:0], f.ring...)
-	sort.Float64s(f.sorted)
+	// The paper's window is h=4: insertion sort beats the general sort
+	// for these tiny windows and keeps the per-sample path branch-cheap.
+	if len(f.sorted) <= 16 {
+		insertionSort(f.sorted)
+	} else {
+		sort.Float64s(f.sorted)
+	}
 	return percentileSorted(f.sorted, f.cfg.Percentile), true
+}
+
+// insertionSort sorts a tiny slice in place.
+func insertionSort(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
 }
 
 // Reset implements Filter.

@@ -63,12 +63,28 @@ type Observation struct {
 }
 
 // Policy decides when the application-level coordinate changes.
+//
+// Policies maintain their state in preallocated buffers: the steady-state
+// Observe path of each of the paper's six policies performs zero heap
+// allocations, because it runs once per latency observation of every
+// node in the simulator (locked in by TestObserveSteadyStateZeroAllocs).
+// The RankSum extension baseline is the exception: its detector projects
+// both windows per observation and is only used by the extension
+// experiment, not by any deployed configuration.
 type Policy interface {
 	// Observe feeds one system-coordinate update and reports the
-	// resulting application coordinate and whether it changed now.
+	// resulting application coordinate and whether it changed now. The
+	// returned coordinate is a read-only view of internal state, valid
+	// until the next Observe or Reset call; callers that retain it
+	// across observations must Clone it.
 	Observe(obs Observation) (app coord.Coordinate, changed bool, err error)
-	// App returns the current application-level coordinate.
+	// App returns an independent copy of the current application-level
+	// coordinate.
 	App() coord.Coordinate
+	// AppRef returns the current application-level coordinate without
+	// copying. Like Observe's return, it is a read-only view valid until
+	// the next Observe or Reset.
+	AppRef() coord.Coordinate
 	// Name identifies the policy in experiment output.
 	Name() string
 	// Reset returns the policy to its initial state.
@@ -86,6 +102,12 @@ type base struct {
 
 func (b *base) App() coord.Coordinate { return b.app.Clone() }
 
+func (b *base) AppRef() coord.Coordinate { return b.app }
+
+// setApp overwrites the application coordinate in place, reusing its
+// preallocated vector.
+func (b *base) setApp(c coord.Coordinate) { b.app.CopyFrom(c) }
+
 // prime returns true (and adopts sys) on the first observation.
 func (b *base) prime(sys coord.Coordinate) (bool, error) {
 	if err := sys.Validate(b.dim); err != nil {
@@ -94,7 +116,7 @@ func (b *base) prime(sys coord.Coordinate) (bool, error) {
 	if b.primed {
 		return false, nil
 	}
-	b.app = sys.Clone()
+	b.app.CopyFrom(sys)
 	b.primed = true
 	return true, nil
 }
@@ -123,12 +145,12 @@ func NewDirect(dim int) (*Direct, error) {
 // Observe implements Policy.
 func (d *Direct) Observe(obs Observation) (coord.Coordinate, bool, error) {
 	if err := obs.Sys.Validate(d.dim); err != nil {
-		return d.App(), false, fmt.Errorf("%w: %v", ErrDimension, err)
+		return d.app, false, fmt.Errorf("%w: %v", ErrDimension, err)
 	}
 	changed := !d.primed || !d.app.Equal(obs.Sys)
-	d.app = obs.Sys.Clone()
+	d.setApp(obs.Sys)
 	d.primed = true
-	return d.App(), changed, nil
+	return d.app, changed, nil
 }
 
 // Name implements Policy.
@@ -158,31 +180,40 @@ func NewSystem(dim int, tau float64) (*System, error) {
 	if tau <= 0 {
 		return nil, fmt.Errorf("heuristic: system threshold %v, want > 0", tau)
 	}
-	return &System{base: base{app: coord.Origin(dim), dim: dim}, tau: tau}, nil
+	return &System{
+		base: base{app: coord.Origin(dim), dim: dim},
+		tau:  tau,
+		prev: coord.Origin(dim),
+	}, nil
 }
 
 // Observe implements Policy.
 func (s *System) Observe(obs Observation) (coord.Coordinate, bool, error) {
 	first, err := s.prime(obs.Sys)
 	if err != nil {
-		return s.App(), false, err
+		return s.app, false, err
 	}
-	defer func() {
-		s.prev = obs.Sys.Clone()
-		s.prevSet = true
-	}()
-	if first {
-		return s.App(), true, nil
+	changed := first
+	if !first {
+		moved, err := obs.Sys.DisplacementFrom(s.prev)
+		if err != nil {
+			s.rememberPrev(obs.Sys)
+			return s.app, false, fmt.Errorf("system policy: %w", err)
+		}
+		if moved > s.tau {
+			s.setApp(obs.Sys)
+			changed = true
+		}
 	}
-	moved, err := obs.Sys.DisplacementFrom(s.prev)
-	if err != nil {
-		return s.App(), false, fmt.Errorf("system policy: %w", err)
-	}
-	if moved > s.tau {
-		s.app = obs.Sys.Clone()
-		return s.App(), true, nil
-	}
-	return s.App(), false, nil
+	s.rememberPrev(obs.Sys)
+	return s.app, changed, nil
+}
+
+// rememberPrev records the latest system coordinate in the preallocated
+// previous-step buffer.
+func (s *System) rememberPrev(sys coord.Coordinate) {
+	s.prev.CopyFrom(sys)
+	s.prevSet = true
 }
 
 // Name implements Policy.
@@ -219,20 +250,20 @@ func NewApplication(dim int, tau float64) (*Application, error) {
 func (a *Application) Observe(obs Observation) (coord.Coordinate, bool, error) {
 	first, err := a.prime(obs.Sys)
 	if err != nil {
-		return a.App(), false, err
+		return a.app, false, err
 	}
 	if first {
-		return a.App(), true, nil
+		return a.app, true, nil
 	}
 	drift, err := a.app.DisplacementFrom(obs.Sys)
 	if err != nil {
-		return a.App(), false, fmt.Errorf("application policy: %w", err)
+		return a.app, false, fmt.Errorf("application policy: %w", err)
 	}
 	if drift > a.tau {
-		a.app = obs.Sys.Clone()
-		return a.App(), true, nil
+		a.setApp(obs.Sys)
+		return a.app, true, nil
 	}
-	return a.App(), false, nil
+	return a.app, false, nil
 }
 
 // Name implements Policy.
@@ -246,12 +277,15 @@ func (a *Application) Reset() { a.reset(a.dim) }
 // windowed embeds the two-window pair plus a mirror ring of full
 // coordinates (the pair stores only the Euclidean vectors; the mirror
 // preserves heights so the published centroid is a complete coordinate).
+// Mirror slots and the centroid output buffer are preallocated so the
+// per-observation path allocates nothing.
 type windowed struct {
 	base
-	pair   *window.Pair
-	mirror []coord.Coordinate
-	mhead  int
-	mlen   int
+	pair     *window.Pair
+	mirror   []coord.Coordinate
+	mhead    int
+	mlen     int
+	centroid coord.Coordinate // reusable currentCentroid output
 }
 
 func newWindowed(dim, k int) (windowed, error) {
@@ -259,11 +293,16 @@ func newWindowed(dim, k int) (windowed, error) {
 	if err != nil {
 		return windowed{}, err
 	}
-	return windowed{
-		base:   base{app: coord.Origin(dim), dim: dim},
-		pair:   p,
-		mirror: make([]coord.Coordinate, k),
-	}, nil
+	w := windowed{
+		base:     base{app: coord.Origin(dim), dim: dim},
+		pair:     p,
+		mirror:   make([]coord.Coordinate, k),
+		centroid: coord.Origin(dim),
+	}
+	for i := range w.mirror {
+		w.mirror[i] = coord.Origin(dim)
+	}
+	return w, nil
 }
 
 func (w *windowed) push(sys coord.Coordinate) error {
@@ -272,22 +311,48 @@ func (w *windowed) push(sys coord.Coordinate) error {
 	}
 	k := len(w.mirror)
 	if w.mlen < k {
-		w.mirror[w.mlen] = sys.Clone()
+		w.mirror[w.mlen].CopyFrom(sys)
 		w.mlen++
 		return nil
 	}
-	w.mirror[w.mhead] = sys.Clone()
+	w.mirror[w.mhead].CopyFrom(sys)
 	w.mhead = (w.mhead + 1) % k
 	return nil
 }
 
-// currentCentroid returns the centroid of the mirrored current window.
-func (w *windowed) currentCentroid() (coord.Coordinate, error) {
-	cs := make([]coord.Coordinate, 0, w.mlen)
-	for i := 0; i < w.mlen; i++ {
-		cs = append(cs, w.mirror[(w.mhead+i)%len(w.mirror)])
+// centroidInto computes the centroid of the first n ring slots (arrival
+// order, oldest at head) into dst without allocating. dst must be
+// pre-sized to the ring's dimension.
+func centroidInto(dst *coord.Coordinate, ring []coord.Coordinate, head, n int) error {
+	if n == 0 {
+		return errors.New("heuristic: centroid of empty window")
 	}
-	return coord.Centroid(cs)
+	for i := range dst.Vec {
+		dst.Vec[i] = 0
+	}
+	var h float64
+	k := len(ring)
+	for i := 0; i < n; i++ {
+		m := ring[(head+i)%k]
+		for j := range dst.Vec {
+			dst.Vec[j] += m.Vec[j]
+		}
+		h += m.Height
+	}
+	dst.Vec.ScaleInPlace(1 / float64(n))
+	dst.Height = h / float64(n)
+	return nil
+}
+
+// currentCentroid computes the centroid of the mirrored current window
+// into the reusable output buffer. The result aliases internal state and
+// is valid until the next currentCentroid call; callers publish it with
+// setApp (which copies).
+func (w *windowed) currentCentroid() (coord.Coordinate, error) {
+	if err := centroidInto(&w.centroid, w.mirror, w.mhead, w.mlen); err != nil {
+		return coord.Coordinate{}, err
+	}
+	return w.centroid, nil
 }
 
 func (w *windowed) resetWindows() {
@@ -324,13 +389,13 @@ func NewRelative(dim, k int, epsilon float64) (*Relative, error) {
 func (r *Relative) Observe(obs Observation) (coord.Coordinate, bool, error) {
 	first, err := r.prime(obs.Sys)
 	if err != nil {
-		return r.App(), false, err
+		return r.app, false, err
 	}
 	if err := r.push(obs.Sys); err != nil {
-		return r.App(), false, fmt.Errorf("relative policy: %w", err)
+		return r.app, false, fmt.Errorf("relative policy: %w", err)
 	}
 	if first {
-		return r.App(), true, nil
+		return r.app, true, nil
 	}
 	var neighborVec vec.Vector
 	if obs.HasNeighbor {
@@ -338,18 +403,18 @@ func (r *Relative) Observe(obs Observation) (coord.Coordinate, bool, error) {
 	}
 	fired, err := r.det.DivergedFrom(r.pair, neighborVec, obs.HasNeighbor)
 	if err != nil {
-		return r.App(), false, fmt.Errorf("relative policy: %w", err)
+		return r.app, false, fmt.Errorf("relative policy: %w", err)
 	}
 	if !fired {
-		return r.App(), false, nil
+		return r.app, false, nil
 	}
 	centroid, err := r.currentCentroid()
 	if err != nil {
-		return r.App(), false, fmt.Errorf("relative policy: %w", err)
+		return r.app, false, fmt.Errorf("relative policy: %w", err)
 	}
-	r.app = centroid
+	r.setApp(centroid)
 	r.resetWindows()
-	return r.App(), true, nil
+	return r.app, true, nil
 }
 
 // Name implements Policy.
@@ -389,28 +454,28 @@ func NewEnergy(dim, k int, tau float64) (*Energy, error) {
 func (e *Energy) Observe(obs Observation) (coord.Coordinate, bool, error) {
 	first, err := e.prime(obs.Sys)
 	if err != nil {
-		return e.App(), false, err
+		return e.app, false, err
 	}
 	if err := e.push(obs.Sys); err != nil {
-		return e.App(), false, fmt.Errorf("energy policy: %w", err)
+		return e.app, false, fmt.Errorf("energy policy: %w", err)
 	}
 	if first {
-		return e.App(), true, nil
+		return e.app, true, nil
 	}
 	fired, err := e.det.Diverged(e.pair)
 	if err != nil {
-		return e.App(), false, fmt.Errorf("energy policy: %w", err)
+		return e.app, false, fmt.Errorf("energy policy: %w", err)
 	}
 	if !fired {
-		return e.App(), false, nil
+		return e.app, false, nil
 	}
 	centroid, err := e.currentCentroid()
 	if err != nil {
-		return e.App(), false, fmt.Errorf("energy policy: %w", err)
+		return e.app, false, fmt.Errorf("energy policy: %w", err)
 	}
-	e.app = centroid
+	e.setApp(centroid)
 	e.resetWindows()
-	return e.App(), true, nil
+	return e.app, true, nil
 }
 
 // Name implements Policy.
@@ -430,10 +495,11 @@ func (e *Energy) Reset() {
 // but, lacking a window-based trigger, remains fragile to its threshold.
 type ApplicationCentroid struct {
 	base
-	tau  float64
-	ring []coord.Coordinate
-	head int
-	n    int
+	tau      float64
+	ring     []coord.Coordinate
+	head     int
+	n        int
+	centroid coord.Coordinate // reusable centroid output
 }
 
 // NewApplicationCentroid builds the APPLICATION/CENTROID policy.
@@ -447,46 +513,46 @@ func NewApplicationCentroid(dim, k int, tau float64) (*ApplicationCentroid, erro
 	if tau <= 0 {
 		return nil, fmt.Errorf("heuristic: threshold %v, want > 0", tau)
 	}
-	return &ApplicationCentroid{
-		base: base{app: coord.Origin(dim), dim: dim},
-		tau:  tau,
-		ring: make([]coord.Coordinate, k),
-	}, nil
+	ac := &ApplicationCentroid{
+		base:     base{app: coord.Origin(dim), dim: dim},
+		tau:      tau,
+		ring:     make([]coord.Coordinate, k),
+		centroid: coord.Origin(dim),
+	}
+	for i := range ac.ring {
+		ac.ring[i] = coord.Origin(dim)
+	}
+	return ac, nil
 }
 
 // Observe implements Policy.
 func (a *ApplicationCentroid) Observe(obs Observation) (coord.Coordinate, bool, error) {
 	first, err := a.prime(obs.Sys)
 	if err != nil {
-		return a.App(), false, err
+		return a.app, false, err
 	}
 	if a.n < len(a.ring) {
-		a.ring[a.n] = obs.Sys.Clone()
+		a.ring[a.n].CopyFrom(obs.Sys)
 		a.n++
 	} else {
-		a.ring[a.head] = obs.Sys.Clone()
+		a.ring[a.head].CopyFrom(obs.Sys)
 		a.head = (a.head + 1) % len(a.ring)
 	}
 	if first {
-		return a.App(), true, nil
+		return a.app, true, nil
 	}
 	drift, err := a.app.DisplacementFrom(obs.Sys)
 	if err != nil {
-		return a.App(), false, fmt.Errorf("application/centroid policy: %w", err)
+		return a.app, false, fmt.Errorf("application/centroid policy: %w", err)
 	}
 	if drift <= a.tau {
-		return a.App(), false, nil
+		return a.app, false, nil
 	}
-	members := make([]coord.Coordinate, 0, a.n)
-	for i := 0; i < a.n; i++ {
-		members = append(members, a.ring[(a.head+i)%len(a.ring)])
+	if err := centroidInto(&a.centroid, a.ring, a.head, a.n); err != nil {
+		return a.app, false, fmt.Errorf("application/centroid policy: %w", err)
 	}
-	centroid, err := coord.Centroid(members)
-	if err != nil {
-		return a.App(), false, fmt.Errorf("application/centroid policy: %w", err)
-	}
-	a.app = centroid
-	return a.App(), true, nil
+	a.setApp(a.centroid)
+	return a.app, true, nil
 }
 
 // Name implements Policy.

@@ -500,3 +500,56 @@ func BenchmarkRelativeObserve(b *testing.B) {
 		}
 	}
 }
+
+func TestObserveSteadyStateZeroAllocs(t *testing.T) {
+	// Every policy's per-observation path must be allocation-free: it
+	// runs once per latency sample of every simulated node, and the
+	// simulator's zero-alloc Step guarantee depends on it. Fire events
+	// included — centroids are computed into preallocated buffers.
+	build := []struct {
+		name string
+		mk   func() (Policy, error)
+	}{
+		{"direct", func() (Policy, error) { return NewDirect(3) }},
+		{"system", func() (Policy, error) { return NewSystem(3, 0.5) }},
+		{"application", func() (Policy, error) { return NewApplication(3, 0.5) }},
+		{"relative", func() (Policy, error) { return NewRelative(3, 8, 0.05) }},
+		{"energy", func() (Policy, error) { return NewEnergy(3, 8, 0.1) }},
+		{"application-centroid", func() (Policy, error) { return NewApplicationCentroid(3, 8, 0.5) }},
+	}
+	for _, tc := range build {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.mk()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rng := xrand.NewStream(7)
+			stream := make([]coord.Coordinate, 512)
+			for i := range stream {
+				// A drifting cloud so window detectors fire repeatedly
+				// during the measurement (thresholds above are tight).
+				base := float64(i) * 0.3
+				stream[i] = coord.New(base+rng.Normal(0, 1), rng.Normal(50, 1), rng.Normal(50, 1))
+			}
+			neighbor := coord.New(70, 55, 50)
+			// Warm up: prime, fill windows, and trigger at least one fire
+			// so every code path has allocated its buffers.
+			for i := 0; i < 128; i++ {
+				if _, _, err := p.Observe(Observation{Sys: stream[i%len(stream)], Neighbor: neighbor, HasNeighbor: true}); err != nil {
+					t.Fatalf("warm-up observe: %v", err)
+				}
+			}
+			i := 128
+			allocs := testing.AllocsPerRun(300, func() {
+				obs := Observation{Sys: stream[i%len(stream)], Neighbor: neighbor, HasNeighbor: true}
+				if _, _, err := p.Observe(obs); err != nil {
+					t.Fatalf("observe: %v", err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Observe allocated %v per run", allocs)
+			}
+		})
+	}
+}

@@ -41,28 +41,28 @@ func NewRankSum(dim, k int, z float64) (*RankSum, error) {
 func (r *RankSum) Observe(obs Observation) (coord.Coordinate, bool, error) {
 	first, err := r.prime(obs.Sys)
 	if err != nil {
-		return r.App(), false, err
+		return r.app, false, err
 	}
 	if err := r.push(obs.Sys); err != nil {
-		return r.App(), false, fmt.Errorf("rank-sum policy: %w", err)
+		return r.app, false, fmt.Errorf("rank-sum policy: %w", err)
 	}
 	if first {
-		return r.App(), true, nil
+		return r.app, true, nil
 	}
 	fired, err := r.det.Diverged(r.pair)
 	if err != nil {
-		return r.App(), false, fmt.Errorf("rank-sum policy: %w", err)
+		return r.app, false, fmt.Errorf("rank-sum policy: %w", err)
 	}
 	if !fired {
-		return r.App(), false, nil
+		return r.app, false, nil
 	}
 	centroid, err := r.currentCentroid()
 	if err != nil {
-		return r.App(), false, fmt.Errorf("rank-sum policy: %w", err)
+		return r.app, false, fmt.Errorf("rank-sum policy: %w", err)
 	}
-	r.app = centroid
+	r.setApp(centroid)
 	r.resetWindows()
-	return r.App(), true, nil
+	return r.app, true, nil
 }
 
 // Name implements Policy.

@@ -119,6 +119,65 @@ func New(dim int) (*Tree, error) {
 	return &Tree{dim: dim, ids: make(map[string]*treeNode)}, nil
 }
 
+// Entry is one point for bulk construction with Build.
+type Entry struct {
+	// ID identifies the point; duplicate IDs resolve last-wins, matching
+	// a sequence of Inserts.
+	ID string
+	// Coord is the point's coordinate.
+	Coord coord.Coordinate
+}
+
+// Build constructs a balanced Tree over the given entries in one pass:
+// validate, dedupe, and median-build, O(n log n) total. It produces the
+// same tree a Rebuild would leave behind, without paying for n
+// incremental inserts and the O(n log^2 n) amortized rebuild cascade
+// they trigger — the Registry uses it to warm empty shards from
+// snapshots. All entries are validated before any state is built, so an
+// error returns no partially constructed tree.
+func Build(dim int, entries []Entry) (*Tree, error) {
+	t, err := New(dim)
+	if err != nil {
+		return nil, err
+	}
+	for i := range entries {
+		if err := entries[i].Coord.Validate(dim); err != nil {
+			return nil, fmt.Errorf("index build %q: %w", entries[i].ID, err)
+		}
+	}
+	// Nodes come from one contiguous backing array: a single allocation,
+	// and better locality for the build's median scans. The capacity is
+	// fixed up front so node addresses stay stable as it fills.
+	backing := make([]treeNode, 0, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		if old, ok := t.ids[e.ID]; ok {
+			// Later duplicate wins; reuse the node of the earlier
+			// occurrence.
+			old.c = e.Coord
+			old.minHeight = e.Coord.Height
+			continue
+		}
+		backing = append(backing, treeNode{id: e.ID, c: e.Coord, size: 1, minHeight: e.Coord.Height})
+		t.ids[e.ID] = &backing[len(backing)-1]
+	}
+	if len(backing) == 0 {
+		return t, nil
+	}
+	// Input order is fine as the starting arrangement: the recursive
+	// median build partitions by the (axis value, id) total order, whose
+	// medians are unique, so the resulting tree shape is a pure function
+	// of the point set — no pre-sort needed for determinism.
+	pts := make([]*treeNode, len(backing))
+	for i := range backing {
+		pts[i] = &backing[i]
+	}
+	t.root = build(pts, 0, dim, nil)
+	t.liveAtRebuild = len(pts)
+	t.heightHint = balancedHeight(len(pts))
+	return t, nil
+}
+
 // Len reports the number of live points.
 func (t *Tree) Len() int { return len(t.ids) }
 

@@ -75,6 +75,32 @@ func NewCollector(nodes int) (*Collector, error) {
 // Nodes returns the node count.
 func (c *Collector) Nodes() int { return c.nodes }
 
+// Reserve pre-sizes internal storage for a run expected to span ticks
+// seconds with up to perNode observations per node, so that steady-state
+// Record calls perform no allocation. Runs that exceed the reservation
+// still work — storage grows as before — and Reserve never shrinks.
+func (c *Collector) Reserve(ticks uint64, perNode int) {
+	if n := int(ticks) + 1; n > cap(c.moveSum) {
+		c.moveSum = append(make([]float64, 0, n), c.moveSum...)
+		c.updates = append(make([]int, 0, n), c.updates...)
+	}
+	if perNode <= 0 {
+		return
+	}
+	for i := range c.errs {
+		reserveSeries(&c.errs[i], perNode)
+		reserveSeries(&c.moves[i], perNode)
+	}
+}
+
+func reserveSeries(s *series, n int) {
+	if n <= cap(s.vals) {
+		return
+	}
+	s.ticks = append(make([]uint32, 0, n), s.ticks...)
+	s.vals = append(make([]float64, 0, n), s.vals...)
+}
+
 // MaxTick reports the last tick recorded.
 func (c *Collector) MaxTick() uint64 { return c.maxTick }
 

@@ -373,7 +373,10 @@ func (n *Node) applyObservation(target string, res transport.PingResult) {
 				HasNeighbor: n.hasNN,
 			})
 			if perr == nil && changed && n.cfg.Updates != nil {
-				notify = &Update{Coord: app, At: time.Now(), Error: n.viv.Error()}
+				// app is a view of the policy's internal buffer (valid
+				// only until the next Observe); the published update
+				// needs its own copy.
+				notify = &Update{Coord: app.Clone(), At: time.Now(), Error: n.viv.Error()}
 			}
 		}
 	}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"netcoord/internal/heuristic"
+	"netcoord/internal/netsim"
+	"netcoord/internal/trace"
+	"netcoord/internal/vivaldi"
+)
+
+// runnerFingerprint captures everything a simulation run produces:
+// stream counters, every node's final system/application coordinates and
+// confidence, and the full metric summaries of both streams. Two runs
+// are considered identical only if every float in here is bit-equal.
+type runnerFingerprint struct {
+	samples, lost, last uint64
+	coords              []float64
+	summaries           []float64
+	instability         []float64
+}
+
+func fingerprint(t *testing.T, r *Runner, nodes int, seconds uint64) runnerFingerprint {
+	t.Helper()
+	fp := runnerFingerprint{samples: r.Samples(), lost: r.Lost(), last: r.LastTick()}
+	for i := 0; i < nodes; i++ {
+		c, err := r.Coordinate(i)
+		if err != nil {
+			t.Fatalf("Coordinate(%d): %v", i, err)
+		}
+		fp.coords = append(fp.coords, c.Vec...)
+		fp.coords = append(fp.coords, c.Height)
+		a, err := r.AppCoordinate(i)
+		if err != nil {
+			t.Fatalf("AppCoordinate(%d): %v", i, err)
+		}
+		fp.coords = append(fp.coords, a.Vec...)
+		conf, err := r.Confidence(i)
+		if err != nil {
+			t.Fatalf("Confidence(%d): %v", i, err)
+		}
+		fp.coords = append(fp.coords, conf)
+	}
+	sysSum, err := r.Sys().Summarize(0, seconds)
+	if err != nil {
+		t.Fatalf("Summarize sys: %v", err)
+	}
+	appSum, err := r.App().Summarize(0, seconds)
+	if err != nil {
+		t.Fatalf("Summarize app: %v", err)
+	}
+	fp.summaries = []float64{
+		sysSum.MedianRelErr, sysSum.P95RelErrMedian, sysSum.MedianInstability,
+		sysSum.MeanInstability, sysSum.MeanUpdateFraction,
+		appSum.MedianRelErr, appSum.P95RelErrMedian, appSum.MedianInstability,
+		appSum.MeanInstability, appSum.MeanUpdateFraction,
+	}
+	fp.instability = append(r.Sys().InstabilitySeries(0, seconds), r.App().InstabilitySeries(0, seconds)...)
+	return fp
+}
+
+func (a runnerFingerprint) equal(b runnerFingerprint) (string, bool) {
+	if a.samples != b.samples || a.lost != b.lost || a.last != b.last {
+		return "stream counters", false
+	}
+	cmp := func(x, y []float64, what string) (string, bool) {
+		if len(x) != len(y) {
+			return what + " length", false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return fmt.Sprintf("%s[%d]: %v vs %v", what, i, x[i], y[i]), false
+			}
+		}
+		return "", true
+	}
+	if msg, ok := cmp(a.coords, b.coords, "coordinates"); !ok {
+		return msg, false
+	}
+	if msg, ok := cmp(a.summaries, b.summaries, "summaries"); !ok {
+		return msg, false
+	}
+	return cmp(a.instability, b.instability, "instability series")
+}
+
+// policyFactories are the three deployed heuristics the determinism
+// matrix exercises (Direct is additionally the NewRunner default).
+func policyFactories() map[string]PolicyFactory {
+	return map[string]PolicyFactory{
+		"direct": func(dim int) (heuristic.Policy, error) { return heuristic.NewDirect(dim) },
+		"energy": func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewEnergy(dim, heuristic.DefaultWindow, heuristic.DefaultEnergyTau)
+		},
+		"relative": func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewRelative(dim, heuristic.DefaultWindow, heuristic.DefaultRelativeEpsilon)
+		},
+	}
+}
+
+// TestParallelBitIdenticalToSequential is the oracle test for the
+// parallel engine: across seeds, node counts, churn, and all three
+// policies, a parallel run must reproduce the sequential run bit for
+// bit — coordinates, confidences, counters, summaries, and the raw
+// per-second instability series.
+func TestParallelBitIdenticalToSequential(t *testing.T) {
+	const seconds = 240
+	for _, seed := range []uint64{3, 17} {
+		for _, nodes := range []int{12, 33} {
+			for _, churn := range []bool{false, true} {
+				for name, policy := range policyFactories() {
+					name := fmt.Sprintf("seed%d_n%d_churn%v_%s", seed, nodes, churn, name)
+					policy := policy
+					nodes, seed, churn := nodes, seed, churn
+					t.Run(name, func(t *testing.T) {
+						run := func(parallelism int) runnerFingerprint {
+							net, err := netsim.New(netsim.DefaultWideArea(nodes, seed))
+							if err != nil {
+								t.Fatalf("netsim.New: %v", err)
+							}
+							gcfg := trace.GeneratorConfig{
+								IntervalTicks: 1,
+								DurationTicks: seconds,
+								Seed:          seed + 1,
+							}
+							if churn {
+								gcfg.JoinSpreadTicks = seconds * 3 / 4
+							}
+							g, err := trace.NewGenerator(net, gcfg)
+							if err != nil {
+								t.Fatalf("NewGenerator: %v", err)
+							}
+							vcfg := vivaldi.DefaultConfig()
+							vcfg.Seed = seed + 2
+							r, err := NewRunner(Config{
+								Nodes:       nodes,
+								Vivaldi:     vcfg,
+								Filter:      mpFactory,
+								Policy:      policy,
+								Parallelism: parallelism,
+							})
+							if err != nil {
+								t.Fatalf("NewRunner: %v", err)
+							}
+							if err := r.Run(g); err != nil {
+								t.Fatalf("Run: %v", err)
+							}
+							return fingerprint(t, r, nodes, seconds)
+						}
+						seq := run(1)
+						par := run(4)
+						if msg, ok := seq.equal(par); !ok {
+							t.Fatalf("parallel run diverged from sequential: %s", msg)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelHandlesDuplicateFromTraces covers the file-replay case the
+// generator never produces: multiple samples from the same node within
+// one tick. Sharding keeps same-From samples on one worker in trace
+// order, so the run must still be bit-identical to sequential.
+func TestParallelHandlesDuplicateFromTraces(t *testing.T) {
+	const nodes = 16
+	const seconds = 60
+	mkTrace := func() *trace.SliceSource {
+		var samples []trace.Sample
+		for tick := uint64(0); tick < seconds; tick++ {
+			for from := 0; from < nodes; from++ {
+				for k := 0; k < 3; k++ { // three pings per node per tick
+					to := (from + 1 + k*5) % nodes
+					if to == from {
+						to = (to + 1) % nodes
+					}
+					rtt := 20 + float64((from*7+to*13+int(tick)*3+k*11)%200)
+					samples = append(samples, trace.Sample{
+						Tick: tick, From: from, To: to, RTT: rtt,
+						Lost: (from+to+int(tick))%97 == 0,
+					})
+				}
+			}
+		}
+		return trace.NewSliceSource(samples)
+	}
+	run := func(parallelism int) runnerFingerprint {
+		vcfg := vivaldi.DefaultConfig()
+		vcfg.Seed = 99
+		r, err := NewRunner(Config{
+			Nodes:       nodes,
+			Vivaldi:     vcfg,
+			Filter:      mpFactory,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		if err := r.Run(mkTrace()); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return fingerprint(t, r, nodes, seconds)
+	}
+	seq := run(1)
+	par := run(5) // odd worker count against 16 nodes: uneven shards
+	if msg, ok := seq.equal(par); !ok {
+		t.Fatalf("parallel run diverged on duplicate-From trace: %s", msg)
+	}
+}
+
+// TestStepSteadyStateZeroAllocs locks in the tentpole's layer-1
+// guarantee: once filters are warm, windows are full, and metric storage
+// is reserved, Step allocates nothing — with the paper's deployed
+// configuration (MP filter + ENERGY policy), fire events included.
+func TestStepSteadyStateZeroAllocs(t *testing.T) {
+	const nodes = 32
+	const ticks = 260
+	net, err := netsim.New(netsim.DefaultWideArea(nodes, 8))
+	if err != nil {
+		t.Fatalf("netsim.New: %v", err)
+	}
+	g, err := trace.NewGenerator(net, trace.GeneratorConfig{IntervalTicks: 1, DurationTicks: ticks, Seed: 9})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	samples := trace.Collect(g, 0)
+	if len(samples) < 4000 {
+		t.Fatalf("only %d samples generated", len(samples))
+	}
+	vcfg := vivaldi.DefaultConfig()
+	vcfg.Seed = 10
+	r, err := NewRunner(Config{
+		Nodes:   nodes,
+		Vivaldi: vcfg,
+		Filter:  mpFactory,
+		Policy: func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewEnergy(dim, heuristic.DefaultWindow, heuristic.DefaultEnergyTau)
+		},
+		ExpectedTicks:          ticks,
+		ExpectedSamplesPerNode: ticks,
+	})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	warm := len(samples) / 2
+	for _, s := range samples[:warm] {
+		if err := r.Step(s); err != nil {
+			t.Fatalf("warm-up Step: %v", err)
+		}
+	}
+	i := warm
+	allocs := testing.AllocsPerRun(2000, func() {
+		if err := r.Step(samples[i]); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocated %v per run (the hot loop must be allocation-free)", allocs)
+	}
+}

@@ -12,17 +12,47 @@
 // applies the filter, the Vivaldi update, and the policy, recording
 // coordinate displacement at both levels.
 //
+// # Tick-barrier semantics
+//
+// Remote state is read through a per-node published snapshot that is
+// refreshed at tick boundaries: when a sample at tick T+1 first arrives,
+// every node whose state changed during tick T republishes its system
+// coordinate, error weight, and application coordinate. Within a tick,
+// every observation therefore sees the remote as it stood when the tick
+// began — which is also the faithful model of a distributed deployment,
+// where a pong carries whatever state the remote had when it replied,
+// not the state after updates that happen to be processed earlier in the
+// same simulated second.
+//
+// The barrier is what makes the parallel runner (see parallel.go) exact:
+// within one tick each sample mutates only its From node, and all remote
+// reads come from the frozen snapshot, so samples of a tick can be
+// processed in any order — or concurrently — with bit-identical results.
+//
+// # Determinism
+//
 // Because trace generation and every node's randomness are seeded, two
 // runners fed identically configured generators process bit-identical
 // observation streams, which is how the experiments compare filters the
 // way the paper compares them ("we ran them on the same set of PlanetLab
-// nodes at the same time, using different ports").
+// nodes at the same time, using different ports"). Config.Parallelism
+// does not perturb this: sequential and parallel runs produce identical
+// SimulationResults, coordinates, and metric streams, bit for bit.
+//
+// # Allocation discipline
+//
+// A steady-state Step performs zero heap allocations: all coordinate
+// arithmetic goes through the in-place vec/coord/vivaldi variants, the
+// policies and window pairs maintain preallocated buffers, and metric
+// storage can be pre-sized with the Expected* hints. This is what turns
+// the reproduction loop from GC-bound into CPU-bound.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"netcoord/internal/coord"
 	"netcoord/internal/filter"
@@ -50,6 +80,20 @@ type Config struct {
 	// Policy builds each node's application-update policy; nil means
 	// Direct (application coordinate follows the system coordinate).
 	Policy PolicyFactory
+	// Parallelism is the number of worker goroutines Run uses to process
+	// each tick: 0 resolves to runtime.GOMAXPROCS(0), 1 (or negative)
+	// forces the sequential engine, higher values pick an explicit
+	// worker count. Results are bit-identical for every value (see the
+	// tick-barrier notes in the package documentation), so this is
+	// purely a wall-clock knob. The facades (netcoord.SimulationConfig,
+	// experiments.Scale, ncsim -parallel) pass their field through
+	// unchanged — 0 means GOMAXPROCS everywhere.
+	Parallelism int
+	// ExpectedTicks and ExpectedSamplesPerNode pre-size metric storage
+	// so steady-state recording allocates nothing. Zero values grow on
+	// demand; underestimates only cost the growth allocations back.
+	ExpectedTicks          uint64
+	ExpectedSamplesPerNode int
 }
 
 // Runner executes a simulation.
@@ -62,6 +106,12 @@ type Runner struct {
 	samples uint64
 	lost    uint64
 	last    uint64
+
+	// cur is the tick whose snapshot is currently published; dirty lists
+	// the nodes that must republish at the next tick boundary.
+	cur     uint64
+	dirty   []int
+	isDirty []bool
 }
 
 // nodeState is one simulated host.
@@ -77,6 +127,16 @@ type nodeState struct {
 	nnDist  float64
 	nnCoord coord.Coordinate
 	hasNN   bool
+
+	// Published tick-start snapshot: what remote peers observe until the
+	// next tick boundary. Only the runner's publish step writes these.
+	pubSys coord.Coordinate
+	pubErr float64
+	pubApp coord.Coordinate
+
+	// Scratch buffers for displacement measurement, reused every step.
+	prevSys coord.Coordinate
+	prevApp coord.Coordinate
 }
 
 // NewRunner builds a runner.
@@ -95,7 +155,19 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{cfg: cfg, sys: sys, app: app, nodes: make([]*nodeState, cfg.Nodes)}
+	if cfg.ExpectedTicks > 0 || cfg.ExpectedSamplesPerNode > 0 {
+		sys.Reserve(cfg.ExpectedTicks, cfg.ExpectedSamplesPerNode)
+		app.Reserve(cfg.ExpectedTicks, cfg.ExpectedSamplesPerNode)
+	}
+	r := &Runner{
+		cfg:     cfg,
+		sys:     sys,
+		app:     app,
+		nodes:   make([]*nodeState, cfg.Nodes),
+		dirty:   make([]int, 0, cfg.Nodes),
+		isDirty: make([]bool, cfg.Nodes),
+	}
+	dim := cfg.Vivaldi.Dimension
 	for i := 0; i < cfg.Nodes; i++ {
 		vcfg := cfg.Vivaldi
 		vcfg.Seed = xrand.Hash64(cfg.Vivaldi.Seed, uint64(i))
@@ -116,116 +188,236 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim node %d policy: %w", i, err)
 		}
-		r.nodes[i] = &nodeState{
-			viv:    viv,
-			bank:   filter.NewBank[int](factory, 0),
-			policy: policy,
-			nnDist: math.Inf(1),
+		// Validate the policy's dimension once here, so the per-sample
+		// path can rely on compatible dimensions without re-deriving
+		// (and allocating) mismatch diagnostics.
+		if got := policy.AppRef().Dim(); got != dim {
+			return nil, fmt.Errorf("sim node %d policy: dimension %d, want %d", i, got, dim)
 		}
+		n := &nodeState{
+			viv:     viv,
+			bank:    filter.NewBank[int](factory, 0),
+			policy:  policy,
+			nnDist:  math.Inf(1),
+			nnCoord: coord.Origin(dim),
+			prevSys: coord.Origin(dim),
+			prevApp: coord.Origin(dim),
+		}
+		// Initial snapshot: every node publishes its starting state
+		// before the first tick.
+		n.pubSys = viv.Coordinate()
+		n.pubErr = viv.Error()
+		n.pubApp = policy.App()
+		r.nodes[i] = n
 	}
 	return r, nil
 }
 
-// Step processes one trace sample.
-func (r *Runner) Step(s trace.Sample) error {
+// check validates a sample's node references.
+func (r *Runner) check(s trace.Sample) error {
 	if s.From < 0 || s.From >= len(r.nodes) || s.To < 0 || s.To >= len(r.nodes) {
 		return fmt.Errorf("sim: sample references node outside [0, %d): %+v", len(r.nodes), s)
 	}
 	if s.From == s.To {
 		return errors.New("sim: self-sample")
 	}
+	return nil
+}
+
+// advanceTo publishes the tick-boundary snapshot when the trace moves to
+// a later tick. Earlier or equal ticks leave the snapshot untouched.
+func (r *Runner) advanceTo(tick uint64) {
+	if tick > r.cur {
+		r.publish()
+		r.cur = tick
+	}
+}
+
+// publish refreshes the published snapshot of every node updated since
+// the last boundary.
+func (r *Runner) publish() {
+	for _, i := range r.dirty {
+		n := r.nodes[i]
+		n.pubSys.CopyFrom(n.viv.CoordinateRef())
+		n.pubErr = n.viv.Error()
+		n.pubApp.CopyFrom(n.policy.AppRef())
+		r.isDirty[i] = false
+	}
+	r.dirty = r.dirty[:0]
+}
+
+// markDirty queues a node for republication at the next tick boundary.
+func (r *Runner) markDirty(i int) {
+	if !r.isDirty[i] {
+		r.isDirty[i] = true
+		r.dirty = append(r.dirty, i)
+	}
+}
+
+// count folds a sample into the stream counters.
+func (r *Runner) count(s trace.Sample) {
 	if s.Tick > r.last {
 		r.last = s.Tick
 	}
 	r.samples++
 	if s.Lost {
 		r.lost++
-		return nil
 	}
+}
+
+// Stages a step reaches, in order; record applies exactly the metric
+// groups the step completed, which keeps error paths identical between
+// the sequential and parallel engines.
+const (
+	stageNone    = iota // estimate failed: nothing to record
+	stageErrors         // relative errors measured (filter may have withheld)
+	stageSysMove        // + system movement measured
+	stageAppMove        // + application movement measured (full success)
+)
+
+// stepResult carries one sample's measurements from compute to record.
+type stepResult struct {
+	stage      int
+	sysRelErr  float64
+	appRelErr  float64
+	sysMoved   float64
+	appMoved   float64
+	appChanged bool
+	err        error
+}
+
+// compute runs the full per-sample pipeline — estimate, filter, Vivaldi
+// update, policy — for a non-lost, validated sample. It mutates only the
+// sample's From node (plus the result slot), and reads remote state
+// exclusively from the tick-start snapshot, which is what makes it safe
+// to run concurrently for samples with distinct From within one tick.
+// It performs zero heap allocations on the success path.
+func (r *Runner) compute(s trace.Sample, res *stepResult) {
 	src := r.nodes[s.From]
 	dst := r.nodes[s.To]
-
-	// The pong carries the remote's current system coordinate, error
-	// weight, and application coordinate.
-	remoteSys := dst.viv.Coordinate()
-	remoteErr := dst.viv.Error()
-	remoteApp := dst.policy.App()
+	res.stage = stageNone
 
 	// Measure prediction error of the current coordinates against the
-	// raw observation, before updating (paper Section II-A).
-	sysEst, err := src.viv.EstimateRTT(remoteSys)
+	// raw observation, before updating (paper Section II-A). The
+	// Euclidean separation is reused by the Vivaldi update below instead
+	// of being recomputed.
+	est, sep, err := src.viv.EstimateWithSeparation(dst.pubSys)
 	if err != nil {
-		return fmt.Errorf("sim: estimate: %w", err)
+		res.err = fmt.Errorf("sim: estimate: %w", err)
+		return
 	}
-	if err := r.sys.RecordError(s.From, s.Tick, math.Abs(sysEst-s.RTT)/s.RTT); err != nil {
-		return err
-	}
-	appEst, err := src.policy.App().DistanceTo(remoteApp)
+	res.sysRelErr = math.Abs(est-s.RTT) / s.RTT
+	appEst, err := src.policy.AppRef().DistanceTo(dst.pubApp)
 	if err != nil {
-		return fmt.Errorf("sim: app estimate: %w", err)
+		res.err = fmt.Errorf("sim: app estimate: %w", err)
+		return
 	}
-	if err := r.app.RecordError(s.From, s.Tick, math.Abs(appEst-s.RTT)/s.RTT); err != nil {
-		return err
-	}
+	res.appRelErr = math.Abs(appEst-s.RTT) / s.RTT
+	res.stage = stageErrors
 
 	// Filter the raw observation; a warming-up filter withholds the
 	// Vivaldi update entirely.
 	filtered, ok := src.bank.Observe(s.To, s.RTT)
 	if !ok {
-		return nil
+		return
 	}
 
 	// Nearest-neighbor bookkeeping from the filtered estimate.
 	if filtered < src.nnDist || s.To == src.nnID {
 		src.nnID = s.To
 		src.nnDist = filtered
-		src.nnCoord = remoteSys
+		src.nnCoord.CopyFrom(dst.pubSys)
 		src.hasNN = true
 	}
 
-	prevSys := src.viv.Coordinate()
-	newSys, err := src.viv.Update(filtered, remoteSys, remoteErr)
+	src.prevSys.CopyFrom(src.viv.CoordinateRef())
+	if err := src.viv.UpdateWithSeparation(filtered, dst.pubSys, dst.pubErr, sep); err != nil {
+		res.err = fmt.Errorf("sim: vivaldi update: %w", err)
+		return
+	}
+	moved, err := src.viv.CoordinateRef().DisplacementFrom(src.prevSys)
 	if err != nil {
-		return fmt.Errorf("sim: vivaldi update: %w", err)
+		res.err = err
+		return
 	}
-	moved, err := newSys.DisplacementFrom(prevSys)
-	if err != nil {
-		return err
-	}
-	if err := r.sys.RecordMovement(s.From, s.Tick, moved, moved > 0); err != nil {
-		return err
-	}
+	res.sysMoved = moved
+	res.stage = stageSysMove
 
-	prevApp := src.policy.App()
+	src.prevApp.CopyFrom(src.policy.AppRef())
 	newApp, changed, err := src.policy.Observe(heuristic.Observation{
-		Sys:         newSys,
+		Sys:         src.viv.CoordinateRef(),
 		Neighbor:    src.nnCoord,
 		HasNeighbor: src.hasNN,
 	})
 	if err != nil {
-		return fmt.Errorf("sim: policy: %w", err)
+		res.err = fmt.Errorf("sim: policy: %w", err)
+		return
 	}
-	appMoved, err := newApp.DisplacementFrom(prevApp)
+	appMoved, err := newApp.DisplacementFrom(src.prevApp)
 	if err != nil {
-		return err
+		res.err = err
+		return
 	}
-	if err := r.app.RecordMovement(s.From, s.Tick, appMoved, changed); err != nil {
-		return err
-	}
-	return nil
+	res.appMoved = appMoved
+	res.appChanged = changed
+	res.stage = stageAppMove
 }
 
-// Run drains a trace source through the runner.
-func (r *Runner) Run(src trace.Source) error {
-	for {
-		s, ok := src.Next()
-		if !ok {
-			return nil
+// record folds one computed sample into the metric collectors, applying
+// exactly the groups the step reached, in the same order the sequential
+// engine always has.
+func (r *Runner) record(s trace.Sample, res *stepResult) error {
+	if res.stage >= stageErrors {
+		if err := r.sys.RecordError(s.From, s.Tick, res.sysRelErr); err != nil {
+			return err
 		}
-		if err := r.Step(s); err != nil {
+		if err := r.app.RecordError(s.From, s.Tick, res.appRelErr); err != nil {
 			return err
 		}
 	}
+	if res.stage >= stageSysMove {
+		if err := r.sys.RecordMovement(s.From, s.Tick, res.sysMoved, res.sysMoved > 0); err != nil {
+			return err
+		}
+		r.markDirty(s.From)
+	}
+	if res.stage >= stageAppMove {
+		if err := r.app.RecordMovement(s.From, s.Tick, res.appMoved, res.appChanged); err != nil {
+			return err
+		}
+	}
+	return res.err
+}
+
+// Step processes one trace sample under tick-barrier semantics.
+func (r *Runner) Step(s trace.Sample) error {
+	if err := r.check(s); err != nil {
+		return err
+	}
+	r.advanceTo(s.Tick)
+	r.count(s)
+	if s.Lost {
+		return nil
+	}
+	var res stepResult
+	r.compute(s, &res)
+	return r.record(s, &res)
+}
+
+// Run drains a trace source through the runner, resolving
+// Config.Parallelism (0 = GOMAXPROCS) to choose between the sequential
+// loop and the parallel tick-barrier engine. Both paths produce
+// bit-identical results. After an error the runner's state is undefined
+// and the run must be discarded.
+func (r *Runner) Run(src trace.Source) error {
+	workers := r.cfg.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return r.runParallel(src, workers)
+	}
+	return r.runSequential(src)
 }
 
 // Sys returns the system-level metrics collector.

@@ -1,11 +1,26 @@
 // Package vec provides small fixed-dimension Euclidean vector math used by
-// the coordinate system. Vectors are plain float64 slices; all operations
-// allocate their result unless an explicit in-place variant is provided.
+// the coordinate system. Vectors are plain float64 slices.
+//
+// Two API styles coexist:
+//
+//   - Value-style operations (Add, Sub, Scale, Centroid) allocate their
+//     result. They read clearly and are fine anywhere off the per-sample
+//     path.
+//   - In-place / into-style operations (AddInPlace, SubInto, ScaleInPlace,
+//     AddScaledInPlace, the fused SubScaleAdd, Set, RandomUnitInto) write
+//     into storage the caller owns and perform zero heap allocations.
+//     Everything the simulator's steady-state step touches comes from
+//     this family (directly or via coord.CopyFrom), which is what makes
+//     the per-sample path allocation-free.
 //
 // The package is deliberately minimal: network coordinates are low
 // dimensional (the paper uses three dimensions), so clarity wins over
 // BLAS-style tuning. Operations on vectors of mismatched dimension return
-// an error rather than panicking, per the project's no-panic policy.
+// an error rather than panicking, per the project's no-panic policy. The
+// hot-path variants return the bare ErrDimensionMismatch sentinel instead
+// of a wrapped description: constructing the fmt.Errorf wrapper is itself
+// an allocation, and callers on the per-sample path validate dimensions
+// once at construction, so the decorated message would never be seen.
 package vec
 
 import (
@@ -84,11 +99,63 @@ func (v Vector) Scale(s float64) Vector {
 // AddInPlace adds w into v without allocating.
 func (v Vector) AddInPlace(w Vector) error {
 	if len(v) != len(w) {
-		return fmt.Errorf("add in place %d-dim and %d-dim: %w", len(v), len(w), ErrDimensionMismatch)
+		return ErrDimensionMismatch
 	}
 	for i := range v {
 		v[i] += w[i]
 	}
+	return nil
+}
+
+// SubInto stores a - b into dst without allocating. dst may alias a or b.
+func SubInto(dst, a, b Vector) error {
+	if len(dst) != len(a) || len(a) != len(b) {
+		return ErrDimensionMismatch
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+	return nil
+}
+
+// ScaleInPlace multiplies every component of v by s without allocating.
+func (v Vector) ScaleInPlace(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// AddScaledInPlace adds s*w into v without allocating: v += s*w.
+func (v Vector) AddScaledInPlace(w Vector, s float64) error {
+	if len(v) != len(w) {
+		return ErrDimensionMismatch
+	}
+	for i := range v {
+		v[i] += s * w[i]
+	}
+	return nil
+}
+
+// SubScaleAdd fuses the Vivaldi force step into one pass with no
+// temporaries: v += s*(a - b). a and b may alias v (the update is purely
+// element-wise). This is x_i += (force/||x_i-x_j||)*(x_i - x_j) without
+// materializing either the difference or the unit direction.
+func (v Vector) SubScaleAdd(a, b Vector, s float64) error {
+	if len(v) != len(a) || len(a) != len(b) {
+		return ErrDimensionMismatch
+	}
+	for i := range v {
+		v[i] += s * (a[i] - b[i])
+	}
+	return nil
+}
+
+// Set overwrites v with w without allocating.
+func (v Vector) Set(w Vector) error {
+	if len(v) != len(w) {
+		return ErrDimensionMismatch
+	}
+	copy(v, w)
 	return nil
 }
 
@@ -162,8 +229,8 @@ const zeroThreshold = 1e-6
 // is zero. This is the standard Vivaldi bootstrap trick: nodes all start
 // at the origin and need a random push to separate.
 func UnitDirection(v, w Vector, random func() float64) (Vector, float64, error) {
-	diff, err := v.Sub(w)
-	if err != nil {
+	diff := make(Vector, len(v))
+	if err := SubInto(diff, v, w); err != nil {
 		return nil, 0, err
 	}
 	mag := diff.Norm()
@@ -172,18 +239,35 @@ func UnitDirection(v, w Vector, random func() float64) (Vector, float64, error) 
 	}
 	// Co-located: pick a random direction on the unit sphere.
 	dir := make(Vector, len(v))
+	RandomUnitInto(dir, random)
+	return dir, 0, nil
+}
+
+// RandomUnitInto fills dst with a random unit vector without allocating,
+// drawing components from random (which must yield values in [0,1)). It
+// retries until the pre-normalization magnitude is safely above zero, so
+// the result is always well-defined.
+func RandomUnitInto(dst Vector, random func() float64) {
 	for {
 		var norm float64
-		for i := range dir {
-			dir[i] = random()*2 - 1
-			norm += dir[i] * dir[i]
+		for i := range dst {
+			dst[i] = random()*2 - 1
+			norm += dst[i] * dst[i]
 		}
 		norm = math.Sqrt(norm)
 		if norm > zeroThreshold {
-			return dir.Scale(1 / norm), 0, nil
+			dst.ScaleInPlace(1 / norm)
+			return
 		}
 	}
 }
+
+// Colocated reports whether a Euclidean separation is below the
+// co-location threshold — the regime where Vivaldi substitutes a random
+// push for the undefined unit direction. Exposed so callers that compute
+// the separation themselves (to reuse it for error measurement) classify
+// it exactly as UnitDirection would.
+func Colocated(mag float64) bool { return mag <= zeroThreshold }
 
 // Centroid returns the arithmetic mean of the given vectors. All vectors
 // must share a dimension; an empty input returns an error.

@@ -369,3 +369,139 @@ func BenchmarkUnitDirection(b *testing.B) {
 		}
 	}
 }
+
+func TestSubInto(t *testing.T) {
+	dst := Zero(3)
+	if err := SubInto(dst, New(5, 7, 9), New(1, 2, 3)); err != nil {
+		t.Fatalf("SubInto: %v", err)
+	}
+	if !dst.Equal(New(4, 5, 6)) {
+		t.Fatalf("SubInto = %v, want [4, 5, 6]", dst)
+	}
+	// Aliasing: dst == a is the common scratch-buffer pattern.
+	a := New(5, 7, 9)
+	if err := SubInto(a, a, New(1, 2, 3)); err != nil {
+		t.Fatalf("SubInto aliased: %v", err)
+	}
+	if !a.Equal(New(4, 5, 6)) {
+		t.Fatalf("aliased SubInto = %v, want [4, 5, 6]", a)
+	}
+	if err := SubInto(Zero(2), New(1, 2, 3), New(1, 2, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("mismatched dst error = %v", err)
+	}
+}
+
+func TestScaleInPlace(t *testing.T) {
+	v := New(1, -2, 3)
+	v.ScaleInPlace(2)
+	if !v.Equal(New(2, -4, 6)) {
+		t.Fatalf("ScaleInPlace = %v, want [2, -4, 6]", v)
+	}
+}
+
+func TestAddScaledInPlace(t *testing.T) {
+	v := New(1, 1, 1)
+	if err := v.AddScaledInPlace(New(1, 2, 3), 2); err != nil {
+		t.Fatalf("AddScaledInPlace: %v", err)
+	}
+	if !v.Equal(New(3, 5, 7)) {
+		t.Fatalf("AddScaledInPlace = %v, want [3, 5, 7]", v)
+	}
+	if err := v.AddScaledInPlace(New(1), 2); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("mismatch error = %v", err)
+	}
+}
+
+func TestSubScaleAddMatchesComposedOps(t *testing.T) {
+	// The fused op must equal scale(sub(a, b), s) added in, including when
+	// v aliases a — the exact shape of the Vivaldi force step.
+	v := New(10, 20, 30)
+	a := New(4, 5, 6)
+	b := New(1, 3, 5)
+	want := v.Clone()
+	diff, err := a.Sub(b)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if err := want.AddInPlace(diff.Scale(0.5)); err != nil {
+		t.Fatalf("AddInPlace: %v", err)
+	}
+	if err := v.SubScaleAdd(a, b, 0.5); err != nil {
+		t.Fatalf("SubScaleAdd: %v", err)
+	}
+	if !v.Equal(want) {
+		t.Fatalf("SubScaleAdd = %v, want %v", v, want)
+	}
+	// Aliased form: x += s*(x - b).
+	x := New(2, 4, 6)
+	wantAliased := New(2+0.5*(2-1), 4+0.5*(4-3), 6+0.5*(6-5))
+	if err := x.SubScaleAdd(x, b, 0.5); err != nil {
+		t.Fatalf("aliased SubScaleAdd: %v", err)
+	}
+	if !x.Equal(wantAliased) {
+		t.Fatalf("aliased SubScaleAdd = %v, want %v", x, wantAliased)
+	}
+	if err := x.SubScaleAdd(a, New(1), 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("mismatch error = %v", err)
+	}
+}
+
+func TestSet(t *testing.T) {
+	v := Zero(3)
+	if err := v.Set(New(7, 8, 9)); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if !v.Equal(New(7, 8, 9)) {
+		t.Fatalf("Set = %v", v)
+	}
+	if err := v.Set(New(1)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("mismatch error = %v", err)
+	}
+}
+
+func TestRandomUnitInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dst := Zero(3)
+	for trial := 0; trial < 100; trial++ {
+		RandomUnitInto(dst, rng.Float64)
+		if d := math.Abs(dst.Norm() - 1); d > 1e-12 {
+			t.Fatalf("trial %d: |norm-1| = %v", trial, d)
+		}
+	}
+}
+
+func TestColocated(t *testing.T) {
+	if !Colocated(0) || !Colocated(zeroThreshold) {
+		t.Fatal("threshold separations not classified co-located")
+	}
+	if Colocated(zeroThreshold * 1.01) {
+		t.Fatal("clearly separated classified co-located")
+	}
+	// Must agree with UnitDirection's own classification.
+	v, w := New(1e-7, 0, 0), Zero(3)
+	_, mag, err := UnitDirection(v, w, rand.New(rand.NewSource(1)).Float64)
+	if err != nil {
+		t.Fatalf("UnitDirection: %v", err)
+	}
+	if (mag == 0) != Colocated(1e-7) {
+		t.Fatal("Colocated disagrees with UnitDirection")
+	}
+}
+
+func TestHotPathVariantsDoNotAllocate(t *testing.T) {
+	v, a, b := New(1, 2, 3), New(4, 5, 6), New(7, 8, 9)
+	dst := Zero(3)
+	rng := rand.New(rand.NewSource(9))
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = SubInto(dst, a, b)
+		_ = v.AddInPlace(a)
+		v.ScaleInPlace(0.5)
+		_ = v.AddScaledInPlace(b, 0.25)
+		_ = v.SubScaleAdd(a, b, 0.25)
+		_ = v.Set(a)
+		RandomUnitInto(dst, rng.Float64)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path variants allocated %v per run", allocs)
+	}
+}

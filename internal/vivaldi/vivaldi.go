@@ -55,6 +55,13 @@ const (
 // ErrBadSample rejects non-positive or non-finite latency samples.
 var ErrBadSample = errors.New("vivaldi: invalid latency sample")
 
+// ErrBadRemote rejects remote coordinates that fail the hot-path checks
+// (dimension mismatch, non-finite component, invalid height). It is a
+// bare sentinel so the per-sample path never constructs a fmt.Errorf:
+// callers that need the decorated diagnosis use Update, which validates
+// with coord.Coordinate.Validate instead.
+var ErrBadRemote = errors.New("vivaldi: invalid remote coordinate")
+
 // Config parameterizes a Vivaldi node.
 type Config struct {
 	// Dimension of the coordinate space. The paper uses 3.
@@ -134,6 +141,9 @@ type Node struct {
 	err     float64
 	updates uint64
 	rng     *xrand.Stream
+	// dir is the scratch buffer for the co-located bootstrap direction,
+	// allocated once so the update path never allocates.
+	dir vec.Vector
 }
 
 // New builds a node at the origin with the configured initial error.
@@ -150,11 +160,18 @@ func New(cfg Config) (*Node, error) {
 		coord: c,
 		err:   cfg.InitialError,
 		rng:   xrand.NewStream(cfg.Seed),
+		dir:   vec.Zero(cfg.Dimension),
 	}, nil
 }
 
 // Coordinate returns a copy of the node's current coordinate.
 func (n *Node) Coordinate() coord.Coordinate { return n.coord.Clone() }
+
+// CoordinateRef returns the node's live coordinate without copying. The
+// returned value aliases internal state: it changes on the next update
+// and must not be mutated by the caller. It exists for the simulator's
+// per-sample path; everything else should use Coordinate.
+func (n *Node) CoordinateRef() coord.Coordinate { return n.coord }
 
 // Error returns the node's error weight w_i (low = confident).
 func (n *Node) Error() float64 { return n.err }
@@ -172,7 +189,7 @@ func (n *Node) SetCoordinate(c coord.Coordinate) error {
 	if err := c.Validate(n.cfg.Dimension); err != nil {
 		return fmt.Errorf("set coordinate: %w", err)
 	}
-	n.coord = c.Clone()
+	n.coord.CopyFrom(c)
 	return nil
 }
 
@@ -191,15 +208,72 @@ func (n *Node) EstimateRTT(remote coord.Coordinate) (float64, error) {
 	return d, nil
 }
 
+// EstimateWithSeparation predicts the round-trip time to a remote
+// coordinate and also returns the raw Euclidean separation
+// ||x_i - x_j|| it is built from, so callers on the per-sample path can
+// hand the separation straight back to UpdateWithSeparation instead of
+// recomputing the same distance.
+func (n *Node) EstimateWithSeparation(remote coord.Coordinate) (est, sep float64, err error) {
+	sep, err = n.coord.Vec.Dist(remote.Vec)
+	if err != nil {
+		return 0, 0, fmt.Errorf("estimate rtt: %w", err)
+	}
+	return sep + n.coord.Height + remote.Height, sep, nil
+}
+
 // Update applies one latency observation of the remote node: the measured
 // RTT in milliseconds, the remote's coordinate, and the remote's error
-// weight w_j. It returns the node's new coordinate.
+// weight w_j. It returns a copy of the node's new coordinate.
+//
+// Update is the network-facing entry point: it fully validates the remote
+// coordinate (wrapped diagnostics included) and clones its result. The
+// simulator's per-sample path uses UpdateWithSeparation +
+// CoordinateRef instead, which perform the same update with zero heap
+// allocations.
 func (n *Node) Update(rtt float64, remote coord.Coordinate, remoteErr float64) (coord.Coordinate, error) {
 	if rtt <= 0 || math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+		// Decorated here rather than in the shared core: this is the
+		// network-facing path where the offending value identifies the
+		// misbehaving peer, and it can afford the wrapper allocation.
 		return n.coord.Clone(), fmt.Errorf("%w: rtt %v", ErrBadSample, rtt)
 	}
 	if err := remote.Validate(n.cfg.Dimension); err != nil {
 		return n.coord.Clone(), fmt.Errorf("remote coordinate: %w", err)
+	}
+	sep, err := n.coord.Vec.Dist(remote.Vec)
+	if err != nil {
+		return n.coord.Clone(), fmt.Errorf("vivaldi update: %w", err)
+	}
+	if err := n.update(rtt, remote, remoteErr, sep); err != nil {
+		return n.coord.Clone(), err
+	}
+	return n.coord.Clone(), nil
+}
+
+// UpdateWithSeparation applies one observation reusing a separation the
+// caller already computed — sep must be ||x_i - x_j|| for the current
+// coordinates, i.e. the second return of EstimateWithSeparation with no
+// intervening update. It validates the remote with allocation-free
+// sentinel errors and performs zero heap allocations.
+func (n *Node) UpdateWithSeparation(rtt float64, remote coord.Coordinate, remoteErr float64, sep float64) error {
+	// The checks mirror coord.Coordinate.Validate but return the bare
+	// sentinel: dimension compatibility is established once at node
+	// construction by the simulator, so the wrapped message would never
+	// surface, and building it costs an allocation per sample.
+	if len(remote.Vec) != n.cfg.Dimension || !remote.Vec.IsFinite() {
+		return ErrBadRemote
+	}
+	if math.IsNaN(remote.Height) || math.IsInf(remote.Height, 0) || remote.Height < 0 {
+		return ErrBadRemote
+	}
+	return n.update(rtt, remote, remoteErr, sep)
+}
+
+// update is the Figure 1 algorithm, shared by every entry point. It
+// mutates n.coord in place and allocates nothing.
+func (n *Node) update(rtt float64, remote coord.Coordinate, remoteErr float64, sep float64) error {
+	if rtt <= 0 || math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+		return ErrBadSample
 	}
 	wi := n.err
 	wj := clampError(remoteErr)
@@ -207,10 +281,12 @@ func (n *Node) Update(rtt float64, remote coord.Coordinate, remoteErr float64) (
 	// Line 1: relative weight of this observation.
 	ws := wi / (wi + wj)
 
-	// Direction from remote toward us, and the pure Euclidean distance.
-	dir, mag, err := vec.UnitDirection(n.coord.Vec, remote.Vec, n.rng.Float64)
-	if err != nil {
-		return n.coord.Clone(), fmt.Errorf("vivaldi update: %w", err)
+	// Effective distance: the co-located regime collapses the separation
+	// to zero, exactly as vec.UnitDirection reports it.
+	mag := sep
+	colocated := vec.Colocated(mag)
+	if colocated {
+		mag = 0
 	}
 	dist := mag + n.coord.Height + remote.Height
 
@@ -236,9 +312,20 @@ func (n *Node) Update(rtt float64, remote coord.Coordinate, remoteErr float64) (
 		delta *= n.cfg.DampingConstant / (n.cfg.DampingConstant + float64(n.updates))
 	}
 	force := delta * -gap // -gap == rtt - dist unless zeroed by the margin
-	step := dir.Scale(force)
-	if err := n.coord.Vec.AddInPlace(step); err != nil {
-		return n.coord.Clone(), fmt.Errorf("vivaldi update: %w", err)
+	if colocated {
+		// Bootstrap: all nodes start at the origin and need a random
+		// push to separate. The direction scratch is reused across
+		// updates.
+		vec.RandomUnitInto(n.dir, n.rng.Float64)
+		if err := n.coord.Vec.AddScaledInPlace(n.dir, force); err != nil {
+			return err
+		}
+	} else {
+		// Fused force step: x_i += (force/mag) * (x_i - x_j), one pass,
+		// no temporaries.
+		if err := n.coord.Vec.SubScaleAdd(n.coord.Vec, remote.Vec, force/mag); err != nil {
+			return err
+		}
 	}
 	if n.cfg.UseHeight && mag > 0 {
 		// The height absorbs force proportionally to the stacked access
@@ -247,7 +334,7 @@ func (n *Node) Update(rtt float64, remote coord.Coordinate, remoteErr float64) (
 		n.coord.Height = math.Max(h, n.cfg.HeightMin)
 	}
 	n.updates++
-	return n.coord.Clone(), nil
+	return nil
 }
 
 func clampError(w float64) float64 {

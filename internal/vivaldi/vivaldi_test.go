@@ -556,3 +556,159 @@ func TestRandomGeometryConvergence(t *testing.T) {
 		}
 	}
 }
+
+func TestEstimateWithSeparationMatchesEstimateRTT(t *testing.T) {
+	n, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	remote := coord.New(30, 40, 0)
+	if _, err := n.Update(25, remote, 0.5); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	est, sep, err := n.EstimateWithSeparation(remote)
+	if err != nil {
+		t.Fatalf("EstimateWithSeparation: %v", err)
+	}
+	plain, err := n.EstimateRTT(remote)
+	if err != nil {
+		t.Fatalf("EstimateRTT: %v", err)
+	}
+	if est != plain {
+		t.Fatalf("est = %v, EstimateRTT = %v", est, plain)
+	}
+	d, err := n.Coordinate().Vec.Dist(remote.Vec)
+	if err != nil {
+		t.Fatalf("Dist: %v", err)
+	}
+	if sep != d {
+		t.Fatalf("sep = %v, want %v", sep, d)
+	}
+}
+
+func TestUpdateWithSeparationMatchesUpdate(t *testing.T) {
+	// Two nodes with identical seeds fed the identical observation
+	// sequence through the two entry points must remain bit-identical:
+	// UpdateWithSeparation is the same algorithm minus the allocations.
+	cfg := DefaultConfig()
+	cfg.Seed = 77
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	remotes := []coord.Coordinate{
+		coord.Origin(3), // co-located bootstrap draw
+		coord.New(10, -5, 2),
+		coord.New(-3, 8, 1),
+		coord.New(100, 100, 100),
+	}
+	rtts := []float64{20, 35, 12, 250}
+	for i, remote := range remotes {
+		if _, err := a.Update(rtts[i], remote, 0.4); err != nil {
+			t.Fatalf("Update %d: %v", i, err)
+		}
+		_, sep, err := b.EstimateWithSeparation(remote)
+		if err != nil {
+			t.Fatalf("EstimateWithSeparation %d: %v", i, err)
+		}
+		if err := b.UpdateWithSeparation(rtts[i], remote, 0.4, sep); err != nil {
+			t.Fatalf("UpdateWithSeparation %d: %v", i, err)
+		}
+		if !a.Coordinate().Equal(b.Coordinate()) {
+			t.Fatalf("step %d: coordinates diverged: %v vs %v", i, a.Coordinate(), b.Coordinate())
+		}
+		if a.Error() != b.Error() {
+			t.Fatalf("step %d: error weights diverged: %v vs %v", i, a.Error(), b.Error())
+		}
+	}
+}
+
+func TestUpdateWithSeparationRejectsBadInput(t *testing.T) {
+	n, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	good := coord.New(1, 2, 3)
+	if err := n.UpdateWithSeparation(0, good, 0.5, 1); !errors.Is(err, ErrBadSample) {
+		t.Fatalf("zero rtt error = %v, want ErrBadSample", err)
+	}
+	if err := n.UpdateWithSeparation(10, coord.New(1, 2), 0.5, 1); !errors.Is(err, ErrBadRemote) {
+		t.Fatalf("dimension mismatch error = %v, want ErrBadRemote", err)
+	}
+	bad := coord.New(math.NaN(), 0, 0)
+	if err := n.UpdateWithSeparation(10, bad, 0.5, 1); !errors.Is(err, ErrBadRemote) {
+		t.Fatalf("NaN remote error = %v, want ErrBadRemote", err)
+	}
+	negH := coord.New(1, 2, 3)
+	negH.Height = -1
+	if err := n.UpdateWithSeparation(10, negH, 0.5, 1); !errors.Is(err, ErrBadRemote) {
+		t.Fatalf("negative height error = %v, want ErrBadRemote", err)
+	}
+}
+
+func TestCoordinateRefAliasesLiveState(t *testing.T) {
+	n, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ref := n.CoordinateRef()
+	if _, err := n.Update(50, coord.New(10, 20, 30), 0.5); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if !ref.Equal(n.CoordinateRef()) {
+		t.Fatal("ref did not track the live coordinate")
+	}
+	if n.Coordinate().Vec.Norm() == 0 {
+		t.Fatal("update did not move the coordinate")
+	}
+}
+
+func TestUpdateWithSeparationZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	remote := coord.New(25, -10, 5)
+	// Warm: leave the origin so the co-located branch is out of play,
+	// then measure the steady-state separated path.
+	if _, err := n.Update(30, remote, 0.5); err != nil {
+		t.Fatalf("warm-up Update: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_, sep, err := n.EstimateWithSeparation(remote)
+		if err != nil {
+			t.Fatalf("EstimateWithSeparation: %v", err)
+		}
+		if err := n.UpdateWithSeparation(30, remote, 0.5, sep); err != nil {
+			t.Fatalf("UpdateWithSeparation: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state update allocated %v per run", allocs)
+	}
+	// The co-located bootstrap branch must also be allocation-free: the
+	// direction scratch is owned by the node.
+	colocated, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	origin := coord.Origin(3)
+	allocs = testing.AllocsPerRun(50, func() {
+		colocated.SetError(1)
+		if err := colocated.SetCoordinate(origin); err != nil {
+			t.Fatalf("SetCoordinate: %v", err)
+		}
+		if err := colocated.UpdateWithSeparation(10, origin, 1, 0); err != nil {
+			t.Fatalf("co-located update: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("co-located update allocated %v per run", allocs)
+	}
+}

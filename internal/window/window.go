@@ -26,15 +26,21 @@ import (
 // Pair manages the start window Ws and current window Wc over a stream of
 // multi-dimensional points, with incremental energy bookkeeping.
 //
+// All per-element storage is allocated once at construction: Append
+// copies each point into preallocated slots, so the steady-state
+// append-and-slide path performs zero heap allocations — it runs once
+// per coordinate observation of every simulated node.
+//
 // Pair is not safe for concurrent use.
 type Pair struct {
 	k   int
 	dim int
 
-	start   []vec.Vector // Ws: frozen once full
-	current []vec.Vector // Wc: ring, oldest at head
-	head    int          // ring index of oldest element of current
-	curLen  int
+	start    []vec.Vector // Ws slots; the first startLen hold the frozen window
+	startLen int
+	current  []vec.Vector // Wc slots: ring, oldest at head
+	head     int          // ring index of oldest element of current
+	curLen   int
 
 	// Incremental sums for the energy statistic. Valid whenever both
 	// windows are full (maintained from the moment they fill).
@@ -47,10 +53,12 @@ type Pair struct {
 	sumWithinC float64
 	sumsValid  bool
 
-	// startCentroid caches C(Ws); the paper notes this cacheability as
-	// one of RELATIVE's virtues.
+	// startCentroid caches C(Ws) in a preallocated buffer; the paper
+	// notes this cacheability as one of RELATIVE's virtues.
 	startCentroid    vec.Vector
 	startCentroidSet bool
+	// curCentroid is the reusable output buffer for CurrentCentroid.
+	curCentroid vec.Vector
 }
 
 // NewPair builds a window pair with windows of size k over points of the
@@ -62,12 +70,19 @@ func NewPair(k, dim int) (*Pair, error) {
 	if dim < 1 {
 		return nil, fmt.Errorf("window: dimension %d, want >= 1", dim)
 	}
-	return &Pair{
-		k:       k,
-		dim:     dim,
-		start:   make([]vec.Vector, 0, k),
-		current: make([]vec.Vector, k),
-	}, nil
+	p := &Pair{
+		k:             k,
+		dim:           dim,
+		start:         make([]vec.Vector, k),
+		current:       make([]vec.Vector, k),
+		startCentroid: vec.Zero(dim),
+		curCentroid:   vec.Zero(dim),
+	}
+	for i := 0; i < k; i++ {
+		p.start[i] = vec.Zero(dim)
+		p.current[i] = vec.Zero(dim)
+	}
+	return p, nil
 }
 
 // K returns the configured window size.
@@ -75,33 +90,37 @@ func (p *Pair) K() int { return p.k }
 
 // Full reports whether both windows hold k elements, i.e. whether the
 // change test is currently defined.
-func (p *Pair) Full() bool { return len(p.start) == p.k && p.curLen == p.k }
+func (p *Pair) Full() bool { return p.startLen == p.k && p.curLen == p.k }
 
-// Append adds the next stream element. The element is deep-copied, so the
-// caller may reuse its buffer. Returns an error on dimension mismatch.
+// Append adds the next stream element. The element is copied into
+// preallocated storage, so the caller may reuse its buffer and the
+// steady-state path allocates nothing. Returns an error on dimension
+// mismatch.
 func (p *Pair) Append(v vec.Vector) error {
 	if v.Dim() != p.dim {
 		return fmt.Errorf("window: append %d-dim point to %d-dim pair: %w", v.Dim(), p.dim, vec.ErrDimensionMismatch)
 	}
-	cp := v.Clone()
 
 	// Phase 1: both windows fill together ("As each element si arrives,
 	// it is added to Ws and Wc until they are both of size k").
-	if len(p.start) < p.k {
-		p.start = append(p.start, cp)
-		p.current[p.curLen] = cp
+	if p.startLen < p.k {
+		copy(p.start[p.startLen], v)
+		copy(p.current[p.curLen], v)
+		p.startLen++
 		p.curLen++
 		p.head = 0
-		if len(p.start) == p.k {
+		if p.startLen == p.k {
 			p.initSums()
 		}
 		return nil
 	}
 
-	// Phase 2: Ws is frozen, Wc slides.
+	// Phase 2: Ws is frozen, Wc slides. The sums are updated while the
+	// departing element still occupies its slot, then the slot is
+	// overwritten in place.
 	old := p.current[p.head]
-	p.slideSums(old, cp)
-	p.current[p.head] = cp
+	p.slideSums(old, v)
+	copy(old, v)
 	p.head = (p.head + 1) % p.k
 	return nil
 }
@@ -109,7 +128,7 @@ func (p *Pair) Append(v vec.Vector) error {
 // Reset clears both windows; called after a change point is declared
 // ("both windows Ws and Wc are cleared and the process begins again").
 func (p *Pair) Reset() {
-	p.start = p.start[:0]
+	p.startLen = 0
 	p.curLen = 0
 	p.head = 0
 	p.sumsValid = false
@@ -118,10 +137,12 @@ func (p *Pair) Reset() {
 
 // Start returns the frozen start window in arrival order. The returned
 // slice aliases internal storage and must not be modified.
-func (p *Pair) Start() []vec.Vector { return p.start }
+func (p *Pair) Start() []vec.Vector { return p.start[:p.startLen] }
 
 // Current returns the current window in arrival order (oldest first).
-// The slice is freshly allocated.
+// The slice itself is freshly allocated, but its elements alias the
+// pair's slot storage: they are overwritten by later Appends and must
+// not be modified.
 func (p *Pair) Current() []vec.Vector {
 	out := make([]vec.Vector, 0, p.curLen)
 	for i := 0; i < p.curLen; i++ {
@@ -130,32 +151,45 @@ func (p *Pair) Current() []vec.Vector {
 	return out
 }
 
-// StartCentroid returns C(Ws), cached after first computation.
+// StartCentroid returns C(Ws), cached after first computation. The
+// returned vector aliases an internal buffer and must not be modified;
+// it is valid until the next Reset.
 func (p *Pair) StartCentroid() (vec.Vector, error) {
 	if !p.Full() {
 		return nil, fmt.Errorf("window: centroid requested before windows full")
 	}
 	if !p.startCentroidSet {
-		c, err := vec.Centroid(p.start)
-		if err != nil {
-			return nil, fmt.Errorf("start centroid: %w", err)
-		}
-		p.startCentroid = c
+		meanInto(p.startCentroid, p.start[:p.startLen], 0, p.k)
 		p.startCentroidSet = true
 	}
 	return p.startCentroid, nil
 }
 
-// CurrentCentroid returns C(Wc).
+// CurrentCentroid returns C(Wc). The returned vector aliases a reusable
+// internal buffer and must not be modified; it is valid until the next
+// CurrentCentroid call.
 func (p *Pair) CurrentCentroid() (vec.Vector, error) {
 	if !p.Full() {
 		return nil, fmt.Errorf("window: centroid requested before windows full")
 	}
-	c, err := vec.Centroid(p.Current())
-	if err != nil {
-		return nil, fmt.Errorf("current centroid: %w", err)
+	meanInto(p.curCentroid, p.current, p.head, p.k)
+	return p.curCentroid, nil
+}
+
+// meanInto computes the arithmetic mean of the ring window slots into
+// dst without allocating, summing in arrival order (oldest first, from
+// head) so the result is independent of the ring's physical layout.
+func meanInto(dst vec.Vector, slots []vec.Vector, head, k int) {
+	for i := range dst {
+		dst[i] = 0
 	}
-	return c, nil
+	for i := 0; i < len(slots); i++ {
+		s := slots[(head+i)%k]
+		for j := range dst {
+			dst[j] += s[j]
+		}
+	}
+	dst.ScaleInPlace(1 / float64(len(slots)))
 }
 
 // Energy returns the Szekely-Rizzo energy statistic e(Ws, Wc), maintained
@@ -176,19 +210,23 @@ func (p *Pair) Energy() (float64, error) {
 
 // initSums computes the three distance sums from scratch (O(k^2)); called
 // once when the windows first fill, and as a fallback if sums were
-// invalidated.
+// invalidated. It runs directly over the slot arrays — the windows have
+// just filled, so slot order is arrival order, and the sums are
+// order-invariant pair aggregates anyway — to avoid materializing a
+// temporary window copy.
 func (p *Pair) initSums() {
-	cur := p.Current()
+	start := p.start[:p.startLen]
+	cur := p.current[:p.curLen]
 	p.sumCross = 0
-	for _, a := range p.start {
+	for _, a := range start {
 		for _, b := range cur {
 			p.sumCross += mustDist(a, b)
 		}
 	}
 	p.sumWithinS = 0
-	for i := range p.start {
-		for j := i + 1; j < len(p.start); j++ {
-			p.sumWithinS += 2 * mustDist(p.start[i], p.start[j])
+	for i := range start {
+		for j := i + 1; j < len(start); j++ {
+			p.sumWithinS += 2 * mustDist(start[i], start[j])
 		}
 	}
 	p.sumWithinC = 0

@@ -247,6 +247,31 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 	}
 	for s, group := range groups {
 		s.mu.Lock()
+		if len(s.entries) == 0 {
+			// Empty shard: bulk-build the index balanced in one pass
+			// instead of n incremental inserts with rebuild cascades.
+			// This is the registry warm-up path (snapshot restore,
+			// first Feed burst) — O(n log n) instead of O(n log^2 n)
+			// amortized.
+			pts := make([]index.Entry, len(group))
+			for i, e := range group {
+				pts[i] = index.Entry{ID: e.ID, Coord: e.Coord}
+			}
+			tree, err := index.Build(r.dim, pts)
+			if err != nil {
+				// Unreachable: coordinates were validated above, and
+				// validation is Build's only failure.
+				s.mu.Unlock()
+				return fmt.Errorf("netcoord: registry upsert: %w", err)
+			}
+			s.tree = tree
+			for _, e := range group {
+				s.entries[e.ID] = e // later duplicates win, as Build resolves them
+				r.upserts.Add(1)
+			}
+			s.mu.Unlock()
+			continue
+		}
 		for _, e := range group {
 			// Same pure-refresh shortcut as upsertEntry.
 			if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {

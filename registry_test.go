@@ -471,3 +471,56 @@ func TestRegistryShardRounding(t *testing.T) {
 		t.Fatalf("Shards = %d, want 8 (rounded up)", st.Shards)
 	}
 }
+
+func TestUpsertBatchBulkBuildsEmptyShards(t *testing.T) {
+	// A batch into a fresh registry takes the bulk-build path (one
+	// balanced construction per shard); the result must be queryable
+	// exactly like incremental upserts, including in-batch duplicates
+	// resolving last-wins, and later batches must extend it
+	// incrementally without losing anything.
+	r, err := NewRegistry(RegistryConfig{Dimension: 3, Shards: 4})
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	defer r.Close()
+	batch := make([]RegistryEntry, 0, 101)
+	for i := 0; i < 100; i++ {
+		batch = append(batch, RegistryEntry{
+			ID:    fmt.Sprintf("n%02d", i),
+			Coord: c3(float64(i), float64((i*7)%50), float64((i*13)%50)),
+		})
+	}
+	// Duplicate of n00 later in the batch: the final position must win.
+	batch = append(batch, RegistryEntry{ID: "n00", Coord: c3(500, 500, 500)})
+	if err := r.UpsertBatch(batch); err != nil {
+		t.Fatalf("UpsertBatch: %v", err)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	got, ok := r.Get("n00")
+	if !ok || !got.Coord.Equal(c3(500, 500, 500)) {
+		t.Fatalf("duplicate resolution: got %+v", got)
+	}
+	near, err := r.Nearest(c3(500, 500, 500), 1)
+	if err != nil {
+		t.Fatalf("Nearest: %v", err)
+	}
+	if len(near) != 1 || near[0].ID != "n00" {
+		t.Fatalf("Nearest after bulk build = %v, want n00", near)
+	}
+	// Second batch lands on warm shards: incremental path.
+	if err := r.UpsertBatch([]RegistryEntry{{ID: "late", Coord: c3(1, 1, 1)}}); err != nil {
+		t.Fatalf("second UpsertBatch: %v", err)
+	}
+	if r.Len() != 101 {
+		t.Fatalf("Len after second batch = %d, want 101", r.Len())
+	}
+	near, err = r.Nearest(c3(1, 1, 1), 1)
+	if err != nil {
+		t.Fatalf("Nearest: %v", err)
+	}
+	if len(near) != 1 || near[0].ID != "late" {
+		t.Fatalf("Nearest after incremental batch = %v, want late", near)
+	}
+}

@@ -33,6 +33,12 @@ type SimulationConfig struct {
 	// Churn spreads node joins over the first three quarters of the run
 	// instead of starting everyone at once.
 	Churn bool
+	// Parallelism is the number of worker goroutines replaying the
+	// trace: 0 uses runtime.GOMAXPROCS(0), 1 forces the sequential
+	// engine, higher values pick an explicit worker count. The result is
+	// bit-identical for every setting — the simulator's tick-barrier
+	// design makes parallelism purely a wall-clock knob.
+	Parallelism int
 }
 
 // SimulationResult summarizes a run, measured over its second half (the
@@ -108,10 +114,13 @@ func Simulate(cfg SimulationConfig) (SimulationResult, error) {
 	}
 	vcfg.Seed = cfg.Seed + 2
 	runner, err := sim.NewRunner(sim.Config{
-		Nodes:   cfg.Nodes,
-		Vivaldi: vivaldiConfigFor(vcfg),
-		Filter:  filterFactoryFor(factory),
-		Policy:  policyFactory,
+		Nodes:                  cfg.Nodes,
+		Vivaldi:                vivaldiConfigFor(vcfg),
+		Filter:                 filterFactoryFor(factory),
+		Policy:                 policyFactory,
+		Parallelism:            cfg.Parallelism, // 0 = GOMAXPROCS, resolved by Run
+		ExpectedTicks:          uint64(cfg.Seconds),
+		ExpectedSamplesPerNode: cfg.Seconds/cfg.SampleEverySeconds + 1,
 	})
 	if err != nil {
 		return SimulationResult{}, fmt.Errorf("netcoord: %w", err)

@@ -96,3 +96,25 @@ func TestSimulateWithChurn(t *testing.T) {
 		t.Fatalf("churn run processed %d samples vs %d without churn", res.Samples, full.Samples)
 	}
 }
+
+func TestSimulateParallelismBitIdentical(t *testing.T) {
+	// The public facade's guarantee: Parallelism is purely a wall-clock
+	// knob. Sequential and parallel runs of the same configuration must
+	// produce the same SimulationResult, field for field.
+	for _, churn := range []bool{false, true} {
+		base := SimulationConfig{Nodes: 24, Seconds: 300, Seed: 9, Churn: churn, Parallelism: 1}
+		seq, err := Simulate(base)
+		if err != nil {
+			t.Fatalf("sequential Simulate: %v", err)
+		}
+		par := base
+		par.Parallelism = 6
+		got, err := Simulate(par)
+		if err != nil {
+			t.Fatalf("parallel Simulate: %v", err)
+		}
+		if seq != got {
+			t.Fatalf("churn=%v: parallel result diverged:\nseq: %+v\npar: %+v", churn, seq, got)
+		}
+	}
+}
