@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// ncserveProc is one running ncserve binary under test.
+type ncserveProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startNCServe launches the built binary and waits for its listen line.
+func startNCServe(t *testing.T, bin string, args ...string) *ncserveProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start ncserve: %v", err)
+	}
+	lines := bufio.NewScanner(stdout)
+	var base string
+	for lines.Scan() {
+		line := lines.Text()
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			base = "http://" + strings.Fields(line[i+len("listening on http://"):])[0]
+			break
+		}
+	}
+	if base == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("ncserve never reported its listen address (scan err %v)", lines.Err())
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() {
+		for lines.Scan() {
+		}
+	}()
+	p := &ncserveProc{cmd: cmd, base: base}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			_, _ = p.cmd.Process.Wait()
+		}
+	})
+	return p
+}
+
+// terminate sends SIGTERM (the graceful-shutdown path that flushes the
+// WAL) and waits for a clean exit.
+func (p *ncserveProc) terminate(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ncserve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		_ = p.cmd.Process.Kill()
+		t.Fatal("ncserve did not exit within 15s of SIGTERM")
+	}
+}
+
+// statsEntries fetches /stats and returns registry.entries and
+// registry.evictions.
+func statsEntries(t *testing.T, base string) (entries, evictions float64) {
+	t.Helper()
+	_, body := getJSON(t, base+"/stats")
+	reg, ok := body["registry"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing registry section: %v", body)
+	}
+	entries, _ = reg["entries"].(float64)
+	evictions, _ = reg["evictions"].(float64)
+	return entries, evictions
+}
+
+func TestRestartWarmE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the ncserve binary")
+	}
+	scratch := t.TempDir()
+	bin := filepath.Join(scratch, "ncserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(scratch, "data")
+
+	// First life: populate, then die gracefully.
+	const n = 25
+	p1 := startNCServe(t, bin, "-data-dir", dataDir)
+	for i := 0; i < n; i++ {
+		status, body := postJSON(t, p1.base+"/upsert",
+			fmt.Sprintf(`{"id":"n%02d","coord":{"vec":[%d,0,0]},"error":0.1}`, i, i))
+		if status != http.StatusOK {
+			t.Fatalf("upsert: %d %v", status, body)
+		}
+	}
+	if status, _ := postJSON(t, p1.base+"/remove", `{"id":"n00"}`); status != http.StatusOK {
+		t.Fatalf("remove: %d", status)
+	}
+	if entries, _ := statsEntries(t, p1.base); entries != n-1 {
+		t.Fatalf("pre-restart entries = %v, want %d", entries, n-1)
+	}
+	p1.terminate(t)
+
+	// Second life: warm restart with every entry intact.
+	p2 := startNCServe(t, bin, "-data-dir", dataDir)
+	entries, _ := statsEntries(t, p2.base)
+	if entries != n-1 {
+		t.Fatalf("post-restart entries = %v, want %d (restart came back cold)", entries, n-1)
+	}
+	_, body := getJSON(t, p2.base+"/stats")
+	pers, ok := body["persistence"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing persistence section: %v", body)
+	}
+	rec, _ := pers["recovery"].(map[string]any)
+	if got, _ := rec["entries"].(float64); got != n-1 {
+		t.Fatalf("recovery.entries = %v, want %d", got, n-1)
+	}
+	// Queries serve recovered coordinates immediately.
+	status, est := getJSON(t, p2.base+"/estimate?a=n01&b=n11")
+	if status != http.StatusOK {
+		t.Fatalf("estimate on recovered registry: %d %v", status, est)
+	}
+	if rtt, _ := est["rtt_ms"].(float64); rtt != 10 {
+		t.Fatalf("recovered estimate = %v ms, want 10 (coordinates corrupted?)", rtt)
+	}
+	// The removed entry stayed removed.
+	if status, _ := getJSON(t, p2.base+"/estimate?a=n00&b=n01"); status != http.StatusNotFound {
+		t.Fatalf("removed entry resurrected by restart (status %d)", status)
+	}
+	p2.terminate(t)
+
+	// Third life: a TTL shorter than the downtime evicts the recovered
+	// entries on the first janitor sweep, because UpdatedAt survived the
+	// restarts — recovered entries do not get a fresh lease.
+	time.Sleep(600 * time.Millisecond)
+	p3 := startNCServe(t, bin, "-data-dir", dataDir, "-ttl", "500ms")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		entries, evictions := statsEntries(t, p3.base)
+		if entries == 0 && evictions == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale recovered entries not TTL-evicted: entries=%v evictions=%v", entries, evictions)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	p3.terminate(t)
+}

@@ -19,6 +19,13 @@
 // A TTL (with the -ttl flag) makes the registry self-cleaning: nodes
 // that stop refreshing their coordinate age out instead of attracting
 // traffic forever.
+//
+// With -data-dir the registry is persistent: every mutation is
+// appended to a write-ahead log in that directory and compacted into a
+// snapshot every -snapshot-interval, so a restarted ncserve comes back
+// warm — serving the pre-restart entries with their update times
+// preserved — instead of empty. A graceful shutdown (SIGINT/SIGTERM)
+// flushes the log before exiting.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,41 +52,81 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ncserve", flag.ContinueOnError)
 	var (
-		listen  = fs.String("listen", "127.0.0.1:8700", "HTTP listen address")
-		dim     = fs.Int("dim", 0, "coordinate dimension (0 = library default, 3)")
-		shards  = fs.Int("shards", 0, "registry shard count (0 = default)")
-		ttl     = fs.Duration("ttl", 0, "evict entries not refreshed within this duration (0 = keep forever)")
-		maxBody = fs.Int64("max-body", 1<<20, "maximum request body size in bytes")
+		listen       = fs.String("listen", "127.0.0.1:8700", "HTTP listen address")
+		dim          = fs.Int("dim", 0, "coordinate dimension (0 = library default, 3)")
+		shards       = fs.Int("shards", 0, "registry shard count (0 = default)")
+		ttl          = fs.Duration("ttl", 0, "evict entries not refreshed within this duration (0 = keep forever)")
+		maxBody      = fs.Int64("max-body", 1<<20, "maximum request body size in bytes")
+		dataDir      = fs.String("data-dir", "", "persist the registry (WAL + snapshots) in this directory; empty = in-memory only")
+		snapInterval = fs.Duration("snapshot-interval", netcoord.DefaultSnapshotInterval, "how often the WAL is compacted into a snapshot (with -data-dir)")
+		flushEvery   = fs.Duration("flush-interval", 0, "WAL group-commit window (0 = 50ms; with -data-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	reg, err := netcoord.NewRegistry(netcoord.RegistryConfig{
+	regCfg := netcoord.RegistryConfig{
 		Dimension: *dim,
 		Shards:    *shards,
 		TTL:       *ttl,
-	})
+	}
+	var (
+		reg *netcoord.Registry
+		pr  *netcoord.PersistentRegistry
+	)
+	if *dataDir != "" {
+		// No `:=` / shadowed error anywhere in this block: the deferred
+		// close below must write run's NAMED return, so a failed final
+		// flush fails the process — exiting 0 after losing the last
+		// commit window would tell supervisors the documented "graceful
+		// shutdown loses nothing" guarantee held when it did not.
+		pr, err = netcoord.OpenPersistentRegistry(netcoord.PersistentRegistryConfig{
+			Registry:         regCfg,
+			Dir:              *dataDir,
+			SnapshotInterval: *snapInterval,
+			FlushInterval:    *flushEvery,
+		})
+		if err != nil {
+			return err
+		}
+		reg = pr.Registry
+		defer func() {
+			if cerr := pr.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("persistence shutdown: %w", cerr)
+			}
+		}()
+		rec := pr.Recovery()
+		fmt.Printf("ncserve recovered %d entries from %s (snapshot gen %d: %d entries, %d WAL records replayed, %d torn bytes dropped)\n",
+			rec.Entries, *dataDir, rec.SnapshotGen, rec.SnapshotEntries, rec.WALRecords, rec.TornBytes)
+	} else {
+		reg, err = netcoord.NewRegistry(regCfg)
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	defer reg.Close()
-
 	srv := &http.Server{
-		Addr:              *listen,
-		Handler:           newServer(reg, *maxBody),
+		Handler:           newServer(reg, pr, *maxBody),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("ncserve listening on http://%s (ttl %v)\n", *listen, *ttl)
-
+	go func() { errCh <- srv.Serve(ln) }()
+	// Register the handler before announcing the address: anyone who
+	// read the listen line may immediately send the graceful-shutdown
+	// signal, which must never hit the default (no-flush) action.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	fmt.Printf("ncserve listening on http://%s (ttl %v)\n", ln.Addr(), *ttl)
+
 	select {
 	case err := <-errCh:
 		return err
@@ -97,15 +145,19 @@ func run(args []string) error {
 
 // server wires a Registry to the HTTP surface.
 type server struct {
-	reg     *netcoord.Registry
+	reg *netcoord.Registry
+	// persist is non-nil when the registry is disk-backed; /stats then
+	// reports recovery and WAL counters alongside the registry's.
+	persist *netcoord.PersistentRegistry
 	started time.Time
 	maxBody int64
 }
 
-// newServer builds the HTTP handler around a registry. Split from run so
-// tests can drive it with httptest.
-func newServer(reg *netcoord.Registry, maxBody int64) http.Handler {
-	s := &server{reg: reg, started: time.Now(), maxBody: maxBody}
+// newServer builds the HTTP handler around a registry (persistent or
+// not; pr may be nil). Split from run so tests can drive it with
+// httptest.
+func newServer(reg *netcoord.Registry, pr *netcoord.PersistentRegistry, maxBody int64) http.Handler {
+	s := &server{reg: reg, persist: pr, started: time.Now(), maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /upsert", s.handleUpsert)
 	mux.HandleFunc("POST /remove", s.handleRemove)
@@ -166,7 +218,22 @@ func (s *server) handleUpsert(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"applied": len(batch), "entries": s.reg.Len()})
+	resp := map[string]any{"applied": len(batch), "entries": s.reg.Len()}
+	s.flagDegraded(resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// flagDegraded marks a mutation response when persistence has failed:
+// the mutation was applied in memory but is no longer being logged, so
+// writers must not believe the durability contract still holds just
+// because they got a 200.
+func (s *server) flagDegraded(resp map[string]any) {
+	if s.persist == nil {
+		return
+	}
+	if err := s.persist.Err(); err != nil {
+		resp["persistence_degraded"] = err.Error()
+	}
 }
 
 func (s *server) handleRemove(w http.ResponseWriter, req *http.Request) {
@@ -180,7 +247,9 @@ func (s *server) handleRemove(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("no id in request"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": s.reg.Remove(body.ID)})
+	resp := map[string]any{"removed": s.reg.Remove(body.ID)}
+	s.flagDegraded(resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleNearestGet answers proximity queries centered on a registered
@@ -295,10 +364,17 @@ func (s *server) handleEstimate(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, req *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"registry":       s.reg.Stats(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
-	})
+	}
+	if s.persist != nil {
+		body["persistence"] = map[string]any{
+			"recovery": s.persist.Recovery(),
+			"store":    s.persist.PersistStats(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // defaultK is the k used when a nearest query does not specify one.

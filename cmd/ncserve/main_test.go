@@ -19,7 +19,7 @@ func newTestService(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(reg.Close)
-	ts := httptest.NewServer(newServer(reg, 1<<20))
+	ts := httptest.NewServer(newServer(reg, nil, 1<<20))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -216,7 +216,7 @@ func TestServiceBodyLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, 64))
+	ts := httptest.NewServer(newServer(reg, nil, 64))
 	defer ts.Close()
 
 	var big bytes.Buffer

@@ -13,9 +13,8 @@ type Bank[K comparable] struct {
 	factory Factory
 	filters map[K]Filter
 	// maxPeers bounds memory on gossip-heavy deployments; 0 means
-	// unbounded. When full, unknown peers are filtered with a throwaway
-	// instance (their samples still produce estimates but build no
-	// history).
+	// unbounded. When full, unknown peers' samples pass through
+	// unfiltered (they still produce estimates but build no history).
 	maxPeers int
 }
 
@@ -35,9 +34,12 @@ func (b *Bank[K]) Observe(peer K, sample float64) (float64, bool) {
 	f, ok := b.filters[peer]
 	if !ok {
 		if b.maxPeers > 0 && len(b.filters) >= b.maxPeers {
-			// Table full: smooth statelessly rather than evicting an
-			// established link's history.
-			return b.factory().Observe(sample)
+			// Table full: pass the raw sample through rather than
+			// evicting an established link's history. A fresh throwaway
+			// filter would be wrong here — with any warm-up it reports
+			// not-ready on its single sample, silently dropping every
+			// overflow peer's observations forever.
+			return sample, true
 		}
 		f = b.factory()
 		b.filters[peer] = f

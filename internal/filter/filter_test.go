@@ -347,6 +347,31 @@ func TestBankMaxPeers(t *testing.T) {
 	}
 }
 
+func TestBankMaxPeersOverflowBypassesWarmup(t *testing.T) {
+	// Regression: the overflow path used to route unknown peers through
+	// a throwaway factory filter; with the default MP warm-up of 2 a
+	// single-sample fresh filter always reported not-ready, so overflow
+	// peers' samples were silently dropped forever. The overflow path
+	// must pass the raw sample through instead.
+	bank := NewBank[string](func() Filter {
+		f, _ := NewMP(DefaultMPConfig())
+		return f
+	}, 1)
+	bank.Observe("a", 50)
+	for i := 0; i < 5; i++ {
+		est, ok := bank.Observe("overflow", 80)
+		if !ok {
+			t.Fatalf("overflow peer sample %d swallowed by warm-up", i)
+		}
+		if est != 80 {
+			t.Fatalf("overflow peer estimate = %v, want raw 80", est)
+		}
+	}
+	if bank.Peers() != 1 {
+		t.Fatalf("Peers = %d, want table still bounded at 1", bank.Peers())
+	}
+}
+
 func TestBankReset(t *testing.T) {
 	bank := NewBank[string](func() Filter {
 		f, _ := NewMP(MPConfig{History: 4, Percentile: 25, UpdateAfter: 2})

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package persist
+
+// syncDir is a no-op where directories cannot be fsynced (Windows
+// rejects FlushFileBuffers on a read-only directory handle); dirent
+// durability there is best-effort, matching the advisory-only lock.
+func syncDir(dir string) error { return nil }

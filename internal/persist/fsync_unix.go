@@ -1,0 +1,23 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+)
+
+// syncDir fsyncs a directory so renames, creations, and removals
+// inside it are durable — without it a power loss can drop a freshly
+// created WAL generation or a just-renamed snapshot from the dirent.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// lockDir is a no-op where flock is unavailable; the one-store-per-
+// directory contract is then only documented, not enforced.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir's LOCK file, turning
+// the "one store per directory" contract into a clean startup error
+// instead of silent WAL corruption — e.g. a supervisor starting the new
+// process while the old one is still draining. The lock is released
+// when the returned file closes (or the process dies, so crashes never
+// leave a stale lock).
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: data directory %s is in use by another store: %w", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot file layout:
+//
+//	8 bytes  magic "NCSNAP\x01\x00"
+//	body:    uint64 generation | uint64 entry count | entries
+//	4 bytes  IEEE CRC of the body
+//
+// A snapshot becomes visible only through an atomic rename of a fully
+// written, fsynced temp file, so a crash during compaction leaves the
+// previous snapshot untouched. The trailing checksum guards against
+// the remaining failure mode — silent media corruption — in which case
+// recovery falls back to the next older generation still on disk.
+var snapMagic = [8]byte{'N', 'C', 'S', 'N', 'A', 'P', 1, 0}
+
+// snapPath names the snapshot file for a generation.
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016d.ncs", gen))
+}
+
+// writeSnapshot durably writes entries as the snapshot for gen.
+func writeSnapshot(dir string, gen uint64, entries []Entry, nosync bool) error {
+	body := make([]byte, 0, 16+len(entries)*64)
+	body = binary.LittleEndian.AppendUint64(body, gen)
+	body = binary.LittleEndian.AppendUint64(body, uint64(len(entries)))
+	var err error
+	for _, e := range entries {
+		if body, err = appendEntry(body, e); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	out := make([]byte, 0, len(snapMagic)+len(body)+4)
+	out = append(out, snapMagic[:]...)
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: write snapshot: %w", err)
+	}
+	if !nosync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("persist: sync snapshot: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), snapPath(dir, gen)); err != nil {
+		return fmt.Errorf("persist: publish snapshot: %w", err)
+	}
+	if !nosync {
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSnapshot reads and verifies the snapshot for gen.
+func loadSnapshot(dir string, gen uint64) ([]Entry, error) {
+	data, err := os.ReadFile(snapPath(dir, gen))
+	if err != nil {
+		return nil, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+16+4 || [8]byte(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("persist: snapshot gen %d: bad magic or truncated", gen)
+	}
+	body := data[8 : len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("persist: snapshot gen %d: checksum mismatch", gen)
+	}
+	if g := binary.LittleEndian.Uint64(body); g != gen {
+		return nil, fmt.Errorf("persist: snapshot gen %d: header says %d", gen, g)
+	}
+	count := binary.LittleEndian.Uint64(body[8:])
+	src := body[16:]
+	// A CRC is a checksum, not authentication: the count must still be
+	// treated as untrusted. Every entry occupies at least minEntrySize
+	// bytes, so a count the body cannot hold is corruption — reject it
+	// (recovery falls back a generation) instead of letting it size an
+	// allocation.
+	const minEntrySize = 27 // 2 id frame + 9 empty coord + 16 error/time
+	if count > uint64(len(src))/minEntrySize {
+		return nil, fmt.Errorf("persist: snapshot gen %d: count %d impossible for %d body bytes", gen, count, len(src))
+	}
+	entries := make([]Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		e, rest, err := decodeEntry(src)
+		if err != nil {
+			return nil, fmt.Errorf("persist: snapshot gen %d entry %d: %w", gen, i, err)
+		}
+		entries = append(entries, e)
+		src = rest
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("persist: snapshot gen %d: %d trailing bytes", gen, len(src))
+	}
+	return entries, nil
+}
+
+// scanDir lists the snapshot and WAL generations present in dir, each
+// sorted ascending.
+func scanDir(dir string) (snaps, wals []uint64, err error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: scan dir: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".ncs"):
+			if gen, ok := parseGen(name, "snap-", ".ncs"); ok {
+				snaps = append(snaps, gen)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".ncl"):
+			if gen, ok := parseGen(name, "wal-", ".ncl"); ok {
+				wals = append(wals, gen)
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, nil
+}
+
+// parseGen extracts the generation number from a data file name.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	gen, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}

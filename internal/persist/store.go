@@ -1,0 +1,580 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// FlushInterval is the group-commit window: appended records become
+	// durable at most this long after LogUpsert/LogRemove/LogEvict
+	// returns. 0 means DefaultFlushInterval.
+	FlushInterval time.Duration
+	// FlushBatch flushes early once this many records are pending,
+	// bounding buffered memory under write storms. 0 means
+	// DefaultFlushBatch.
+	FlushBatch int
+	// NoSync skips every fsync. Only for tests: a crash can then lose
+	// arbitrarily much, not just the flush window.
+	NoSync bool
+}
+
+// Store defaults.
+const (
+	// DefaultFlushInterval is the default group-commit window.
+	DefaultFlushInterval = 50 * time.Millisecond
+	// DefaultFlushBatch is the default early-flush record count.
+	DefaultFlushBatch = 512
+)
+
+// ErrClosed is returned by operations on a closed Store.
+var ErrClosed = errors.New("persist: store closed")
+
+// RecoveryStats describes what Open reconstructed.
+type RecoveryStats struct {
+	// SnapshotGen is the generation of the snapshot loaded (0 = none).
+	SnapshotGen uint64 `json:"snapshot_gen"`
+	// SnapshotEntries is how many entries the snapshot held.
+	SnapshotEntries int `json:"snapshot_entries"`
+	// CorruptSnapshots counts snapshot files that failed verification
+	// and were skipped in favor of an older generation.
+	CorruptSnapshots int `json:"corrupt_snapshots"`
+	// WALFiles and WALRecords count the log generations and complete
+	// records replayed on top of the snapshot.
+	WALFiles   int `json:"wal_files"`
+	WALRecords int `json:"wal_records"`
+	// TornBytes is how many trailing bytes were discarded from torn or
+	// truncated log tails.
+	TornBytes int64 `json:"torn_bytes"`
+	// Entries is the recovered live-entry count.
+	Entries int `json:"entries"`
+}
+
+// StoreStats snapshots a Store's operational counters.
+type StoreStats struct {
+	// Gen is the active WAL generation.
+	Gen uint64 `json:"gen"`
+	// WALRecords counts records durably written to the log since Open
+	// (enqueued records are counted once their group commit succeeds;
+	// discarded ones land in Dropped instead). WALBytes is the active
+	// generation's size on disk — it resets at each compaction, so
+	// graph it as a gauge, not a throughput counter.
+	WALRecords uint64 `json:"wal_records"`
+	WALBytes   int64  `json:"wal_bytes"`
+	// Flushes and Syncs count group commits and the fsyncs they issued.
+	Flushes uint64 `json:"flushes"`
+	Syncs   uint64 `json:"syncs"`
+	// Compactions counts completed snapshot compactions;
+	// CompactFailures counts attempts that failed (the WAL keeps
+	// growing until one succeeds) and CompactErr is the most recent
+	// failure.
+	Compactions     uint64 `json:"compactions"`
+	CompactFailures uint64 `json:"compact_failures"`
+	CompactErr      string `json:"compact_error,omitempty"`
+	// Dropped counts records discarded because the store had already
+	// failed or closed.
+	Dropped uint64 `json:"dropped_records"`
+	// Err is the sticky I/O error, if the store has failed.
+	Err string `json:"error,omitempty"`
+}
+
+// Store is the on-disk half of a persistent registry: one directory
+// holding the newest snapshot plus the WAL generations above it.
+//
+// Log appends are asynchronous group commits: LogUpsert and friends
+// enqueue into an in-memory buffer and return; a background flusher
+// writes and fsyncs the batch every FlushInterval (or sooner under
+// load). Sync forces a commit, Close performs a final one. Log methods
+// never block on the disk, so they are safe to call under the
+// registry's shard locks — which is exactly where the caller invokes
+// them, to keep per-id log order identical to apply order.
+//
+// Store is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+	lock *os.File // exclusive flock on the directory; nil where unsupported
+
+	// ioMu serializes file writes, fsyncs, and WAL rotation; mu guards
+	// the append buffer and active-file pointer and is never held
+	// across I/O, so appends stay wait-free with respect to the disk.
+	ioMu  sync.Mutex
+	dirty bool // file bytes written but not fsynced; guarded by ioMu
+
+	mu      sync.Mutex
+	walFile *os.File
+	gen     uint64
+	buf     []byte // pending framed records
+	swap    []byte // previous buffer, recycled each flush
+	scratch []byte // payload encode scratch
+	pending int
+	err     error
+	closed  bool
+
+	walRecords  atomic.Uint64
+	walBytes    atomic.Int64
+	flushes     atomic.Uint64
+	syncs       atomic.Uint64
+	compactions atomic.Uint64
+	compactErrs atomic.Uint64
+	dropped     atomic.Uint64
+
+	compactErrMu   sync.Mutex
+	lastCompactErr string
+
+	compactMu sync.Mutex
+	recovery  RecoveryStats
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens (creating if needed) the store directory, recovers the
+// persisted state — newest readable snapshot plus replayed WAL tail —
+// and returns the live entries sorted by id. The returned store is
+// ready for logging; pair every recovered mutation stream with exactly
+// one writer, as concurrent stores on one directory corrupt each other.
+func Open(dir string, opts Options) (*Store, []Entry, error) {
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
+	if opts.FlushBatch <= 0 {
+		opts.FlushBatch = DefaultFlushBatch
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok && lock != nil {
+			_ = lock.Close()
+		}
+	}()
+	// Sweep temp snapshots leaked by a crash mid-compaction (the rename
+	// never happened, so they are garbage no recovery path reads).
+	if tmps, err := filepath.Glob(filepath.Join(dir, "snap-*.tmp")); err == nil {
+		for _, tmp := range tmps {
+			_ = os.Remove(tmp)
+		}
+	}
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		lock: lock,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+
+	// Load the newest snapshot that verifies; fall back generation by
+	// generation on corruption (possible only through media faults —
+	// compaction publishes snapshots atomically). If snapshots exist
+	// but none verifies, opening must fail: proceeding would silently
+	// "recover" only the last WAL generation's mutations and present a
+	// near-empty registry as a successful warm restart.
+	state := make(map[string]Entry)
+	baseGen := uint64(0)
+	loadedSnap := len(snaps) == 0
+	for i := len(snaps) - 1; i >= 0; i-- {
+		entries, err := loadSnapshot(dir, snaps[i])
+		if err != nil {
+			s.recovery.CorruptSnapshots++
+			continue
+		}
+		for _, e := range entries {
+			state[e.ID] = e
+		}
+		baseGen = snaps[i]
+		s.recovery.SnapshotGen = baseGen
+		s.recovery.SnapshotEntries = len(entries)
+		loadedSnap = true
+		break
+	}
+	if !loadedSnap {
+		return nil, nil, fmt.Errorf("persist: every snapshot in %s failed verification; refusing to open with partial state (restore the directory from backup, or delete the snap-*.ncs files to start from the WAL alone)", dir)
+	}
+
+	// Replay every WAL generation at or above the snapshot, in order.
+	// Generations below it are fully contained in the snapshot.
+	apply := func(rec Record) {
+		switch rec.Op {
+		case OpUpsert:
+			state[rec.Entry.ID] = rec.Entry
+		case OpRemove:
+			delete(state, rec.ID)
+		case OpEvict:
+			for _, id := range rec.IDs {
+				delete(state, id)
+			}
+		}
+	}
+	activeGen := baseGen
+	if activeGen == 0 {
+		activeGen = 1
+	}
+	var activeRep walReplay
+	activeExists := false
+	for _, gen := range wals {
+		if gen < baseGen {
+			continue
+		}
+		rep, err := replayWAL(walPath(dir, gen), gen, apply)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.recovery.WALFiles++
+		s.recovery.WALRecords += rep.records
+		s.recovery.TornBytes += rep.tornBytes
+		if gen >= activeGen {
+			activeGen = gen
+			activeRep = rep
+			activeExists = true
+		}
+	}
+
+	// Open the newest generation for append (truncating any torn
+	// tail), or start a fresh one.
+	if activeExists && activeRep.validSize >= walHeaderSize {
+		f, err := openWALForAppend(walPath(dir, activeGen), activeRep.validSize, opts.NoSync)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.walFile = f
+		s.walBytes.Store(activeRep.validSize)
+	} else {
+		f, err := createWAL(dir, activeGen, opts.NoSync)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.walFile = f
+		s.walBytes.Store(walHeaderSize)
+	}
+	s.gen = activeGen
+	s.removeObsolete(baseGen)
+
+	out := make([]Entry, 0, len(state))
+	for _, e := range state {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s.recovery.Entries = len(out)
+
+	s.wg.Add(1)
+	go s.flusher()
+	ok = true
+	return s, out, nil
+}
+
+// Recovery reports what Open reconstructed.
+func (s *Store) Recovery() RecoveryStats { return s.recovery }
+
+// Stats snapshots operational counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	gen := s.gen
+	err := s.err
+	s.mu.Unlock()
+	st := StoreStats{
+		Gen:             gen,
+		WALRecords:      s.walRecords.Load(),
+		WALBytes:        s.walBytes.Load(),
+		Flushes:         s.flushes.Load(),
+		Syncs:           s.syncs.Load(),
+		Compactions:     s.compactions.Load(),
+		CompactFailures: s.compactErrs.Load(),
+		Dropped:         s.dropped.Load(),
+	}
+	s.compactErrMu.Lock()
+	st.CompactErr = s.lastCompactErr
+	s.compactErrMu.Unlock()
+	if err != nil {
+		st.Err = err.Error()
+	}
+	return st
+}
+
+// Err returns the sticky I/O error, if the store has failed.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// LogUpsert appends an upsert record.
+func (s *Store) LogUpsert(e Entry) {
+	s.append(Record{Op: OpUpsert, Entry: e})
+}
+
+// LogRemove appends a remove record.
+func (s *Store) LogRemove(id string) {
+	s.append(Record{Op: OpRemove, ID: id})
+}
+
+// LogEvict appends eviction records for ids, chunked by count and by
+// encoded bytes so no single record approaches the frame size limit
+// even when every id is at MaxIDLen.
+func (s *Store) LogEvict(ids []string) {
+	for len(ids) > 0 {
+		n, bytes := 0, 0
+		for n < len(ids) && n < evictChunk && bytes < evictChunkBytes {
+			bytes += len(ids[n]) + 4
+			n++
+		}
+		s.append(Record{Op: OpEvict, IDs: ids[:n]})
+		ids = ids[n:]
+	}
+}
+
+// append enqueues one record for the next group commit. Failures
+// (encoding, or a store that already failed or closed) drop the record
+// and count it; durability reporting is the flusher's job.
+func (s *Store) append(rec Record) {
+	s.mu.Lock()
+	if s.err != nil || s.closed {
+		s.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	}
+	payload, err := appendRecordPayload(s.scratch[:0], rec)
+	if err != nil || len(payload) > maxRecordSize {
+		// An unencodable or oversized record would read back as
+		// corruption and sever the log there; dropping only it is the
+		// lesser evil (callers prevent this via ValidateID).
+		s.scratch = payload[:0]
+		s.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	}
+	s.scratch = payload[:0]
+	s.buf = appendFrame(s.buf, payload)
+	s.pending++
+	needKick := s.pending >= s.opts.FlushBatch
+	s.mu.Unlock()
+	if needKick {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// flusher group-commits pending records until Close.
+func (s *Store) flusher() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		case <-s.kick:
+		}
+		_ = s.Sync()
+	}
+}
+
+// Sync forces a group commit: every record appended before the call is
+// written and fsynced when it returns.
+func (s *Store) Sync() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	return s.flushLocked()
+}
+
+// flushLocked writes and fsyncs the pending buffer. Caller holds ioMu.
+// Records discarded on any failure path are added to the Dropped
+// counter — the operator's signal for how much a disk fault lost.
+func (s *Store) flushLocked() error {
+	s.mu.Lock()
+	data := s.buf
+	n := s.pending
+	f := s.walFile
+	serr := s.err
+	s.buf = s.swap[:0]
+	s.swap = data
+	s.pending = 0
+	s.mu.Unlock()
+	if serr != nil {
+		// Records enqueued by appends that raced the failure are
+		// unwritable now; count them instead of vanishing them.
+		if n > 0 {
+			s.dropped.Add(uint64(n))
+		}
+		return serr
+	}
+	if f == nil {
+		if n > 0 {
+			s.dropped.Add(uint64(n))
+		}
+		return ErrClosed
+	}
+	if len(data) > 0 {
+		if _, err := f.Write(data); err != nil {
+			s.dropped.Add(uint64(n))
+			return s.fail(fmt.Errorf("persist: wal write: %w", err))
+		}
+		s.walBytes.Add(int64(len(data)))
+		s.dirty = true
+	}
+	if s.dirty && !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			// Page-cache bytes that never reached the platter are lost
+			// records, not written ones: they belong in Dropped.
+			s.dropped.Add(uint64(n))
+			return s.fail(fmt.Errorf("persist: wal sync: %w", err))
+		}
+		s.syncs.Add(1)
+	}
+	s.dirty = false
+	// Only now — after the batch is durable (or fsync is disabled) —
+	// does it count as written.
+	if n > 0 {
+		s.walRecords.Add(uint64(n))
+		s.flushes.Add(1)
+	}
+	return nil
+}
+
+// fail records the first I/O error; the store stops accepting records
+// (they are counted as dropped) but stays safe to query and close.
+func (s *Store) fail(err error) error {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	err = s.err
+	s.mu.Unlock()
+	return err
+}
+
+// Compact rotates the WAL to a fresh generation, captures the caller's
+// full current state, writes it as the new snapshot, and deletes the
+// generations it obsoletes.
+//
+// capture MUST return the owner's live state as of some point after
+// Compact was entered — for a registry, a plain Snapshot call. The
+// rotation-before-capture order is the crash-safety invariant: every
+// record in older generations describes a mutation applied before the
+// capture, so the snapshot subsumes them, and the new generation's
+// records replay idempotently over it.
+func (s *Store) Compact(capture func() ([]Entry, error)) error {
+	err := s.compact(capture)
+	if err != nil {
+		s.compactErrs.Add(1)
+		s.compactErrMu.Lock()
+		s.lastCompactErr = err.Error()
+		s.compactErrMu.Unlock()
+	}
+	return err
+}
+
+func (s *Store) compact(capture func() ([]Entry, error)) error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Rotate: drain and fsync the old generation, then switch appends
+	// to the new one.
+	s.ioMu.Lock()
+	if err := s.flushLocked(); err != nil {
+		s.ioMu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	newGen := s.gen + 1
+	s.mu.Unlock()
+	f, err := createWAL(s.dir, newGen, s.opts.NoSync)
+	if err != nil {
+		s.ioMu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	old := s.walFile
+	s.walFile = f
+	s.gen = newGen
+	s.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	s.walBytes.Store(walHeaderSize)
+	s.ioMu.Unlock()
+
+	entries, err := capture()
+	if err != nil {
+		// The WAL rotated but no snapshot was written; recovery simply
+		// replays both generations, so nothing is lost.
+		return fmt.Errorf("persist: compaction capture: %w", err)
+	}
+	if err := writeSnapshot(s.dir, newGen, entries, s.opts.NoSync); err != nil {
+		return err
+	}
+	s.removeObsolete(newGen)
+	s.compactions.Add(1)
+	return nil
+}
+
+// removeObsolete deletes snapshot and WAL generations strictly below
+// keepGen. Removal failures are ignored: stale generations are retried
+// at the next compaction and never affect correctness.
+func (s *Store) removeObsolete(keepGen uint64) {
+	snaps, wals, err := scanDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, gen := range snaps {
+		if gen < keepGen {
+			_ = os.Remove(snapPath(s.dir, gen))
+		}
+	}
+	for _, gen := range wals {
+		if gen < keepGen {
+			_ = os.Remove(walPath(s.dir, gen))
+		}
+	}
+}
+
+// Close performs a final group commit and releases the WAL file. The
+// store accepts no records afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+
+	s.ioMu.Lock()
+	err := s.flushLocked()
+	s.mu.Lock()
+	f := s.walFile
+	s.walFile = nil
+	s.mu.Unlock()
+	s.ioMu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("persist: close wal: %w", cerr)
+		}
+	}
+	if s.lock != nil {
+		_ = s.lock.Close() // releases the directory flock
+	}
+	return err
+}

@@ -1,0 +1,604 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netcoord/internal/coord"
+)
+
+// testOptions makes tests fast and deterministic: no fsync, immediate
+// visibility via explicit Sync calls.
+func testOptions() Options {
+	return Options{FlushInterval: time.Hour, NoSync: true}
+}
+
+func testEntry(id string, x float64, at int64) Entry {
+	return Entry{
+		ID:        id,
+		Coord:     coord.New(x, 2*x, -x),
+		Error:     0.25,
+		UpdatedAt: time.Unix(0, at),
+	}
+}
+
+func entriesEqual(t *testing.T, got, want []Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d\n got: %+v\nwant: %+v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || !g.Coord.Equal(w.Coord) || g.Error != w.Error || !g.UpdatedAt.Equal(w.UpdatedAt) {
+			t.Fatalf("entry %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func mustOpen(t *testing.T, dir string) (*Store, []Entry) {
+	t.Helper()
+	s, entries, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, entries
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, entries := mustOpen(t, dir)
+	if len(entries) != 0 {
+		t.Fatalf("fresh dir recovered %d entries", len(entries))
+	}
+	s.LogUpsert(testEntry("a", 1, 100))
+	s.LogUpsert(testEntry("b", 2, 200))
+	s.LogUpsert(testEntry("a", 3, 300)) // refresh: last write wins
+	s.LogUpsert(testEntry("c", 4, 400))
+	s.LogRemove("b")
+	s.LogEvict([]string{"c"})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	entriesEqual(t, recovered, []Entry{testEntry("a", 3, 300)})
+	rec := s2.Recovery()
+	if rec.WALRecords != 6 {
+		t.Fatalf("replayed %d records, want 6", rec.WALRecords)
+	}
+	if rec.TornBytes != 0 {
+		t.Fatalf("torn bytes = %d on a cleanly closed log", rec.TornBytes)
+	}
+}
+
+func TestStoreCompactionAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	for i := 0; i < 50; i++ {
+		s.LogUpsert(testEntry(fmt.Sprintf("n%03d", i), float64(i), int64(i+1)))
+	}
+	// Compact with the captured state; then keep mutating into the new
+	// generation.
+	state := make([]Entry, 0, 50)
+	for i := 0; i < 50; i++ {
+		state = append(state, testEntry(fmt.Sprintf("n%03d", i), float64(i), int64(i+1)))
+	}
+	if err := s.Compact(func() ([]Entry, error) { return state, nil }); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.LogRemove("n000")
+	s.LogUpsert(testEntry("n001", 99, 999))
+	s.LogUpsert(testEntry("new", 7, 777))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Old generations are gone.
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		t.Fatalf("scanDir: %v", err)
+	}
+	if len(snaps) != 1 || len(wals) != 1 || snaps[0] != wals[0] {
+		t.Fatalf("dir not compacted to one generation: snaps %v wals %v", snaps, wals)
+	}
+
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	want := []Entry{testEntry("n001", 99, 999)}
+	for i := 2; i < 50; i++ {
+		want = append(want, testEntry(fmt.Sprintf("n%03d", i), float64(i), int64(i+1)))
+	}
+	want = append(want, testEntry("new", 7, 777))
+	entriesEqual(t, recovered, want)
+	rec := s2.Recovery()
+	if rec.SnapshotEntries != 50 {
+		t.Fatalf("snapshot entries = %d, want 50", rec.SnapshotEntries)
+	}
+	if rec.WALRecords != 3 {
+		t.Fatalf("WAL tail records = %d, want 3", rec.WALRecords)
+	}
+}
+
+func TestStoreCrashWithoutClose(t *testing.T) {
+	// Sync makes records durable; a crash image taken without Close
+	// (copying the dir while the store is live, since the directory
+	// lock forbids a second opener) must lose nothing that was synced.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	s.LogUpsert(testEntry("a", 1, 100))
+	s.LogUpsert(testEntry("b", 2, 200))
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	image := t.TempDir()
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read dir: %v", err)
+	}
+	for _, de := range names {
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatalf("read %s: %v", de.Name(), err)
+		}
+		if err := os.WriteFile(filepath.Join(image, de.Name()), data, 0o644); err != nil {
+			t.Fatalf("write %s: %v", de.Name(), err)
+		}
+	}
+	s2, recovered := mustOpen(t, image)
+	defer s2.Close()
+	entriesEqual(t, recovered, []Entry{testEntry("a", 1, 100), testEntry("b", 2, 200)})
+	_ = s.Close()
+}
+
+func TestOpenLocksDirectory(t *testing.T) {
+	// Two live stores on one directory would interleave WAL frames and
+	// sever the log at the first mixed record; Open must refuse instead.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	if _, _, err := Open(dir, testOptions()); err == nil {
+		t.Fatal("second store on a locked directory accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, _ := mustOpen(t, dir) // lock released with the store
+	s2.Close()
+}
+
+func TestStaleTempSnapshotsSwept(t *testing.T) {
+	// A crash between CreateTemp and rename leaks snap-*.tmp; Open
+	// sweeps them so each crash does not permanently leak a full
+	// snapshot's worth of disk.
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "snap-12345678.tmp")
+	if err := os.WriteFile(tmp, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp snapshot not swept (stat err %v)", err)
+	}
+}
+
+func TestRecoveryTruncatedTailEveryOffset(t *testing.T) {
+	// Property: for EVERY byte-truncation of the WAL, recovery succeeds
+	// and yields exactly the records whose frames fit completely within
+	// the truncated prefix — a crash can tear the tail at any byte.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	var boundaries []int64 // valid-prefix sizes after each record
+	var wantAt []map[string]Entry
+	state := map[string]Entry{}
+	snapState := func() map[string]Entry {
+		c := make(map[string]Entry, len(state))
+		for k, v := range state {
+			c[k] = v
+		}
+		return c
+	}
+	boundariesAppend := func() {
+		if err := s.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+		fi, err := os.Stat(walPath(dir, 1))
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		boundaries = append(boundaries, fi.Size())
+		wantAt = append(wantAt, snapState())
+	}
+	boundariesAppend() // empty log
+	for i := 0; i < 8; i++ {
+		e := testEntry(fmt.Sprintf("id%d", i), float64(i), int64(1000+i))
+		s.LogUpsert(e)
+		state[e.ID] = e
+		boundariesAppend()
+		if i%3 == 2 {
+			victim := fmt.Sprintf("id%d", i-1)
+			s.LogRemove(victim)
+			delete(state, victim)
+			boundariesAppend()
+		}
+	}
+	s.LogEvict([]string{"id0", "id7"})
+	delete(state, "id0")
+	delete(state, "id7")
+	boundariesAppend()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	full, err := os.ReadFile(walPath(dir, 1))
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		// The expected state is the one at the largest record boundary
+		// <= cut.
+		wantIdx := -1
+		for i, b := range boundaries {
+			if b <= cut {
+				wantIdx = i
+			}
+		}
+		want := map[string]Entry{}
+		if wantIdx >= 0 {
+			want = wantAt[wantIdx]
+		}
+
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, "wal-0000000000000001.ncl"), full[:cut], 0o644); err != nil {
+			t.Fatalf("write truncated wal: %v", err)
+		}
+		s2, recovered, err := Open(tdir, testOptions())
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		if len(recovered) != len(want) {
+			t.Fatalf("cut %d: recovered %d entries, want %d", cut, len(recovered), len(want))
+		}
+		for _, e := range recovered {
+			w, ok := want[e.ID]
+			if !ok || !e.Coord.Equal(w.Coord) || !e.UpdatedAt.Equal(w.UpdatedAt) {
+				t.Fatalf("cut %d: entry %+v not in expected state", cut, e)
+			}
+		}
+		// The store must also be appendable after tail truncation: the
+		// torn suffix is discarded, new records extend the valid prefix.
+		s2.LogUpsert(testEntry("post-crash", 42, 4242))
+		if err := s2.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+		s3, again, err := Open(tdir, testOptions())
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		found := false
+		for _, e := range again {
+			if e.ID == "post-crash" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cut %d: record appended after tail truncation was lost", cut)
+		}
+		s3.Close()
+	}
+}
+
+func TestRecoveryCorruptMidRecordChecksum(t *testing.T) {
+	// A flipped bit inside a record's payload stops replay at that
+	// record; everything before it survives.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	s.LogUpsert(testEntry("a", 1, 100))
+	s.LogUpsert(testEntry("b", 2, 200))
+	s.LogUpsert(testEntry("c", 3, 300))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := walPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Corrupt a byte near the end (inside record "c").
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	entriesEqual(t, recovered, []Entry{testEntry("a", 1, 100), testEntry("b", 2, 200)})
+	if rec := s2.Recovery(); rec.TornBytes == 0 {
+		t.Fatal("corruption not reported as torn bytes")
+	}
+}
+
+func TestRecoveryOnlyCorruptSnapshotRefusesToOpen(t *testing.T) {
+	// When the sole snapshot fails verification, the older generations
+	// that could back a fallback are already deleted: opening anyway
+	// would present the last WAL generation alone as a successful warm
+	// restart. That silent near-total data loss must be a hard error.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	s.LogUpsert(testEntry("a", 1, 100))
+	if err := s.Compact(func() ([]Entry, error) {
+		return []Entry{testEntry("a", 1, 100)}, nil
+	}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.LogUpsert(testEntry("b", 2, 200))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Corrupt the snapshot body.
+	path := snapPath(dir, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	data[len(data)-6] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	if _, _, err := Open(dir, testOptions()); err == nil {
+		t.Fatal("open succeeded with only a corrupt snapshot on disk")
+	}
+	// The operator escape hatch: deleting the corrupt snapshot accepts
+	// starting from the WAL alone.
+	if err := os.Remove(path); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	entriesEqual(t, recovered, []Entry{testEntry("b", 2, 200)})
+}
+
+func TestRecoveryCorruptSnapshotFallsBackAGeneration(t *testing.T) {
+	// When an older snapshot generation is still on disk (compaction
+	// crashed before cleanup), a corrupt newest snapshot falls back to
+	// it and the surviving WAL generations reconstruct the full state.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	s.LogUpsert(testEntry("a", 1, 100))
+	s.LogUpsert(testEntry("b", 2, 200))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Manufacture the crash-mid-compaction layout: snap-1 (valid),
+	// wal-1 (a, b), snap-2 (will be corrupted), wal-2 (c).
+	if err := writeSnapshot(dir, 1, nil, true); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	if err := writeSnapshot(dir, 2, []Entry{testEntry("a", 1, 100), testEntry("b", 2, 200)}, true); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	f, err := createWAL(dir, 2, true)
+	if err != nil {
+		t.Fatalf("createWAL: %v", err)
+	}
+	payload, err := appendRecordPayload(nil, Record{Op: OpUpsert, Entry: testEntry("c", 3, 300)})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := f.Write(appendFrame(nil, payload)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f.Close()
+	// Corrupt snap-2.
+	path := snapPath(dir, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[len(data)-6] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.CorruptSnapshots != 1 || rec.SnapshotGen != 1 {
+		t.Fatalf("fallback not taken: %+v", rec)
+	}
+	entriesEqual(t, recovered, []Entry{
+		testEntry("a", 1, 100), testEntry("b", 2, 200), testEntry("c", 3, 300),
+	})
+}
+
+func TestCrashBetweenRotateAndSnapshot(t *testing.T) {
+	// Compaction rotates the WAL before writing the snapshot. A crash
+	// in that window leaves snap-1 absent, wal-1 and wal-2 present:
+	// recovery must replay both generations in order.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	s.LogUpsert(testEntry("a", 1, 100))
+	s.LogUpsert(testEntry("b", 2, 200))
+	err := s.Compact(func() ([]Entry, error) {
+		return nil, fmt.Errorf("simulated crash before snapshot write")
+	})
+	if err == nil {
+		t.Fatal("Compact swallowed the capture failure")
+	}
+	// Post-"crash" mutations land in the new generation.
+	s.LogRemove("a")
+	s.LogUpsert(testEntry("c", 3, 300))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, wals, err := scanDir(dir)
+	if err != nil {
+		t.Fatalf("scanDir: %v", err)
+	}
+	if len(wals) != 2 {
+		t.Fatalf("wal generations = %v, want two", wals)
+	}
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	entriesEqual(t, recovered, []Entry{testEntry("b", 2, 200), testEntry("c", 3, 300)})
+}
+
+func TestStoreFlushBatchKicksEarly(t *testing.T) {
+	// With a tiny batch threshold, records become durable without any
+	// explicit Sync and long before the (1h) flush interval.
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.FlushBatch = 4
+	s, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 16; i++ {
+		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i+1)))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.Stats().Flushes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never committed despite batch threshold")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = s.Close()
+}
+
+func TestEvictChunking(t *testing.T) {
+	// Evicting more ids than fit one record must chunk, not drop.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	n := evictChunk*2 + 17
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%05d", i)
+		s.LogUpsert(testEntry(ids[i], float64(i), int64(i+1)))
+	}
+	s.LogEvict(ids)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if d := s.Stats().Dropped; d != 0 {
+		t.Fatalf("dropped %d records", d)
+	}
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	if len(recovered) != 0 {
+		t.Fatalf("recovered %d entries after full eviction", len(recovered))
+	}
+}
+
+func TestBadWALHeaderIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000001.ncl"), []byte("this is definitely not a WAL file"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := Open(dir, testOptions()); err == nil {
+		t.Fatal("garbage WAL header accepted")
+	}
+}
+
+func TestLogEvictByteChunking(t *testing.T) {
+	// A sweep of maximum-length ids must split into records the replay
+	// path accepts; one count-bounded chunk of 4 KiB ids would exceed
+	// the record size limit and sever the log at recovery.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	n := 600
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%0*d", MaxIDLen, i) // every id at MaxIDLen
+		s.LogUpsert(Entry{ID: ids[i], Coord: coord.New(1, 2, 3), UpdatedAt: time.Unix(0, 1)})
+	}
+	s.LogEvict(ids)
+	s.LogUpsert(testEntry("survivor", 1, 99))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if d := s.Stats().Dropped; d != 0 {
+		t.Fatalf("dropped %d records", d)
+	}
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	if rec := s2.Recovery(); rec.TornBytes != 0 {
+		t.Fatalf("oversized evict record severed the log: %d torn bytes", rec.TornBytes)
+	}
+	entriesEqual(t, recovered, []Entry{testEntry("survivor", 1, 99)})
+}
+
+func TestAppendDropsUnencodableRecord(t *testing.T) {
+	// Defense in depth: a record that cannot be encoded (or would
+	// exceed the frame bound) is dropped and counted, never written as
+	// a frame that reads back as corruption.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	s.LogUpsert(testEntry("good", 1, 1))
+	s.LogUpsert(Entry{ID: strings.Repeat("x", MaxIDLen+1), Coord: coord.New(1, 2, 3)})
+	s.LogUpsert(testEntry("also-good", 2, 2))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if d := s.Stats().Dropped; d != 1 {
+		t.Fatalf("Dropped = %d, want 1", d)
+	}
+	s2, recovered := mustOpen(t, dir)
+	defer s2.Close()
+	entriesEqual(t, recovered, []Entry{testEntry("also-good", 2, 2), testEntry("good", 1, 1)})
+}
+
+func TestCompactFailureSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	if err := s.Compact(func() ([]Entry, error) { return nil, fmt.Errorf("capture exploded") }); err == nil {
+		t.Fatal("capture failure swallowed")
+	}
+	st := s.Stats()
+	if st.CompactFailures != 1 || st.CompactErr == "" {
+		t.Fatalf("compaction failure not surfaced: %+v", st)
+	}
+}
+
+func TestSnapshotBogusCountRejectedNotAllocated(t *testing.T) {
+	// The entry count is untrusted even under a valid CRC (a checksum
+	// is not authentication): a count the body cannot hold must be a
+	// clean corruption error and generation fallback, not a huge
+	// allocation inside Open.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	s.LogUpsert(testEntry("a", 1, 100))
+	if err := s.Compact(func() ([]Entry, error) {
+		return []Entry{testEntry("a", 1, 100)}, nil
+	}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.LogUpsert(testEntry("b", 2, 200))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Rewrite the snapshot's count to an absurd value and fix up the
+	// CRC so only the bounds check can catch it.
+	path := snapPath(dir, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	body := data[8 : len(data)-4]
+	binary.LittleEndian.PutUint64(body[8:], 1<<56)
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := Open(dir, testOptions()); err == nil {
+		t.Fatal("open succeeded on a snapshot with an impossible count")
+	}
+}

@@ -1,0 +1,162 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// WAL file layout:
+//
+//	8 bytes  magic "NCWAL\x01\x00\x00"
+//	8 bytes  generation (little endian)
+//	records: uint32 payload length | uint32 IEEE CRC of payload | payload
+//
+// The frame makes every record self-verifying: replay stops at the
+// first frame whose length is implausible, whose payload is cut short,
+// or whose checksum fails — all three are what a crash mid-append (or a
+// torn sector) looks like, and everything before that point is intact
+// by construction because records are written strictly append-only.
+const (
+	walHeaderSize   = 16
+	frameHeaderSize = 8
+)
+
+var walMagic = [8]byte{'N', 'C', 'W', 'A', 'L', 1, 0, 0}
+
+// walPath names the WAL file for a generation.
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.ncl", gen))
+}
+
+// createWAL creates (truncating) a new WAL file for gen and writes its
+// header. The header is flushed immediately so a generation file is
+// never ambiguous on disk.
+func createWAL(dir string, gen uint64, nosync bool) (*os.File, error) {
+	f, err := os.OpenFile(walPath(dir, gen), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: create wal: %w", err)
+	}
+	hdr := make([]byte, 0, walHeaderSize)
+	hdr = append(hdr, walMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, gen)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: write wal header: %w", err)
+	}
+	if !nosync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: sync wal header: %w", err)
+		}
+		// The dirent must be journaled too: without a directory sync a
+		// power loss can drop the whole generation file, losing every
+		// record fsynced into it — far more than the flush window the
+		// durability contract allows.
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// appendFrame frames payload onto dst: length, checksum, payload.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// walReplay is the result of scanning one WAL file.
+type walReplay struct {
+	// records is how many complete records were applied.
+	records int
+	// validSize is the byte offset just past the last complete record;
+	// opening this file for append must truncate to it first.
+	validSize int64
+	// tornBytes is how many trailing bytes were discarded.
+	tornBytes int64
+}
+
+// replayWAL scans the WAL at path, invoking apply for every complete
+// record in order. A malformed tail ends the scan cleanly (recorded in
+// the result); a malformed header is a hard error, because it means the
+// file is not a WAL of this store at all.
+func replayWAL(path string, wantGen uint64, apply func(Record)) (walReplay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return walReplay{}, fmt.Errorf("persist: read wal: %w", err)
+	}
+	if len(data) < walHeaderSize {
+		// A crash can beat even the header write; the file carries no
+		// records, so recovery rewrites it from scratch.
+		return walReplay{validSize: 0, tornBytes: int64(len(data))}, nil
+	}
+	if [8]byte(data[:8]) != walMagic {
+		return walReplay{}, fmt.Errorf("persist: %s: bad wal magic", filepath.Base(path))
+	}
+	if gen := binary.LittleEndian.Uint64(data[8:16]); gen != wantGen {
+		return walReplay{}, fmt.Errorf("persist: %s: header generation %d, want %d", filepath.Base(path), gen, wantGen)
+	}
+	rep := walReplay{validSize: walHeaderSize}
+	off := int64(walHeaderSize)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break
+		}
+		if len(rest) < frameHeaderSize {
+			break // torn frame header
+		}
+		plen := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if plen == 0 || plen > maxRecordSize {
+			break // implausible length: corruption
+		}
+		if len(rest) < frameHeaderSize+int(plen) {
+			break // torn payload
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(plen)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn or bit-rotted write
+		}
+		rec, err := decodeRecordPayload(payload)
+		if err != nil {
+			break // framed but undecodable: treat as corruption boundary
+		}
+		apply(rec)
+		rep.records++
+		off += frameHeaderSize + int64(plen)
+		rep.validSize = off
+	}
+	rep.tornBytes = int64(len(data)) - rep.validSize
+	return rep, nil
+}
+
+// openWALForAppend opens an existing WAL whose valid prefix is
+// validSize bytes, truncating any torn tail so new records extend the
+// last complete one.
+func openWALForAppend(path string, validSize int64, nosync bool) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: truncate wal tail: %w", err)
+	}
+	if _, err := f.Seek(validSize, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: seek wal: %w", err)
+	}
+	if !nosync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: sync truncated wal: %w", err)
+		}
+	}
+	return f, nil
+}

@@ -45,6 +45,11 @@
 // out nodes that stop refreshing. cmd/ncserve exposes a Registry over
 // HTTP JSON as a deployable proximity service.
 //
+// OpenPersistentRegistry makes the registry durable: mutations are
+// appended to a write-ahead log and compacted into snapshots, so a
+// restarted service comes back warm with every coordinate and update
+// time intact instead of re-learning the space from scratch.
+//
 // For one-shot selections over a slice you already hold, Nearest and
 // MinimaxPlacement remain the lightweight entry points.
 package netcoord
@@ -416,6 +421,22 @@ func (c *Client) ForgetLink(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.bank.Forget(id)
+	c.forgetNN(id)
+}
+
+// forgetNN clears the cached nearest-neighbor state when the departed
+// peer is the current nearest neighbor. Without this the RELATIVE
+// policy keeps measuring centroid shift against the departed peer's
+// stale coordinate indefinitely; resetting lets the next observation
+// elect a new nearest neighbor. Callers hold c.mu.
+func (c *Client) forgetNN(id string) {
+	if c.nnID != id {
+		return
+	}
+	c.nnID = ""
+	c.nnDist = inf()
+	c.nnCoord = Coordinate{}
+	c.hasNN = false
 }
 
 // Links reports how many peers hold filter state.

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"netcoord/internal/node"
-	"netcoord/internal/vivaldi"
 )
 
 // NodeConfig configures a live, self-contained coordinate node: UDP
@@ -43,48 +42,51 @@ type Node struct {
 
 // StartNode launches a live node. Stop it with Stop.
 func StartNode(cfg NodeConfig) (*Node, error) {
-	clientCfg := cfg.Client
-	if clientCfg.Dimension == 0 && clientCfg.Policy == 0 {
-		clientCfg = DefaultConfig()
-	}
-	resolved, vcfg, err := resolve(clientCfg)
+	ncfg, _, err := nodeConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	policy, err := buildPolicy(resolved)
-	if err != nil {
-		return nil, fmt.Errorf("netcoord: %w", err)
-	}
-	factory, err := buildFilterFactory(resolved)
-	if err != nil {
-		return nil, fmt.Errorf("netcoord: %w", err)
-	}
-	var updates chan<- node.Update
-	if cfg.Updates != nil {
-		updates = cfg.Updates
-	}
-	inner, err := node.Start(node.Config{
-		ListenAddr:     cfg.ListenAddr,
-		Seeds:          cfg.Seeds,
-		Vivaldi:        vcfgWithDefaults(vcfg),
-		Filter:         factory,
-		Policy:         policy,
-		SampleInterval: cfg.SampleInterval,
-		PingTimeout:    cfg.PingTimeout,
-		MaxNeighbors:   cfg.MaxNeighbors,
-		Updates:        updates,
-	})
+	inner, err := node.Start(ncfg)
 	if err != nil {
 		return nil, fmt.Errorf("netcoord: %w", err)
 	}
 	return &Node{inner: inner}, nil
 }
 
-func vcfgWithDefaults(v vivaldi.Config) vivaldi.Config {
-	if v.Dimension == 0 {
-		return vivaldi.DefaultConfig()
+// nodeConfig resolves a NodeConfig into the internal node's
+// configuration, also returning the resolved Client tuning. resolve
+// fills per-field defaults, so a partially specified Client keeps every
+// field the user did set (a Config with only, say, MaxLinks or Seed
+// must not be silently swapped for DefaultConfig). Split from StartNode
+// so the resolution is testable without binding a socket.
+func nodeConfig(cfg NodeConfig) (node.Config, Config, error) {
+	resolved, vcfg, err := resolve(cfg.Client)
+	if err != nil {
+		return node.Config{}, Config{}, err
 	}
-	return v
+	policy, err := buildPolicy(resolved)
+	if err != nil {
+		return node.Config{}, Config{}, fmt.Errorf("netcoord: %w", err)
+	}
+	factory, err := buildFilterFactory(resolved)
+	if err != nil {
+		return node.Config{}, Config{}, fmt.Errorf("netcoord: %w", err)
+	}
+	var updates chan<- node.Update
+	if cfg.Updates != nil {
+		updates = cfg.Updates
+	}
+	return node.Config{
+		ListenAddr:     cfg.ListenAddr,
+		Seeds:          cfg.Seeds,
+		Vivaldi:        vcfg,
+		Filter:         factory,
+		Policy:         policy,
+		SampleInterval: cfg.SampleInterval,
+		PingTimeout:    cfg.PingTimeout,
+		MaxNeighbors:   cfg.MaxNeighbors,
+		Updates:        updates,
+	}, resolved, nil
 }
 
 // Stop terminates sampling and closes the socket.

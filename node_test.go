@@ -1,0 +1,63 @@
+package netcoord
+
+import "testing"
+
+func TestNodeConfigKeepsPartialClientConfig(t *testing.T) {
+	// Regression: StartNode used to replace the whole Client config with
+	// DefaultConfig when Dimension and Policy were both zero, silently
+	// discarding every other user-set field. resolve fills per-field
+	// defaults, so a partial config must keep what the user set.
+	cfg := NodeConfig{
+		ListenAddr: "127.0.0.1:0",
+		Client: Config{
+			MaxLinks:    7,
+			Seed:        99,
+			ErrorMargin: 1.5,
+			CC:          0.1,
+		},
+	}
+	ncfg, resolved, err := nodeConfig(cfg)
+	if err != nil {
+		t.Fatalf("nodeConfig: %v", err)
+	}
+	if resolved.MaxLinks != 7 {
+		t.Fatalf("MaxLinks = %d, want 7 (user-set field discarded)", resolved.MaxLinks)
+	}
+	if resolved.Seed != 99 {
+		t.Fatalf("Seed = %d, want 99", resolved.Seed)
+	}
+	if resolved.ErrorMargin != 1.5 {
+		t.Fatalf("ErrorMargin = %v, want 1.5", resolved.ErrorMargin)
+	}
+	if resolved.CC != 0.1 {
+		t.Fatalf("CC = %v, want 0.1", resolved.CC)
+	}
+	// Unset fields still resolve to the paper defaults.
+	if resolved.Dimension != DefaultConfig().Dimension {
+		t.Fatalf("Dimension = %d, want default %d", resolved.Dimension, DefaultConfig().Dimension)
+	}
+	if resolved.Policy != PolicyEnergy {
+		t.Fatalf("Policy = %d, want PolicyEnergy", resolved.Policy)
+	}
+	// The derived Vivaldi config carries the user tuning too.
+	if ncfg.Vivaldi.Seed != 99 || ncfg.Vivaldi.ErrorMargin != 1.5 || ncfg.Vivaldi.CC != 0.1 {
+		t.Fatalf("vivaldi config dropped user fields: %+v", ncfg.Vivaldi)
+	}
+}
+
+func TestNodeConfigDisableFilter(t *testing.T) {
+	// DisableFilter alone (Dimension == 0, Policy == 0) used to be
+	// swallowed by the DefaultConfig swap; the factory must now produce
+	// pass-through filters.
+	ncfg, resolved, err := nodeConfig(NodeConfig{Client: Config{DisableFilter: true}})
+	if err != nil {
+		t.Fatalf("nodeConfig: %v", err)
+	}
+	if !resolved.DisableFilter {
+		t.Fatal("DisableFilter discarded")
+	}
+	f := ncfg.Filter()
+	if est, ok := f.Observe(123); !ok || est != 123 {
+		t.Fatalf("first observation = %v, %v; want pass-through 123, true", est, ok)
+	}
+}

@@ -78,11 +78,12 @@ func (c *Client) NearestPeers(k int) ([]Ranked, error) {
 	return Nearest(self, candidates, k)
 }
 
-// ForgetPeer drops both the remembered coordinate and the link filter
-// state for a departed peer.
+// ForgetPeer drops the remembered coordinate, the link filter state,
+// and any cached nearest-neighbor status for a departed peer.
 func (c *Client) ForgetPeer(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.peers, id)
 	c.bank.Forget(id)
+	c.forgetNN(id)
 }

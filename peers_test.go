@@ -143,3 +143,56 @@ func TestPeerCoordinateIsolatedFromCaller(t *testing.T) {
 		t.Fatal("PeerCoordinate aliases internal state")
 	}
 }
+
+// nnForgotten reports whether the client's cached nearest-neighbor
+// state is fully cleared.
+func nnForgotten(c *Client) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.hasNN && c.nnID == "" && math.IsInf(c.nnDist, 1)
+}
+
+func TestForgetPeerClearsNearestNeighbor(t *testing.T) {
+	// Regression: forgetting the current nearest neighbor used to leave
+	// nnID/nnDist/nnCoord behind, so the RELATIVE policy kept measuring
+	// centroid shift against the departed peer's stale coordinate
+	// forever (and no farther peer could ever displace its distance).
+	c := observedClient(t)
+	c.mu.Lock()
+	nn := c.nnID
+	c.mu.Unlock()
+	if nn != "near" {
+		t.Fatalf("nearest neighbor = %q, want \"near\"", nn)
+	}
+
+	// Forgetting a non-NN peer must leave the cached NN alone.
+	c.ForgetPeer("far")
+	if nnForgotten(c) {
+		t.Fatal("forgetting a non-NN peer cleared the nearest neighbor")
+	}
+
+	c.ForgetPeer("near")
+	if !nnForgotten(c) {
+		t.Fatal("forgetting the nearest neighbor left its cached state behind")
+	}
+
+	// The next observed peer is elected NN even though it is farther
+	// than the departed one ever was.
+	if _, err := c.Observe("mid", 80, c3(80, 0, 0), 0.3); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	c.mu.Lock()
+	nn, has := c.nnID, c.hasNN
+	c.mu.Unlock()
+	if !has || nn != "mid" {
+		t.Fatalf("after forget, nearest neighbor = %q (has=%v), want \"mid\"", nn, has)
+	}
+}
+
+func TestForgetLinkClearsNearestNeighbor(t *testing.T) {
+	c := observedClient(t)
+	c.ForgetLink("near")
+	if !nnForgotten(c) {
+		t.Fatal("ForgetLink left the departed peer's nearest-neighbor state behind")
+	}
+}

@@ -1,0 +1,215 @@
+package netcoord
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"netcoord/internal/coord"
+	"netcoord/internal/persist"
+)
+
+// PersistentRegistryConfig assembles a PersistentRegistry.
+type PersistentRegistryConfig struct {
+	// Registry configures the in-memory registry being persisted. Its
+	// Dimension must fit the coordinate wire format (<= 16).
+	Registry RegistryConfig
+	// Dir is the data directory holding the snapshot and WAL files. It
+	// is created if missing. Exactly one open registry may use a
+	// directory at a time.
+	Dir string
+	// SnapshotInterval is how often the WAL is compacted into a fresh
+	// snapshot; 0 means DefaultSnapshotInterval, negative disables the
+	// background compactor (call Compact yourself).
+	SnapshotInterval time.Duration
+	// FlushInterval is the WAL group-commit window: a mutation is
+	// durable at most this long after the call that applied it returns.
+	// 0 means the persist layer's default (50ms).
+	FlushInterval time.Duration
+	// NoSync skips fsync entirely. Only for tests.
+	NoSync bool
+}
+
+// DefaultSnapshotInterval is the default WAL compaction cadence.
+const DefaultSnapshotInterval = 5 * time.Minute
+
+// PersistentRegistry is a Registry whose contents survive restarts. It
+// embeds a fully functional Registry — every query and mutation method
+// works unchanged, and mutations arriving through any path (Upsert,
+// UpsertBatch, Remove, Feed, TTL eviction) are appended to a
+// write-ahead log and periodically compacted into a snapshot.
+//
+// Open recovers the previous state before returning: the newest
+// snapshot is loaded through UpsertBatch — which bulk-builds the
+// spatial index per shard in one O(n log n) pass — and the WAL tail is
+// replayed on top. Entry UpdatedAt times are preserved, so TTL
+// eviction remains correct across downtime: entries that went stale
+// while the service was down age out on the first janitor sweep
+// instead of being granted a fresh lease.
+//
+// Durability is group-committed: the WAL is fsynced every
+// FlushInterval, so a hard crash can lose at most that window of
+// mutations (a graceful Close loses nothing). Coordinate entries are
+// continuously re-published by their nodes, which makes that window an
+// easy trade for mutation paths that never block on the disk.
+type PersistentRegistry struct {
+	*Registry
+	store    *persist.Store
+	interval time.Duration
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// storeRecorder adapts the registry's mutation hook to the store's log.
+// Log calls only enqueue (the store's flusher owns the disk), so they
+// are safe under the shard locks the hook is invoked with.
+type storeRecorder struct {
+	s *persist.Store
+}
+
+func (r storeRecorder) recordUpsert(e RegistryEntry) {
+	r.s.LogUpsert(persist.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt})
+}
+
+func (r storeRecorder) recordRemove(id string) { r.s.LogRemove(id) }
+
+func (r storeRecorder) recordEvict(ids []string) { r.s.LogEvict(ids) }
+
+// OpenPersistentRegistry opens the data directory, recovers the
+// persisted entries into a new Registry, and starts logging mutations
+// and compacting snapshots. Call Close to flush and release it.
+func OpenPersistentRegistry(cfg PersistentRegistryConfig) (*PersistentRegistry, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("netcoord: persistent registry: empty data directory")
+	}
+	dim := cfg.Registry.Dimension
+	if dim == 0 {
+		dim = DefaultConfig().Dimension
+	}
+	if dim > coord.MaxDimension {
+		return nil, fmt.Errorf("netcoord: persistent registry: dimension %d exceeds persistable maximum %d", dim, coord.MaxDimension)
+	}
+	interval := cfg.SnapshotInterval
+	if interval == 0 {
+		interval = DefaultSnapshotInterval
+	}
+
+	store, recovered, err := persist.Open(cfg.Dir, persist.Options{
+		FlushInterval: cfg.FlushInterval,
+		NoSync:        cfg.NoSync,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netcoord: persistent registry: %w", err)
+	}
+	// Build the registry with its janitor deferred: the recorder must be
+	// installed before any background goroutine can mutate (an eviction
+	// during recovery would go unlogged and resurrect on the next open).
+	reg, err := newRegistry(cfg.Registry)
+	if err != nil {
+		_ = store.Close()
+		return nil, err
+	}
+	// Ids the wire format cannot encode are rejected at upsert time;
+	// accepting them would make those entries silently non-durable and
+	// wedge every compaction.
+	reg.validateID = persist.ValidateID
+	if len(recovered) > 0 {
+		batch := make([]RegistryEntry, len(recovered))
+		for i, e := range recovered {
+			batch[i] = RegistryEntry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt}
+		}
+		// Every shard is empty, so this lands on the index.Build bulk
+		// path: one balanced O(n log n) construction per shard instead
+		// of n incremental inserts. UpdatedAt values are preserved
+		// (UpsertBatch only stamps zero timestamps).
+		if err := reg.UpsertBatch(batch); err != nil {
+			reg.Close()
+			_ = store.Close()
+			return nil, fmt.Errorf("netcoord: persistent registry: recovered state rejected (was the directory written with a different -dim?): %w", err)
+		}
+	}
+	// Hook up logging only after recovery, so recovered entries are not
+	// re-appended to the log they came from; only then may the janitor
+	// start evicting.
+	reg.recorder = storeRecorder{s: store}
+	reg.startJanitor()
+
+	p := &PersistentRegistry{
+		Registry: reg,
+		store:    store,
+		interval: interval,
+		done:     make(chan struct{}),
+	}
+	if interval > 0 {
+		p.wg.Add(1)
+		go p.compactor()
+	}
+	return p, nil
+}
+
+// compactor periodically folds the WAL into a fresh snapshot.
+func (p *PersistentRegistry) compactor() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+			// Compaction failures (e.g. disk full) must not kill the
+			// registry; the WAL keeps growing and the next tick retries.
+			_ = p.Compact()
+		}
+	}
+}
+
+// Compact folds the current WAL into a fresh snapshot now. The
+// background compactor calls this every SnapshotInterval; it is
+// exported for deployments that prefer to schedule compaction
+// themselves (e.g. before a planned restart, to make recovery fastest).
+func (p *PersistentRegistry) Compact() error {
+	return p.store.Compact(func() ([]persist.Entry, error) {
+		snap := p.Registry.Snapshot()
+		entries := make([]persist.Entry, len(snap))
+		for i, e := range snap {
+			entries[i] = persist.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt}
+		}
+		return entries, nil
+	})
+}
+
+// Sync forces a WAL group commit: every mutation applied before the
+// call is durable when it returns.
+func (p *PersistentRegistry) Sync() error { return p.store.Sync() }
+
+// Recovery reports what Open reconstructed from the data directory.
+func (p *PersistentRegistry) Recovery() persist.RecoveryStats { return p.store.Recovery() }
+
+// Err returns the persistence layer's sticky I/O error, if it has
+// failed. A failed store keeps the registry serving (availability over
+// durability) but mutations are no longer being logged — services
+// should surface this to their callers, as ncserve does on every
+// mutation response and in /stats.
+func (p *PersistentRegistry) Err() error { return p.store.Err() }
+
+// PersistStats snapshots the persistence layer's operational counters.
+func (p *PersistentRegistry) PersistStats() persist.StoreStats { return p.store.Stats() }
+
+// Close stops the compactor, the TTL janitor, and any feeds, then
+// performs a final WAL commit and releases the data directory. It
+// returns the store's sticky I/O error, if persistence had failed.
+func (p *PersistentRegistry) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.wg.Wait()
+		// Stop the registry's own background work (janitor, feeds)
+		// first so no mutations race the final flush.
+		p.Registry.Close()
+		p.closeErr = p.store.Close()
+	})
+	return p.closeErr
+}

@@ -81,6 +81,26 @@ type RegistryStats struct {
 	IndexRebuilds   uint64 `json:"index_rebuilds"`
 }
 
+// mutationRecorder receives every mutation a Registry applies — the
+// hook the persistence layer (PersistentRegistry) uses to write its
+// WAL. Calls are made while the owning shard's lock is held, so the
+// recorded order matches the applied order for any given id; the
+// implementation must therefore only enqueue, never block on I/O.
+// The field is set before the registry is shared and never changed.
+type mutationRecorder interface {
+	recordUpsert(e RegistryEntry)
+	recordRemove(id string)
+	recordEvict(ids []string)
+}
+
+// logUpsert is the single seam through which every applied upsert
+// reaches the recorder; callers hold the owning shard's lock.
+func (r *Registry) logUpsert(e RegistryEntry) {
+	if r.recorder != nil {
+		r.recorder.recordUpsert(e)
+	}
+}
+
 // registryShard is one lock stripe: a map for point lookups and a
 // spatial index for proximity queries, kept in lockstep.
 type registryShard struct {
@@ -106,9 +126,10 @@ type registryShard struct {
 //
 // Create with NewRegistry, stop the janitor and any feeds with Close.
 type Registry struct {
-	dim   int
-	ttl   time.Duration
-	clock func() time.Time
+	dim             int
+	ttl             time.Duration
+	janitorInterval time.Duration
+	clock           func() time.Time
 
 	mask   uint32
 	shards []*registryShard
@@ -118,6 +139,14 @@ type Registry struct {
 	queries    atomic.Uint64
 	evictions  atomic.Uint64
 	feedErrors atomic.Uint64
+
+	// recorder, when non-nil, is told about every applied mutation; see
+	// mutationRecorder for the contract. validateID, when non-nil,
+	// rejects upserts whose ids the recorder could not represent (the
+	// persistence wire format bounds id length); an accepted-but-
+	// unloggable entry would be silently non-durable.
+	recorder   mutationRecorder
+	validateID func(id string) error
 
 	// lifeMu orders goroutine starts (janitor, feeds) against Close:
 	// wg.Add never races wg.Wait, and no feed can start after Close.
@@ -130,6 +159,19 @@ type Registry struct {
 // NewRegistry builds a Registry and, when cfg.TTL is set, starts its
 // staleness janitor. Call Close when done.
 func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	r, err := newRegistry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.startJanitor()
+	return r, nil
+}
+
+// newRegistry builds a Registry without starting its janitor, so the
+// persistence layer can finish recovery and install its mutation
+// recorder before any background goroutine can read it (or evict
+// unlogged).
+func newRegistry(cfg RegistryConfig) (*Registry, error) {
 	if cfg.Dimension == 0 {
 		cfg.Dimension = DefaultConfig().Dimension
 	}
@@ -177,10 +219,19 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		if interval <= 0 {
 			interval = time.Millisecond
 		}
-		r.wg.Add(1)
-		go r.janitor(interval)
+		r.janitorInterval = interval
 	}
 	return r, nil
+}
+
+// startJanitor launches the staleness janitor when a TTL is set. It is
+// called exactly once, by the constructor that owns the registry.
+func (r *Registry) startJanitor() {
+	if r.janitorInterval <= 0 {
+		return
+	}
+	r.wg.Add(1)
+	go r.janitor(r.janitorInterval)
 }
 
 // Close stops the janitor and every Feed goroutine. The registry remains
@@ -236,6 +287,11 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 		if e.ID == "" {
 			return fmt.Errorf("netcoord: registry upsert: empty id")
 		}
+		if r.validateID != nil {
+			if err := r.validateID(e.ID); err != nil {
+				return fmt.Errorf("netcoord: registry upsert: %w", err)
+			}
+		}
 		if err := e.Coord.Validate(r.dim); err != nil {
 			return fmt.Errorf("netcoord: registry upsert %q: %w", e.ID, err)
 		}
@@ -268,6 +324,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 			for _, e := range group {
 				s.entries[e.ID] = e // later duplicates win, as Build resolves them
 				r.upserts.Add(1)
+				r.logUpsert(e)
 			}
 			s.mu.Unlock()
 			continue
@@ -277,6 +334,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 			if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
 				s.entries[e.ID] = e
 				r.upserts.Add(1)
+				r.logUpsert(e)
 				continue
 			}
 			if err := s.tree.Insert(e.ID, e.Coord); err != nil {
@@ -287,6 +345,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 			}
 			s.entries[e.ID] = e
 			r.upserts.Add(1)
+			r.logUpsert(e)
 		}
 		s.mu.Unlock()
 	}
@@ -296,6 +355,11 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 func (r *Registry) upsertEntry(e RegistryEntry) error {
 	if e.ID == "" {
 		return fmt.Errorf("netcoord: registry upsert: empty id")
+	}
+	if r.validateID != nil {
+		if err := r.validateID(e.ID); err != nil {
+			return fmt.Errorf("netcoord: registry upsert: %w", err)
+		}
 	}
 	if e.UpdatedAt.IsZero() {
 		e.UpdatedAt = r.clock()
@@ -310,6 +374,7 @@ func (r *Registry) upsertEntry(e RegistryEntry) error {
 	if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
 		s.entries[e.ID] = e
 		r.upserts.Add(1)
+		r.logUpsert(e)
 		return nil
 	}
 	if err := s.tree.Insert(e.ID, e.Coord); err != nil {
@@ -317,6 +382,7 @@ func (r *Registry) upsertEntry(e RegistryEntry) error {
 	}
 	s.entries[e.ID] = e
 	r.upserts.Add(1)
+	r.logUpsert(e)
 	return nil
 }
 
@@ -331,6 +397,9 @@ func (r *Registry) Remove(id string) bool {
 	delete(s.entries, id)
 	s.tree.Remove(id)
 	r.removes.Add(1)
+	if r.recorder != nil {
+		r.recorder.recordRemove(id)
+	}
 	return true
 }
 
@@ -505,13 +574,20 @@ func (r *Registry) EvictStale() int {
 	cutoff := r.clock().Add(-r.ttl)
 	evicted := 0
 	for _, s := range r.shards {
+		var evictedIDs []string
 		s.mu.Lock()
 		for id, e := range s.entries {
 			if e.UpdatedAt.Before(cutoff) {
 				delete(s.entries, id)
 				s.tree.Remove(id)
 				evicted++
+				if r.recorder != nil {
+					evictedIDs = append(evictedIDs, id)
+				}
 			}
+		}
+		if len(evictedIDs) > 0 {
+			r.recorder.recordEvict(evictedIDs)
 		}
 		s.mu.Unlock()
 	}

@@ -7,9 +7,9 @@ import (
 	"netcoord/internal/heuristic"
 )
 
-// observationFor primes a policy with a restored system coordinate.
-func observationFor(sys Coordinate) heuristic.Observation {
-	return heuristic.Observation{Sys: sys}
+// observationFor primes a policy with a restored coordinate.
+func observationFor(c Coordinate) heuristic.Observation {
+	return heuristic.Observation{Sys: c}
 }
 
 // Snapshot is a serializable capture of a Client's coordinate state.
@@ -48,11 +48,14 @@ func (c *Client) Snapshot() Snapshot {
 	}
 }
 
-// Restore loads a snapshot into the client. The coordinate is validated
-// against the client's dimension; the application-level coordinate is
-// re-primed from the restored system coordinate (the snapshot's App is
-// advisory — the policy windows restart empty, so the next significant
-// change will republish).
+// Restore loads a snapshot into the client. Both coordinates are
+// validated against the client's dimension. The policy is re-primed
+// with the persisted application-level coordinate — not the system
+// coordinate — so the node resumes publishing its stable pre-restart
+// position and only moves on the next genuinely significant change;
+// priming with Sys would make every restart an application-coordinate
+// jump, exactly the churn the system/app split exists to prevent. The
+// policy windows restart empty and refill from live observations.
 func (c *Client) Restore(s Snapshot) error {
 	if s.Version != snapshotVersion {
 		return fmt.Errorf("netcoord: snapshot version %d, want %d", s.Version, snapshotVersion)
@@ -62,14 +65,23 @@ func (c *Client) Restore(s Snapshot) error {
 	if err := s.Sys.Validate(c.cfg.Dimension); err != nil {
 		return fmt.Errorf("netcoord: restore: %w", err)
 	}
+	app := s.App
+	if app.Dim() == 0 {
+		// Version-1 blobs written before App was authoritative (or
+		// hand-built without it) carry a zero App; fall back to the old
+		// behavior of priming from Sys rather than rejecting a snapshot
+		// that used to restore fine.
+		app = s.Sys
+	}
+	if err := app.Validate(c.cfg.Dimension); err != nil {
+		return fmt.Errorf("netcoord: restore: %w", err)
+	}
 	if err := c.viv.SetCoordinate(s.Sys); err != nil {
 		return fmt.Errorf("netcoord: restore: %w", err)
 	}
 	c.viv.SetError(s.Error)
-	// Restart the policy from the restored position: its windows refill
-	// from live observations.
 	c.policy.Reset()
-	if _, _, err := c.policy.Observe(observationFor(s.Sys)); err != nil {
+	if _, _, err := c.policy.Observe(observationFor(app)); err != nil {
 		return fmt.Errorf("netcoord: restore: %w", err)
 	}
 	// Per-link filters restart; their four-observation histories are

@@ -58,9 +58,44 @@ func TestRestoreRoundTrip(t *testing.T) {
 	if fresh.Error() != s.Error {
 		t.Fatalf("restored error %v != snapshot %v", fresh.Error(), s.Error)
 	}
-	// The app coordinate is re-primed from the system coordinate.
-	if !fresh.AppCoordinate().Equal(s.Sys) {
-		t.Fatalf("restored app coordinate %v, want primed to %v", fresh.AppCoordinate(), s.Sys)
+	// The app coordinate resumes the persisted published position — not
+	// the system coordinate, which would jump the published coordinate
+	// on every restart (the regression this guards against).
+	if !fresh.AppCoordinate().Equal(s.App) {
+		t.Fatalf("restored app coordinate %v, want persisted %v", fresh.AppCoordinate(), s.App)
+	}
+}
+
+func TestRestoreKeepsStablePublishedApp(t *testing.T) {
+	// With the ENERGY policy the app coordinate stays at its last
+	// published position while the system coordinate keeps evolving, so
+	// a converged client has App != Sys. A restart must resume the
+	// published App, not republish at Sys.
+	orig := convergedClient(t)
+	s := orig.Snapshot()
+	if s.App.Equal(s.Sys) {
+		t.Fatal("test premise broken: snapshot App == Sys, cannot distinguish priming")
+	}
+	fresh, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := fresh.Restore(s); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := fresh.AppCoordinate(); !got.Equal(s.App) {
+		t.Fatalf("restart published app coordinate %v, want persisted %v", got, s.App)
+	}
+}
+
+func TestRestoreRejectsBadAppCoordinate(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	s := Snapshot{Version: snapshotVersion, Sys: Origin(3), App: Origin(2)}
+	if err := c.Restore(s); err == nil {
+		t.Fatal("wrong-dimension app coordinate accepted")
 	}
 }
 
@@ -172,5 +207,22 @@ func TestRestoreThenObserveContinues(t *testing.T) {
 	}
 	if math.Abs(est-60) > 8 {
 		t.Fatalf("estimate %v after restore+observe, want ~60", est)
+	}
+}
+
+func TestRestoreLegacySnapshotWithoutApp(t *testing.T) {
+	// Version-1 blobs written before App was authoritative may omit it
+	// (zero coordinate); they must still restore, primed from Sys as
+	// the old behavior did.
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	sys := c3(10, -5, 2)
+	if err := c.Restore(Snapshot{Version: snapshotVersion, Sys: sys, Error: 0.4}); err != nil {
+		t.Fatalf("Restore of legacy App-less snapshot: %v", err)
+	}
+	if !c.AppCoordinate().Equal(sys) {
+		t.Fatalf("legacy restore app = %v, want primed from sys %v", c.AppCoordinate(), sys)
 	}
 }
