@@ -1,0 +1,255 @@
+package netcoord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"netcoord/internal/changefeed"
+)
+
+// DefaultChangeStreamBuffer is the change-stream ring size used when a
+// component that requires the stream (PersistentRegistry, ncserve) is
+// built without an explicit RegistryConfig.ChangeStreamBuffer.
+const DefaultChangeStreamBuffer = 4096
+
+// ErrChangeStreamDisabled is returned by change-stream methods on a
+// registry built without RegistryConfig.ChangeStreamBuffer.
+var ErrChangeStreamDisabled = errors.New("netcoord: change stream disabled (set RegistryConfig.ChangeStreamBuffer)")
+
+// ErrChangeHistoryTruncated is returned by ChangesSince when the
+// requested resume point is older than the retained history — the
+// in-memory ring for a plain Registry, the ring plus the WAL for a
+// PersistentRegistry. The consumer must re-bootstrap from a snapshot
+// (SnapshotWithSeq, or ncserve's /snapshot) instead of resuming.
+var ErrChangeHistoryTruncated = errors.New("netcoord: change history truncated; re-bootstrap from a snapshot")
+
+// Change-stream operation names, as carried on the wire.
+const (
+	// ChangeUpsert inserts or refreshes the event's Entry.
+	ChangeUpsert = "upsert"
+	// ChangeRemove deletes the event's ID.
+	ChangeRemove = "remove"
+	// ChangeEvict deletes every id in the event's IDs (TTL eviction).
+	ChangeEvict = "evict"
+)
+
+// ChangeEntry is the wire form of a registry entry inside a change
+// event or a snapshot. UpdatedAt travels as Unix nanoseconds so a
+// replica reconstructs the exact timestamp (TTL eviction stays correct
+// after a follower is promoted), unhurt by textual time round-trips.
+type ChangeEntry struct {
+	ID                string     `json:"id"`
+	Coord             Coordinate `json:"coord"`
+	Error             float64    `json:"error,omitempty"`
+	UpdatedAtUnixNano int64      `json:"updated_at_unix_nano"`
+}
+
+// Entry converts the wire form back to a registry entry.
+func (e ChangeEntry) Entry() RegistryEntry {
+	return RegistryEntry{
+		ID:        e.ID,
+		Coord:     e.Coord,
+		Error:     e.Error,
+		UpdatedAt: time.Unix(0, e.UpdatedAtUnixNano),
+	}
+}
+
+// toChangeEntry builds the wire form of a registry entry.
+func toChangeEntry(e RegistryEntry) ChangeEntry {
+	return ChangeEntry{
+		ID:                e.ID,
+		Coord:             e.Coord,
+		Error:             e.Error,
+		UpdatedAtUnixNano: e.UpdatedAt.UnixNano(),
+	}
+}
+
+// ChangeEvent is one sequenced registry mutation, in the form served
+// over HTTP and consumed by followers. Sequence numbers are dense and
+// monotonic: a consumer holding everything through sequence N resumes
+// with since=N and misses nothing.
+type ChangeEvent struct {
+	// Seq is the event's position in the total mutation order.
+	Seq uint64 `json:"seq"`
+	// Op is ChangeUpsert, ChangeRemove, or ChangeEvict.
+	Op string `json:"op"`
+	// Entry is set for upserts.
+	Entry *ChangeEntry `json:"entry,omitempty"`
+	// ID is set for removes.
+	ID string `json:"id,omitempty"`
+	// IDs is set for evictions.
+	IDs []string `json:"ids,omitempty"`
+}
+
+// fromFeedEvent converts an internal feed event to the wire form.
+func fromFeedEvent(ev changefeed.Event) ChangeEvent {
+	out := ChangeEvent{Seq: ev.Seq}
+	switch ev.Op {
+	case changefeed.OpUpsert:
+		out.Op = ChangeUpsert
+		entry := toChangeEntry(RegistryEntry{
+			ID:        ev.Entry.ID,
+			Coord:     ev.Entry.Coord,
+			Error:     ev.Entry.Error,
+			UpdatedAt: ev.Entry.UpdatedAt,
+		})
+		out.Entry = &entry
+	case changefeed.OpRemove:
+		out.Op = ChangeRemove
+		out.ID = ev.ID
+	case changefeed.OpEvict:
+		out.Op = ChangeEvict
+		out.IDs = ev.IDs
+	}
+	return out
+}
+
+// ChangeStreamStats is an operational snapshot of a registry's change
+// stream.
+type ChangeStreamStats struct {
+	// Enabled reports whether the stream exists at all.
+	Enabled bool `json:"enabled"`
+	// Seq is the last assigned sequence number.
+	Seq uint64 `json:"seq"`
+	// Published counts events published by this process.
+	Published uint64 `json:"published"`
+	// Subscribers is the live subscription count.
+	Subscribers int `json:"subscribers"`
+	// Overflows counts events dropped to full subscriber buffers.
+	Overflows uint64 `json:"overflows"`
+	// OldestSeq is the oldest event still in the catch-up ring.
+	OldestSeq uint64 `json:"oldest_seq"`
+	// RingLen and RingCap describe the ring's fill.
+	RingLen int `json:"ring_len"`
+	RingCap int `json:"ring_cap"`
+}
+
+// ChangeSeq returns the sequence number of the most recent mutation
+// (0 if nothing has mutated), or 0 with the stream disabled. A client
+// that reads state and then subscribes with since=ChangeSeq observes
+// every later mutation with no gap — the race-free read-then-follow
+// handshake.
+func (r *Registry) ChangeSeq() uint64 {
+	if r.feed == nil {
+		return 0
+	}
+	return r.feed.Seq()
+}
+
+// ChangeStreamStats snapshots the change stream's counters; Enabled is
+// false (and the rest zero) when the stream is disabled.
+func (r *Registry) ChangeStreamStats() ChangeStreamStats {
+	if r.feed == nil {
+		return ChangeStreamStats{}
+	}
+	st := r.feed.Stats()
+	return ChangeStreamStats{
+		Enabled:     true,
+		Seq:         st.Seq,
+		Published:   st.Published,
+		Subscribers: st.Subscribers,
+		Overflows:   st.Overflows,
+		OldestSeq:   st.OldestSeq,
+		RingLen:     st.RingLen,
+		RingCap:     st.RingCap,
+	}
+}
+
+// ChangesSince returns up to max events with sequence > since, oldest
+// first, from the in-memory ring (max <= 0 means no limit). It returns
+// ErrChangeHistoryTruncated when the ring no longer reaches back to
+// since+1; a PersistentRegistry extends this with WAL replay before
+// giving up — use its method when one is available.
+func (r *Registry) ChangesSince(since uint64, max int) ([]ChangeEvent, error) {
+	if r.feed == nil {
+		return nil, ErrChangeStreamDisabled
+	}
+	evs, err := r.feed.Since(since, max)
+	if errors.Is(err, changefeed.ErrTruncated) {
+		return nil, fmt.Errorf("%w (ring starts at %d, requested %d)", ErrChangeHistoryTruncated, r.feed.OldestBuffered(), since+1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ChangeEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = fromFeedEvent(ev)
+	}
+	return out, nil
+}
+
+// SnapshotWithSeq captures every live entry together with the stream
+// sequence read immediately before the capture — the bootstrap pair
+// for a replica: apply the entries, then resume the stream with
+// since=seq. The entries are a superset of the state at seq, and
+// replaying events above seq over them converges exactly because
+// events are per-id last-write-wins.
+func (r *Registry) SnapshotWithSeq() ([]RegistryEntry, uint64) {
+	seq := r.ChangeSeq()
+	return r.Snapshot(), seq
+}
+
+// ChangeSubscription delivers a registry's change events in sequence
+// order. Receive from C; the channel closes when the subscription or
+// the registry is closed. A subscriber that cannot keep up loses
+// events rather than slowing mutations — detect the loss by a gap in
+// Seq (or Dropped > 0) and repair it with ChangesSince.
+type ChangeSubscription struct {
+	inner     *changefeed.Subscription
+	out       chan ChangeEvent
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// SubscribeChanges attaches a subscriber buffering up to buffer events
+// (minimum 1). The subscription observes every event with sequence >
+// JoinSeq; fetch history at or before JoinSeq with ChangesSince — the
+// split is what makes catch-up-then-follow race-free.
+func (r *Registry) SubscribeChanges(buffer int) (*ChangeSubscription, error) {
+	if r.feed == nil {
+		return nil, ErrChangeStreamDisabled
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &ChangeSubscription{
+		inner: r.feed.Subscribe(buffer),
+		out:   make(chan ChangeEvent, 1),
+		done:  make(chan struct{}),
+	}
+	go s.forward()
+	return s, nil
+}
+
+// forward converts internal events to the wire type. The inner channel
+// carries the configured buffer; the outer channel only smooths the
+// hand-off.
+func (s *ChangeSubscription) forward() {
+	defer close(s.out)
+	for ev := range s.inner.C() {
+		select {
+		case s.out <- fromFeedEvent(ev):
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// C is the event channel; it closes after Close (or registry Close),
+// once buffered events have been delivered.
+func (s *ChangeSubscription) C() <-chan ChangeEvent { return s.out }
+
+// JoinSeq is the stream sequence at attach time.
+func (s *ChangeSubscription) JoinSeq() uint64 { return s.inner.JoinSeq() }
+
+// Dropped counts events lost to a full buffer.
+func (s *ChangeSubscription) Dropped() uint64 { return s.inner.Dropped() }
+
+// Close detaches the subscription. Safe to call multiple times and
+// from multiple goroutines.
+func (s *ChangeSubscription) Close() {
+	s.inner.Close()
+	s.closeOnce.Do(func() { close(s.done) })
+}

@@ -1,0 +1,53 @@
+package netcoord
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkWatchFanout measures the mutation hot path with a realistic
+// watcher population attached: every upsert is sequenced, retained in
+// the ring, and offered to 64 subscriber buffers. This is the cost a
+// leader pays per mutation for the entire push-based distribution
+// layer — it must stay within a small multiple of the bare upsert.
+func BenchmarkWatchFanout(b *testing.B) {
+	for _, subs := range []int{0, 8, 64} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			r, err := NewRegistry(RegistryConfig{ChangeStreamBuffer: 1 << 14})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var drained sync.WaitGroup
+			for i := 0; i < subs; i++ {
+				sub, err := r.SubscribeChanges(1 << 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				drained.Add(1)
+				go func(s *ChangeSubscription) {
+					defer drained.Done()
+					for range s.C() {
+					}
+				}(sub)
+			}
+			const population = 1024
+			ids := make([]string, population)
+			coords := make([]Coordinate, population)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("node-%04d", i)
+				coords[i] = c3(float64(i%97), float64(i%89), float64(i%13))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Upsert(ids[i%population], coords[(i+1)%population], 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			r.Close() // closes subscriptions; drain goroutines exit
+			drained.Wait()
+		})
+	}
+}

@@ -1,0 +1,464 @@
+package netcoord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// applyChangeEvents replays wire events over a state map the way a
+// follower does — per-id last-write-wins.
+func applyChangeEvents(state map[string]RegistryEntry, evs []ChangeEvent) error {
+	for _, ev := range evs {
+		switch ev.Op {
+		case ChangeUpsert:
+			if ev.Entry == nil {
+				return fmt.Errorf("upsert event %d without entry", ev.Seq)
+			}
+			state[ev.Entry.ID] = ev.Entry.Entry()
+		case ChangeRemove:
+			delete(state, ev.ID)
+		case ChangeEvict:
+			for _, id := range ev.IDs {
+				delete(state, id)
+			}
+		default:
+			return fmt.Errorf("unknown op %q", ev.Op)
+		}
+	}
+	return nil
+}
+
+// assertStateMatchesRegistry compares a reconstructed state map with
+// the registry's live contents, including exact UpdatedAt times.
+func assertStateMatchesRegistry(t *testing.T, state map[string]RegistryEntry, reg *Registry) {
+	t.Helper()
+	live := reg.Snapshot()
+	if len(live) != len(state) {
+		t.Fatalf("reconstructed %d entries, live registry has %d", len(state), len(live))
+	}
+	for _, e := range live {
+		got, ok := state[e.ID]
+		if !ok {
+			t.Fatalf("live entry %q missing from reconstruction", e.ID)
+		}
+		if !got.Coord.Equal(e.Coord) || got.Error != e.Error {
+			t.Fatalf("entry %q mismatch: got %+v, live %+v", e.ID, got, e)
+		}
+		if got.UpdatedAt.UnixNano() != e.UpdatedAt.UnixNano() {
+			t.Fatalf("entry %q UpdatedAt drifted: got %v, live %v", e.ID, got.UpdatedAt, e.UpdatedAt)
+		}
+	}
+}
+
+func TestChangeStreamDisabledByDefault(t *testing.T) {
+	r := newTestRegistry(t, RegistryConfig{})
+	if err := r.Upsert("a", c3(1, 0, 0), 0); err != nil {
+		t.Fatalf("Upsert: %v", err)
+	}
+	if got := r.ChangeSeq(); got != 0 {
+		t.Fatalf("ChangeSeq on disabled stream = %d", got)
+	}
+	if _, err := r.ChangesSince(0, 0); !errors.Is(err, ErrChangeStreamDisabled) {
+		t.Fatalf("ChangesSince err = %v, want ErrChangeStreamDisabled", err)
+	}
+	if _, err := r.SubscribeChanges(8); !errors.Is(err, ErrChangeStreamDisabled) {
+		t.Fatalf("SubscribeChanges err = %v, want ErrChangeStreamDisabled", err)
+	}
+	if st := r.ChangeStreamStats(); st.Enabled {
+		t.Fatal("stats claim the stream is enabled")
+	}
+}
+
+func TestChangeStreamSequencesEveryMutation(t *testing.T) {
+	// Acceptance: zero missed events across 10k mutations — a
+	// subscriber with room for everything sees a dense, gap-free
+	// sequence covering every applied upsert and remove, and replaying
+	// them reconstructs the registry exactly.
+	const mutations = 10_000
+	r := newTestRegistry(t, RegistryConfig{ChangeStreamBuffer: mutations + 64})
+	sub, err := r.SubscribeChanges(mutations + 64)
+	if err != nil {
+		t.Fatalf("SubscribeChanges: %v", err)
+	}
+	defer sub.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	applied := uint64(0)
+	for applied < mutations {
+		if rng.Intn(5) == 0 {
+			// Remove publishes only when something was actually deleted.
+			if r.Remove(fmt.Sprintf("n%04d", rng.Intn(2000))) {
+				applied++
+			}
+		} else {
+			if err := r.Upsert(fmt.Sprintf("n%04d", rng.Intn(2000)), c3(rng.Float64()*100, rng.Float64()*100, 0), 0.1); err != nil {
+				t.Fatalf("Upsert: %v", err)
+			}
+			applied++
+		}
+	}
+	finalSeq := r.ChangeSeq()
+	if finalSeq != applied {
+		t.Fatalf("ChangeSeq = %d, want %d (every applied mutation sequenced exactly once)", finalSeq, applied)
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("subscriber dropped %d events despite sufficient buffer", sub.Dropped())
+	}
+
+	state := make(map[string]RegistryEntry)
+	var got []ChangeEvent
+	for uint64(len(got)) < finalSeq {
+		select {
+		case ev := <-sub.C():
+			if want := uint64(len(got)) + 1; ev.Seq != want {
+				t.Fatalf("sequence gap: event %d delivered at position %d", ev.Seq, want)
+			}
+			got = append(got, ev)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("subscriber starved at %d/%d events", len(got), finalSeq)
+		}
+	}
+	if err := applyChangeEvents(state, got); err != nil {
+		t.Fatal(err)
+	}
+	assertStateMatchesRegistry(t, state, r)
+}
+
+func TestResumedSubscriberReconstructsLiveState(t *testing.T) {
+	// Property behind follower bootstrap: SnapshotWithSeq taken WHILE
+	// mutations race, plus ChangesSince(seq) once they stop, equals the
+	// live registry exactly — the snapshot is a superset of the stream
+	// position and replay is idempotent.
+	r := newTestRegistry(t, RegistryConfig{ChangeStreamBuffer: 1 << 16})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("w%d-%03d", w, rng.Intn(300))
+				if i%7 == 3 {
+					r.Remove(id)
+				} else {
+					_ = r.Upsert(id, c3(rng.Float64()*100, rng.Float64()*100, rng.Float64()*10), 0.2)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	entries, seq := r.SnapshotWithSeq() // mid-storm bootstrap
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	state := make(map[string]RegistryEntry, len(entries))
+	for _, e := range entries {
+		state[e.ID] = e
+	}
+	evs, err := r.ChangesSince(seq, 0)
+	if err != nil {
+		t.Fatalf("ChangesSince(%d): %v", seq, err)
+	}
+	if err := applyChangeEvents(state, evs); err != nil {
+		t.Fatal(err)
+	}
+	assertStateMatchesRegistry(t, state, r)
+}
+
+func TestEvictionsArePublishedWithIDs(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	var offset atomic.Int64
+	clock := func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	r := newTestRegistry(t, RegistryConfig{
+		TTL:                time.Hour,
+		JanitorInterval:    24 * time.Hour, // sweep manually
+		Clock:              clock,
+		ChangeStreamBuffer: 128,
+	})
+	for i := 0; i < 10; i++ {
+		if err := r.Upsert(fmt.Sprintf("old%d", i), c3(float64(i), 0, 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offset.Store(int64(2 * time.Hour))
+	for i := 0; i < 3; i++ {
+		if err := r.Upsert(fmt.Sprintf("fresh%d", i), c3(float64(i), 5, 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := r.EvictStale(); n != 10 {
+		t.Fatalf("evicted %d, want 10", n)
+	}
+	evs, err := r.ChangesSince(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted := make(map[string]bool)
+	for _, ev := range evs {
+		if ev.Op == ChangeEvict {
+			for _, id := range ev.IDs {
+				evicted[id] = true
+			}
+		}
+	}
+	if len(evicted) != 10 {
+		t.Fatalf("evict events carry %d ids, want 10", len(evicted))
+	}
+	state := make(map[string]RegistryEntry)
+	if err := applyChangeEvents(state, evs); err != nil {
+		t.Fatal(err)
+	}
+	assertStateMatchesRegistry(t, state, r)
+}
+
+func TestConcurrentWatchStress(t *testing.T) {
+	// Satellite acceptance: subscribers attach and detach while
+	// upserts, removes, and TTL evictions run, under -race. Every
+	// subscriber must observe strictly increasing sequences; the
+	// long-lived auditor must see a dense stream.
+	r := newTestRegistry(t, RegistryConfig{
+		TTL:                time.Millisecond,
+		JanitorInterval:    time.Millisecond,
+		ChangeStreamBuffer: 1 << 15,
+	})
+	audit, err := r.SubscribeChanges(1 << 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer audit.Close()
+
+	// Each writer performs a fixed op count so total events stay well
+	// inside the auditor's buffer on any machine speed: 3×3000 writer
+	// ops plus at most one eviction per upsert bounds the stream below
+	// 2^15 even before the churning subscribers stop reading.
+	const opsPerWriter = 3000
+	stop := make(chan struct{})
+	var writers, wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < opsPerWriter; i++ {
+				id := fmt.Sprintf("s%d-%02d", w, rng.Intn(50))
+				if i%5 == 4 {
+					r.Remove(id)
+				} else {
+					_ = r.Upsert(id, c3(rng.Float64()*50, rng.Float64()*50, 0), 0)
+				}
+			}
+		}(w)
+	}
+	var badOrder atomic.Bool
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sub, err := r.SubscribeChanges(4) // deliberately tiny: overflow must be safe
+				if err != nil {
+					return
+				}
+				prev := sub.JoinSeq()
+				for i := 0; i < 64; i++ {
+					select {
+					case ev, ok := <-sub.C():
+						if !ok {
+							sub.Close()
+							return
+						}
+						if ev.Seq <= prev {
+							badOrder.Store(true)
+						}
+						prev = ev.Seq
+					case <-stop:
+						sub.Close()
+						return
+					default:
+					}
+				}
+				sub.Close()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if badOrder.Load() {
+		t.Fatal("a subscriber observed non-increasing sequences")
+	}
+
+	// The auditor (big buffer) must have a dense, gap-free stream.
+	finalSeq := r.ChangeSeq()
+	if audit.Dropped() != 0 {
+		t.Fatalf("auditor dropped %d events; raise the buffer", audit.Dropped())
+	}
+	var prev uint64
+	count := uint64(0)
+	for count < finalSeq {
+		select {
+		case ev := <-audit.C():
+			if ev.Seq != prev+1 {
+				t.Fatalf("auditor saw gap: %d after %d", ev.Seq, prev)
+			}
+			prev = ev.Seq
+			count++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("auditor starved at %d/%d", count, finalSeq)
+		}
+	}
+	st := r.ChangeStreamStats()
+	if !st.Enabled || st.Seq != finalSeq {
+		t.Fatalf("stream stats inconsistent: %+v (want seq %d)", st, finalSeq)
+	}
+}
+
+func TestPersistentChangesSinceFallsBackToWAL(t *testing.T) {
+	dir := t.TempDir()
+	p := openTestPR(t, dir, RegistryConfig{ChangeStreamBuffer: 4}) // tiny ring: force WAL reads
+	defer p.Close()
+	for i := 0; i < 100; i++ {
+		if err := p.Upsert(fmt.Sprintf("n%03d", i), c3(float64(i), 0, 0), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Remove("n000")
+
+	// The ring holds only the last 4 events; resuming from 0 must be
+	// served from the WAL, losslessly.
+	if _, err := p.Registry.ChangesSince(0, 0); !errors.Is(err, ErrChangeHistoryTruncated) {
+		t.Fatalf("ring-only ChangesSince err = %v, want truncation", err)
+	}
+	evs, err := p.ChangesSince(0, 0)
+	if err != nil {
+		t.Fatalf("WAL-backed ChangesSince: %v", err)
+	}
+	if len(evs) != 101 {
+		t.Fatalf("replayed %d events, want 101", len(evs))
+	}
+	state := make(map[string]RegistryEntry)
+	if err := applyChangeEvents(state, evs); err != nil {
+		t.Fatal(err)
+	}
+	assertStateMatchesRegistry(t, state, p.Registry)
+
+	// Pagination across the ring/WAL boundary: fetch in pages of 7 and
+	// arrive at the same state.
+	state = make(map[string]RegistryEntry)
+	since := uint64(0)
+	for {
+		page, err := p.ChangesSince(since, 7)
+		if err != nil {
+			t.Fatalf("page since %d: %v", since, err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		if err := applyChangeEvents(state, page); err != nil {
+			t.Fatal(err)
+		}
+		since = page[len(page)-1].Seq
+	}
+	assertStateMatchesRegistry(t, state, p.Registry)
+
+	// Compaction raises the history floor: pre-floor resume points are
+	// gone for good and must say so.
+	if err := p.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	floor := p.ChangeSeq()
+	if _, err := p.ChangesSince(0, 0); !errors.Is(err, ErrChangeHistoryTruncated) {
+		t.Fatalf("post-compaction ChangesSince(0) err = %v, want truncation", err)
+	}
+	if evs, err := p.ChangesSince(floor, 0); err != nil || len(evs) != 0 {
+		t.Fatalf("ChangesSince(floor) = %d events, err %v; want empty, nil", len(evs), err)
+	}
+}
+
+func TestChangeSeqContinuesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	p := openTestPR(t, dir, RegistryConfig{})
+	for i := 0; i < 10; i++ {
+		if err := p.Upsert(fmt.Sprintf("n%d", i), c3(float64(i), 0, 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.ChangeSeq(); got != 10 {
+		t.Fatalf("ChangeSeq = %d, want 10", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	p2 := openTestPR(t, dir, RegistryConfig{})
+	defer p2.Close()
+	if got := p2.ChangeSeq(); got != 10 {
+		t.Fatalf("recovered ChangeSeq = %d, want 10 (sequences must survive restarts)", got)
+	}
+	if err := p2.Upsert("n10", c3(10, 0, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.ChangeSeq(); got != 11 {
+		t.Fatalf("post-restart mutation seq = %d, want 11 (no reuse)", got)
+	}
+	// And the WAL records the continued sequence: resume from 10 yields
+	// exactly the one new event.
+	evs, err := p2.ChangesSince(10, 0)
+	if err != nil || len(evs) != 1 || evs[0].Seq != 11 {
+		t.Fatalf("ChangesSince(10) = %+v, %v; want the seq-11 upsert", evs, err)
+	}
+}
+
+func TestCompactionTriggersOnWALGrowth(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPersistentRegistry(PersistentRegistryConfig{
+		Registry:         RegistryConfig{},
+		Dir:              dir,
+		SnapshotInterval: time.Hour, // the timer will never fire in this test
+		CompactWALBytes:  8 << 10,   // ~8KiB: a small storm crosses it
+		NoSync:           true,
+	})
+	if err != nil {
+		t.Fatalf("OpenPersistentRegistry: %v", err)
+	}
+	defer p.Close()
+	for i := 0; i < 2000; i++ {
+		if err := p.Upsert(fmt.Sprintf("storm-%04d", i%500), c3(float64(i%97), float64(i%89), 0), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := p.PersistStats()
+		if st.CompactReasons["wal-bytes"] > 0 {
+			if st.LastCompactReason != "wal-bytes" {
+				t.Fatalf("LastCompactReason = %q, want wal-bytes", st.LastCompactReason)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("WAL growth never triggered a compaction: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

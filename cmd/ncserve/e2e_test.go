@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"os/exec"
@@ -167,4 +168,132 @@ func TestRestartWarmE2E(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	p3.terminate(t)
+}
+
+// kill hard-stops the process (the crash path: no graceful flush, no
+// goodbye to the leader).
+func (p *ncserveProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_, _ = p.cmd.Process.Wait()
+}
+
+// fetchSnapshot grabs a /snapshot body: the stream seq and the entries
+// keyed by id (coord vector flattened to its JSON form for comparison).
+func fetchSnapshot(t *testing.T, base string) (float64, map[string]any) {
+	t.Helper()
+	status, body := getJSON(t, base+"/snapshot")
+	if status != http.StatusOK {
+		t.Fatalf("/snapshot: %d %v", status, body)
+	}
+	seq, _ := body["seq"].(float64)
+	entries := make(map[string]any)
+	for _, raw := range body["entries"].([]any) {
+		e := raw.(map[string]any)
+		entries[e["id"].(string)] = e
+	}
+	return seq, entries
+}
+
+// waitFollowerConverged polls the follower's /stats until applied_seq
+// reaches wantSeq with zero lag.
+func waitFollowerConverged(t *testing.T, base string, wantSeq float64) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		_, body := getJSON(t, base+"/stats")
+		if f, ok := body["follower"].(map[string]any); ok {
+			if applied, _ := f["applied_seq"].(float64); applied >= wantSeq {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged to seq %v: %v", wantSeq, body["follower"])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestFollowerCatchupE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the ncserve binary")
+	}
+	scratch := t.TempDir()
+	bin := filepath.Join(scratch, "ncserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Leader with a WAL, so /changes history survives its ring.
+	leader := startNCServe(t, bin, "-data-dir", filepath.Join(scratch, "leader-data"))
+	const n = 40
+	for i := 0; i < n; i++ {
+		status, body := postJSON(t, leader.base+"/upsert",
+			fmt.Sprintf(`{"id":"n%02d","coord":{"vec":[%d,%d,0]},"error":0.2}`, i, i, (i*7)%23))
+		if status != http.StatusOK {
+			t.Fatalf("upsert: %d %v", status, body)
+		}
+	}
+
+	// Follower bootstraps from the live, still-mutating leader.
+	follower := startNCServe(t, bin, "-follow", leader.base)
+	leaderSeq, leaderEntries := fetchSnapshot(t, leader.base)
+	waitFollowerConverged(t, follower.base, leaderSeq)
+	_, followerEntries := fetchSnapshot(t, follower.base)
+	if len(followerEntries) != len(leaderEntries) {
+		t.Fatalf("follower has %d entries, leader %d", len(followerEntries), len(leaderEntries))
+	}
+
+	// Kill the follower (hard), mutate the leader meanwhile, restart
+	// the follower, and require bit-identical convergence.
+	follower.kill(t)
+	for i := 0; i < 15; i++ {
+		postJSON(t, leader.base+"/upsert",
+			fmt.Sprintf(`{"id":"m%02d","coord":{"vec":[%d,0,%d]}}`, i, i*2, i))
+	}
+	postJSON(t, leader.base+"/remove", `{"id":"n00"}`)
+	postJSON(t, leader.base+"/remove", `{"id":"n13"}`)
+
+	follower2 := startNCServe(t, bin, "-follow", leader.base)
+	leaderSeq, leaderEntries = fetchSnapshot(t, leader.base)
+	waitFollowerConverged(t, follower2.base, leaderSeq)
+	_, followerEntries = fetchSnapshot(t, follower2.base)
+	if len(followerEntries) != len(leaderEntries) {
+		t.Fatalf("post-restart follower has %d entries, leader %d", len(followerEntries), len(leaderEntries))
+	}
+	for id, le := range leaderEntries {
+		fe, ok := followerEntries[id]
+		if !ok {
+			t.Fatalf("entry %q missing on follower", id)
+		}
+		lj, _ := json.Marshal(le)
+		fj, _ := json.Marshal(fe)
+		if string(lj) != string(fj) {
+			t.Fatalf("entry %q diverged:\nleader   %s\nfollower %s", id, lj, fj)
+		}
+	}
+
+	// The follower's read path answers like the leader's.
+	status, lNear := getJSON(t, leader.base+"/nearest?id=n05&k=5")
+	if status != http.StatusOK {
+		t.Fatalf("leader nearest: %d", status)
+	}
+	status, fNear := getJSON(t, follower2.base+"/nearest?id=n05&k=5")
+	if status != http.StatusOK {
+		t.Fatalf("follower nearest: %d", status)
+	}
+	lj, _ := json.Marshal(lNear["results"])
+	fj, _ := json.Marshal(fNear["results"])
+	if string(lj) != string(fj) {
+		t.Fatalf("nearest diverged:\nleader   %s\nfollower %s", lj, fj)
+	}
+
+	// Mutations on the follower are refused.
+	if status, _ := postJSON(t, follower2.base+"/upsert", `{"id":"x","coord":{"vec":[1,1,1]}}`); status != http.StatusForbidden {
+		t.Fatalf("follower accepted a mutation: %d", status)
+	}
+	follower2.terminate(t)
+	leader.terminate(t)
 }

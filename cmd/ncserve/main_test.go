@@ -13,15 +13,26 @@ import (
 )
 
 func newTestService(t *testing.T) *httptest.Server {
+	ts, _ := newTestServiceReg(t, netcoord.RegistryConfig{
+		ChangeStreamBuffer: netcoord.DefaultChangeStreamBuffer,
+	})
+	return ts
+}
+
+// newTestServiceReg serves a leader with an explicit registry config —
+// tests that need a tiny change ring (truncation paths) pass their own.
+func newTestServiceReg(t *testing.T, cfg netcoord.RegistryConfig) (*httptest.Server, *netcoord.Registry) {
 	t.Helper()
-	reg, err := netcoord.NewRegistry(netcoord.RegistryConfig{})
+	reg, err := netcoord.NewRegistry(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(reg.Close)
-	ts := httptest.NewServer(newServer(reg, nil, 1<<20))
+	srv := newServer(reg, nil, nil, 1<<20)
+	t.Cleanup(srv.stop)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, reg
 }
 
 func postJSON(t *testing.T, url, body string) (int, map[string]any) {
@@ -216,7 +227,7 @@ func TestServiceBodyLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, nil, 64))
+	ts := httptest.NewServer(newServer(reg, nil, nil, 64))
 	defer ts.Close()
 
 	var big bytes.Buffer

@@ -1,0 +1,408 @@
+package netcoord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FollowerConfig assembles a FollowerRegistry.
+type FollowerConfig struct {
+	// LeaderURL is the base URL of the leader's ncserve HTTP surface
+	// (e.g. "http://10.0.0.1:8700"). The follower bootstraps from its
+	// /snapshot and tails its /changes stream.
+	LeaderURL string
+	// Registry configures the local replica. TTL and JanitorInterval
+	// are ignored (forced off): evictions are the leader's decision and
+	// arrive through the stream — a follower evicting on its own clock
+	// would diverge. ChangeStreamBuffer is likewise forced off; the
+	// follower's authoritative sequence is the leader's.
+	Registry RegistryConfig
+	// WaitTimeout is the long-poll window handed to the leader's
+	// /changes endpoint; the tail loop blocks server-side up to this
+	// long when the stream is quiet. 0 means 25s.
+	WaitTimeout time.Duration
+	// RetryInterval is how long the tail loop backs off after an error
+	// before contacting the leader again. 0 means 500ms.
+	RetryInterval time.Duration
+	// BatchLimit caps events fetched per /changes call. 0 means 4096.
+	BatchLimit int
+	// HTTPClient overrides the default client (which has no overall
+	// timeout, as long-polls hold connections open deliberately).
+	HTTPClient *http.Client
+}
+
+// FollowerStats reports a follower's replication position — the
+// staleness a read-only replica serves with.
+type FollowerStats struct {
+	// LeaderURL is the leader being tailed.
+	LeaderURL string `json:"leader_url"`
+	// AppliedSeq is the last leader sequence applied locally.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// LeaderSeq is the leader's stream sequence as of the last contact;
+	// Lag is LeaderSeq - AppliedSeq, the events known outstanding.
+	LeaderSeq uint64 `json:"leader_seq"`
+	Lag       uint64 `json:"lag"`
+	// LastContactAgeSeconds is how long ago the leader last answered
+	// (-1 before first contact). With Lag 0, staleness is bounded by
+	// this plus the leader's flush-to-stream latency (zero: events are
+	// streamed from memory).
+	LastContactAgeSeconds float64 `json:"last_contact_age_seconds"`
+	// EventsApplied counts stream events applied since start.
+	EventsApplied uint64 `json:"events_applied"`
+	// Bootstraps counts snapshot loads: the initial one, plus one per
+	// stream truncation (the follower fell further behind than the
+	// leader retains).
+	Bootstraps uint64 `json:"bootstraps"`
+	// Errors counts failed leader calls; LastError is the most recent.
+	Errors    uint64 `json:"errors"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// errStreamGone signals a 410 from /changes: the resume point was
+// compacted away and only a fresh snapshot can re-synchronize.
+var errStreamGone = errors.New("netcoord: follower: leader history truncated")
+
+// FollowerRegistry is a read-only replica of a leader registry,
+// synchronized over the leader's change stream: it bootstraps from
+// /snapshot (bulk-building the spatial index in one pass), then tails
+// /changes with long-polls, applying upserts, removes, and evictions
+// in leader order with UpdatedAt timestamps preserved bit-identically.
+// If it falls further behind than the leader retains (ring + WAL), it
+// re-bootstraps automatically.
+//
+// The embedded Registry serves every read — Nearest, Estimate, Get,
+// Within — making the follower a horizontally scalable proximity
+// read path; IDMS in PAPERS.md argues exactly this replicated-serving
+// shape for delay estimation. Do not mutate it directly: local writes
+// are not replicated anywhere and survive only until the leader next
+// touches (or a re-bootstrap rebuilds) the same ids. FollowerStats
+// reports the replica's staleness honestly so callers can decide how
+// much to trust a read.
+type FollowerRegistry struct {
+	*Registry
+	leaderURL string
+	client    *http.Client
+	wait      time.Duration
+	retry     time.Duration
+	limit     int
+
+	applied   atomic.Uint64
+	leaderSeq atomic.Uint64
+	eventsApplied,
+	bootstraps,
+	errCount atomic.Uint64
+
+	mu          sync.Mutex
+	lastContact time.Time
+	lastErr     string
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// StartFollower builds the local replica, performs the initial
+// snapshot bootstrap synchronously — the caller serves warm data the
+// moment it returns — and starts the background tail loop. Call Close
+// to stop it.
+func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
+	base, err := url.Parse(cfg.LeaderURL)
+	if err != nil || base.Host == "" || (base.Scheme != "http" && base.Scheme != "https") {
+		return nil, fmt.Errorf("netcoord: follower: leader URL %q is not an absolute http(s) URL", cfg.LeaderURL)
+	}
+	regCfg := cfg.Registry
+	regCfg.TTL = 0
+	regCfg.JanitorInterval = 0
+	regCfg.ChangeStreamBuffer = 0
+	reg, err := NewRegistry(regCfg)
+	if err != nil {
+		return nil, err
+	}
+	wait := cfg.WaitTimeout
+	if wait <= 0 {
+		wait = 25 * time.Second
+	}
+	retry := cfg.RetryInterval
+	if retry <= 0 {
+		retry = 500 * time.Millisecond
+	}
+	limit := cfg.BatchLimit
+	if limit <= 0 {
+		limit = 4096
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &FollowerRegistry{
+		Registry:  reg,
+		leaderURL: strings.TrimRight(cfg.LeaderURL, "/"),
+		client:    client,
+		wait:      wait,
+		retry:     retry,
+		limit:     limit,
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	if err := f.bootstrap(); err != nil {
+		cancel()
+		reg.Close()
+		return nil, fmt.Errorf("netcoord: follower: bootstrap from %s: %w", f.leaderURL, err)
+	}
+	f.wg.Add(1)
+	go f.tail()
+	return f, nil
+}
+
+// FollowerStats snapshots the replication position.
+func (f *FollowerRegistry) FollowerStats() FollowerStats {
+	applied, leader := f.applied.Load(), f.leaderSeq.Load()
+	st := FollowerStats{
+		LeaderURL:             f.leaderURL,
+		AppliedSeq:            applied,
+		LeaderSeq:             leader,
+		EventsApplied:         f.eventsApplied.Load(),
+		Bootstraps:            f.bootstraps.Load(),
+		Errors:                f.errCount.Load(),
+		LastContactAgeSeconds: -1,
+	}
+	if leader > applied {
+		st.Lag = leader - applied
+	}
+	f.mu.Lock()
+	if !f.lastContact.IsZero() {
+		st.LastContactAgeSeconds = time.Since(f.lastContact).Seconds()
+	}
+	st.LastError = f.lastErr
+	f.mu.Unlock()
+	return st
+}
+
+// AppliedSeq is the last leader sequence applied locally — hand it to
+// the leader's /changes to continue exactly where this replica stands.
+func (f *FollowerRegistry) AppliedSeq() uint64 { return f.applied.Load() }
+
+// Close stops the tail loop and the local registry.
+func (f *FollowerRegistry) Close() {
+	f.closeOnce.Do(func() {
+		f.cancel()
+		f.wg.Wait()
+		f.Registry.Close()
+	})
+}
+
+// tail follows the leader's change stream until Close.
+func (f *FollowerRegistry) tail() {
+	defer f.wg.Done()
+	for f.ctx.Err() == nil {
+		err := f.pollOnce()
+		switch {
+		case err == nil:
+			// A long-poll returned (events or a quiet timeout): go right
+			// back; pacing is the leader's wait window.
+		case errors.Is(err, errStreamGone):
+			f.noteErr(err)
+			if berr := f.bootstrap(); berr != nil {
+				f.noteErr(berr)
+				f.sleep(f.retry)
+			}
+		case f.ctx.Err() != nil:
+			return
+		default:
+			f.noteErr(err)
+			f.sleep(f.retry)
+		}
+	}
+}
+
+// sleep waits d or until Close.
+func (f *FollowerRegistry) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-f.ctx.Done():
+	case <-t.C:
+	}
+}
+
+func (f *FollowerRegistry) noteErr(err error) {
+	f.errCount.Add(1)
+	f.mu.Lock()
+	f.lastErr = err.Error()
+	f.mu.Unlock()
+}
+
+func (f *FollowerRegistry) noteContact() {
+	f.mu.Lock()
+	f.lastContact = time.Now()
+	f.mu.Unlock()
+}
+
+// changesResponse mirrors ncserve's /changes body.
+type changesResponse struct {
+	Seq    uint64        `json:"seq"`
+	Events []ChangeEvent `json:"events"`
+}
+
+// snapshotResponse mirrors ncserve's /snapshot body. FollowerOf is set
+// when the target is itself a replica — which cannot be followed,
+// because it serves no change stream to tail.
+type snapshotResponse struct {
+	Seq        uint64        `json:"seq"`
+	FollowerOf string        `json:"follower_of"`
+	Entries    []ChangeEntry `json:"entries"`
+}
+
+// pollOnce long-polls /changes once from the current position and
+// applies whatever it returns.
+func (f *FollowerRegistry) pollOnce() error {
+	since := f.applied.Load()
+	u := fmt.Sprintf("%s/changes?since=%d&limit=%d&wait=%s",
+		f.leaderURL, since, f.limit, url.QueryEscape(f.wait.String()))
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		f.noteContact()
+		return errStreamGone
+	default:
+		return fmt.Errorf("leader /changes: %s", httpErrorDetail(resp))
+	}
+	var body changesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("leader /changes: decode: %w", err)
+	}
+	f.noteContact()
+	f.leaderSeq.Store(body.Seq)
+	return f.apply(body.Events)
+}
+
+// apply replays a batch of leader events, in order, onto the local
+// registry. Upserts preserve UpdatedAt exactly (upsertEntry only
+// stamps zero timestamps); removes and evictions delete. The sequence
+// must advance by at most one per event — a gap means the leader
+// served us a hole, and the only safe repair is a fresh bootstrap.
+func (f *FollowerRegistry) apply(events []ChangeEvent) error {
+	applied := f.applied.Load()
+	for _, ev := range events {
+		switch {
+		case ev.Seq == applied && ev.Op == ChangeEvict:
+			// Continuation chunk of the eviction event just applied.
+		case ev.Seq == applied+1:
+		case ev.Seq <= applied:
+			continue // duplicate delivery; already applied
+		default:
+			return fmt.Errorf("%w (gap: applied %d, next event %d)", errStreamGone, applied, ev.Seq)
+		}
+		switch ev.Op {
+		case ChangeUpsert:
+			if ev.Entry == nil {
+				return fmt.Errorf("leader sent upsert event %d without entry", ev.Seq)
+			}
+			if err := f.Registry.upsertEntry(ev.Entry.Entry()); err != nil {
+				return fmt.Errorf("apply upsert seq %d: %w", ev.Seq, err)
+			}
+		case ChangeRemove:
+			f.Registry.Remove(ev.ID)
+		case ChangeEvict:
+			for _, id := range ev.IDs {
+				f.Registry.Remove(id)
+			}
+		default:
+			return fmt.Errorf("leader sent unknown op %q (seq %d)", ev.Op, ev.Seq)
+		}
+		applied = ev.Seq
+		f.eventsApplied.Add(1)
+	}
+	f.applied.Store(applied)
+	return nil
+}
+
+// bootstrap loads the leader's full snapshot and makes the local
+// registry exactly match it: every snapshot entry is upserted with its
+// original UpdatedAt, and any local id absent from the snapshot is
+// removed (re-bootstrap after truncation may find stale locals). On a
+// fresh registry the batch lands on the index.Build bulk path.
+func (f *FollowerRegistry) bootstrap() error {
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, f.leaderURL+"/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("leader /snapshot: %s", httpErrorDetail(resp))
+	}
+	var snap snapshotResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("leader /snapshot: decode: %w", err)
+	}
+	if snap.FollowerOf != "" {
+		// Bootstrapping would "succeed" and then starve forever on the
+		// replica's disabled /changes; refuse up front and name the real
+		// leader.
+		return fmt.Errorf("%s is itself a read-only replica of %s — follow that leader directly", f.leaderURL, snap.FollowerOf)
+	}
+	f.noteContact()
+	batch := make([]RegistryEntry, len(snap.Entries))
+	live := make(map[string]struct{}, len(snap.Entries))
+	for i, e := range snap.Entries {
+		batch[i] = e.Entry()
+		live[e.ID] = struct{}{}
+	}
+	if err := f.Registry.UpsertBatch(batch); err != nil {
+		return fmt.Errorf("apply snapshot: %w", err)
+	}
+	for _, e := range f.Registry.Snapshot() {
+		if _, ok := live[e.ID]; !ok {
+			f.Registry.Remove(e.ID)
+		}
+	}
+	f.applied.Store(snap.Seq)
+	if snap.Seq > f.leaderSeq.Load() {
+		f.leaderSeq.Store(snap.Seq)
+	}
+	f.bootstraps.Add(1)
+	return nil
+}
+
+// httpErrorDetail summarizes a non-200 response, including the JSON
+// error field when the body carries one.
+func httpErrorDetail(resp *http.Response) string {
+	var body struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return fmt.Sprintf("%s (%s)", resp.Status, body.Error)
+	}
+	return resp.Status
+}

@@ -1,0 +1,367 @@
+// Package changefeed is the registry's change-stream core: a totally
+// ordered, sequence-numbered log of applied mutations that durability,
+// live subscribers, and read replicas all consume through one seam.
+//
+// The paper's observation — application-level coordinates change
+// rarely — is what makes a push stream the right distribution
+// primitive: the stream is almost always quiet, so fanning every
+// mutation out to persistence, watchers, and followers costs almost
+// nothing, while pull-based consumers would poll mostly-unchanged
+// state forever.
+//
+// A Feed assigns each published event the next sequence number (dense:
+// seq n+1 follows n with no holes) and delivers it to two kinds of
+// consumer:
+//
+//   - Taps are synchronous: invoked inline under the feed lock, in
+//     sequence order, with no buffering and no loss. The persistence
+//     layer is a tap — its WAL append only enqueues, so the inline
+//     call is cheap, and a tap can never miss an event the way a
+//     bounded subscriber can. Taps are registered before the feed is
+//     shared and never removed.
+//   - Subscriptions are asynchronous: each holds a bounded buffer the
+//     publisher writes without ever blocking. A subscriber that falls
+//     behind loses events (counted in Dropped, visible as a sequence
+//     gap) and is expected to resume from history — the ring via
+//     Since, or the WAL beneath it — rather than slow the mutation
+//     path down.
+//
+// The feed also retains the most recent events in a ring so that
+// late-joining or lagging subscribers can catch up without touching
+// disk; Since reports when the ring no longer reaches back far enough
+// and the caller must fall back to WAL replay.
+package changefeed
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netcoord/internal/coord"
+)
+
+// Op discriminates event kinds. Values intentionally mirror the
+// persistence layer's record ops.
+type Op uint8
+
+// The mutation kinds a registry publishes.
+const (
+	// OpUpsert inserts or refreshes one entry.
+	OpUpsert Op = 1
+	// OpRemove deletes one entry by id.
+	OpRemove Op = 2
+	// OpEvict deletes a batch of ids (TTL staleness eviction).
+	OpEvict Op = 3
+)
+
+// Evict batch bounds: one eviction sweep is split into multiple events
+// so no single event (hence no single WAL record downstream) grows
+// unbounded. The byte bound is what keeps a sweep of maximum-length
+// ids far under the persistence layer's frame limit.
+const (
+	evictChunk      = 512
+	evictChunkBytes = 256 << 10
+)
+
+// Entry is the payload of an upsert event. It mirrors the registry's
+// entry type without importing it (the root package imports changefeed).
+type Entry struct {
+	// ID is the node's identifier.
+	ID string
+	// Coord is the node's (application-level) coordinate.
+	Coord coord.Coordinate
+	// Error is the node's Vivaldi error weight.
+	Error float64
+	// UpdatedAt is the entry's last-upsert time, carried so replicas
+	// reconstruct bit-identical entries (TTL eviction stays correct on
+	// a follower promoted to leader).
+	UpdatedAt time.Time
+}
+
+// Event is one sequenced mutation.
+type Event struct {
+	// Seq is the event's position in the total order. Sequence numbers
+	// are dense: every published event gets the previous seq + 1.
+	Seq uint64
+	// Op selects which of the remaining fields is meaningful.
+	Op Op
+	// Entry is set for OpUpsert.
+	Entry Entry
+	// ID is set for OpRemove.
+	ID string
+	// IDs is set for OpEvict.
+	IDs []string
+}
+
+// ErrTruncated is returned by Since when the ring no longer holds the
+// requested resume point; the caller must replay deeper history (the
+// WAL) or re-bootstrap from a snapshot.
+var ErrTruncated = errors.New("changefeed: history truncated (resume point older than the ring)")
+
+// Stats is an operational snapshot of a Feed.
+type Stats struct {
+	// Seq is the last assigned sequence number (0 = nothing published).
+	Seq uint64 `json:"seq"`
+	// Published counts events published since construction (events
+	// published by this process; excludes the StartSeq offset).
+	Published uint64 `json:"published"`
+	// Subscribers is the current subscription count.
+	Subscribers int `json:"subscribers"`
+	// Overflows counts events dropped across all subscribers because
+	// their buffers were full — each one a gap some subscriber must
+	// repair by resuming from history.
+	Overflows uint64 `json:"overflows"`
+	// OldestSeq is the oldest event still in the ring (0 = ring empty);
+	// Since can serve any resume point >= OldestSeq-1.
+	OldestSeq uint64 `json:"oldest_seq"`
+	// RingLen and RingCap describe the catch-up ring's fill.
+	RingLen int `json:"ring_len"`
+	RingCap int `json:"ring_cap"`
+}
+
+// Feed is the sequenced change stream. Create with New; methods are
+// safe for concurrent use except Tap, which must be called before the
+// feed is shared.
+type Feed struct {
+	mu     sync.Mutex
+	seq    uint64 // last assigned, guarded by mu; mirrored in seqAtomic
+	ring   []Event
+	next   int // ring slot the next event lands in
+	len    int // live events in the ring
+	taps   []func(Event)
+	subs   map[*Subscription]struct{}
+	closed bool
+
+	seqAtomic atomic.Uint64
+	published atomic.Uint64
+	overflows atomic.Uint64
+}
+
+// New builds a Feed whose ring retains up to ringSize recent events
+// (minimum 1) and whose next event will be numbered startSeq+1 —
+// recovery passes the last persisted sequence so the stream continues
+// where the previous process stopped instead of reusing numbers.
+func New(ringSize int, startSeq uint64) *Feed {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	f := &Feed{
+		seq:  startSeq,
+		ring: make([]Event, ringSize),
+		subs: make(map[*Subscription]struct{}),
+	}
+	f.seqAtomic.Store(startSeq)
+	return f
+}
+
+// Tap registers a synchronous consumer invoked inline, under the feed
+// lock, for every subsequent event in sequence order. fn must only
+// enqueue — it runs on every mutation path, under the publishing
+// shard's lock. Tap is not safe to call concurrently with publishing:
+// register taps before the feed is shared.
+func (f *Feed) Tap(fn func(Event)) {
+	f.taps = append(f.taps, fn)
+}
+
+// Seq returns the last assigned sequence number.
+func (f *Feed) Seq() uint64 { return f.seqAtomic.Load() }
+
+// PublishUpsert publishes an upsert event and returns its sequence.
+func (f *Feed) PublishUpsert(e Entry) uint64 {
+	return f.publish(Event{Op: OpUpsert, Entry: e})
+}
+
+// PublishRemove publishes a remove event and returns its sequence.
+func (f *Feed) PublishRemove(id string) uint64 {
+	return f.publish(Event{Op: OpRemove, ID: id})
+}
+
+// PublishEvict publishes eviction events for ids, chunked by count and
+// by bytes so no single event (or the WAL record a tap writes for it)
+// approaches frame limits. It returns the last sequence assigned.
+func (f *Feed) PublishEvict(ids []string) uint64 {
+	var last uint64
+	for len(ids) > 0 {
+		n, bytes := 0, 0
+		for n < len(ids) && n < evictChunk && bytes < evictChunkBytes {
+			bytes += len(ids[n]) + 4
+			n++
+		}
+		last = f.publish(Event{Op: OpEvict, IDs: ids[:n:n]})
+		ids = ids[n:]
+	}
+	return last
+}
+
+// publish assigns the next sequence, retains the event in the ring,
+// runs the taps, and offers the event to every subscriber without
+// blocking.
+func (f *Feed) publish(ev Event) uint64 {
+	f.mu.Lock()
+	f.seq++
+	ev.Seq = f.seq
+	f.seqAtomic.Store(f.seq)
+	f.ring[f.next] = ev
+	f.next = (f.next + 1) % len(f.ring)
+	if f.len < len(f.ring) {
+		f.len++
+	}
+	for _, tap := range f.taps {
+		tap(ev)
+	}
+	for sub := range f.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			// A full buffer means a slow subscriber; the mutation path
+			// must not wait for it. The gap is visible to the subscriber
+			// (non-contiguous Seq, Dropped counter) and repairable via
+			// Since / WAL replay.
+			sub.dropped.Add(1)
+			f.overflows.Add(1)
+		}
+	}
+	f.mu.Unlock()
+	f.published.Add(1)
+	return ev.Seq
+}
+
+// Since returns up to max events with sequence > since, oldest first,
+// served from the in-memory ring. It returns ErrTruncated when the
+// ring no longer reaches back to since+1 — the caller must then replay
+// the WAL (or re-bootstrap from a snapshot) instead. A since at or
+// beyond the current sequence returns an empty slice. max <= 0 means
+// no limit.
+func (f *Feed) Since(since uint64, max int) ([]Event, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if since >= f.seq {
+		return nil, nil
+	}
+	oldest := f.seq - uint64(f.len) + 1 // oldest seq in the ring
+	if f.len == 0 || since+1 < oldest {
+		return nil, ErrTruncated
+	}
+	n := int(f.seq - since)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Event, 0, n)
+	// The ring is chronological starting at slot next-len.
+	start := (f.next - f.len + len(f.ring)) % len(f.ring)
+	skip := int(since + 1 - oldest)
+	for i := skip; i < f.len && len(out) < n; i++ {
+		out = append(out, f.ring[(start+i)%len(f.ring)])
+	}
+	return out, nil
+}
+
+// OldestBuffered reports the oldest sequence still in the ring
+// (0 when the ring is empty).
+func (f *Feed) OldestBuffered() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.len == 0 {
+		return 0
+	}
+	return f.seq - uint64(f.len) + 1
+}
+
+// Stats snapshots operational counters.
+func (f *Feed) Stats() Stats {
+	f.mu.Lock()
+	subs := len(f.subs)
+	ringLen := f.len
+	ringCap := len(f.ring)
+	var oldest uint64
+	if f.len > 0 {
+		oldest = f.seq - uint64(f.len) + 1
+	}
+	f.mu.Unlock()
+	return Stats{
+		Seq:         f.Seq(),
+		Published:   f.published.Load(),
+		Subscribers: subs,
+		Overflows:   f.overflows.Load(),
+		OldestSeq:   oldest,
+		RingLen:     ringLen,
+		RingCap:     ringCap,
+	}
+}
+
+// Close closes every subscription's channel and stops accepting new
+// ones. Publishing remains legal after Close (the owning registry
+// stays mutable after its background work stops); events still reach
+// taps and the ring, but no subscribers.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for sub := range f.subs {
+		close(sub.ch)
+	}
+	f.subs = make(map[*Subscription]struct{})
+}
+
+// Subscription is one bounded asynchronous consumer. Receive from C;
+// detect loss via Dropped (or a gap in Event.Seq) and repair it with
+// Since. Close when done — an abandoned subscription otherwise drops
+// events forever and pollutes the feed's overflow accounting.
+type Subscription struct {
+	f       *Feed
+	ch      chan Event
+	joinSeq uint64
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// Subscribe attaches a subscriber whose buffer holds up to buffer
+// events (minimum 1). The subscription observes every event published
+// after the returned JoinSeq; history at or before it is fetched
+// separately (Since), which makes the two-step "catch up, then follow"
+// pattern race-free. Subscribing to a closed feed returns a
+// subscription whose channel is already closed.
+func (f *Feed) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscription{f: f, ch: make(chan Event, buffer)}
+	f.mu.Lock()
+	sub.joinSeq = f.seq
+	if f.closed {
+		close(sub.ch)
+	} else {
+		f.subs[sub] = struct{}{}
+	}
+	f.mu.Unlock()
+	return sub
+}
+
+// C is the event channel. It is closed when the subscription or the
+// feed is closed; events already buffered remain readable first.
+func (s *Subscription) C() <-chan Event { return s.ch }
+
+// JoinSeq is the feed sequence at attach time: the subscription sees
+// every event with Seq > JoinSeq (buffer permitting).
+func (s *Subscription) JoinSeq() uint64 { return s.joinSeq }
+
+// Dropped counts events this subscription missed to a full buffer.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription and closes its channel. Safe to call
+// multiple times and concurrently with publishing.
+func (s *Subscription) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.f.mu.Lock()
+	if _, ok := s.f.subs[s]; ok {
+		delete(s.f.subs, s)
+		close(s.ch)
+	}
+	s.f.mu.Unlock()
+}

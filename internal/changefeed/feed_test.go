@@ -1,0 +1,271 @@
+package changefeed
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"netcoord/internal/coord"
+)
+
+func upsert(id string, x float64) Entry {
+	return Entry{ID: id, Coord: coord.Coordinate{Vec: []float64{x, 0, 0}}}
+}
+
+func TestSequenceIsDenseAndMonotonic(t *testing.T) {
+	f := New(8, 0)
+	if got := f.PublishUpsert(upsert("a", 1)); got != 1 {
+		t.Fatalf("first seq = %d, want 1", got)
+	}
+	if got := f.PublishRemove("a"); got != 2 {
+		t.Fatalf("second seq = %d, want 2", got)
+	}
+	if got := f.PublishEvict([]string{"b", "c"}); got != 3 {
+		t.Fatalf("evict seq = %d, want 3", got)
+	}
+	if got := f.Seq(); got != 3 {
+		t.Fatalf("Seq() = %d, want 3", got)
+	}
+}
+
+func TestStartSeqContinuesStream(t *testing.T) {
+	f := New(4, 100)
+	if got := f.PublishUpsert(upsert("a", 1)); got != 101 {
+		t.Fatalf("seq after startSeq 100 = %d, want 101", got)
+	}
+	if got := f.Seq(); got != 101 {
+		t.Fatalf("Seq() = %d, want 101", got)
+	}
+}
+
+func TestTapSeesEveryEventInOrder(t *testing.T) {
+	f := New(2, 0) // tiny ring: taps must not depend on it
+	var seen []uint64
+	f.Tap(func(ev Event) { seen = append(seen, ev.Seq) })
+	for i := 0; i < 10; i++ {
+		f.PublishUpsert(upsert(fmt.Sprintf("n%d", i), float64(i)))
+	}
+	if len(seen) != 10 {
+		t.Fatalf("tap saw %d events, want 10", len(seen))
+	}
+	for i, s := range seen {
+		if s != uint64(i+1) {
+			t.Fatalf("tap order broken at %d: seq %d", i, s)
+		}
+	}
+}
+
+func TestSinceServesRingAndReportsTruncation(t *testing.T) {
+	f := New(4, 0)
+	for i := 1; i <= 10; i++ {
+		f.PublishUpsert(upsert(fmt.Sprintf("n%d", i), float64(i)))
+	}
+	// Ring holds 7..10.
+	evs, err := f.Since(6, 0)
+	if err != nil {
+		t.Fatalf("Since(6): %v", err)
+	}
+	if len(evs) != 4 || evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("Since(6) = %v, want seqs 7..10", evs)
+	}
+	if _, err := f.Since(5, 0); err != ErrTruncated {
+		t.Fatalf("Since(5) err = %v, want ErrTruncated", err)
+	}
+	evs, err = f.Since(8, 1)
+	if err != nil || len(evs) != 1 || evs[0].Seq != 9 {
+		t.Fatalf("Since(8, max 1) = %v, %v; want just seq 9", evs, err)
+	}
+	if evs, err := f.Since(10, 0); err != nil || len(evs) != 0 {
+		t.Fatalf("Since(current) = %v, %v; want empty", evs, err)
+	}
+	if evs, err := f.Since(99, 0); err != nil || len(evs) != 0 {
+		t.Fatalf("Since(future) = %v, %v; want empty", evs, err)
+	}
+	if got := f.OldestBuffered(); got != 7 {
+		t.Fatalf("OldestBuffered = %d, want 7", got)
+	}
+}
+
+func TestEmptyFeedSince(t *testing.T) {
+	f := New(4, 50)
+	if evs, err := f.Since(50, 0); err != nil || len(evs) != 0 {
+		t.Fatalf("Since(startSeq) on empty feed = %v, %v; want empty, nil", evs, err)
+	}
+	// History before the start point was never in this feed's ring.
+	if _, err := f.Since(10, 0); err != ErrTruncated {
+		t.Fatalf("Since(pre-start) err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestSubscribeFollowsAndJoinSeqSplitsHistory(t *testing.T) {
+	f := New(16, 0)
+	f.PublishUpsert(upsert("a", 1))
+	sub := f.Subscribe(8)
+	defer sub.Close()
+	if sub.JoinSeq() != 1 {
+		t.Fatalf("JoinSeq = %d, want 1", sub.JoinSeq())
+	}
+	f.PublishRemove("a")
+	ev := <-sub.C()
+	if ev.Seq != 2 || ev.Op != OpRemove {
+		t.Fatalf("subscriber got %+v, want remove seq 2", ev)
+	}
+	// History at or before JoinSeq comes from Since — no overlap, no gap.
+	hist, err := f.Since(0, int(sub.JoinSeq()))
+	if err != nil || len(hist) != 1 || hist[0].Seq != 1 {
+		t.Fatalf("history = %v, %v; want seq 1 only", hist, err)
+	}
+}
+
+func TestSlowSubscriberDropsAndCounts(t *testing.T) {
+	f := New(16, 0)
+	sub := f.Subscribe(2)
+	defer sub.Close()
+	for i := 0; i < 5; i++ {
+		f.PublishUpsert(upsert(fmt.Sprintf("n%d", i), float64(i)))
+	}
+	if got := sub.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	if got := f.Stats().Overflows; got != 3 {
+		t.Fatalf("feed Overflows = %d, want 3", got)
+	}
+	// The two buffered events are the oldest two: delivery is in order,
+	// losses are at the tail.
+	if ev := <-sub.C(); ev.Seq != 1 {
+		t.Fatalf("first buffered seq = %d, want 1", ev.Seq)
+	}
+	if ev := <-sub.C(); ev.Seq != 2 {
+		t.Fatalf("second buffered seq = %d, want 2", ev.Seq)
+	}
+}
+
+func TestEvictChunking(t *testing.T) {
+	f := New(8, 0)
+	ids := make([]string, evictChunk+10)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%04d", i)
+	}
+	last := f.PublishEvict(ids)
+	if last != 2 {
+		t.Fatalf("chunked evict last seq = %d, want 2 events", last)
+	}
+	evs, err := f.Since(0, 0)
+	if err != nil {
+		t.Fatalf("Since: %v", err)
+	}
+	total := 0
+	for _, ev := range evs {
+		if ev.Op != OpEvict {
+			t.Fatalf("op = %d, want evict", ev.Op)
+		}
+		total += len(ev.IDs)
+	}
+	if total != len(ids) {
+		t.Fatalf("chunks carry %d ids, want %d", total, len(ids))
+	}
+}
+
+func TestCloseClosesSubscribersButPublishingContinues(t *testing.T) {
+	f := New(8, 0)
+	sub := f.Subscribe(4)
+	f.PublishUpsert(upsert("a", 1))
+	f.Close()
+	// Buffered event still readable, then the channel closes.
+	if ev, ok := <-sub.C(); !ok || ev.Seq != 1 {
+		t.Fatalf("buffered event after Close = %+v, %v", ev, ok)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel still open after feed Close")
+	}
+	// Publishing after Close still sequences and reaches taps/ring.
+	if got := f.PublishRemove("a"); got != 2 {
+		t.Fatalf("seq after Close = %d, want 2", got)
+	}
+	late := f.Subscribe(1)
+	if _, ok := <-late.C(); ok {
+		t.Fatal("subscription on a closed feed should be closed immediately")
+	}
+	sub.Close() // double close is safe
+}
+
+func TestConcurrentPublishSubscribeRace(t *testing.T) {
+	f := New(1024, 0)
+	var done atomic.Bool
+	var pubWg, auxWg sync.WaitGroup
+	var tapCount atomic.Uint64
+	f.Tap(func(Event) { tapCount.Add(1) })
+
+	const publishers = 4
+	const perPublisher = 500
+	for p := 0; p < publishers; p++ {
+		pubWg.Add(1)
+		go func(p int) {
+			defer pubWg.Done()
+			for i := 0; i < perPublisher; i++ {
+				switch i % 3 {
+				case 0:
+					f.PublishUpsert(upsert(fmt.Sprintf("p%d-%d", p, i), float64(i)))
+				case 1:
+					f.PublishRemove(fmt.Sprintf("p%d-%d", p, i-1))
+				default:
+					f.PublishEvict([]string{fmt.Sprintf("p%d-a", p), fmt.Sprintf("p%d-b", p)})
+				}
+			}
+		}(p)
+	}
+	// Churning subscribers: attach, read a little, detach.
+	monotonic := atomic.Bool{}
+	monotonic.Store(true)
+	for s := 0; s < 4; s++ {
+		auxWg.Add(1)
+		go func() {
+			defer auxWg.Done()
+			for !done.Load() {
+				sub := f.Subscribe(16)
+				prev := sub.JoinSeq()
+				for i := 0; i < 32; i++ {
+					select {
+					case ev, ok := <-sub.C():
+						if !ok {
+							sub.Close()
+							return
+						}
+						if ev.Seq <= prev {
+							monotonic.Store(false)
+						}
+						prev = ev.Seq
+					default:
+					}
+				}
+				sub.Close()
+			}
+		}()
+	}
+	// Concurrent Since readers.
+	auxWg.Add(1)
+	go func() {
+		defer auxWg.Done()
+		for !done.Load() {
+			seq := f.Seq()
+			if seq > 10 {
+				_, _ = f.Since(seq-10, 0)
+			}
+		}
+	}()
+
+	pubWg.Wait()
+	done.Store(true)
+	auxWg.Wait()
+	if !monotonic.Load() {
+		t.Fatal("a subscriber observed non-monotonic sequence delivery")
+	}
+
+	if got := f.Seq(); got != publishers*perPublisher {
+		t.Fatalf("final seq = %d, want %d", got, publishers*perPublisher)
+	}
+	if got := tapCount.Load(); got != publishers*perPublisher {
+		t.Fatalf("tap saw %d events, want %d", got, publishers*perPublisher)
+	}
+}

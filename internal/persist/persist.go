@@ -70,6 +70,13 @@ type Entry struct {
 type Record struct {
 	// Op selects which of the remaining fields is meaningful.
 	Op Op
+	// Seq is the change-stream sequence number of the mutation this
+	// record logs. Persisting it is what lets the WAL double as the
+	// replication stream: a subscriber resuming from sequence N replays
+	// records with Seq > N and misses nothing. Sequences are
+	// nondecreasing within a log; an eviction event split across chunk
+	// records repeats its sequence on every chunk.
+	Seq uint64
 	// Entry is set for OpUpsert.
 	Entry Entry
 	// ID is set for OpRemove.
@@ -159,9 +166,11 @@ func decodeEntry(src []byte) (Entry, []byte, error) {
 	}, src[16:], nil
 }
 
-// appendRecordPayload encodes one record (without framing) onto dst.
+// appendRecordPayload encodes one record (without framing) onto dst:
+// the op byte, the uvarint change-stream sequence, then the op body.
 func appendRecordPayload(dst []byte, rec Record) ([]byte, error) {
 	dst = append(dst, byte(rec.Op))
+	dst = binary.AppendUvarint(dst, rec.Seq)
 	switch rec.Op {
 	case OpUpsert:
 		return appendEntry(dst, rec.Entry)
@@ -196,6 +205,12 @@ func decodeRecordPayload(src []byte) (Record, error) {
 	}
 	rec := Record{Op: Op(src[0])}
 	src = src[1:]
+	seq, used := binary.Uvarint(src)
+	if used <= 0 {
+		return Record{}, fmt.Errorf("persist: bad record sequence")
+	}
+	rec.Seq = seq
+	src = src[used:]
 	switch rec.Op {
 	case OpUpsert:
 		e, rest, err := decodeEntry(src)

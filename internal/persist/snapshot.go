@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -11,10 +12,13 @@ import (
 	"strings"
 )
 
-// Snapshot file layout:
+// Snapshot file layout (format 2 — the body carries the change-stream
+// sequence the snapshot was captured at; format-1 files are rejected
+// at the magic check):
 //
-//	8 bytes  magic "NCSNAP\x01\x00"
-//	body:    uint64 generation | uint64 entry count | entries
+//	8 bytes  magic "NCSNAP\x02\x00"
+//	body:    uint64 generation | uint64 capture sequence |
+//	         uint64 entry count | entries
 //	4 bytes  IEEE CRC of the body
 //
 // A snapshot becomes visible only through an atomic rename of a fully
@@ -22,34 +26,65 @@ import (
 // previous snapshot untouched. The trailing checksum guards against
 // the remaining failure mode — silent media corruption — in which case
 // recovery falls back to the next older generation still on disk.
-var snapMagic = [8]byte{'N', 'C', 'S', 'N', 'A', 'P', 1, 0}
+//
+// The capture sequence is read before the state is captured, so the
+// entries are a superset of the state at that sequence and replaying
+// records with Seq > capture sequence over them converges exactly
+// (records are per-id last-write-wins). It seeds the change stream on
+// recovery and is the resume point a replica bootstrapping from this
+// snapshot hands to the stream.
+var snapMagic = [8]byte{'N', 'C', 'S', 'N', 'A', 'P', 2, 0}
 
 // snapPath names the snapshot file for a generation.
 func snapPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%016d.ncs", gen))
 }
 
-// writeSnapshot durably writes entries as the snapshot for gen.
-func writeSnapshot(dir string, gen uint64, entries []Entry, nosync bool) error {
-	body := make([]byte, 0, 16+len(entries)*64)
-	body = binary.LittleEndian.AppendUint64(body, gen)
-	body = binary.LittleEndian.AppendUint64(body, uint64(len(entries)))
-	var err error
-	for _, e := range entries {
-		if body, err = appendEntry(body, e); err != nil {
-			return err
-		}
-	}
+// snapEncoder streams snapshot body bytes to a buffered writer while
+// folding them into a running CRC, so a multi-million-entry snapshot
+// is never materialized in memory — RSS during compaction stays flat
+// at the buffer size instead of scaling with the registry.
+type snapEncoder struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+// body writes b as body bytes: checksummed and streamed. Write errors
+// are sticky inside bufio.Writer and surfaced by the final Flush, so
+// the encoder never has to check them per call.
+func (e *snapEncoder) body(b []byte) {
+	e.crc = crc32.Update(e.crc, crc32.IEEETable, b)
+	_, _ = e.w.Write(b)
+}
+
+// writeSnapshot durably writes entries as the snapshot for gen,
+// captured at change-stream sequence seq.
+func writeSnapshot(dir string, gen, seq uint64, entries []Entry, nosync bool) error {
 	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: snapshot temp: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op once renamed
-	out := make([]byte, 0, len(snapMagic)+len(body)+4)
-	out = append(out, snapMagic[:]...)
-	out = append(out, body...)
-	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
-	if _, err := tmp.Write(out); err != nil {
+	enc := &snapEncoder{w: bufio.NewWriterSize(tmp, 1<<16)}
+	_, _ = enc.w.Write(snapMagic[:])
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], gen)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(entries)))
+	enc.body(hdr[:])
+	scratch := make([]byte, 0, 256)
+	for _, e := range entries {
+		scratch, err = appendEntry(scratch[:0], e)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		enc.body(scratch)
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], enc.crc)
+	_, _ = enc.w.Write(trailer[:])
+	if err := enc.w.Flush(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("persist: write snapshot: %w", err)
 	}
@@ -73,25 +108,27 @@ func writeSnapshot(dir string, gen uint64, entries []Entry, nosync bool) error {
 	return nil
 }
 
-// loadSnapshot reads and verifies the snapshot for gen.
-func loadSnapshot(dir string, gen uint64) ([]Entry, error) {
+// loadSnapshot reads and verifies the snapshot for gen, returning its
+// entries and the change-stream sequence it was captured at.
+func loadSnapshot(dir string, gen uint64) ([]Entry, uint64, error) {
 	data, err := os.ReadFile(snapPath(dir, gen))
 	if err != nil {
-		return nil, fmt.Errorf("persist: read snapshot: %w", err)
+		return nil, 0, fmt.Errorf("persist: read snapshot: %w", err)
 	}
-	if len(data) < len(snapMagic)+16+4 || [8]byte(data[:8]) != snapMagic {
-		return nil, fmt.Errorf("persist: snapshot gen %d: bad magic or truncated", gen)
+	if len(data) < len(snapMagic)+24+4 || [8]byte(data[:8]) != snapMagic {
+		return nil, 0, fmt.Errorf("persist: snapshot gen %d: bad magic or truncated", gen)
 	}
 	body := data[8 : len(data)-4]
 	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return nil, fmt.Errorf("persist: snapshot gen %d: checksum mismatch", gen)
+		return nil, 0, fmt.Errorf("persist: snapshot gen %d: checksum mismatch", gen)
 	}
 	if g := binary.LittleEndian.Uint64(body); g != gen {
-		return nil, fmt.Errorf("persist: snapshot gen %d: header says %d", gen, g)
+		return nil, 0, fmt.Errorf("persist: snapshot gen %d: header says %d", gen, g)
 	}
-	count := binary.LittleEndian.Uint64(body[8:])
-	src := body[16:]
+	seq := binary.LittleEndian.Uint64(body[8:])
+	count := binary.LittleEndian.Uint64(body[16:])
+	src := body[24:]
 	// A CRC is a checksum, not authentication: the count must still be
 	// treated as untrusted. Every entry occupies at least minEntrySize
 	// bytes, so a count the body cannot hold is corruption — reject it
@@ -99,21 +136,21 @@ func loadSnapshot(dir string, gen uint64) ([]Entry, error) {
 	// allocation.
 	const minEntrySize = 27 // 2 id frame + 9 empty coord + 16 error/time
 	if count > uint64(len(src))/minEntrySize {
-		return nil, fmt.Errorf("persist: snapshot gen %d: count %d impossible for %d body bytes", gen, count, len(src))
+		return nil, 0, fmt.Errorf("persist: snapshot gen %d: count %d impossible for %d body bytes", gen, count, len(src))
 	}
 	entries := make([]Entry, 0, count)
 	for i := uint64(0); i < count; i++ {
 		e, rest, err := decodeEntry(src)
 		if err != nil {
-			return nil, fmt.Errorf("persist: snapshot gen %d entry %d: %w", gen, i, err)
+			return nil, 0, fmt.Errorf("persist: snapshot gen %d entry %d: %w", gen, i, err)
 		}
 		entries = append(entries, e)
 		src = rest
 	}
 	if len(src) != 0 {
-		return nil, fmt.Errorf("persist: snapshot gen %d: %d trailing bytes", gen, len(src))
+		return nil, 0, fmt.Errorf("persist: snapshot gen %d: %d trailing bytes", gen, len(src))
 	}
-	return entries, nil
+	return entries, seq, nil
 }
 
 // scanDir lists the snapshot and WAL generations present in dir, each

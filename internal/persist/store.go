@@ -55,6 +55,11 @@ type RecoveryStats struct {
 	TornBytes int64 `json:"torn_bytes"`
 	// Entries is the recovered live-entry count.
 	Entries int `json:"entries"`
+	// LastSeq is the highest change-stream sequence persisted — the
+	// maximum of the snapshot's capture sequence and every replayed WAL
+	// record's sequence. The owner seeds its change stream here so
+	// sequence numbers survive restarts instead of restarting at zero.
+	LastSeq uint64 `json:"last_seq"`
 }
 
 // StoreStats snapshots a Store's operational counters.
@@ -64,20 +69,32 @@ type StoreStats struct {
 	// WALRecords counts records durably written to the log since Open
 	// (enqueued records are counted once their group commit succeeds;
 	// discarded ones land in Dropped instead). WALBytes is the active
-	// generation's size on disk — it resets at each compaction, so
-	// graph it as a gauge, not a throughput counter.
-	WALRecords uint64 `json:"wal_records"`
-	WALBytes   int64  `json:"wal_bytes"`
+	// generation's size on disk and WALGenRecords the records committed
+	// to it — both reset at each compaction, so graph them as gauges,
+	// not throughput counters; they are also the compactor's
+	// tail-growth triggers.
+	WALRecords    uint64 `json:"wal_records"`
+	WALBytes      int64  `json:"wal_bytes"`
+	WALGenRecords uint64 `json:"wal_gen_records"`
 	// Flushes and Syncs count group commits and the fsyncs they issued.
 	Flushes uint64 `json:"flushes"`
 	Syncs   uint64 `json:"syncs"`
 	// Compactions counts completed snapshot compactions;
 	// CompactFailures counts attempts that failed (the WAL keeps
 	// growing until one succeeds) and CompactErr is the most recent
-	// failure.
-	Compactions     uint64 `json:"compactions"`
-	CompactFailures uint64 `json:"compact_failures"`
-	CompactErr      string `json:"compact_error,omitempty"`
+	// failure. CompactReasons breaks completed compactions down by
+	// what triggered them (timer, wal-bytes, wal-records, manual) and
+	// LastCompactReason is the most recent trigger.
+	Compactions       uint64            `json:"compactions"`
+	CompactFailures   uint64            `json:"compact_failures"`
+	CompactErr        string            `json:"compact_error,omitempty"`
+	CompactReasons    map[string]uint64 `json:"compactions_by_reason,omitempty"`
+	LastCompactReason string            `json:"last_compact_reason,omitempty"`
+	// HistoryFloor is the change-stream sequence of the current
+	// snapshot: mutations at or below it exist only folded into the
+	// snapshot, so a stream consumer must resume above it (or
+	// re-bootstrap from the snapshot).
+	HistoryFloor uint64 `json:"history_floor"`
 	// Dropped counts records discarded because the store had already
 	// failed or closed.
 	Dropped uint64 `json:"dropped_records"`
@@ -118,16 +135,20 @@ type Store struct {
 	err     error
 	closed  bool
 
-	walRecords  atomic.Uint64
-	walBytes    atomic.Int64
-	flushes     atomic.Uint64
-	syncs       atomic.Uint64
-	compactions atomic.Uint64
-	compactErrs atomic.Uint64
-	dropped     atomic.Uint64
+	walRecords    atomic.Uint64
+	walBytes      atomic.Int64
+	walGenRecords atomic.Uint64
+	flushes       atomic.Uint64
+	syncs         atomic.Uint64
+	compactions   atomic.Uint64
+	compactErrs   atomic.Uint64
+	dropped       atomic.Uint64
+	histFloor     atomic.Uint64
 
-	compactErrMu   sync.Mutex
-	lastCompactErr string
+	compactErrMu      sync.Mutex
+	lastCompactErr    string
+	lastCompactReason string
+	compactReasons    map[string]uint64
 
 	compactMu sync.Mutex
 	recovery  RecoveryStats
@@ -174,11 +195,12 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 		return nil, nil, err
 	}
 	s := &Store{
-		dir:  dir,
-		opts: opts,
-		lock: lock,
-		kick: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		dir:            dir,
+		opts:           opts,
+		lock:           lock,
+		compactReasons: make(map[string]uint64),
+		kick:           make(chan struct{}, 1),
+		done:           make(chan struct{}),
 	}
 
 	// Load the newest snapshot that verifies; fall back generation by
@@ -189,9 +211,10 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 	// near-empty registry as a successful warm restart.
 	state := make(map[string]Entry)
 	baseGen := uint64(0)
+	lastSeq := uint64(0)
 	loadedSnap := len(snaps) == 0
 	for i := len(snaps) - 1; i >= 0; i-- {
-		entries, err := loadSnapshot(dir, snaps[i])
+		entries, snapSeq, err := loadSnapshot(dir, snaps[i])
 		if err != nil {
 			s.recovery.CorruptSnapshots++
 			continue
@@ -200,6 +223,8 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 			state[e.ID] = e
 		}
 		baseGen = snaps[i]
+		lastSeq = snapSeq
+		s.histFloor.Store(snapSeq)
 		s.recovery.SnapshotGen = baseGen
 		s.recovery.SnapshotEntries = len(entries)
 		loadedSnap = true
@@ -212,6 +237,9 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 	// Replay every WAL generation at or above the snapshot, in order.
 	// Generations below it are fully contained in the snapshot.
 	apply := func(rec Record) {
+		if rec.Seq > lastSeq {
+			lastSeq = rec.Seq
+		}
 		switch rec.Op {
 		case OpUpsert:
 			state[rec.Entry.ID] = rec.Entry
@@ -273,6 +301,7 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	s.recovery.Entries = len(out)
+	s.recovery.LastSeq = lastSeq
 
 	s.wg.Add(1)
 	go s.flusher()
@@ -293,14 +322,23 @@ func (s *Store) Stats() StoreStats {
 		Gen:             gen,
 		WALRecords:      s.walRecords.Load(),
 		WALBytes:        s.walBytes.Load(),
+		WALGenRecords:   s.walGenRecords.Load(),
 		Flushes:         s.flushes.Load(),
 		Syncs:           s.syncs.Load(),
 		Compactions:     s.compactions.Load(),
 		CompactFailures: s.compactErrs.Load(),
 		Dropped:         s.dropped.Load(),
+		HistoryFloor:    s.histFloor.Load(),
 	}
 	s.compactErrMu.Lock()
 	st.CompactErr = s.lastCompactErr
+	st.LastCompactReason = s.lastCompactReason
+	if len(s.compactReasons) > 0 {
+		st.CompactReasons = make(map[string]uint64, len(s.compactReasons))
+		for k, v := range s.compactReasons {
+			st.CompactReasons[k] = v
+		}
+	}
 	s.compactErrMu.Unlock()
 	if err != nil {
 		st.Err = err.Error()
@@ -315,27 +353,29 @@ func (s *Store) Err() error {
 	return s.err
 }
 
-// LogUpsert appends an upsert record.
-func (s *Store) LogUpsert(e Entry) {
-	s.append(Record{Op: OpUpsert, Entry: e})
+// LogUpsert appends an upsert record for change-stream sequence seq.
+func (s *Store) LogUpsert(e Entry, seq uint64) {
+	s.append(Record{Op: OpUpsert, Seq: seq, Entry: e})
 }
 
-// LogRemove appends a remove record.
-func (s *Store) LogRemove(id string) {
-	s.append(Record{Op: OpRemove, ID: id})
+// LogRemove appends a remove record for change-stream sequence seq.
+func (s *Store) LogRemove(id string, seq uint64) {
+	s.append(Record{Op: OpRemove, Seq: seq, ID: id})
 }
 
 // LogEvict appends eviction records for ids, chunked by count and by
 // encoded bytes so no single record approaches the frame size limit
-// even when every id is at MaxIDLen.
-func (s *Store) LogEvict(ids []string) {
+// even when every id is at MaxIDLen. Chunks repeat seq — they are one
+// logical event; replay is idempotent and stream reads never split an
+// equal-sequence run.
+func (s *Store) LogEvict(ids []string, seq uint64) {
 	for len(ids) > 0 {
 		n, bytes := 0, 0
 		for n < len(ids) && n < evictChunk && bytes < evictChunkBytes {
 			bytes += len(ids[n]) + 4
 			n++
 		}
-		s.append(Record{Op: OpEvict, IDs: ids[:n]})
+		s.append(Record{Op: OpEvict, Seq: seq, IDs: ids[:n]})
 		ids = ids[n:]
 	}
 }
@@ -446,6 +486,7 @@ func (s *Store) flushLocked() error {
 	// does it count as written.
 	if n > 0 {
 		s.walRecords.Add(uint64(n))
+		s.walGenRecords.Add(uint64(n))
 		s.flushes.Add(1)
 	}
 	return nil
@@ -465,26 +506,36 @@ func (s *Store) fail(err error) error {
 
 // Compact rotates the WAL to a fresh generation, captures the caller's
 // full current state, writes it as the new snapshot, and deletes the
-// generations it obsoletes.
+// generations it obsoletes. reason names what triggered the compaction
+// (timer, wal-bytes, wal-records, manual) and is recorded in Stats.
 //
 // capture MUST return the owner's live state as of some point after
-// Compact was entered — for a registry, a plain Snapshot call. The
+// Compact was entered, together with the change-stream sequence read
+// immediately BEFORE that state was captured — for a registry, the
+// feed sequence then a plain Snapshot call. Reading the sequence first
+// makes the state a superset of the stream at that sequence, so
+// replaying records above it converges exactly. The
 // rotation-before-capture order is the crash-safety invariant: every
 // record in older generations describes a mutation applied before the
 // capture, so the snapshot subsumes them, and the new generation's
 // records replay idempotently over it.
-func (s *Store) Compact(capture func() ([]Entry, error)) error {
+func (s *Store) Compact(reason string, capture func() ([]Entry, uint64, error)) error {
 	err := s.compact(capture)
+	s.compactErrMu.Lock()
+	if err != nil {
+		s.lastCompactErr = err.Error()
+	} else {
+		s.lastCompactReason = reason
+		s.compactReasons[reason]++
+	}
+	s.compactErrMu.Unlock()
 	if err != nil {
 		s.compactErrs.Add(1)
-		s.compactErrMu.Lock()
-		s.lastCompactErr = err.Error()
-		s.compactErrMu.Unlock()
 	}
 	return err
 }
 
-func (s *Store) compact(capture func() ([]Entry, error)) error {
+func (s *Store) compact(capture func() ([]Entry, uint64, error)) error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 
@@ -512,20 +563,69 @@ func (s *Store) compact(capture func() ([]Entry, error)) error {
 		_ = old.Close()
 	}
 	s.walBytes.Store(walHeaderSize)
+	s.walGenRecords.Store(0)
 	s.ioMu.Unlock()
 
-	entries, err := capture()
+	entries, capSeq, err := capture()
 	if err != nil {
 		// The WAL rotated but no snapshot was written; recovery simply
 		// replays both generations, so nothing is lost.
 		return fmt.Errorf("persist: compaction capture: %w", err)
 	}
-	if err := writeSnapshot(s.dir, newGen, entries, s.opts.NoSync); err != nil {
+	if err := writeSnapshot(s.dir, newGen, capSeq, entries, s.opts.NoSync); err != nil {
 		return err
 	}
+	// Generations below newGen are gone: the stream's history floor
+	// rises to the capture sequence. Publish it before deleting so a
+	// concurrent TailSince never reports "available" history that the
+	// removal is about to delete (TailSince holds compactMu anyway;
+	// this ordering is defense in depth).
+	s.histFloor.Store(capSeq)
 	s.removeObsolete(newGen)
 	s.compactions.Add(1)
 	return nil
+}
+
+// TailSince returns every durable WAL record with change-stream
+// sequence > since, oldest first — the on-disk continuation of the
+// in-memory ring for subscribers resuming from further back. It
+// reports truncated=true when compaction has folded part of the
+// requested range into the snapshot (since < the history floor); the
+// caller must then re-bootstrap from a snapshot instead.
+//
+// max bounds the result length, except that a run of equal-sequence
+// records (chunks of one eviction event) is never split across calls.
+// max <= 0 means no limit. A best-effort Sync runs first so records
+// still in the group-commit buffer become readable.
+//
+// Cost is a full read of the WAL generations on disk — acceptable for
+// the rare late joiner; live tailing is served from the ring.
+func (s *Store) TailSince(since uint64, max int) (recs []Record, truncated bool, err error) {
+	_ = s.Sync() // a failed store can still serve what already hit disk
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if since < s.histFloor.Load() {
+		return nil, true, nil
+	}
+	_, wals, err := scanDir(s.dir)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, gen := range wals {
+		_, rerr := replayWAL(walPath(s.dir, gen), gen, func(rec Record) {
+			if rec.Seq <= since {
+				return
+			}
+			if max > 0 && len(recs) >= max && rec.Seq != recs[len(recs)-1].Seq {
+				return
+			}
+			recs = append(recs, rec)
+		})
+		if rerr != nil {
+			return nil, false, rerr
+		}
+	}
+	return recs, false, nil
 }
 
 // removeObsolete deletes snapshot and WAL generations strictly below

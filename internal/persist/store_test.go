@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -41,6 +42,15 @@ func entriesEqual(t *testing.T, got, want []Entry) {
 	}
 }
 
+// The log API takes the change-stream sequence of each mutation; most
+// store tests do not care about specific values, only that sequences
+// are monotonic, so a shared counter stands in for the feed.
+var testSeqCounter atomic.Uint64
+
+func logUpsert(s *Store, e Entry)     { s.LogUpsert(e, testSeqCounter.Add(1)) }
+func logRemove(s *Store, id string)   { s.LogRemove(id, testSeqCounter.Add(1)) }
+func logEvict(s *Store, ids []string) { s.LogEvict(ids, testSeqCounter.Add(1)) }
+
 func mustOpen(t *testing.T, dir string) (*Store, []Entry) {
 	t.Helper()
 	s, entries, err := Open(dir, testOptions())
@@ -56,12 +66,12 @@ func TestStoreRoundTrip(t *testing.T) {
 	if len(entries) != 0 {
 		t.Fatalf("fresh dir recovered %d entries", len(entries))
 	}
-	s.LogUpsert(testEntry("a", 1, 100))
-	s.LogUpsert(testEntry("b", 2, 200))
-	s.LogUpsert(testEntry("a", 3, 300)) // refresh: last write wins
-	s.LogUpsert(testEntry("c", 4, 400))
-	s.LogRemove("b")
-	s.LogEvict([]string{"c"})
+	logUpsert(s, testEntry("a", 1, 100))
+	logUpsert(s, testEntry("b", 2, 200))
+	logUpsert(s, testEntry("a", 3, 300)) // refresh: last write wins
+	logUpsert(s, testEntry("c", 4, 400))
+	logRemove(s, "b")
+	logEvict(s, []string{"c"})
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -82,7 +92,7 @@ func TestStoreCompactionAndRestart(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
 	for i := 0; i < 50; i++ {
-		s.LogUpsert(testEntry(fmt.Sprintf("n%03d", i), float64(i), int64(i+1)))
+		logUpsert(s, testEntry(fmt.Sprintf("n%03d", i), float64(i), int64(i+1)))
 	}
 	// Compact with the captured state; then keep mutating into the new
 	// generation.
@@ -90,12 +100,12 @@ func TestStoreCompactionAndRestart(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		state = append(state, testEntry(fmt.Sprintf("n%03d", i), float64(i), int64(i+1)))
 	}
-	if err := s.Compact(func() ([]Entry, error) { return state, nil }); err != nil {
+	if err := s.Compact("manual", func() ([]Entry, uint64, error) { return state, testSeqCounter.Load(), nil }); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	s.LogRemove("n000")
-	s.LogUpsert(testEntry("n001", 99, 999))
-	s.LogUpsert(testEntry("new", 7, 777))
+	logRemove(s, "n000")
+	logUpsert(s, testEntry("n001", 99, 999))
+	logUpsert(s, testEntry("new", 7, 777))
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -132,8 +142,8 @@ func TestStoreCrashWithoutClose(t *testing.T) {
 	// lock forbids a second opener) must lose nothing that was synced.
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
-	s.LogUpsert(testEntry("a", 1, 100))
-	s.LogUpsert(testEntry("b", 2, 200))
+	logUpsert(s, testEntry("a", 1, 100))
+	logUpsert(s, testEntry("b", 2, 200))
 	if err := s.Sync(); err != nil {
 		t.Fatalf("Sync: %v", err)
 	}
@@ -218,17 +228,17 @@ func TestRecoveryTruncatedTailEveryOffset(t *testing.T) {
 	boundariesAppend() // empty log
 	for i := 0; i < 8; i++ {
 		e := testEntry(fmt.Sprintf("id%d", i), float64(i), int64(1000+i))
-		s.LogUpsert(e)
+		logUpsert(s, e)
 		state[e.ID] = e
 		boundariesAppend()
 		if i%3 == 2 {
 			victim := fmt.Sprintf("id%d", i-1)
-			s.LogRemove(victim)
+			logRemove(s, victim)
 			delete(state, victim)
 			boundariesAppend()
 		}
 	}
-	s.LogEvict([]string{"id0", "id7"})
+	logEvict(s, []string{"id0", "id7"})
 	delete(state, "id0")
 	delete(state, "id7")
 	boundariesAppend()
@@ -273,7 +283,7 @@ func TestRecoveryTruncatedTailEveryOffset(t *testing.T) {
 		}
 		// The store must also be appendable after tail truncation: the
 		// torn suffix is discarded, new records extend the valid prefix.
-		s2.LogUpsert(testEntry("post-crash", 42, 4242))
+		logUpsert(s2, testEntry("post-crash", 42, 4242))
 		if err := s2.Close(); err != nil {
 			t.Fatalf("cut %d: Close: %v", cut, err)
 		}
@@ -299,9 +309,9 @@ func TestRecoveryCorruptMidRecordChecksum(t *testing.T) {
 	// record; everything before it survives.
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
-	s.LogUpsert(testEntry("a", 1, 100))
-	s.LogUpsert(testEntry("b", 2, 200))
-	s.LogUpsert(testEntry("c", 3, 300))
+	logUpsert(s, testEntry("a", 1, 100))
+	logUpsert(s, testEntry("b", 2, 200))
+	logUpsert(s, testEntry("c", 3, 300))
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -330,13 +340,13 @@ func TestRecoveryOnlyCorruptSnapshotRefusesToOpen(t *testing.T) {
 	// restart. That silent near-total data loss must be a hard error.
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
-	s.LogUpsert(testEntry("a", 1, 100))
-	if err := s.Compact(func() ([]Entry, error) {
-		return []Entry{testEntry("a", 1, 100)}, nil
+	logUpsert(s, testEntry("a", 1, 100))
+	if err := s.Compact("manual", func() ([]Entry, uint64, error) {
+		return []Entry{testEntry("a", 1, 100)}, testSeqCounter.Load(), nil
 	}); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	s.LogUpsert(testEntry("b", 2, 200))
+	logUpsert(s, testEntry("b", 2, 200))
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -369,17 +379,17 @@ func TestRecoveryCorruptSnapshotFallsBackAGeneration(t *testing.T) {
 	// it and the surviving WAL generations reconstruct the full state.
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
-	s.LogUpsert(testEntry("a", 1, 100))
-	s.LogUpsert(testEntry("b", 2, 200))
+	logUpsert(s, testEntry("a", 1, 100))
+	logUpsert(s, testEntry("b", 2, 200))
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
 	// Manufacture the crash-mid-compaction layout: snap-1 (valid),
 	// wal-1 (a, b), snap-2 (will be corrupted), wal-2 (c).
-	if err := writeSnapshot(dir, 1, nil, true); err != nil {
+	if err := writeSnapshot(dir, 1, 0, nil, true); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
-	if err := writeSnapshot(dir, 2, []Entry{testEntry("a", 1, 100), testEntry("b", 2, 200)}, true); err != nil {
+	if err := writeSnapshot(dir, 2, 2, []Entry{testEntry("a", 1, 100), testEntry("b", 2, 200)}, true); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
 	f, err := createWAL(dir, 2, true)
@@ -421,17 +431,17 @@ func TestCrashBetweenRotateAndSnapshot(t *testing.T) {
 	// recovery must replay both generations in order.
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
-	s.LogUpsert(testEntry("a", 1, 100))
-	s.LogUpsert(testEntry("b", 2, 200))
-	err := s.Compact(func() ([]Entry, error) {
-		return nil, fmt.Errorf("simulated crash before snapshot write")
+	logUpsert(s, testEntry("a", 1, 100))
+	logUpsert(s, testEntry("b", 2, 200))
+	err := s.Compact("manual", func() ([]Entry, uint64, error) {
+		return nil, 0, fmt.Errorf("simulated crash before snapshot write")
 	})
 	if err == nil {
 		t.Fatal("Compact swallowed the capture failure")
 	}
 	// Post-"crash" mutations land in the new generation.
-	s.LogRemove("a")
-	s.LogUpsert(testEntry("c", 3, 300))
+	logRemove(s, "a")
+	logUpsert(s, testEntry("c", 3, 300))
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -458,7 +468,7 @@ func TestStoreFlushBatchKicksEarly(t *testing.T) {
 		t.Fatalf("Open: %v", err)
 	}
 	for i := 0; i < 16; i++ {
-		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i+1)))
+		logUpsert(s, testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i+1)))
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -481,9 +491,9 @@ func TestEvictChunking(t *testing.T) {
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("node-%05d", i)
-		s.LogUpsert(testEntry(ids[i], float64(i), int64(i+1)))
+		logUpsert(s, testEntry(ids[i], float64(i), int64(i+1)))
 	}
-	s.LogEvict(ids)
+	logEvict(s, ids)
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -517,10 +527,10 @@ func TestLogEvictByteChunking(t *testing.T) {
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("%0*d", MaxIDLen, i) // every id at MaxIDLen
-		s.LogUpsert(Entry{ID: ids[i], Coord: coord.New(1, 2, 3), UpdatedAt: time.Unix(0, 1)})
+		logUpsert(s, Entry{ID: ids[i], Coord: coord.New(1, 2, 3), UpdatedAt: time.Unix(0, 1)})
 	}
-	s.LogEvict(ids)
-	s.LogUpsert(testEntry("survivor", 1, 99))
+	logEvict(s, ids)
+	logUpsert(s, testEntry("survivor", 1, 99))
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -541,9 +551,9 @@ func TestAppendDropsUnencodableRecord(t *testing.T) {
 	// a frame that reads back as corruption.
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
-	s.LogUpsert(testEntry("good", 1, 1))
-	s.LogUpsert(Entry{ID: strings.Repeat("x", MaxIDLen+1), Coord: coord.New(1, 2, 3)})
-	s.LogUpsert(testEntry("also-good", 2, 2))
+	logUpsert(s, testEntry("good", 1, 1))
+	logUpsert(s, Entry{ID: strings.Repeat("x", MaxIDLen+1), Coord: coord.New(1, 2, 3)})
+	logUpsert(s, testEntry("also-good", 2, 2))
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -559,12 +569,180 @@ func TestCompactFailureSurfaced(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
 	defer s.Close()
-	if err := s.Compact(func() ([]Entry, error) { return nil, fmt.Errorf("capture exploded") }); err == nil {
+	if err := s.Compact("manual", func() ([]Entry, uint64, error) { return nil, 0, fmt.Errorf("capture exploded") }); err == nil {
 		t.Fatal("capture failure swallowed")
 	}
 	st := s.Stats()
 	if st.CompactFailures != 1 || st.CompactErr == "" {
 		t.Fatalf("compaction failure not surfaced: %+v", st)
+	}
+}
+
+func TestTailSinceServesWALAndHonorsHistoryFloor(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	state := make([]Entry, 0, 10)
+	for i := 1; i <= 10; i++ {
+		e := testEntry(fmt.Sprintf("n%02d", i), float64(i), int64(i))
+		s.LogUpsert(e, uint64(i))
+		state = append(state, e)
+	}
+	recs, truncated, err := s.TailSince(4, 0)
+	if err != nil || truncated {
+		t.Fatalf("TailSince(4): truncated=%v err=%v", truncated, err)
+	}
+	if len(recs) != 6 || recs[0].Seq != 5 || recs[5].Seq != 10 {
+		t.Fatalf("TailSince(4) seqs wrong: %d recs, first %d last %d",
+			len(recs), recs[0].Seq, recs[len(recs)-1].Seq)
+	}
+	if recs, _, _ := s.TailSince(4, 2); len(recs) != 2 || recs[1].Seq != 6 {
+		t.Fatalf("TailSince(4, max 2) = %d recs", len(recs))
+	}
+	if recs, truncated, err := s.TailSince(10, 0); err != nil || truncated || len(recs) != 0 {
+		t.Fatalf("TailSince(current) = %d recs, truncated=%v, err=%v", len(recs), truncated, err)
+	}
+
+	// Compaction folds seqs <= 10 into the snapshot: resuming below the
+	// floor must report truncation, resuming at it must work and span
+	// the generation boundary.
+	if err := s.Compact("manual", func() ([]Entry, uint64, error) { return state, 10, nil }); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.LogUpsert(testEntry("n11", 11, 11), 11)
+	if _, truncated, err := s.TailSince(3, 0); err != nil || !truncated {
+		t.Fatalf("TailSince below floor: truncated=%v err=%v", truncated, err)
+	}
+	recs, truncated, err = s.TailSince(10, 0)
+	if err != nil || truncated || len(recs) != 1 || recs[0].Seq != 11 {
+		t.Fatalf("TailSince(floor) = %+v truncated=%v err=%v", recs, truncated, err)
+	}
+	if got := s.Stats().HistoryFloor; got != 10 {
+		t.Fatalf("HistoryFloor = %d, want 10", got)
+	}
+}
+
+func TestTailSinceNeverSplitsEvictChunks(t *testing.T) {
+	// One eviction event can span several chunk records sharing a
+	// sequence; a max cutoff must keep the run whole so a resumer never
+	// receives half an event.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	n := evictChunk + 50
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%05d", i)
+	}
+	s.LogEvict(ids, 1)
+	s.LogUpsert(testEntry("after", 1, 2), 2)
+	recs, truncated, err := s.TailSince(0, 1)
+	if err != nil || truncated {
+		t.Fatalf("TailSince: truncated=%v err=%v", truncated, err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("equal-seq run split: got %d records, want both chunks of seq 1", len(recs))
+	}
+	total := 0
+	for _, r := range recs {
+		if r.Seq != 1 || r.Op != OpEvict {
+			t.Fatalf("unexpected record %+v", r)
+		}
+		total += len(r.IDs)
+	}
+	if total != n {
+		t.Fatalf("chunks carry %d ids, want %d", total, n)
+	}
+}
+
+func TestRecoveryLastSeqAcrossSnapshotAndWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	for i := 1; i <= 5; i++ {
+		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i)), uint64(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, _ := mustOpen(t, dir)
+	if got := s2.Recovery().LastSeq; got != 5 {
+		t.Fatalf("WAL-only LastSeq = %d, want 5", got)
+	}
+	// Compact at seq 5, append 6..7: LastSeq must take the WAL max.
+	if err := s2.Compact("manual", func() ([]Entry, uint64, error) { return nil, 5, nil }); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s2.LogUpsert(testEntry("n6", 6, 6), 6)
+	s2.LogUpsert(testEntry("n7", 7, 7), 7)
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s3, _ := mustOpen(t, dir)
+	if got := s3.Recovery().LastSeq; got != 7 {
+		t.Fatalf("LastSeq = %d, want 7", got)
+	}
+	if got := s3.Stats().HistoryFloor; got != 5 {
+		t.Fatalf("recovered HistoryFloor = %d, want 5", got)
+	}
+	// Snapshot-only recovery (empty WAL tail): the snapshot's capture
+	// sequence alone must seed LastSeq.
+	if err := s3.Compact("manual", func() ([]Entry, uint64, error) { return nil, 7, nil }); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s4, _ := mustOpen(t, dir)
+	defer s4.Close()
+	if got := s4.Recovery().LastSeq; got != 7 {
+		t.Fatalf("snapshot-only LastSeq = %d, want 7", got)
+	}
+}
+
+func TestCompactReasonRecorded(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	if err := s.Compact("wal-bytes", func() ([]Entry, uint64, error) { return nil, 0, nil }); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := s.Compact("timer", func() ([]Entry, uint64, error) { return nil, 0, nil }); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := s.Stats()
+	if st.LastCompactReason != "timer" {
+		t.Fatalf("LastCompactReason = %q, want timer", st.LastCompactReason)
+	}
+	if st.CompactReasons["wal-bytes"] != 1 || st.CompactReasons["timer"] != 1 {
+		t.Fatalf("CompactReasons = %v", st.CompactReasons)
+	}
+}
+
+func TestWALGenRecordsResetOnCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	for i := 1; i <= 8; i++ {
+		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i)), uint64(i))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := s.Stats().WALGenRecords; got != 8 {
+		t.Fatalf("WALGenRecords = %d, want 8", got)
+	}
+	if err := s.Compact("manual", func() ([]Entry, uint64, error) { return nil, 8, nil }); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := s.Stats().WALGenRecords; got != 0 {
+		t.Fatalf("WALGenRecords after compaction = %d, want 0", got)
+	}
+	s.LogUpsert(testEntry("n9", 9, 9), 9)
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := s.Stats().WALGenRecords; got != 1 {
+		t.Fatalf("WALGenRecords in new generation = %d, want 1", got)
 	}
 }
 
@@ -575,13 +753,13 @@ func TestSnapshotBogusCountRejectedNotAllocated(t *testing.T) {
 	// allocation inside Open.
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
-	s.LogUpsert(testEntry("a", 1, 100))
-	if err := s.Compact(func() ([]Entry, error) {
-		return []Entry{testEntry("a", 1, 100)}, nil
+	logUpsert(s, testEntry("a", 1, 100))
+	if err := s.Compact("manual", func() ([]Entry, uint64, error) {
+		return []Entry{testEntry("a", 1, 100)}, testSeqCounter.Load(), nil
 	}); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	s.LogUpsert(testEntry("b", 2, 200))
+	logUpsert(s, testEntry("b", 2, 200))
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -593,7 +771,7 @@ func TestSnapshotBogusCountRejectedNotAllocated(t *testing.T) {
 		t.Fatalf("read: %v", err)
 	}
 	body := data[8 : len(data)-4]
-	binary.LittleEndian.PutUint64(body[8:], 1<<56)
+	binary.LittleEndian.PutUint64(body[16:], 1<<56)
 	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatalf("write: %v", err)

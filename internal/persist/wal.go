@@ -8,9 +8,10 @@ import (
 	"path/filepath"
 )
 
-// WAL file layout:
+// WAL file layout (format 2 — record payloads carry the change-stream
+// sequence number; format-1 files are rejected at the magic check):
 //
-//	8 bytes  magic "NCWAL\x01\x00\x00"
+//	8 bytes  magic "NCWAL\x02\x00\x00"
 //	8 bytes  generation (little endian)
 //	records: uint32 payload length | uint32 IEEE CRC of payload | payload
 //
@@ -24,7 +25,7 @@ const (
 	frameHeaderSize = 8
 )
 
-var walMagic = [8]byte{'N', 'C', 'W', 'A', 'L', 1, 0, 0}
+var walMagic = [8]byte{'N', 'C', 'W', 'A', 'L', 2, 0, 0}
 
 // walPath names the WAL file for a generation.
 func walPath(dir string, gen uint64) string {

@@ -1,10 +1,12 @@
 package netcoord
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"netcoord/internal/changefeed"
 	"netcoord/internal/coord"
 	"netcoord/internal/persist"
 )
@@ -26,12 +28,36 @@ type PersistentRegistryConfig struct {
 	// durable at most this long after the call that applied it returns.
 	// 0 means the persist layer's default (50ms).
 	FlushInterval time.Duration
+	// CompactWALBytes triggers a compaction as soon as the active WAL
+	// generation exceeds this many bytes, independent of the timer, so
+	// a write storm cannot grow an unbounded replay tail between ticks.
+	// 0 means DefaultCompactWALBytes; negative disables the byte
+	// trigger.
+	CompactWALBytes int64
+	// CompactWALRecords is the same trigger on the active generation's
+	// record count. 0 means DefaultCompactWALRecords; negative disables
+	// the record trigger.
+	CompactWALRecords int64
 	// NoSync skips fsync entirely. Only for tests.
 	NoSync bool
 }
 
 // DefaultSnapshotInterval is the default WAL compaction cadence.
 const DefaultSnapshotInterval = 5 * time.Minute
+
+// Default WAL growth bounds: a compaction fires when the active
+// generation crosses either, whatever the timer says. Sized so the
+// replay tail stays a small multiple of a typical recovery budget
+// (~2M records/s replay) while write-idle deployments never compact
+// early.
+const (
+	DefaultCompactWALBytes   = int64(256 << 20)
+	DefaultCompactWALRecords = int64(2_000_000)
+)
+
+// compactCheckInterval is how often the compactor polls the WAL growth
+// triggers; two atomic loads per tick, so the poll is effectively free.
+const compactCheckInterval = time.Second
 
 // PersistentRegistry is a Registry whose contents survive restarts. It
 // embeds a fully functional Registry — every query and mutation method
@@ -54,8 +80,10 @@ const DefaultSnapshotInterval = 5 * time.Minute
 // easy trade for mutation paths that never block on the disk.
 type PersistentRegistry struct {
 	*Registry
-	store    *persist.Store
-	interval time.Duration
+	store       *persist.Store
+	interval    time.Duration
+	maxWALBytes int64
+	maxWALRecs  int64
 
 	closeOnce sync.Once
 	closeErr  error
@@ -63,20 +91,29 @@ type PersistentRegistry struct {
 	wg        sync.WaitGroup
 }
 
-// storeRecorder adapts the registry's mutation hook to the store's log.
-// Log calls only enqueue (the store's flusher owns the disk), so they
-// are safe under the shard locks the hook is invoked with.
-type storeRecorder struct {
-	s *persist.Store
+// storeTap is the persistence layer's change-stream consumer: a
+// synchronous tap that forwards every sequenced event to the store's
+// log. It runs inline under the feed lock (hence under the publishing
+// shard's lock); Log calls only enqueue — the store's flusher owns the
+// disk — so the tap never blocks a mutation. Being a tap rather than a
+// bounded subscriber is what guarantees the WAL misses nothing.
+func storeTap(s *persist.Store) func(changefeed.Event) {
+	return func(ev changefeed.Event) {
+		switch ev.Op {
+		case changefeed.OpUpsert:
+			s.LogUpsert(persist.Entry{
+				ID:        ev.Entry.ID,
+				Coord:     ev.Entry.Coord,
+				Error:     ev.Entry.Error,
+				UpdatedAt: ev.Entry.UpdatedAt,
+			}, ev.Seq)
+		case changefeed.OpRemove:
+			s.LogRemove(ev.ID, ev.Seq)
+		case changefeed.OpEvict:
+			s.LogEvict(ev.IDs, ev.Seq)
+		}
+	}
 }
-
-func (r storeRecorder) recordUpsert(e RegistryEntry) {
-	r.s.LogUpsert(persist.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt})
-}
-
-func (r storeRecorder) recordRemove(id string) { r.s.LogRemove(id) }
-
-func (r storeRecorder) recordEvict(ids []string) { r.s.LogEvict(ids) }
 
 // OpenPersistentRegistry opens the data directory, recovers the
 // persisted entries into a new Registry, and starts logging mutations
@@ -96,6 +133,14 @@ func OpenPersistentRegistry(cfg PersistentRegistryConfig) (*PersistentRegistry, 
 	if interval == 0 {
 		interval = DefaultSnapshotInterval
 	}
+	maxWALBytes := cfg.CompactWALBytes
+	if maxWALBytes == 0 {
+		maxWALBytes = DefaultCompactWALBytes
+	}
+	maxWALRecs := cfg.CompactWALRecords
+	if maxWALRecs == 0 {
+		maxWALRecs = DefaultCompactWALRecords
+	}
 
 	store, recovered, err := persist.Open(cfg.Dir, persist.Options{
 		FlushInterval: cfg.FlushInterval,
@@ -104,10 +149,18 @@ func OpenPersistentRegistry(cfg PersistentRegistryConfig) (*PersistentRegistry, 
 	if err != nil {
 		return nil, fmt.Errorf("netcoord: persistent registry: %w", err)
 	}
-	// Build the registry with its janitor deferred: the recorder must be
-	// installed before any background goroutine can mutate (an eviction
-	// during recovery would go unlogged and resurrect on the next open).
-	reg, err := newRegistry(cfg.Registry)
+	// Build the registry with its janitor deferred and its change
+	// stream uninstalled: the feed must be seeded with the recovered
+	// sequence and given its WAL tap before any background goroutine
+	// can mutate — an eviction during recovery would otherwise be
+	// published with a reused sequence, or not logged at all.
+	regCfg := cfg.Registry
+	streamBuf := regCfg.ChangeStreamBuffer
+	if streamBuf <= 0 {
+		streamBuf = DefaultChangeStreamBuffer
+	}
+	regCfg.ChangeStreamBuffer = 0
+	reg, err := newRegistry(regCfg)
 	if err != nil {
 		_ = store.Close()
 		return nil, err
@@ -131,17 +184,23 @@ func OpenPersistentRegistry(cfg PersistentRegistryConfig) (*PersistentRegistry, 
 			return nil, fmt.Errorf("netcoord: persistent registry: recovered state rejected (was the directory written with a different -dim?): %w", err)
 		}
 	}
-	// Hook up logging only after recovery, so recovered entries are not
-	// re-appended to the log they came from; only then may the janitor
-	// start evicting.
-	reg.recorder = storeRecorder{s: store}
+	// Install the change stream only after recovery, so recovered
+	// entries are not re-published into the log they came from: the
+	// feed continues from the last persisted sequence, the store
+	// consumes it as a tap, and only then may the janitor start
+	// evicting.
+	feed := changefeed.New(streamBuf, store.Recovery().LastSeq)
+	feed.Tap(storeTap(store))
+	reg.feed = feed
 	reg.startJanitor()
 
 	p := &PersistentRegistry{
-		Registry: reg,
-		store:    store,
-		interval: interval,
-		done:     make(chan struct{}),
+		Registry:    reg,
+		store:       store,
+		interval:    interval,
+		maxWALBytes: maxWALBytes,
+		maxWALRecs:  maxWALRecs,
+		done:        make(chan struct{}),
 	}
 	if interval > 0 {
 		p.wg.Add(1)
@@ -150,11 +209,16 @@ func OpenPersistentRegistry(cfg PersistentRegistryConfig) (*PersistentRegistry, 
 	return p, nil
 }
 
-// compactor periodically folds the WAL into a fresh snapshot.
+// compactor folds the WAL into a fresh snapshot every SnapshotInterval,
+// and early whenever the active generation's growth crosses the
+// byte/record bounds — a write storm is bounded by the trigger, not by
+// how much tail can accumulate before the next timer tick.
 func (p *PersistentRegistry) compactor() {
 	defer p.wg.Done()
 	ticker := time.NewTicker(p.interval)
 	defer ticker.Stop()
+	check := time.NewTicker(compactCheckInterval)
+	defer check.Stop()
 	for {
 		select {
 		case <-p.done:
@@ -162,24 +226,98 @@ func (p *PersistentRegistry) compactor() {
 		case <-ticker.C:
 			// Compaction failures (e.g. disk full) must not kill the
 			// registry; the WAL keeps growing and the next tick retries.
-			_ = p.Compact()
+			_ = p.compactAs("timer")
+			ticker.Reset(p.interval)
+		case <-check.C:
+			if reason, hit := p.walTrigger(); hit {
+				if p.compactAs(reason) == nil {
+					// A fresh snapshot just landed; push the timer out a
+					// full interval so it does not immediately re-compact
+					// an empty tail.
+					ticker.Reset(p.interval)
+				}
+			}
 		}
 	}
 }
 
+// walTrigger reports whether the active WAL generation has outgrown
+// the configured bounds, and which bound fired.
+func (p *PersistentRegistry) walTrigger() (reason string, hit bool) {
+	st := p.store.Stats()
+	if p.maxWALBytes > 0 && st.WALBytes >= p.maxWALBytes {
+		return "wal-bytes", true
+	}
+	if p.maxWALRecs > 0 && st.WALGenRecords >= uint64(p.maxWALRecs) {
+		return "wal-records", true
+	}
+	return "", false
+}
+
 // Compact folds the current WAL into a fresh snapshot now. The
-// background compactor calls this every SnapshotInterval; it is
-// exported for deployments that prefer to schedule compaction
+// background compactor calls this on its timer and on WAL growth; it
+// is exported for deployments that prefer to schedule compaction
 // themselves (e.g. before a planned restart, to make recovery fastest).
-func (p *PersistentRegistry) Compact() error {
-	return p.store.Compact(func() ([]persist.Entry, error) {
+func (p *PersistentRegistry) Compact() error { return p.compactAs("manual") }
+
+func (p *PersistentRegistry) compactAs(reason string) error {
+	return p.store.Compact(reason, func() ([]persist.Entry, uint64, error) {
+		// Sequence before state: the snapshot is then a superset of the
+		// stream at seq, and replay above seq converges exactly.
+		seq := p.Registry.ChangeSeq()
 		snap := p.Registry.Snapshot()
 		entries := make([]persist.Entry, len(snap))
 		for i, e := range snap {
 			entries[i] = persist.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt}
 		}
-		return entries, nil
+		return entries, seq, nil
 	})
+}
+
+// ChangesSince returns up to max events with sequence > since, oldest
+// first (max <= 0 means no limit). Unlike the in-memory registry's
+// method, history older than the ring is replayed from the WAL on
+// disk, so a consumer can resume from any sequence at or above the
+// current snapshot's capture point; only below that is
+// ErrChangeHistoryTruncated returned and a snapshot re-bootstrap
+// required.
+func (p *PersistentRegistry) ChangesSince(since uint64, max int) ([]ChangeEvent, error) {
+	evs, err := p.Registry.ChangesSince(since, max)
+	if err == nil || !errors.Is(err, ErrChangeHistoryTruncated) {
+		return evs, err
+	}
+	recs, truncated, terr := p.store.TailSince(since, max)
+	if terr != nil {
+		return nil, fmt.Errorf("netcoord: persistent registry: wal tail: %w", terr)
+	}
+	if truncated {
+		return nil, fmt.Errorf("%w (snapshot floor %d, requested %d)", ErrChangeHistoryTruncated, p.store.Stats().HistoryFloor, since+1)
+	}
+	out := make([]ChangeEvent, 0, len(recs))
+	for _, rec := range recs {
+		ev := ChangeEvent{Seq: rec.Seq}
+		switch rec.Op {
+		case persist.OpUpsert:
+			entry := toChangeEntry(RegistryEntry{
+				ID:        rec.Entry.ID,
+				Coord:     rec.Entry.Coord,
+				Error:     rec.Entry.Error,
+				UpdatedAt: rec.Entry.UpdatedAt,
+			})
+			ev.Op = ChangeUpsert
+			ev.Entry = &entry
+		case persist.OpRemove:
+			ev.Op = ChangeRemove
+			ev.ID = rec.ID
+		case persist.OpEvict:
+			ev.Op = ChangeEvict
+			ev.IDs = rec.IDs
+		default:
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out, nil
 }
 
 // Sync forces a WAL group commit: every mutation applied before the

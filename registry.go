@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netcoord/internal/changefeed"
 	"netcoord/internal/index"
 )
 
@@ -56,6 +57,14 @@ type RegistryConfig struct {
 	// JanitorInterval is how often the background janitor sweeps when TTL
 	// is set; 0 means TTL/2.
 	JanitorInterval time.Duration
+	// ChangeStreamBuffer enables the change stream when > 0: every
+	// applied mutation is assigned a monotonic sequence number and
+	// retained in an in-memory ring of this many recent events, powering
+	// SubscribeChanges / ChangesSince (and, for a PersistentRegistry,
+	// the WAL). 0 disables the stream for registries that never watch
+	// or replicate — mutations then skip the feed's global ordering
+	// lock entirely.
+	ChangeStreamBuffer int
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
 }
@@ -81,23 +90,14 @@ type RegistryStats struct {
 	IndexRebuilds   uint64 `json:"index_rebuilds"`
 }
 
-// mutationRecorder receives every mutation a Registry applies — the
-// hook the persistence layer (PersistentRegistry) uses to write its
-// WAL. Calls are made while the owning shard's lock is held, so the
-// recorded order matches the applied order for any given id; the
-// implementation must therefore only enqueue, never block on I/O.
-// The field is set before the registry is shared and never changed.
-type mutationRecorder interface {
-	recordUpsert(e RegistryEntry)
-	recordRemove(id string)
-	recordEvict(ids []string)
-}
-
-// logUpsert is the single seam through which every applied upsert
-// reaches the recorder; callers hold the owning shard's lock.
-func (r *Registry) logUpsert(e RegistryEntry) {
-	if r.recorder != nil {
-		r.recorder.recordUpsert(e)
+// publishUpsert is the single seam through which every applied upsert
+// reaches the change stream; callers hold the owning shard's lock, so
+// the published order matches the applied order for any given id. The
+// feed only assigns a sequence, buffers, and enqueues — it never
+// blocks on I/O — which is what makes calling it under the lock safe.
+func (r *Registry) publishUpsert(e RegistryEntry) {
+	if r.feed != nil {
+		r.feed.PublishUpsert(changefeed.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt})
 	}
 }
 
@@ -140,12 +140,15 @@ type Registry struct {
 	evictions  atomic.Uint64
 	feedErrors atomic.Uint64
 
-	// recorder, when non-nil, is told about every applied mutation; see
-	// mutationRecorder for the contract. validateID, when non-nil,
-	// rejects upserts whose ids the recorder could not represent (the
+	// feed, when non-nil, is the change stream every applied mutation is
+	// published to (under the owning shard's lock, so per-id stream
+	// order matches apply order); persistence taps it, subscribers and
+	// replicas consume it. The field is set before the registry is
+	// shared and never changed. validateID, when non-nil, rejects
+	// upserts whose ids downstream consumers could not represent (the
 	// persistence wire format bounds id length); an accepted-but-
 	// unloggable entry would be silently non-durable.
-	recorder   mutationRecorder
+	feed       *changefeed.Feed
 	validateID func(id string) error
 
 	// lifeMu orders goroutine starts (janitor, feeds) against Close:
@@ -168,9 +171,10 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 }
 
 // newRegistry builds a Registry without starting its janitor, so the
-// persistence layer can finish recovery and install its mutation
-// recorder before any background goroutine can read it (or evict
-// unlogged).
+// persistence layer can finish recovery and install its change feed
+// (with the recovered sequence and its WAL tap) before any background
+// goroutine can mutate — an eviction during recovery would otherwise
+// be published with a reused sequence, or not at all.
 func newRegistry(cfg RegistryConfig) (*Registry, error) {
 	if cfg.Dimension == 0 {
 		cfg.Dimension = DefaultConfig().Dimension
@@ -200,6 +204,9 @@ func newRegistry(cfg RegistryConfig) (*Registry, error) {
 		mask:   uint32(shards - 1),
 		shards: make([]*registryShard, shards),
 		closed: make(chan struct{}),
+	}
+	if cfg.ChangeStreamBuffer > 0 {
+		r.feed = changefeed.New(cfg.ChangeStreamBuffer, 0)
 	}
 	for i := range r.shards {
 		tree, err := index.New(cfg.Dimension)
@@ -234,8 +241,11 @@ func (r *Registry) startJanitor() {
 	go r.janitor(r.janitorInterval)
 }
 
-// Close stops the janitor and every Feed goroutine. The registry remains
-// queryable after Close; only background work stops.
+// Close stops the janitor and every Feed goroutine, and closes every
+// change-stream subscription (their channels drain, then close). The
+// registry remains queryable — and mutable, with mutations still
+// sequenced — after Close; only background work and subscriber
+// delivery stop.
 func (r *Registry) Close() {
 	r.closeOnce.Do(func() {
 		r.lifeMu.Lock()
@@ -243,6 +253,9 @@ func (r *Registry) Close() {
 		r.lifeMu.Unlock()
 	})
 	r.wg.Wait()
+	if r.feed != nil {
+		r.feed.Close()
+	}
 }
 
 // janitor periodically evicts stale entries until Close.
@@ -324,7 +337,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 			for _, e := range group {
 				s.entries[e.ID] = e // later duplicates win, as Build resolves them
 				r.upserts.Add(1)
-				r.logUpsert(e)
+				r.publishUpsert(e)
 			}
 			s.mu.Unlock()
 			continue
@@ -334,7 +347,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 			if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
 				s.entries[e.ID] = e
 				r.upserts.Add(1)
-				r.logUpsert(e)
+				r.publishUpsert(e)
 				continue
 			}
 			if err := s.tree.Insert(e.ID, e.Coord); err != nil {
@@ -345,7 +358,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 			}
 			s.entries[e.ID] = e
 			r.upserts.Add(1)
-			r.logUpsert(e)
+			r.publishUpsert(e)
 		}
 		s.mu.Unlock()
 	}
@@ -374,7 +387,7 @@ func (r *Registry) upsertEntry(e RegistryEntry) error {
 	if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
 		s.entries[e.ID] = e
 		r.upserts.Add(1)
-		r.logUpsert(e)
+		r.publishUpsert(e)
 		return nil
 	}
 	if err := s.tree.Insert(e.ID, e.Coord); err != nil {
@@ -382,7 +395,7 @@ func (r *Registry) upsertEntry(e RegistryEntry) error {
 	}
 	s.entries[e.ID] = e
 	r.upserts.Add(1)
-	r.logUpsert(e)
+	r.publishUpsert(e)
 	return nil
 }
 
@@ -397,8 +410,8 @@ func (r *Registry) Remove(id string) bool {
 	delete(s.entries, id)
 	s.tree.Remove(id)
 	r.removes.Add(1)
-	if r.recorder != nil {
-		r.recorder.recordRemove(id)
+	if r.feed != nil {
+		r.feed.PublishRemove(id)
 	}
 	return true
 }
@@ -581,13 +594,15 @@ func (r *Registry) EvictStale() int {
 				delete(s.entries, id)
 				s.tree.Remove(id)
 				evicted++
-				if r.recorder != nil {
+				if r.feed != nil {
 					evictedIDs = append(evictedIDs, id)
 				}
 			}
 		}
 		if len(evictedIDs) > 0 {
-			r.recorder.recordEvict(evictedIDs)
+			// Published under the shard lock like every other mutation;
+			// the feed chunks oversized sweeps into multiple events.
+			r.feed.PublishEvict(evictedIDs)
 		}
 		s.mu.Unlock()
 	}
