@@ -3,6 +3,7 @@ package netcoord
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,6 +45,11 @@ type ChangeEntry struct {
 	Coord             Coordinate `json:"coord"`
 	Error             float64    `json:"error,omitempty"`
 	UpdatedAtUnixNano int64      `json:"updated_at_unix_nano"`
+	// Seq is the sequence of the mutation that produced this entry
+	// state. Snapshot bodies carry it so replicas preserve per-entry
+	// sequences (delta snapshots depend on them); inside a ChangeEvent
+	// it is omitted — the event's own Seq is the same number.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Entry converts the wire form back to a registry entry.
@@ -53,10 +59,12 @@ func (e ChangeEntry) Entry() RegistryEntry {
 		Coord:     e.Coord,
 		Error:     e.Error,
 		UpdatedAt: time.Unix(0, e.UpdatedAtUnixNano),
+		Seq:       e.Seq,
 	}
 }
 
-// toChangeEntry builds the wire form of a registry entry.
+// toChangeEntry builds the wire form of a registry entry for a change
+// event (the entry-level Seq stays zero; the event carries it).
 func toChangeEntry(e RegistryEntry) ChangeEntry {
 	return ChangeEntry{
 		ID:                e.ID,
@@ -65,6 +73,69 @@ func toChangeEntry(e RegistryEntry) ChangeEntry {
 		UpdatedAtUnixNano: e.UpdatedAt.UnixNano(),
 	}
 }
+
+// SnapshotEntry builds the wire form of a registry entry for a
+// snapshot body, where — unlike in a change event — the per-entry
+// sequence travels too, so replicas preserve it.
+func SnapshotEntry(e RegistryEntry) ChangeEntry {
+	out := toChangeEntry(e)
+	out.Seq = e.Seq
+	return out
+}
+
+// ChangeSource is the seam between a registry's change stream and
+// anything that serves it: the read-then-subscribe bootstrap pair
+// (SnapshotWithSeq), history replay (ChangesSince), live delivery
+// (SubscribeChanges), and position/health (ChangeSeq, ChangeStreamStats).
+//
+// Three implementations exist, and a serving layer written against the
+// interface works identically over all of them:
+//
+//   - *Registry serves its own in-memory stream (history is the ring).
+//   - *PersistentRegistry extends history through the WAL on disk.
+//   - *FollowerRegistry relays its leader's stream in the *leader's*
+//     sequence space — so a replica re-serves /changes, /watch, and
+//     /snapshot with the same sequence numbers the leader would, and
+//     replicas stack into fan-out tiers (a follower can follow a
+//     follower).
+//
+// The contract shared by all three: sequences are dense and monotonic
+// within a stream's lifetime; SnapshotWithSeq's entries are a superset
+// of the state at its seq (replaying events above seq over them
+// converges exactly, because events are per-id last-write-wins);
+// ChangesSince returns ErrChangeHistoryTruncated when the resume point
+// predates retained history, and the consumer re-bootstraps from
+// SnapshotWithSeq.
+type ChangeSource interface {
+	// ChangeSeq is the sequence of the most recent mutation.
+	ChangeSeq() uint64
+	// ChangesSince returns up to max events with sequence > since,
+	// oldest first (max <= 0 means no limit).
+	ChangesSince(since uint64, max int) ([]ChangeEvent, error)
+	// SubscribeChanges attaches a bounded live subscriber.
+	SubscribeChanges(buffer int) (*ChangeSubscription, error)
+	// SnapshotWithSeq captures every live entry plus the stream
+	// sequence to resume from.
+	SnapshotWithSeq() ([]RegistryEntry, uint64)
+	// DeltaSince captures the delta-snapshot triple in one call: the
+	// live entries whose last mutation has sequence > since (provable
+	// at any depth — entries carry their sequence), the ids removed
+	// since then, and the sequence to resume from. ok is false when
+	// removal-completeness cannot be proven (tombstone knowledge
+	// truncated) and only a full snapshot is safe. One method rather
+	// than three reads so an implementation can make the triple
+	// atomic against state rewrites (a follower's re-bootstrap).
+	DeltaSince(since uint64) (entries []RegistryEntry, removed []string, seq uint64, ok bool)
+	// ChangeStreamStats snapshots the stream's operational counters.
+	ChangeStreamStats() ChangeStreamStats
+}
+
+// The three registry flavors all satisfy ChangeSource.
+var (
+	_ ChangeSource = (*Registry)(nil)
+	_ ChangeSource = (*PersistentRegistry)(nil)
+	_ ChangeSource = (*FollowerRegistry)(nil)
+)
 
 // ChangeEvent is one sequenced registry mutation, in the form served
 // over HTTP and consumed by followers. Sequence numbers are dense and
@@ -106,6 +177,28 @@ func fromFeedEvent(ev changefeed.Event) ChangeEvent {
 	return out
 }
 
+// toFeedEvent converts a wire event back to the internal feed form —
+// the relay direction: a follower republishes its leader's events into
+// its own feed under the leader's sequence numbers.
+func toFeedEvent(ev ChangeEvent) changefeed.Event {
+	out := changefeed.Event{Seq: ev.Seq}
+	switch ev.Op {
+	case ChangeUpsert:
+		out.Op = changefeed.OpUpsert
+		if ev.Entry != nil {
+			e := ev.Entry.Entry()
+			out.Entry = changefeed.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt}
+		}
+	case ChangeRemove:
+		out.Op = changefeed.OpRemove
+		out.ID = ev.ID
+	case ChangeEvict:
+		out.Op = changefeed.OpEvict
+		out.IDs = ev.IDs
+	}
+	return out
+}
+
 // ChangeStreamStats is an operational snapshot of a registry's change
 // stream.
 type ChangeStreamStats struct {
@@ -141,10 +234,16 @@ func (r *Registry) ChangeSeq() uint64 {
 // ChangeStreamStats snapshots the change stream's counters; Enabled is
 // false (and the rest zero) when the stream is disabled.
 func (r *Registry) ChangeStreamStats() ChangeStreamStats {
-	if r.feed == nil {
+	return feedStreamStats(r.feed)
+}
+
+// feedStreamStats converts a feed's counters to the public form;
+// shared by the registry's own stream and a follower's relay.
+func feedStreamStats(feed *changefeed.Feed) ChangeStreamStats {
+	if feed == nil {
 		return ChangeStreamStats{}
 	}
-	st := r.feed.Stats()
+	st := feed.Stats()
 	return ChangeStreamStats{
 		Enabled:     true,
 		Seq:         st.Seq,
@@ -166,9 +265,17 @@ func (r *Registry) ChangesSince(since uint64, max int) ([]ChangeEvent, error) {
 	if r.feed == nil {
 		return nil, ErrChangeStreamDisabled
 	}
-	evs, err := r.feed.Since(since, max)
+	return feedChangesSince(r.feed, since, max, "ring")
+}
+
+// feedChangesSince serves a resume from a feed's ring in wire form,
+// mapping truncation to the public error; shared by the registry's own
+// stream and a follower's relay (label distinguishes them in the
+// message).
+func feedChangesSince(feed *changefeed.Feed, since uint64, max int, label string) ([]ChangeEvent, error) {
+	evs, err := feed.Since(since, max)
 	if errors.Is(err, changefeed.ErrTruncated) {
-		return nil, fmt.Errorf("%w (ring starts at %d, requested %d)", ErrChangeHistoryTruncated, r.feed.OldestBuffered(), since+1)
+		return nil, fmt.Errorf("%w (%s starts at %d, requested %d)", ErrChangeHistoryTruncated, label, feed.OldestBuffered(), since+1)
 	}
 	if err != nil {
 		return nil, err
@@ -191,6 +298,69 @@ func (r *Registry) SnapshotWithSeq() ([]RegistryEntry, uint64) {
 	return r.Snapshot(), seq
 }
 
+// EntriesChangedSince returns every live entry whose last mutation has
+// sequence > since, sorted by id. Unlike replaying history, this scans
+// current state — O(n) in registry size but provable no matter how far
+// back since reaches, because each entry carries the sequence that
+// produced it. Paired with RemovedSince it forms the delta-snapshot
+// bootstrap: apply the removals, then these entries, then resume the
+// stream — the same superset-then-replay convergence as a full
+// snapshot, transferring only what changed.
+func (r *Registry) EntriesChangedSince(since uint64) []RegistryEntry {
+	var out []RegistryEntry
+	for _, s := range r.shards {
+		s.mu.RLock()
+		for _, e := range s.entries {
+			if e.Seq > since {
+				out = append(out, e)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RemovedSince lists the ids removed (or evicted) with sequence >
+// since, and whether the list is provably complete. False means the
+// tombstone ring has forgotten removals at or before since, and only a
+// full snapshot can guarantee deleted entries do not survive on the
+// consumer.
+func (r *Registry) RemovedSince(since uint64) ([]string, bool) {
+	if r.feed == nil {
+		return nil, false
+	}
+	return r.feed.RemovedSince(since)
+}
+
+// DeltaSince assembles the delta-snapshot triple. Ordering makes it
+// safe under concurrent mutation: seq first, then removals, then the
+// changed live entries — anything mutated mid-read is delivered at its
+// newest state (newer than seq) and the resuming stream replays its
+// later events over it, the same superset-then-replay convergence
+// SnapshotWithSeq gives.
+func (r *Registry) DeltaSince(since uint64) (entries []RegistryEntry, removed []string, seq uint64, ok bool) {
+	return assembleDelta(since, r.ChangeSeq(), r.RemovedSince, r.EntriesChangedSince)
+}
+
+// assembleDelta builds the delta-snapshot triple from a stream
+// position, a removal source, and an entry scanner; shared by the
+// registry's own stream and a follower's relay (which wraps it in its
+// bootstrap lock so the triple is atomic against rewrites).
+func assembleDelta(since, seq uint64, removedSince func(uint64) ([]string, bool), changedSince func(uint64) []RegistryEntry) ([]RegistryEntry, []string, uint64, bool) {
+	if since > seq {
+		return nil, nil, 0, false // a since from the future: don't guess
+	}
+	removed, ok := removedSince(since)
+	if !ok {
+		return nil, nil, 0, false
+	}
+	if removed == nil {
+		removed = []string{}
+	}
+	return changedSince(since), removed, seq, true
+}
+
 // ChangeSubscription delivers a registry's change events in sequence
 // order. Receive from C; the channel closes when the subscription or
 // the registry is closed. A subscriber that cannot keep up loses
@@ -211,16 +381,22 @@ func (r *Registry) SubscribeChanges(buffer int) (*ChangeSubscription, error) {
 	if r.feed == nil {
 		return nil, ErrChangeStreamDisabled
 	}
+	return newChangeSubscription(r.feed, buffer), nil
+}
+
+// newChangeSubscription wraps a feed subscription in the public wire
+// type; shared by the registry's own stream and a follower's relay.
+func newChangeSubscription(feed *changefeed.Feed, buffer int) *ChangeSubscription {
 	if buffer < 1 {
 		buffer = 1
 	}
 	s := &ChangeSubscription{
-		inner: r.feed.Subscribe(buffer),
+		inner: feed.Subscribe(buffer),
 		out:   make(chan ChangeEvent, 1),
 		done:  make(chan struct{}),
 	}
 	go s.forward()
-	return s, nil
+	return s
 }
 
 // forward converts internal events to the wire type. The inner channel
@@ -243,6 +419,12 @@ func (s *ChangeSubscription) C() <-chan ChangeEvent { return s.out }
 
 // JoinSeq is the stream sequence at attach time.
 func (s *ChangeSubscription) JoinSeq() uint64 { return s.inner.JoinSeq() }
+
+// MarkSignal declares this subscriber a pure wake signal (it only
+// cares that the stream moved): buffer overflow then counts as neither
+// subscriber loss nor a feed overflow, keeping those /stats metrics
+// meaningful for consumers that actually read events.
+func (s *ChangeSubscription) MarkSignal() { s.inner.MarkSignal() }
 
 // Dropped counts events lost to a full buffer.
 func (s *ChangeSubscription) Dropped() uint64 { return s.inner.Dropped() }

@@ -6,7 +6,7 @@
 //
 //	ncserve -listen 127.0.0.1:8700 -ttl 5m
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON; implemented in internal/server):
 //
 //	POST /upsert   {"id":"n1","coord":{"vec":[1,2,3]},"error":0.3}
 //	               or {"entries":[{...},{...}]} for batches
@@ -15,6 +15,7 @@
 //	GET  /nearest?id=n1&k=8            (centered on a registered node)
 //	GET  /estimate?a=n1&b=n2
 //	GET  /snapshot                     (full state + stream sequence)
+//	GET  /snapshot?since=N             (delta: entries changed since N)
 //	GET  /changes?since=N&wait=10s     (sequenced mutation tail)
 //	GET  /watch?id=n1&k=8              (SSE nearest-set deltas)
 //	GET  /stats
@@ -23,12 +24,16 @@
 // pass the sequence you hold (mutation responses, /stats, and
 // /snapshot all report one) and receive everything after it, long-
 // polling up to wait when the stream is quiet; a 410 means the range
-// was compacted away and you must re-bootstrap from /snapshot. /watch
-// turns the stream into nearest-set pushes: subscribe with a
+// was compacted away and you must re-bootstrap from /snapshot —
+// /snapshot?since=<your seq> returns just the entries changed since
+// then when the server still holds enough history to prove coverage.
+// /watch turns the stream into nearest-set pushes: subscribe with a
 // coordinate (or registered id) and k, get the initial top-k, then a
 // delta only when the top-k membership or order actually changes —
 // stable application-level coordinates make those pushes rare, which
-// is the point of pushing rather than polling.
+// is the point of pushing rather than polling. All watchers share one
+// internal subscription through a spatial damage map, so watcher count
+// does not multiply the per-mutation work.
 //
 // A TTL (with the -ttl flag) makes the registry self-cleaning: nodes
 // that stop refreshing their coordinate age out instead of attracting
@@ -46,30 +51,28 @@
 //
 // With -follow=<leader-url> ncserve runs as a read-only replica: it
 // bootstraps from the leader's /snapshot, tails its /changes stream,
-// and serves Nearest/Estimate/Within locally with replication lag
-// reported in /stats. Mutation endpoints return 403 in this mode.
+// and serves the full read surface locally — including /changes,
+// /watch, and /snapshot, re-served in the leader's own sequence
+// numbers — with replication lag reported in /stats. Replicas
+// therefore absorb stream fan-out, and chain: a follower can follow a
+// follower, forming a relay tree with the leader at the root. Mutation
+// endpoints return 403 in this mode.
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"netcoord"
+	"netcoord/internal/server"
 )
 
 func main() {
@@ -92,8 +95,8 @@ func run(args []string) (err error) {
 		flushEvery   = fs.Duration("flush-interval", 0, "WAL group-commit window (0 = 50ms; with -data-dir)")
 		compactBytes = fs.Int64("compact-wal-bytes", 0, "also compact when the active WAL exceeds this many bytes (0 = default, negative = timer only; with -data-dir)")
 		compactRecs  = fs.Int64("compact-wal-records", 0, "also compact when the active WAL exceeds this many records (0 = default, negative = timer only; with -data-dir)")
-		streamBuffer = fs.Int("change-buffer", netcoord.DefaultChangeStreamBuffer, "change-stream ring size: how many recent mutations /changes can serve from memory")
-		follow       = fs.String("follow", "", "run as a read-only replica of this leader ncserve URL (e.g. http://10.0.0.1:8700)")
+		streamBuffer = fs.Int("change-buffer", netcoord.DefaultChangeStreamBuffer, "change-stream ring size: how many recent mutations /changes can serve from memory (in -follow mode, the relay ring)")
+		follow       = fs.String("follow", "", "run as a read-only replica of this upstream ncserve URL (a leader, or another follower in a relay tree)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,11 +108,7 @@ func run(args []string) (err error) {
 		TTL:                *ttl,
 		ChangeStreamBuffer: *streamBuffer,
 	}
-	var (
-		reg      *netcoord.Registry
-		pr       *netcoord.PersistentRegistry
-		follower *netcoord.FollowerRegistry
-	)
+	srvCfg := server.Config{MaxBody: *maxBody}
 	switch {
 	case *follow != "":
 		if *dataDir != "" {
@@ -118,23 +117,26 @@ func run(args []string) (err error) {
 		if *ttl != 0 {
 			return errors.New("-follow and -ttl are mutually exclusive: evictions are the leader's decision and arrive through the stream")
 		}
-		follower, err = netcoord.StartFollower(netcoord.FollowerConfig{
+		follower, ferr := netcoord.StartFollower(netcoord.FollowerConfig{
 			LeaderURL: *follow,
 			Registry:  regCfg,
 		})
-		if err != nil {
-			return err
+		if ferr != nil {
+			return ferr
 		}
-		reg = follower.Registry
 		defer follower.Close()
+		srvCfg.Registry = follower.Registry
+		srvCfg.Source = follower
+		srvCfg.Follower = follower
 		st := follower.FollowerStats()
-		fmt.Printf("ncserve following %s (bootstrapped %d entries at seq %d)\n", *follow, reg.Len(), st.AppliedSeq)
+		fmt.Printf("ncserve following %s (bootstrapped %d entries at seq %d)\n", *follow, follower.Len(), st.AppliedSeq)
 	case *dataDir != "":
 		// No `:=` / shadowed error anywhere in this block: the deferred
 		// close below must write run's NAMED return, so a failed final
 		// flush fails the process — exiting 0 after losing the last
 		// commit window would tell supervisors the documented "graceful
 		// shutdown loses nothing" guarantee held when it did not.
+		var pr *netcoord.PersistentRegistry
 		pr, err = netcoord.OpenPersistentRegistry(netcoord.PersistentRegistryConfig{
 			Registry:          regCfg,
 			Dir:               *dataDir,
@@ -146,28 +148,32 @@ func run(args []string) (err error) {
 		if err != nil {
 			return err
 		}
-		reg = pr.Registry
 		defer func() {
 			if cerr := pr.Close(); cerr != nil && err == nil {
 				err = fmt.Errorf("persistence shutdown: %w", cerr)
 			}
 		}()
+		srvCfg.Registry = pr.Registry
+		srvCfg.Source = pr
+		srvCfg.Persist = pr
 		rec := pr.Recovery()
 		fmt.Printf("ncserve recovered %d entries from %s (snapshot gen %d: %d entries, %d WAL records replayed, %d torn bytes dropped, stream seq %d)\n",
 			rec.Entries, *dataDir, rec.SnapshotGen, rec.SnapshotEntries, rec.WALRecords, rec.TornBytes, rec.LastSeq)
 	default:
-		reg, err = netcoord.NewRegistry(regCfg)
-		if err != nil {
-			return err
+		reg, rerr := netcoord.NewRegistry(regCfg)
+		if rerr != nil {
+			return rerr
 		}
 		defer reg.Close()
+		srvCfg.Registry = reg
+		srvCfg.Source = reg
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	handler := newServer(reg, pr, follower, *maxBody)
+	handler := server.New(srvCfg)
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -191,7 +197,7 @@ func run(args []string) (err error) {
 	// srv.Shutdown does not cancel in-flight request contexts, so
 	// without this a single SSE subscriber would ride out the shutdown
 	// timeout and turn every graceful stop into a deadline error.
-	handler.stop()
+	handler.Stop()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -201,794 +207,4 @@ func run(args []string) (err error) {
 		return err
 	}
 	return nil
-}
-
-// server wires a Registry to the HTTP surface.
-type server struct {
-	reg *netcoord.Registry
-	// persist is non-nil when the registry is disk-backed; /stats then
-	// reports recovery and WAL counters alongside the registry's, and
-	// /changes reaches past the in-memory ring into the WAL.
-	persist *netcoord.PersistentRegistry
-	// follower is non-nil in -follow mode: mutation and stream
-	// endpoints are disabled (403/501) and /stats reports replication
-	// lag.
-	follower *netcoord.FollowerRegistry
-	started  time.Time
-	maxBody  int64
-	mux      *http.ServeMux
-	// shutdown wakes long-lived handlers (/watch SSE, /changes
-	// long-polls) at graceful stop; http.Server.Shutdown alone would
-	// wait on them forever.
-	shutdown     chan struct{}
-	shutdownOnce sync.Once
-}
-
-// newServer builds the HTTP handler around a registry (persistent or
-// follower variants optional). Split from run so tests can drive it
-// with httptest.
-func newServer(reg *netcoord.Registry, pr *netcoord.PersistentRegistry, follower *netcoord.FollowerRegistry, maxBody int64) *server {
-	s := &server{
-		reg:      reg,
-		persist:  pr,
-		follower: follower,
-		started:  time.Now(),
-		maxBody:  maxBody,
-		mux:      http.NewServeMux(),
-		shutdown: make(chan struct{}),
-	}
-	s.mux.HandleFunc("POST /upsert", s.leaderOnly(s.handleUpsert))
-	s.mux.HandleFunc("POST /remove", s.leaderOnly(s.handleRemove))
-	s.mux.HandleFunc("GET /nearest", s.handleNearestGet)
-	s.mux.HandleFunc("POST /nearest", s.handleNearestPost)
-	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /changes", s.streamOnly(s.handleChanges))
-	s.mux.HandleFunc("GET /watch", s.streamOnly(s.handleWatch))
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	return s
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, req *http.Request) { s.mux.ServeHTTP(w, req) }
-
-// stop wakes every long-lived handler; safe to call more than once.
-func (s *server) stop() { s.shutdownOnce.Do(func() { close(s.shutdown) }) }
-
-// leaderOnly rejects mutations on a follower: its state is a replica
-// of the leader's, and a local write would silently diverge it.
-func (s *server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, req *http.Request) {
-		if s.follower != nil {
-			writeError(w, http.StatusForbidden, fmt.Errorf("read-only replica of %s: send mutations to the leader", s.follower.FollowerStats().LeaderURL))
-			return
-		}
-		h(w, req)
-	}
-}
-
-// streamOnly rejects stream endpoints on a follower, which has no
-// change stream of its own (its sequence space is the leader's — tail
-// the leader directly, or bootstrap a chained replica from this
-// follower's /snapshot).
-func (s *server) streamOnly(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, req *http.Request) {
-		if s.follower != nil {
-			writeError(w, http.StatusNotImplemented, fmt.Errorf("replica has no change stream: tail the leader %s", s.follower.FollowerStats().LeaderURL))
-			return
-		}
-		h(w, req)
-	}
-}
-
-// upsertRequest accepts a single entry, a batch, or both.
-type upsertRequest struct {
-	ID      string              `json:"id"`
-	Coord   netcoord.Coordinate `json:"coord"`
-	Error   float64             `json:"error"`
-	Entries []upsertEntry       `json:"entries"`
-}
-
-type upsertEntry struct {
-	ID    string              `json:"id"`
-	Coord netcoord.Coordinate `json:"coord"`
-	Error float64             `json:"error"`
-}
-
-type rankedJSON struct {
-	ID           string              `json:"id"`
-	Coord        netcoord.Coordinate `json:"coord"`
-	EstimatedRTT float64             `json:"estimated_rtt_ms"`
-}
-
-func toRankedJSON(rs []netcoord.Ranked) []rankedJSON {
-	out := make([]rankedJSON, len(rs))
-	for i, r := range rs {
-		out[i] = rankedJSON{ID: r.ID, Coord: r.Coord, EstimatedRTT: r.EstimatedRTT}
-	}
-	return out
-}
-
-func (s *server) handleUpsert(w http.ResponseWriter, req *http.Request) {
-	var body upsertRequest
-	if !s.decode(w, req, &body) {
-		return
-	}
-	// Fold the single-entry form into the batch so the whole request is
-	// one atomic UpsertBatch: a 400 always means nothing was applied.
-	batch := make([]netcoord.RegistryEntry, 0, len(body.Entries)+1)
-	if body.ID != "" {
-		batch = append(batch, netcoord.RegistryEntry{ID: body.ID, Coord: body.Coord, Error: body.Error})
-	}
-	for _, e := range body.Entries {
-		batch = append(batch, netcoord.RegistryEntry{ID: e.ID, Coord: e.Coord, Error: e.Error})
-	}
-	if len(batch) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("no id or entries in request"))
-		return
-	}
-	if err := s.reg.UpsertBatch(batch); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	// seq is read after the batch applied, so it covers these upserts:
-	// a writer can hand it straight to /changes?since= and observe every
-	// subsequent mutation with no read-then-subscribe race.
-	resp := map[string]any{"applied": len(batch), "entries": s.reg.Len(), "seq": s.reg.ChangeSeq()}
-	s.flagDegraded(resp)
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// flagDegraded marks a mutation response when persistence has failed:
-// the mutation was applied in memory but is no longer being logged, so
-// writers must not believe the durability contract still holds just
-// because they got a 200.
-func (s *server) flagDegraded(resp map[string]any) {
-	if s.persist == nil {
-		return
-	}
-	if err := s.persist.Err(); err != nil {
-		resp["persistence_degraded"] = err.Error()
-	}
-}
-
-func (s *server) handleRemove(w http.ResponseWriter, req *http.Request) {
-	var body struct {
-		ID string `json:"id"`
-	}
-	if !s.decode(w, req, &body) {
-		return
-	}
-	if body.ID == "" {
-		writeError(w, http.StatusBadRequest, errors.New("no id in request"))
-		return
-	}
-	resp := map[string]any{"removed": s.reg.Remove(body.ID), "seq": s.reg.ChangeSeq()}
-	s.flagDegraded(resp)
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// handleNearestGet answers proximity queries centered on a registered
-// node: /nearest?id=n1&k=8, or radius mode with &radius_ms=50.
-func (s *server) handleNearestGet(w http.ResponseWriter, req *http.Request) {
-	id := req.URL.Query().Get("id")
-	if id == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing id parameter (POST a coordinate for coordinate-centered queries)"))
-		return
-	}
-	if radiusStr := req.URL.Query().Get("radius_ms"); radiusStr != "" {
-		radius, err := strconv.ParseFloat(radiusStr, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad radius_ms: %w", err))
-			return
-		}
-		entry, ok := s.reg.Get(id)
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown id %q", id))
-			return
-		}
-		// Bounded like k-mode: +1 slack for the excluded center, +1 to
-		// detect truncation.
-		res, err := s.reg.WithinLimit(entry.Coord, radius, maxK+2)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		// Consistent with k-mode: the center node is not its own peer.
-		filtered := res[:0]
-		for _, rk := range res {
-			if rk.ID != id {
-				filtered = append(filtered, rk)
-			}
-		}
-		truncated := len(filtered) > maxK
-		if truncated {
-			filtered = filtered[:maxK]
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(filtered), "truncated": truncated})
-		return
-	}
-	k, ok := parseK(w, req.URL.Query().Get("k"))
-	if !ok {
-		return
-	}
-	res, err := s.reg.NearestTo(id, k)
-	if errors.Is(err, netcoord.ErrUnknownID) {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(res)})
-}
-
-// handleNearestPost answers proximity queries centered on an arbitrary
-// coordinate — the "nearest replicas to this client" call for clients
-// that are not registered themselves.
-func (s *server) handleNearestPost(w http.ResponseWriter, req *http.Request) {
-	var body struct {
-		Coord    netcoord.Coordinate `json:"coord"`
-		K        int                 `json:"k"`
-		RadiusMS *float64            `json:"radius_ms"`
-	}
-	if !s.decode(w, req, &body) {
-		return
-	}
-	if body.RadiusMS != nil {
-		res, err := s.reg.WithinLimit(body.Coord, *body.RadiusMS, maxK+1)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		truncated := len(res) > maxK
-		if truncated {
-			res = res[:maxK]
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(res), "truncated": truncated})
-		return
-	}
-	k := body.K
-	if k == 0 {
-		k = defaultK
-	}
-	if k < 1 || k > maxK {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be an integer in [1, %d]", maxK))
-		return
-	}
-	res, err := s.reg.Nearest(body.Coord, k)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(res)})
-}
-
-func (s *server) handleEstimate(w http.ResponseWriter, req *http.Request) {
-	a, b := req.URL.Query().Get("a"), req.URL.Query().Get("b")
-	if a == "" || b == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing a or b parameter"))
-		return
-	}
-	d, err := s.reg.Estimate(a, b)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"a": a, "b": b, "rtt_ms": d})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, req *http.Request) {
-	body := map[string]any{
-		"registry":       s.reg.Stats(),
-		"uptime_seconds": time.Since(s.started).Seconds(),
-	}
-	if s.follower != nil {
-		// A follower's position in the leader's sequence space; its own
-		// stream is disabled.
-		fst := s.follower.FollowerStats()
-		body["follower"] = fst
-		body["seq"] = fst.AppliedSeq
-	} else {
-		body["change_stream"] = s.reg.ChangeStreamStats()
-		body["seq"] = s.reg.ChangeSeq()
-	}
-	if s.persist != nil {
-		body["persistence"] = map[string]any{
-			"recovery": s.persist.Recovery(),
-			"store":    s.persist.PersistStats(),
-		}
-	}
-	writeJSON(w, http.StatusOK, body)
-}
-
-// handleSnapshot serves the replica-bootstrap pair: the full entry set
-// and the stream sequence to resume from. The body is streamed entry
-// by entry through a small buffer — a bootstrap of a multi-million-
-// entry registry must not materialize a second (and third) copy of it
-// in one response buffer. On a follower the sequence is its applied
-// position and the body carries `follower_of`, so a replica pointed at
-// another replica fails fast instead of bootstrapping a registry whose
-// stream it can never tail (follower-relayed /changes is a ROADMAP
-// follow-on).
-func (s *server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
-	var (
-		entries    []netcoord.RegistryEntry
-		seq        uint64
-		followerOf string
-	)
-	if s.follower != nil {
-		// Sequence before state, same as the leader path: the entries
-		// then form a superset of the stream position, which replays
-		// idempotently.
-		seq = s.follower.AppliedSeq()
-		entries = s.reg.Snapshot()
-		followerOf = s.follower.FollowerStats().LeaderURL
-	} else {
-		entries, seq = s.reg.SnapshotWithSeq()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	bw := bufio.NewWriterSize(w, 1<<16)
-	fmt.Fprintf(bw, `{"seq":%d`, seq)
-	if followerOf != "" {
-		quoted, _ := json.Marshal(followerOf)
-		fmt.Fprintf(bw, `,"follower_of":%s`, quoted)
-	}
-	_, _ = bw.WriteString(`,"entries":[`)
-	for i, e := range entries {
-		if i > 0 {
-			_ = bw.WriteByte(',')
-		}
-		data, err := json.Marshal(netcoord.ChangeEntry{
-			ID:                e.ID,
-			Coord:             e.Coord,
-			Error:             e.Error,
-			UpdatedAtUnixNano: e.UpdatedAt.UnixNano(),
-		})
-		if err != nil {
-			return // headers are out; the truncated body fails the client's decode
-		}
-		_, _ = bw.Write(data)
-	}
-	_, _ = bw.WriteString("]}\n")
-	_ = bw.Flush()
-}
-
-// Changes endpoint bounds.
-const (
-	defaultChangesLimit = 512
-	maxChangesLimit     = 4096
-	maxChangesWait      = time.Minute
-)
-
-// handleChanges tails the change stream: everything after ?since=,
-// long-polling up to ?wait= when the stream is quiet. History older
-// than the ring is replayed from the WAL when the registry is
-// persistent; beyond that, 410 tells the client to re-bootstrap from
-// /snapshot.
-func (s *server) handleChanges(w http.ResponseWriter, req *http.Request) {
-	q := req.URL.Query()
-	since, err := strconv.ParseUint(q.Get("since"), 10, 64)
-	if q.Get("since") == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing since parameter (use seq from /snapshot, /stats, or a mutation response; 0 = from the beginning)"))
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
-		return
-	}
-	limit := defaultChangesLimit
-	if raw := q.Get("limit"); raw != "" {
-		limit, err = strconv.Atoi(raw)
-		if err != nil || limit < 1 || limit > maxChangesLimit {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("limit must be an integer in [1, %d]", maxChangesLimit))
-			return
-		}
-	}
-	var wait time.Duration
-	if raw := q.Get("wait"); raw != "" {
-		wait, err = time.ParseDuration(raw)
-		if err != nil || wait < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait: %v", raw))
-			return
-		}
-		if wait > maxChangesWait {
-			wait = maxChangesWait
-		}
-	}
-	deadline := time.Now().Add(wait)
-	for {
-		evs, err := s.changesSince(since, limit)
-		if errors.Is(err, netcoord.ErrChangeHistoryTruncated) {
-			writeError(w, http.StatusGone, fmt.Errorf("%v; re-bootstrap from /snapshot", err))
-			return
-		}
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if len(evs) > 0 || wait <= 0 || !time.Now().Before(deadline) {
-			writeJSON(w, http.StatusOK, map[string]any{"seq": s.reg.ChangeSeq(), "events": evs})
-			return
-		}
-		if !s.waitForChange(req, since, deadline) {
-			// Client went away, or shutdown/deadline: answer with what
-			// there is (nothing) so long-poll loops stay simple.
-			writeJSON(w, http.StatusOK, map[string]any{"seq": s.reg.ChangeSeq(), "events": []netcoord.ChangeEvent{}})
-			return
-		}
-	}
-}
-
-// changesSince picks the deepest history source available.
-func (s *server) changesSince(since uint64, limit int) ([]netcoord.ChangeEvent, error) {
-	if s.persist != nil {
-		return s.persist.ChangesSince(since, limit)
-	}
-	return s.reg.ChangesSince(since, limit)
-}
-
-// waitForChange blocks until the stream moves past since, the client
-// disconnects, shutdown begins, or the deadline passes. It reports
-// whether a new event may be available.
-func (s *server) waitForChange(req *http.Request, since uint64, deadline time.Time) bool {
-	sub, err := s.reg.SubscribeChanges(1)
-	if err != nil {
-		return false
-	}
-	defer sub.Close()
-	// The subscription only sees events after its attach; re-check the
-	// ring so an event published between our empty read and the attach
-	// is not slept through.
-	if s.reg.ChangeSeq() > since {
-		return true
-	}
-	timer := time.NewTimer(time.Until(deadline))
-	defer timer.Stop()
-	select {
-	case _, ok := <-sub.C():
-		return ok
-	case <-timer.C:
-		return false
-	case <-req.Context().Done():
-		return false
-	case <-s.shutdown:
-		return false
-	}
-}
-
-// Watch endpoint tuning: the per-subscriber event buffer (a gap from
-// overflow just forces one conservative recompute) and the SSE
-// keepalive cadence.
-const (
-	watchSubBuffer = 1024
-	watchHeartbeat = 15 * time.Second
-)
-
-// watchDelta is one /watch SSE payload: the full current top-k plus
-// the membership delta against the previous payload.
-type watchDelta struct {
-	Seq     uint64       `json:"seq"`
-	Results []rankedJSON `json:"results"`
-	Added   []string     `json:"added,omitempty"`
-	Removed []string     `json:"removed,omitempty"`
-}
-
-// handleWatch streams nearest-set changes for one watched coordinate
-// as server-sent events: an initial "snapshot" with the current top-k,
-// then a "delta" only when the top-k membership or order actually
-// changes. Events that cannot affect the watcher's top-k — the vastly
-// common case with stable application-level coordinates — are filtered
-// against the current k-th distance without touching the spatial
-// index; only plausible events trigger a recompute, and only a changed
-// result is pushed.
-//
-// id-mode (?id=n1) matches /nearest?id=n1 semantics: the node is not
-// its own neighbor, and its coordinate is re-resolved on every
-// recompute, so the watch follows the node when it moves. The stream
-// ends if the watched node is removed.
-func (s *server) handleWatch(w http.ResponseWriter, req *http.Request) {
-	q := req.URL.Query()
-	k, ok := parseK(w, q.Get("k"))
-	if !ok {
-		return
-	}
-	watchID := q.Get("id")
-	var fixed netcoord.Coordinate
-	switch {
-	case watchID != "":
-		if _, found := s.reg.Get(watchID); !found {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown id %q", watchID))
-			return
-		}
-	case q.Get("vec") != "":
-		var err error
-		fixed, err = parseVec(q.Get("vec"), q.Get("height"))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-	default:
-		writeError(w, http.StatusBadRequest, errors.New("missing id or vec parameter (vec=x,y,z&height=h watches an arbitrary coordinate)"))
-		return
-	}
-	// recompute answers "top-k now" plus the origin it was measured
-	// from (id-mode re-resolves the node's current coordinate, so a
-	// moving watched node keeps the question honest).
-	recompute := func() ([]netcoord.Ranked, netcoord.Coordinate, error) {
-		if watchID == "" {
-			res, err := s.reg.Nearest(fixed, k)
-			return res, fixed, err
-		}
-		entry, found := s.reg.Get(watchID)
-		if !found {
-			return nil, netcoord.Coordinate{}, fmt.Errorf("watched id %q removed", watchID)
-		}
-		res, err := s.reg.NearestTo(watchID, k)
-		return res, entry.Coord, err
-	}
-	fl, canFlush := w.(http.Flusher)
-	if !canFlush {
-		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by this connection"))
-		return
-	}
-	// Subscribe before the initial query: every mutation after the
-	// snapshot below is then either in the snapshot or delivered — no
-	// unwatched window.
-	sub, err := s.reg.SubscribeChanges(watchSubBuffer)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	defer sub.Close()
-	cur, from, err := recompute()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("X-Accel-Buffering", "no")
-	w.WriteHeader(http.StatusOK)
-	if writeSSE(w, "snapshot", watchDelta{Seq: sub.JoinSeq(), Results: toRankedJSON(cur)}) != nil {
-		return
-	}
-	fl.Flush()
-
-	members, kth, full := watchState(cur, k)
-	lastSeq := sub.JoinSeq()
-	hb := time.NewTicker(watchHeartbeat)
-	defer hb.Stop()
-	for {
-		select {
-		case <-req.Context().Done():
-			return
-		case <-s.shutdown:
-			return
-		case <-hb.C:
-			// Comment frames keep idle connections alive through proxies
-			// and let dead clients surface as write errors.
-			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
-				return
-			}
-			fl.Flush()
-		case ev, open := <-sub.C():
-			if !open {
-				return // registry closed
-			}
-			// A sequence gap means dropped events: recompute
-			// unconditionally rather than trust a stale filter state.
-			relevant := ev.Seq != lastSeq+1 || watchRelevant(ev, watchID, members, kth, full, from)
-			lastSeq = ev.Seq
-			// Coalesce whatever else is already buffered: one recompute
-			// covers the whole burst.
-			for drained := false; !drained; {
-				select {
-				case ev2, open2 := <-sub.C():
-					if !open2 {
-						drained = true
-						break
-					}
-					relevant = relevant || ev2.Seq != lastSeq+1 || watchRelevant(ev2, watchID, members, kth, full, from)
-					lastSeq = ev2.Seq
-				default:
-					drained = true
-				}
-			}
-			if !relevant {
-				continue
-			}
-			next, origin, err := recompute()
-			if err != nil {
-				return // watched node removed (or registry torn down)
-			}
-			from = origin
-			added, removed, changed := diffRanked(cur, next)
-			// The filter state tracks the latest result even when the
-			// membership/order is unchanged (a member may have moved
-			// without reordering, shifting the k-th distance).
-			cur = next
-			members, kth, full = watchState(cur, k)
-			if !changed {
-				continue
-			}
-			if writeSSE(w, "delta", watchDelta{Seq: lastSeq, Results: toRankedJSON(cur), Added: added, Removed: removed}) != nil {
-				return
-			}
-			fl.Flush()
-		}
-	}
-}
-
-// watchState derives the event filter's view of a top-k result: the
-// member set, the distance to beat, and whether the set is full (a
-// non-full set admits any upsert).
-func watchState(cur []netcoord.Ranked, k int) (members map[string]struct{}, kth float64, full bool) {
-	members = make(map[string]struct{}, len(cur))
-	for _, r := range cur {
-		members[r.ID] = struct{}{}
-	}
-	full = len(cur) == k
-	if full {
-		kth = cur[len(cur)-1].EstimatedRTT
-	} else {
-		kth = math.Inf(1)
-	}
-	return members, kth, full
-}
-
-// watchRelevant reports whether one event could change the watched
-// top-k: any touch of the watched node itself (its coordinate is the
-// query origin) or of a current member, or an upsert landing at or
-// inside the k-th distance (ties admit by id, hence <=). Everything
-// else provably cannot alter the result and is filtered without a
-// spatial query.
-func watchRelevant(ev netcoord.ChangeEvent, watchID string, members map[string]struct{}, kth float64, full bool, from netcoord.Coordinate) bool {
-	switch ev.Op {
-	case netcoord.ChangeUpsert:
-		if ev.Entry == nil {
-			return true
-		}
-		if watchID != "" && ev.Entry.ID == watchID {
-			// The origin itself: only an actual move matters — heartbeat
-			// refreshes of the watched node stay filtered.
-			return !ev.Entry.Coord.Equal(from)
-		}
-		if _, ok := members[ev.Entry.ID]; ok {
-			return true
-		}
-		if !full {
-			return true
-		}
-		d, err := from.DistanceTo(ev.Entry.Coord)
-		if err != nil {
-			return false // wrong-dimension entries cannot be in this index
-		}
-		return d <= kth
-	case netcoord.ChangeRemove:
-		if watchID != "" && ev.ID == watchID {
-			return true
-		}
-		_, ok := members[ev.ID]
-		return ok
-	case netcoord.ChangeEvict:
-		for _, id := range ev.IDs {
-			if id == watchID && watchID != "" {
-				return true
-			}
-			if _, ok := members[id]; ok {
-				return true
-			}
-		}
-		return false
-	default:
-		return true // unknown op: be conservative
-	}
-}
-
-// diffRanked compares two ranked lists by id sequence. added/removed
-// report membership changes; changed is also true for pure reorders.
-func diffRanked(old, next []netcoord.Ranked) (added, removed []string, changed bool) {
-	if len(old) == len(next) {
-		same := true
-		for i := range old {
-			if old[i].ID != next[i].ID {
-				same = false
-				break
-			}
-		}
-		if same {
-			return nil, nil, false
-		}
-	}
-	oldSet := make(map[string]struct{}, len(old))
-	for _, r := range old {
-		oldSet[r.ID] = struct{}{}
-	}
-	nextSet := make(map[string]struct{}, len(next))
-	for _, r := range next {
-		nextSet[r.ID] = struct{}{}
-		if _, ok := oldSet[r.ID]; !ok {
-			added = append(added, r.ID)
-		}
-	}
-	for _, r := range old {
-		if _, ok := nextSet[r.ID]; !ok {
-			removed = append(removed, r.ID)
-		}
-	}
-	return added, removed, true
-}
-
-// writeSSE frames one server-sent event.
-func writeSSE(w io.Writer, event string, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
-	return err
-}
-
-// parseVec parses the vec=x,y,z (+ optional height) watch parameters.
-func parseVec(raw, height string) (netcoord.Coordinate, error) {
-	parts := strings.Split(raw, ",")
-	c := netcoord.Coordinate{Vec: make([]float64, len(parts))}
-	for i, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return netcoord.Coordinate{}, fmt.Errorf("bad vec component %q: %w", p, err)
-		}
-		c.Vec[i] = v
-	}
-	if height != "" {
-		h, err := strconv.ParseFloat(height, 64)
-		if err != nil {
-			return netcoord.Coordinate{}, fmt.Errorf("bad height: %w", err)
-		}
-		c.Height = h
-	}
-	return c, nil
-}
-
-// defaultK is the k used when a nearest query does not specify one.
-const defaultK = 8
-
-// maxK bounds a single query's result size so one request cannot ask
-// the service to rank the whole registry.
-const maxK = 1024
-
-func parseK(w http.ResponseWriter, raw string) (int, bool) {
-	if raw == "" {
-		return defaultK, true
-	}
-	k, err := strconv.Atoi(raw)
-	if err != nil || k <= 0 || k > maxK {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be an integer in [1, %d]", maxK))
-		return 0, false
-	}
-	return k, true
-}
-
-// decode reads a bounded JSON body, rejecting unknown fields.
-func (s *server) decode(w http.ResponseWriter, req *http.Request, into any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return false
-	}
-	return true
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

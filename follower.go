@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"netcoord/internal/changefeed"
 )
 
 // FollowerConfig assembles a FollowerRegistry.
@@ -23,8 +25,12 @@ type FollowerConfig struct {
 	// Registry configures the local replica. TTL and JanitorInterval
 	// are ignored (forced off): evictions are the leader's decision and
 	// arrive through the stream — a follower evicting on its own clock
-	// would diverge. ChangeStreamBuffer is likewise forced off; the
-	// follower's authoritative sequence is the leader's.
+	// would diverge. ChangeStreamBuffer sizes the follower's *relay*
+	// ring instead of a local stream (0 = DefaultChangeStreamBuffer):
+	// the follower republishes every applied event under the leader's
+	// own sequence number, so it re-serves /changes, /watch, and
+	// /snapshot in the leader's sequence space and replicas chain into
+	// fan-out tiers.
 	Registry RegistryConfig
 	// WaitTimeout is the long-poll window handed to the leader's
 	// /changes endpoint; the tail loop blocks server-side up to this
@@ -62,6 +68,10 @@ type FollowerStats struct {
 	// stream truncation (the follower fell further behind than the
 	// leader retains).
 	Bootstraps uint64 `json:"bootstraps"`
+	// DeltaBootstraps counts the subset of Bootstraps served as deltas
+	// (/snapshot?since=): only the entries changed since the follower's
+	// applied sequence travelled, not the whole registry.
+	DeltaBootstraps uint64 `json:"delta_bootstraps"`
 	// Errors counts failed leader calls; LastError is the most recent.
 	Errors    uint64 `json:"errors"`
 	LastError string `json:"last_error,omitempty"`
@@ -77,7 +87,8 @@ var errStreamGone = errors.New("netcoord: follower: leader history truncated")
 // /changes with long-polls, applying upserts, removes, and evictions
 // in leader order with UpdatedAt timestamps preserved bit-identically.
 // If it falls further behind than the leader retains (ring + WAL), it
-// re-bootstraps automatically.
+// re-bootstraps automatically — fetching only the entries changed since
+// its applied sequence when the leader can serve a delta.
 //
 // The embedded Registry serves every read — Nearest, Estimate, Get,
 // Within — making the follower a horizontally scalable proximity
@@ -87,6 +98,16 @@ var errStreamGone = errors.New("netcoord: follower: leader history truncated")
 // touches (or a re-bootstrap rebuilds) the same ids. FollowerStats
 // reports the replica's staleness honestly so callers can decide how
 // much to trust a read.
+//
+// A follower is itself a ChangeSource: every applied event is
+// republished into a relay feed under the leader's sequence number, so
+// ChangesSince / SubscribeChanges / SnapshotWithSeq speak the leader's
+// sequence space and a serving layer on top of a follower re-serves
+// the stream endpoints identically to the leader. A consumer that
+// outruns the relay ring gets ErrChangeHistoryTruncated and
+// re-bootstraps from this follower's snapshot — the same protocol it
+// would run against the leader — which is what lets replicas chain
+// (follower-of-follower) into a fan-out tree.
 type FollowerRegistry struct {
 	*Registry
 	leaderURL string
@@ -95,15 +116,28 @@ type FollowerRegistry struct {
 	retry     time.Duration
 	limit     int
 
+	// relay republishes applied events in the leader's sequence space;
+	// created at the initial bootstrap, reset on every re-bootstrap
+	// (the old ring describes a stream position that no longer connects
+	// to the rewritten state).
+	relay    *changefeed.Feed
+	relayBuf int
+
 	applied   atomic.Uint64
 	leaderSeq atomic.Uint64
 	eventsApplied,
 	bootstraps,
+	deltaBootstraps,
 	errCount atomic.Uint64
 
 	mu          sync.Mutex
 	lastContact time.Time
 	lastErr     string
+
+	// bootMu serializes the (re-)bootstrap rewrite against snapshot and
+	// history reads: without it a chained replica could capture a
+	// half-rewritten registry paired with a pre-rewrite sequence.
+	bootMu sync.RWMutex
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -123,6 +157,13 @@ func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
 	regCfg := cfg.Registry
 	regCfg.TTL = 0
 	regCfg.JanitorInterval = 0
+	relayBuf := regCfg.ChangeStreamBuffer
+	if relayBuf <= 0 {
+		relayBuf = DefaultChangeStreamBuffer
+	}
+	// The registry's own feed stays off: the follower's sequence space
+	// is the leader's, carried by the relay — a locally numbered stream
+	// would hand consumers sequences no other tier recognizes.
 	regCfg.ChangeStreamBuffer = 0
 	reg, err := NewRegistry(regCfg)
 	if err != nil {
@@ -152,6 +193,7 @@ func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
 		wait:      wait,
 		retry:     retry,
 		limit:     limit,
+		relayBuf:  relayBuf,
 		ctx:       ctx,
 		cancel:    cancel,
 	}
@@ -174,6 +216,7 @@ func (f *FollowerRegistry) FollowerStats() FollowerStats {
 		LeaderSeq:             leader,
 		EventsApplied:         f.eventsApplied.Load(),
 		Bootstraps:            f.bootstraps.Load(),
+		DeltaBootstraps:       f.deltaBootstraps.Load(),
 		Errors:                f.errCount.Load(),
 		LastContactAgeSeconds: -1,
 	}
@@ -193,13 +236,77 @@ func (f *FollowerRegistry) FollowerStats() FollowerStats {
 // the leader's /changes to continue exactly where this replica stands.
 func (f *FollowerRegistry) AppliedSeq() uint64 { return f.applied.Load() }
 
-// Close stops the tail loop and the local registry.
+// Close stops the tail loop, the relay (closing every subscription),
+// and the local registry.
 func (f *FollowerRegistry) Close() {
 	f.closeOnce.Do(func() {
 		f.cancel()
 		f.wg.Wait()
+		if f.relay != nil {
+			f.relay.Close()
+		}
 		f.Registry.Close()
 	})
+}
+
+// ChangeSeq is the follower's position in the leader's sequence space —
+// identical to AppliedSeq, named for the ChangeSource seam.
+func (f *FollowerRegistry) ChangeSeq() uint64 { return f.applied.Load() }
+
+// ChangesSince serves the leader's events back out of the relay ring,
+// with the leader's own sequence numbers. A resume point older than the
+// ring returns ErrChangeHistoryTruncated: the consumer re-bootstraps
+// from this follower's SnapshotWithSeq, exactly as it would against the
+// leader.
+func (f *FollowerRegistry) ChangesSince(since uint64, max int) ([]ChangeEvent, error) {
+	f.bootMu.RLock()
+	defer f.bootMu.RUnlock()
+	return feedChangesSince(f.relay, since, max, "relay ring")
+}
+
+// SubscribeChanges attaches a live subscriber to the relay. The
+// subscription's channel closes when the follower re-bootstraps (its
+// ring no longer connects to the rewritten state) or closes; consumers
+// re-subscribe and resynchronize from current state.
+func (f *FollowerRegistry) SubscribeChanges(buffer int) (*ChangeSubscription, error) {
+	return newChangeSubscription(f.relay, buffer), nil
+}
+
+// SnapshotWithSeq captures the replica's entries together with its
+// applied position in the leader's sequence space — the bootstrap pair
+// a chained replica (or any catch-up consumer) resumes from. The
+// sequence is read before the capture, so the entries are a superset of
+// the stream at seq and replay converges exactly.
+func (f *FollowerRegistry) SnapshotWithSeq() ([]RegistryEntry, uint64) {
+	f.bootMu.RLock()
+	defer f.bootMu.RUnlock()
+	seq := f.applied.Load()
+	return f.Registry.Snapshot(), seq
+}
+
+// ChangeStreamStats snapshots the relay's counters.
+func (f *FollowerRegistry) ChangeStreamStats() ChangeStreamStats {
+	return feedStreamStats(f.relay)
+}
+
+// RemovedSince serves the removal half of a delta snapshot from the
+// relay's tombstone ring — in the leader's sequence space, like
+// everything else this replica re-serves.
+func (f *FollowerRegistry) RemovedSince(since uint64) ([]string, bool) {
+	f.bootMu.RLock()
+	defer f.bootMu.RUnlock()
+	return f.relay.RemovedSince(since)
+}
+
+// DeltaSince assembles the delta-snapshot triple atomically with
+// respect to re-bootstraps: the read lock excludes the bootstrap
+// rewrite, so a chained replica can never pair a pre-rewrite sequence
+// with a post-rewrite entry scan (or a removed list with a hole where
+// the rewrite applied removals).
+func (f *FollowerRegistry) DeltaSince(since uint64) (entries []RegistryEntry, removed []string, seq uint64, ok bool) {
+	f.bootMu.RLock()
+	defer f.bootMu.RUnlock()
+	return assembleDelta(since, f.applied.Load(), f.relay.RemovedSince, f.Registry.EntriesChangedSince)
 }
 
 // tail follows the leader's change stream until Close.
@@ -255,13 +362,17 @@ type changesResponse struct {
 	Events []ChangeEvent `json:"events"`
 }
 
-// snapshotResponse mirrors ncserve's /snapshot body. FollowerOf is set
-// when the target is itself a replica — which cannot be followed,
-// because it serves no change stream to tail.
+// snapshotResponse mirrors ncserve's /snapshot body. FollowerOf names
+// the upstream when the target is itself a replica (informational —
+// replicas relay the stream, so they can be followed). Delta marks a
+// ?since= response carrying only the entries changed since that
+// sequence, plus the ids removed since it.
 type snapshotResponse struct {
 	Seq        uint64        `json:"seq"`
 	FollowerOf string        `json:"follower_of"`
+	Delta      bool          `json:"delta"`
 	Entries    []ChangeEntry `json:"entries"`
+	Removed    []string      `json:"removed"`
 }
 
 // pollOnce long-polls /changes once from the current position and
@@ -300,7 +411,10 @@ func (f *FollowerRegistry) pollOnce() error {
 }
 
 // apply replays a batch of leader events, in order, onto the local
-// registry. Upserts preserve UpdatedAt exactly (upsertEntry only
+// registry, republishing each applied event into the relay under the
+// leader's own sequence number (apply first, then publish: a relay
+// subscriber woken by an event always observes a registry that already
+// reflects it). Upserts preserve UpdatedAt exactly (upsertEntry only
 // stamps zero timestamps); removes and evictions delete. The sequence
 // must advance by at most one per event — a gap means the leader
 // served us a hole, and the only safe repair is a fresh bootstrap.
@@ -309,7 +423,10 @@ func (f *FollowerRegistry) apply(events []ChangeEvent) error {
 	for _, ev := range events {
 		switch {
 		case ev.Seq == applied && ev.Op == ChangeEvict:
-			// Continuation chunk of the eviction event just applied.
+			// Continuation chunk of the eviction event just applied
+			// (the WAL splits one oversized eviction across records
+			// sharing a sequence); the relay folds it back into the
+			// ring's tail event.
 		case ev.Seq == applied+1:
 		case ev.Seq <= applied:
 			continue // duplicate delivery; already applied
@@ -321,7 +438,12 @@ func (f *FollowerRegistry) apply(events []ChangeEvent) error {
 			if ev.Entry == nil {
 				return fmt.Errorf("leader sent upsert event %d without entry", ev.Seq)
 			}
-			if err := f.Registry.upsertEntry(ev.Entry.Entry()); err != nil {
+			e := ev.Entry.Entry()
+			// The entry keeps the leader's sequence (the local feed is
+			// off, so upsertEntry won't stamp one): chained delta
+			// snapshots depend on per-entry sequences surviving tiers.
+			e.Seq = ev.Seq
+			if err := f.Registry.upsertEntry(e); err != nil {
 				return fmt.Errorf("apply upsert seq %d: %w", ev.Seq, err)
 			}
 		case ChangeRemove:
@@ -333,20 +455,42 @@ func (f *FollowerRegistry) apply(events []ChangeEvent) error {
 		default:
 			return fmt.Errorf("leader sent unknown op %q (seq %d)", ev.Op, ev.Seq)
 		}
+		// Advance the applied position BEFORE the relay delivers: the
+		// notifier broadcast rides the delivery, and a woken poller
+		// re-checks ChangeSeq() — if that still returned the old
+		// position, the poller would re-park with no further wake
+		// coming (the leader path orders its seqAtomic the same way).
 		applied = ev.Seq
+		f.applied.Store(applied)
+		f.relay.PublishAt(toFeedEvent(ev))
 		f.eventsApplied.Add(1)
 	}
-	f.applied.Store(applied)
 	return nil
 }
 
-// bootstrap loads the leader's full snapshot and makes the local
-// registry exactly match it: every snapshot entry is upserted with its
-// original UpdatedAt, and any local id absent from the snapshot is
-// removed (re-bootstrap after truncation may find stale locals). On a
-// fresh registry the batch lands on the index.Build bulk path.
+// bootstrap synchronizes the local registry with the leader's snapshot.
+//
+// The initial call (and any re-bootstrap the leader answers in full)
+// upserts every snapshot entry with its original UpdatedAt and removes
+// any local id absent from the snapshot; on a fresh registry the batch
+// lands on the index.Build bulk path. A re-bootstrap after truncation
+// asks for /snapshot?since=<applied> instead: when the leader can prove
+// coverage from its ring/WAL history it answers with a delta — only the
+// entries changed since that sequence, plus the removed ids — so a
+// replica that fell just past the retained stream repairs itself with
+// traffic proportional to what it missed, not to the registry.
+//
+// Afterwards the relay restarts at the snapshot sequence: the previous
+// ring described a stream position that no longer connects to the
+// rewritten state, so every relay subscriber is closed and resyncs —
+// the same protocol they run when they fall off the ring.
 func (f *FollowerRegistry) bootstrap() error {
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, f.leaderURL+"/snapshot", nil)
+	url := f.leaderURL + "/snapshot"
+	applied := f.applied.Load()
+	if f.relay != nil && applied > 0 {
+		url = fmt.Sprintf("%s?since=%d", url, applied)
+	}
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
@@ -365,30 +509,50 @@ func (f *FollowerRegistry) bootstrap() error {
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return fmt.Errorf("leader /snapshot: decode: %w", err)
 	}
-	if snap.FollowerOf != "" {
-		// Bootstrapping would "succeed" and then starve forever on the
-		// replica's disabled /changes; refuse up front and name the real
-		// leader.
-		return fmt.Errorf("%s is itself a read-only replica of %s — follow that leader directly", f.leaderURL, snap.FollowerOf)
-	}
 	f.noteContact()
+
+	f.bootMu.Lock()
+	defer f.bootMu.Unlock()
 	batch := make([]RegistryEntry, len(snap.Entries))
 	live := make(map[string]struct{}, len(snap.Entries))
 	for i, e := range snap.Entries {
 		batch[i] = e.Entry()
 		live[e.ID] = struct{}{}
 	}
+	if snap.Delta {
+		// Delta: untouched local entries are still correct. Removals
+		// apply FIRST — an id removed and later re-upserted appears in
+		// both lists, and the entry (the newer state) must win.
+		for _, id := range snap.Removed {
+			f.Registry.Remove(id)
+		}
+		f.deltaBootstraps.Add(1)
+	}
 	if err := f.Registry.UpsertBatch(batch); err != nil {
 		return fmt.Errorf("apply snapshot: %w", err)
 	}
-	for _, e := range f.Registry.Snapshot() {
-		if _, ok := live[e.ID]; !ok {
-			f.Registry.Remove(e.ID)
+	if !snap.Delta {
+		for _, e := range f.Registry.Snapshot() {
+			if _, ok := live[e.ID]; !ok {
+				f.Registry.Remove(e.ID)
+			}
 		}
 	}
 	f.applied.Store(snap.Seq)
 	if snap.Seq > f.leaderSeq.Load() {
 		f.leaderSeq.Store(snap.Seq)
+	}
+	switch {
+	case f.relay == nil:
+		f.relay = changefeed.New(f.relayBuf, snap.Seq)
+	case snap.Delta:
+		// The delta carried the removal knowledge for the jumped
+		// range, so the relay keeps its tombstone depth: tiers below
+		// this one can still repair with deltas of their own instead
+		// of cascading full transfers.
+		f.relay.AdvanceTo(snap.Seq, snap.Removed)
+	default:
+		f.relay.ResetTo(snap.Seq)
 	}
 	f.bootstraps.Add(1)
 	return nil

@@ -133,9 +133,25 @@ type Feed struct {
 	subs   map[*Subscription]struct{}
 	closed bool
 
+	// The tombstone ring remembers (seq, id) for removals only. Because
+	// heartbeat upserts dominate real streams, the event ring forgets a
+	// sequence range long before the same memory spent on removals
+	// does — which is what lets a delta snapshot prove "these are ALL
+	// the ids deleted since seq N" far below the event ring's floor.
+	tombs     []tombstone
+	tombNext  int
+	tombLen   int
+	tombFloor uint64 // removal knowledge covers (tombFloor, seq]
+
 	seqAtomic atomic.Uint64
 	published atomic.Uint64
 	overflows atomic.Uint64
+}
+
+// tombstone records one removed id and the sequence that removed it.
+type tombstone struct {
+	seq uint64
+	id  string
 }
 
 // New builds a Feed whose ring retains up to ringSize recent events
@@ -146,10 +162,16 @@ func New(ringSize int, startSeq uint64) *Feed {
 	if ringSize < 1 {
 		ringSize = 1
 	}
+	tombCap := ringSize * 4
+	if tombCap < 1024 {
+		tombCap = 1024
+	}
 	f := &Feed{
-		seq:  startSeq,
-		ring: make([]Event, ringSize),
-		subs: make(map[*Subscription]struct{}),
+		seq:       startSeq,
+		ring:      make([]Event, ringSize),
+		subs:      make(map[*Subscription]struct{}),
+		tombs:     make([]tombstone, tombCap),
+		tombFloor: startSeq,
 	}
 	f.seqAtomic.Store(startSeq)
 	return f
@@ -194,6 +216,188 @@ func (f *Feed) PublishEvict(ids []string) uint64 {
 	return last
 }
 
+// PublishAt appends an event that already carries a sequence assigned
+// upstream — a replica relaying its leader's stream republishes each
+// applied event under the leader's own number, so everything downstream
+// (chained replicas, watchers) lives in one sequence space.
+//
+// The normal case is ev.Seq == Seq()+1: leader streams are dense, and a
+// relay applies them in order. Two degenerate shapes are handled so the
+// ring's density invariant (Since arithmetic) survives anything a real
+// stream can carry:
+//
+//   - ev.Seq == Seq() with Op == OpEvict merges the event's IDs into
+//     the ring's tail event: the persistence layer chunks one oversized
+//     eviction into several WAL records sharing a sequence, and a relay
+//     that tailed them from the WAL must fold them back into one event.
+//     Subscribers still receive the continuation (same Seq — consumers
+//     treat the non-monotonic step as a gap and recompute
+//     conservatively).
+//   - ev.Seq <= Seq() otherwise is a duplicate delivery: dropped.
+//   - ev.Seq > Seq()+1 is a hole the caller chose to jump over; the
+//     ring is cleared first so Since never fabricates continuity across
+//     it (resumers below the hole get ErrTruncated and re-bootstrap).
+func (f *Feed) PublishAt(ev Event) {
+	f.mu.Lock()
+	switch {
+	case ev.Seq == f.seq+1:
+	case ev.Seq == f.seq && ev.Op == OpEvict && f.len > 0:
+		// Fold the continuation chunk into the tail ring event, then
+		// still offer it to subscribers below (they key damage off IDs,
+		// not off ring contents).
+		tail := (f.next - 1 + len(f.ring)) % len(f.ring)
+		if f.ring[tail].Seq == ev.Seq && f.ring[tail].Op == OpEvict {
+			f.ring[tail].IDs = append(f.ring[tail].IDs[:len(f.ring[tail].IDs):len(f.ring[tail].IDs)], ev.IDs...)
+		}
+		f.recordTombsLocked(ev)
+		f.deliverLocked(ev)
+		f.mu.Unlock()
+		f.published.Add(1)
+		return
+	case ev.Seq <= f.seq:
+		f.mu.Unlock()
+		return
+	default: // a jump: clear the ring so it stays seq-dense
+		f.next, f.len = 0, 0
+		// Removal knowledge has the same hole the ring does: anything
+		// removed inside the jump was never recorded, so the tombstone
+		// floor must rise with it or RemovedSince would falsely claim
+		// completeness across the gap.
+		f.tombNext, f.tombLen = 0, 0
+		f.tombFloor = ev.Seq - 1
+	}
+	f.seq = ev.Seq
+	f.seqAtomic.Store(f.seq)
+	f.ring[f.next] = ev
+	f.next = (f.next + 1) % len(f.ring)
+	if f.len < len(f.ring) {
+		f.len++
+	}
+	f.recordTombsLocked(ev)
+	f.deliverLocked(ev)
+	f.mu.Unlock()
+	f.published.Add(1)
+}
+
+// ResetTo discards the retained history and restarts the sequence
+// space at seq — a relay that re-bootstrapped from a FULL snapshot
+// calls this, because its previous ring (and removal knowledge, which
+// the full snapshot did not carry forward) no longer connects to its
+// rewritten state. Every live subscription is closed: consumers
+// holding one re-subscribe and resynchronize from current state,
+// exactly as they would after falling off the ring. The feed itself
+// stays open for subsequent Subscribe/PublishAt.
+func (f *Feed) ResetTo(seq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.next, f.len = 0, 0
+	f.tombNext, f.tombLen = 0, 0
+	f.tombFloor = seq
+	f.resetLocked(seq)
+}
+
+// AdvanceTo is ResetTo for a relay that repaired itself with a DELTA
+// snapshot: the event ring still cannot represent the hole (resumers
+// below seq get truncation → their own delta bootstrap), but the
+// delta's removed list is exactly the removal knowledge for the jumped
+// range, so it is folded into the tombstone ring — all recorded at seq,
+// an upward over-approximation that RemovedSince may over-send but can
+// never miss — and the tombstone floor is PRESERVED. Without this,
+// every delta repair at one tier would force full-snapshot transfers
+// on every tier below it, in exactly the truncation-under-churn
+// scenario delta snapshots exist for.
+func (f *Feed) AdvanceTo(seq uint64, removed []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.next, f.len = 0, 0
+	for _, id := range removed {
+		f.recordTombLocked(seq, id)
+	}
+	f.resetLocked(seq)
+}
+
+// resetLocked restarts the sequence space and closes every subscriber;
+// the caller holds f.mu and has already settled ring and tombstones.
+func (f *Feed) resetLocked(seq uint64) {
+	f.seq = seq
+	f.seqAtomic.Store(seq)
+	for sub := range f.subs {
+		close(sub.ch)
+	}
+	f.subs = make(map[*Subscription]struct{})
+}
+
+// recordTombLocked remembers one removal in the tombstone ring; the
+// caller holds f.mu. Overwriting the oldest slot raises the floor: the
+// feed can no longer prove completeness of removals at or before it.
+func (f *Feed) recordTombLocked(seq uint64, id string) {
+	if f.tombLen == len(f.tombs) {
+		f.tombFloor = f.tombs[f.tombNext].seq
+	} else {
+		f.tombLen++
+	}
+	f.tombs[f.tombNext] = tombstone{seq: seq, id: id}
+	f.tombNext = (f.tombNext + 1) % len(f.tombs)
+}
+
+// recordTombsLocked records an event's removals; the caller holds f.mu.
+func (f *Feed) recordTombsLocked(ev Event) {
+	switch ev.Op {
+	case OpRemove:
+		f.recordTombLocked(ev.Seq, ev.ID)
+	case OpEvict:
+		for _, id := range ev.IDs {
+			f.recordTombLocked(ev.Seq, id)
+		}
+	}
+}
+
+// RemovedSince reports every id removed (or evicted) with sequence >
+// since, deduplicated, and whether the feed can prove the list is
+// complete — false once the tombstone ring has forgotten any removal
+// at or before since. An id later re-upserted may still appear; the
+// consumer applies removals before upserts, so the newer state wins.
+func (f *Feed) RemovedSince(since uint64) ([]string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if since < f.tombFloor {
+		return nil, false
+	}
+	seen := make(map[string]struct{})
+	out := []string{}
+	start := (f.tombNext - f.tombLen + len(f.tombs)) % len(f.tombs)
+	for i := 0; i < f.tombLen; i++ {
+		t := f.tombs[(start+i)%len(f.tombs)]
+		if t.seq <= since {
+			continue
+		}
+		if _, dup := seen[t.id]; dup {
+			continue
+		}
+		seen[t.id] = struct{}{}
+		out = append(out, t.id)
+	}
+	return out, true
+}
+
+// deliverLocked runs the taps and offers ev to every subscriber; the
+// caller holds f.mu.
+func (f *Feed) deliverLocked(ev Event) {
+	for _, tap := range f.taps {
+		tap(ev)
+	}
+	for sub := range f.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			if !sub.signal.Load() {
+				sub.dropped.Add(1)
+				f.overflows.Add(1)
+			}
+		}
+	}
+}
+
 // publish assigns the next sequence, retains the event in the ring,
 // runs the taps, and offers the event to every subscriber without
 // blocking.
@@ -207,21 +411,12 @@ func (f *Feed) publish(ev Event) uint64 {
 	if f.len < len(f.ring) {
 		f.len++
 	}
-	for _, tap := range f.taps {
-		tap(ev)
-	}
-	for sub := range f.subs {
-		select {
-		case sub.ch <- ev:
-		default:
-			// A full buffer means a slow subscriber; the mutation path
-			// must not wait for it. The gap is visible to the subscriber
-			// (non-contiguous Seq, Dropped counter) and repairable via
-			// Since / WAL replay.
-			sub.dropped.Add(1)
-			f.overflows.Add(1)
-		}
-	}
+	f.recordTombsLocked(ev)
+	// A full subscriber buffer means a slow subscriber; the mutation
+	// path must not wait for it. The gap is visible to the subscriber
+	// (non-contiguous Seq, Dropped counter) and repairable via Since /
+	// WAL replay.
+	f.deliverLocked(ev)
 	f.mu.Unlock()
 	f.published.Add(1)
 	return ev.Seq
@@ -317,7 +512,17 @@ type Subscription struct {
 	joinSeq uint64
 	dropped atomic.Uint64
 	closed  atomic.Bool
+	signal  atomic.Bool
 }
+
+// MarkSignal declares this subscriber a pure wake signal: it only
+// cares that the stream moved, not which events moved it, so a full
+// buffer means a wake is already pending and nothing is lost. Drops to
+// a signal subscriber are excluded from the feed's Overflows and the
+// subscription's Dropped — otherwise every busy leader's /stats would
+// report baseline "loss" that no real consumer suffered, masking the
+// metric's actual meaning.
+func (s *Subscription) MarkSignal() { s.signal.Store(true) }
 
 // Subscribe attaches a subscriber whose buffer holds up to buffer
 // events (minimum 1). The subscription observes every event published

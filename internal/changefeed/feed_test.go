@@ -269,3 +269,185 @@ func TestConcurrentPublishSubscribeRace(t *testing.T) {
 		t.Fatalf("tap saw %d events, want %d", got, publishers*perPublisher)
 	}
 }
+
+func TestPublishAtRelaysUpstreamSequences(t *testing.T) {
+	f := New(8, 10)
+	f.PublishAt(Event{Seq: 11, Op: OpUpsert, Entry: upsert("a", 1)})
+	f.PublishAt(Event{Seq: 12, Op: OpRemove, ID: "a"})
+	if got := f.Seq(); got != 12 {
+		t.Fatalf("Seq() = %d, want 12", got)
+	}
+	evs, err := f.Since(10, -1)
+	if err != nil || len(evs) != 2 || evs[0].Seq != 11 || evs[1].Seq != 12 {
+		t.Fatalf("Since(10) = %v, %v; want the two relayed events", evs, err)
+	}
+
+	// Duplicate delivery is dropped, not re-sequenced.
+	f.PublishAt(Event{Seq: 12, Op: OpRemove, ID: "a"})
+	if got := f.Seq(); got != 12 {
+		t.Fatalf("Seq() after duplicate = %d, want 12", got)
+	}
+	if evs, _ := f.Since(10, -1); len(evs) != 2 {
+		t.Fatalf("duplicate grew the ring: %v", evs)
+	}
+}
+
+func TestPublishAtMergesEvictContinuationChunks(t *testing.T) {
+	f := New(8, 0)
+	f.PublishAt(Event{Seq: 1, Op: OpEvict, IDs: []string{"a", "b"}})
+	// Same-sequence continuation (a WAL-chunked eviction) folds into the
+	// ring's tail event instead of breaking sequence density.
+	f.PublishAt(Event{Seq: 1, Op: OpEvict, IDs: []string{"c"}})
+	f.PublishAt(Event{Seq: 2, Op: OpUpsert, Entry: upsert("d", 4)})
+	evs, err := f.Since(0, -1)
+	if err != nil || len(evs) != 2 {
+		t.Fatalf("Since(0) = %v, %v; want 2 events", evs, err)
+	}
+	if got := evs[0].IDs; len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("merged evict IDs = %v, want [a b c]", got)
+	}
+}
+
+func TestPublishAtJumpClearsRing(t *testing.T) {
+	f := New(8, 0)
+	f.PublishAt(Event{Seq: 1, Op: OpUpsert, Entry: upsert("a", 1)})
+	f.PublishAt(Event{Seq: 2, Op: OpUpsert, Entry: upsert("b", 2)})
+	// A hole: the ring must not pretend seq 3..9 exist.
+	f.PublishAt(Event{Seq: 10, Op: OpUpsert, Entry: upsert("c", 3)})
+	if _, err := f.Since(1, -1); err != ErrTruncated {
+		t.Fatalf("Since(1) across a jump = %v, want ErrTruncated", err)
+	}
+	evs, err := f.Since(9, -1)
+	if err != nil || len(evs) != 1 || evs[0].Seq != 10 {
+		t.Fatalf("Since(9) = %v, %v; want just seq 10", evs, err)
+	}
+}
+
+func TestResetToClosesSubscribersAndRestartsSequence(t *testing.T) {
+	f := New(8, 0)
+	f.PublishAt(Event{Seq: 1, Op: OpUpsert, Entry: upsert("a", 1)})
+	sub := f.Subscribe(4)
+	f.ResetTo(50)
+	if _, open := <-sub.C(); open {
+		t.Fatal("subscription survived ResetTo; consumers must resync")
+	}
+	if got := f.Seq(); got != 50 {
+		t.Fatalf("Seq() after ResetTo = %d, want 50", got)
+	}
+	if _, err := f.Since(0, -1); err != ErrTruncated {
+		t.Fatalf("Since(0) after ResetTo = %v, want ErrTruncated", err)
+	}
+	// The feed stays usable: new subscribers and relayed events work.
+	sub2 := f.Subscribe(4)
+	f.PublishAt(Event{Seq: 51, Op: OpUpsert, Entry: upsert("b", 2)})
+	if ev := <-sub2.C(); ev.Seq != 51 {
+		t.Fatalf("post-reset event seq = %d, want 51", ev.Seq)
+	}
+	sub.Close() // closing the dead subscription must not panic
+	sub2.Close()
+}
+
+func TestRemovedSinceTracksTombstones(t *testing.T) {
+	f := New(4, 0) // event ring of 4; tombstone ring is 1024 (the minimum)
+	f.PublishUpsert(upsert("a", 1))
+	f.PublishRemove("a")            // seq 2
+	f.PublishEvict([]string{"b", "c"}) // seq 3
+	mark := f.Seq()
+	f.PublishRemove("d") // seq 4
+	// Churn the EVENT ring far past everything above: removal knowledge
+	// must survive it — that asymmetry is the whole point of a separate
+	// tombstone ring.
+	for i := 0; i < 50; i++ {
+		f.PublishUpsert(upsert("hb", 2))
+	}
+	if _, err := f.Since(mark, -1); err != ErrTruncated {
+		t.Fatalf("event ring unexpectedly retained seq %d (err %v); test premise broken", mark, err)
+	}
+	removed, ok := f.RemovedSince(mark)
+	if !ok || len(removed) != 1 || removed[0] != "d" {
+		t.Fatalf("RemovedSince(%d) = %v, %v; want [d], true", mark, removed, ok)
+	}
+	removed, ok = f.RemovedSince(0)
+	if !ok || len(removed) != 4 {
+		t.Fatalf("RemovedSince(0) = %v, %v; want a,b,c,d", removed, ok)
+	}
+
+	// Duplicate removals of one id dedupe.
+	f.PublishUpsert(upsert("d", 9))
+	f.PublishRemove("d")
+	if removed, ok = f.RemovedSince(mark); !ok || len(removed) != 1 {
+		t.Fatalf("deduped RemovedSince = %v, %v; want just d once", removed, ok)
+	}
+
+	// Overflowing the tombstone ring surrenders the proof for older
+	// resume points but keeps it for newer ones.
+	flood := f.Seq()
+	for i := 0; i < 1100; i++ {
+		f.PublishRemove(fmt.Sprintf("t%04d", i))
+	}
+	if _, ok = f.RemovedSince(mark); ok {
+		t.Fatal("RemovedSince claimed completeness past a tombstone overflow")
+	}
+	if removed, ok = f.RemovedSince(flood + 100); !ok {
+		t.Fatal("RemovedSince lost a range the ring still covers")
+	} else if len(removed) != 1000 {
+		t.Fatalf("RemovedSince(flood+100) = %d ids, want 1000", len(removed))
+	}
+}
+
+func TestResetToClearsTombstones(t *testing.T) {
+	f := New(4, 0)
+	f.PublishRemove("a")
+	f.ResetTo(50)
+	if _, ok := f.RemovedSince(10); ok {
+		t.Fatal("tombstone knowledge survived ResetTo; pre-reset sequences are a different stream")
+	}
+	f.PublishAt(Event{Seq: 51, Op: OpRemove, ID: "b"})
+	removed, ok := f.RemovedSince(50)
+	if !ok || len(removed) != 1 || removed[0] != "b" {
+		t.Fatalf("post-reset RemovedSince = %v, %v; want [b]", removed, ok)
+	}
+}
+
+func TestPublishAtJumpRaisesTombstoneFloor(t *testing.T) {
+	f := New(8, 0)
+	f.PublishAt(Event{Seq: 1, Op: OpRemove, ID: "a"})
+	// Jump over a hole: removals inside (1, 200) were never seen, so
+	// completeness below 199 must no longer be claimed.
+	f.PublishAt(Event{Seq: 200, Op: OpUpsert, Entry: upsert("b", 2)})
+	if _, ok := f.RemovedSince(1); ok {
+		t.Fatal("RemovedSince claimed completeness across a jumped hole")
+	}
+	f.PublishAt(Event{Seq: 201, Op: OpRemove, ID: "c"})
+	removed, ok := f.RemovedSince(199)
+	if !ok || len(removed) != 1 || removed[0] != "c" {
+		t.Fatalf("post-jump RemovedSince = %v, %v; want [c]", removed, ok)
+	}
+}
+
+func TestAdvanceToPreservesTombstoneDepth(t *testing.T) {
+	f := New(4, 0)
+	f.PublishRemove("old") // seq 1; tombFloor stays 0
+	sub := f.Subscribe(4)
+	// A delta repair jumps the stream to 100, folding the delta's
+	// removed ids in at the jump seq; knowledge below the jump must
+	// survive (that is the difference from ResetTo).
+	f.AdvanceTo(100, []string{"x", "y"})
+	if _, open := <-sub.C(); open {
+		t.Fatal("subscription survived AdvanceTo; consumers must resync")
+	}
+	if _, err := f.Since(0, -1); err != ErrTruncated {
+		t.Fatal("event ring survived AdvanceTo")
+	}
+	removed, ok := f.RemovedSince(0)
+	if !ok || len(removed) != 3 {
+		t.Fatalf("RemovedSince(0) = %v, %v; want [old x y] with preserved floor", removed, ok)
+	}
+	removed, ok = f.RemovedSince(1)
+	if !ok || len(removed) != 2 {
+		t.Fatalf("RemovedSince(1) = %v, %v; want the jump's [x y]", removed, ok)
+	}
+	if f.Seq() != 100 {
+		t.Fatalf("Seq() = %d, want 100", f.Seq())
+	}
+}

@@ -64,6 +64,13 @@ type Entry struct {
 	// stale while the service was down age out on the first sweep after
 	// recovery instead of being granted a fresh lease.
 	UpdatedAt time.Time
+	// Seq is the change-stream sequence of the mutation that produced
+	// this entry state. It is recovery metadata, not wire format:
+	// WAL-replayed entries get their record's sequence, snapshot-loaded
+	// entries the snapshot's capture sequence (an upper bound — safe,
+	// because delta consumers only over-send when a sequence is
+	// over-stated, never lose changes).
+	Seq uint64
 }
 
 // Record is one decoded WAL record.

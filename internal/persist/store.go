@@ -220,6 +220,10 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 			continue
 		}
 		for _, e := range entries {
+			// The snapshot format carries no per-entry sequence; the
+			// capture sequence over-approximates every entry's, which
+			// errs toward resending in delta snapshots, never losing.
+			e.Seq = snapSeq
 			state[e.ID] = e
 		}
 		baseGen = snaps[i]
@@ -242,6 +246,7 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 		}
 		switch rec.Op {
 		case OpUpsert:
+			rec.Entry.Seq = rec.Seq
 			state[rec.Entry.ID] = rec.Entry
 		case OpRemove:
 			delete(state, rec.ID)

@@ -1,0 +1,585 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netcoord"
+)
+
+// hubSubBuffer is the watch hub's single subscription buffer. Overflow
+// is not loss: the resulting sequence gap damages every watcher, which
+// recomputes from live state.
+const hubSubBuffer = 4096
+
+// hubReconcileInterval paces the trailing-drop check. A gap is
+// normally detected by the NEXT event's non-contiguous sequence — but
+// if the dropped event was a storm's last and the stream then goes
+// quiet, no next event ever comes, and without this check every
+// watcher would serve a stale top-k indefinitely.
+const hubReconcileInterval = time.Second
+
+// maxGridLevel bounds the damage map's cell hierarchy; a watch radius
+// past 2^maxGridLevel ms falls back to the any-upsert set.
+const maxGridLevel = 40
+
+// WatchHub multiplexes every /watch onto ONE change-stream
+// subscription. The old scheme attached a private subscription per
+// watcher and ran a relevance check in every watcher against every
+// mutation: N watchers cost N buffer offers plus N checks per event.
+// The hub inverts that: a single drain goroutine routes each event
+// through a spatial damage map to just the watchers it could affect,
+// so the per-mutation cost is one subscription offer plus O(damaged).
+//
+// The damage map has three indexes, consulted by event shape:
+//
+//   - byID: watchers whose current top-k contains the id, or who watch
+//     it as their origin. Removes and evictions damage only through
+//     here — deleting a node that is in nobody's top-k changes nobody's
+//     top-k. Upserts of a known id are filtered further: an unchanged
+//     coordinate (the TTL heartbeat, the overwhelmingly common event)
+//     moves no distances and damages nothing.
+//   - the cell grid: a hierarchy of power-of-two grids over the first
+//     three coordinate axes. A watcher with a full top-k can only be
+//     affected by an upsert landing within its k-th distance, so it
+//     registers over the (at most 2^3) cells its interest ball overlaps
+//     at the level whose cell side first reaches the ball's diameter.
+//     An upsert then probes exactly one cell per occupied level and
+//     distance-checks the few watchers found there. Grid coordinates
+//     use the plain vector axes; the true distance (which adds the
+//     non-negative heights) only exceeds it, so the probe over-triggers
+//     but never misses.
+//   - the any-upsert set: watchers whose top-k is not yet full (any
+//     insert enters it) or whose interest is not yet registered; every
+//     upsert damages them.
+//
+// A sequence gap — subscriber overflow, a relay reset after a follower
+// re-bootstrap, a WAL-chunked eviction — conservatively damages every
+// watcher: correctness never depends on the stream being gapless.
+type WatchHub struct {
+	source   netcoord.ChangeSource
+	shutdown <-chan struct{}
+
+	// processed is the last drained sequence; watchers compare it to
+	// decide whether their interest was installed race-free. Written
+	// under mu, read anywhere.
+	processed atomic.Uint64
+
+	events  atomic.Uint64
+	damages atomic.Uint64
+	resyncs atomic.Uint64
+
+	mu        sync.Mutex
+	disabled  bool
+	watchers  map[*HubWatcher]struct{}
+	byID      map[string]map[*HubWatcher]struct{}
+	anyOp     map[*HubWatcher]struct{} // immature: damaged by any event
+	anyUpsert map[*HubWatcher]struct{} // mature, top-k not full
+	cells     map[cellKey][]*HubWatcher
+	levels    map[uint8]int // watcher-cell registrations per level
+}
+
+// WatchHubStats is the hub's operational snapshot, served in /stats.
+type WatchHubStats struct {
+	// Enabled is false when the underlying change stream is disabled.
+	Enabled bool `json:"enabled"`
+	// Watchers is the live watcher count; Cells the registrations in
+	// the spatial damage map across Levels occupied grid levels.
+	Watchers int `json:"watchers"`
+	Cells    int `json:"cells"`
+	Levels   int `json:"levels"`
+	// EventsProcessed counts drained stream events; Damages the watcher
+	// notifications they caused (the fan-out actually paid, vs
+	// EventsProcessed × Watchers under per-watcher subscriptions);
+	// Resyncs the conservative damage-everyone rounds after a sequence
+	// gap or a re-subscribe.
+	EventsProcessed uint64 `json:"events_processed"`
+	Damages         uint64 `json:"damages"`
+	Resyncs         uint64 `json:"resyncs"`
+	// ProcessedSeq is the hub's position in the stream.
+	ProcessedSeq uint64 `json:"processed_seq"`
+}
+
+// HubWatcher is one /watch registered with the hub. The handler waits
+// on C, recomputes its top-k when woken, and reinstalls its interest
+// with SetInterest.
+type HubWatcher struct {
+	notify    chan struct{}
+	damageSeq atomic.Uint64
+
+	// The fields below are guarded by the hub's mu.
+	watchID  string
+	origin   netcoord.Coordinate
+	members  map[string]netcoord.Coordinate
+	kth      float64
+	full     bool
+	immature bool
+	detached bool
+	cells    []cellKey
+	joinSeq  uint64
+}
+
+// C signals damage: at least one event since the last SetInterest may
+// have changed this watcher's top-k. Signals coalesce (the channel
+// holds one), so a burst costs one recompute.
+func (w *HubWatcher) C() <-chan struct{} { return w.notify }
+
+// DamageSeq is the highest stream sequence that damaged this watcher.
+func (w *HubWatcher) DamageSeq() uint64 { return w.damageSeq.Load() }
+
+// JoinSeq is the hub's stream position when the watcher registered:
+// the sequence its initial query is guaranteed to cover or be damaged
+// past.
+func (w *HubWatcher) JoinSeq() uint64 { return w.joinSeq }
+
+// cellKey addresses one cell of the damage map: a grid level (cell
+// side 2^level) and the cell's integer coordinates on the first three
+// vector axes.
+type cellKey struct {
+	level   uint8
+	x, y, z int32
+}
+
+func newWatchHub(source netcoord.ChangeSource, shutdown <-chan struct{}) *WatchHub {
+	h := &WatchHub{
+		source:    source,
+		shutdown:  shutdown,
+		watchers:  make(map[*HubWatcher]struct{}),
+		byID:      make(map[string]map[*HubWatcher]struct{}),
+		anyOp:     make(map[*HubWatcher]struct{}),
+		anyUpsert: make(map[*HubWatcher]struct{}),
+		cells:     make(map[cellKey][]*HubWatcher),
+		levels:    make(map[uint8]int),
+	}
+	// Subscribe synchronously so Watch can report a disabled stream
+	// rather than racing the drain goroutine's first attach.
+	sub, err := source.SubscribeChanges(hubSubBuffer)
+	if err != nil {
+		h.disabled = true
+		return h
+	}
+	h.processed.Store(sub.JoinSeq())
+	go h.run(sub)
+	return h
+}
+
+// run drains the stream for the server's lifetime. A closed
+// subscription (registry close, or a follower relay reset after
+// re-bootstrap) is re-attached after a beat, and the gap is repaired by
+// damaging every watcher — their registries may have been rewritten
+// wholesale underneath them.
+func (h *WatchHub) run(sub *netcoord.ChangeSubscription) {
+	delay := resubscribeDelay
+	sawEvent := false
+	droppedSeen := uint64(0)
+	reconcile := time.NewTicker(hubReconcileInterval)
+	defer reconcile.Stop()
+	for {
+		if sub == nil {
+			// Back off while the feed keeps handing out dead
+			// subscriptions (a closed registry shows up as an
+			// immediately closed channel, not an error): a damage-all
+			// heartbeat every few seconds instead of a hot loop waking
+			// every watcher into a recompute 20 times a second.
+			if sawEvent {
+				delay = resubscribeDelay
+			} else {
+				delay = nextResubscribeDelay(delay)
+			}
+			select {
+			case <-h.shutdown:
+				return
+			case <-time.After(delay):
+			}
+			var err error
+			sub, err = h.source.SubscribeChanges(hubSubBuffer)
+			if err != nil {
+				h.mu.Lock()
+				h.disabled = true
+				h.mu.Unlock()
+				return
+			}
+			sawEvent = false
+			droppedSeen = 0
+			h.mu.Lock()
+			h.processed.Store(sub.JoinSeq())
+			h.resyncs.Add(1)
+			for w := range h.watchers {
+				h.damageLocked(w, sub.JoinSeq())
+			}
+			h.mu.Unlock()
+		}
+		select {
+		case <-h.shutdown:
+			sub.Close()
+			return
+		case ev, ok := <-sub.C():
+			if !ok {
+				sub = nil
+				continue
+			}
+			sawEvent = true
+			if h.processEvent(ev) {
+				// The gap just got repaired by a damage-all; the drops
+				// behind it are accounted for.
+				droppedSeen = sub.Dropped()
+			}
+		case <-reconcile.C:
+			// Trailing-drop check: drops whose gap no later event has
+			// surfaced (the buffer overflowed on a storm's final
+			// events, then the stream went quiet) leave processed
+			// behind the stream with nothing left to deliver. Repair
+			// exactly like a detected gap: jump to the stream position
+			// and damage everyone.
+			if d := sub.Dropped(); d > droppedSeen {
+				droppedSeen = d
+				seqNow := h.source.ChangeSeq()
+				h.mu.Lock()
+				if seqNow > h.processed.Load() {
+					h.processed.Store(seqNow)
+					h.resyncs.Add(1)
+					for w := range h.watchers {
+						h.damageLocked(w, seqNow)
+					}
+				}
+				h.mu.Unlock()
+			}
+		}
+	}
+}
+
+// processEvent routes one stream event through the damage map and
+// reports whether it found (and repaired) a sequence gap.
+func (h *WatchHub) processEvent(ev netcoord.ChangeEvent) (gap bool) {
+	h.events.Add(1)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	last := h.processed.Load()
+	if ev.Seq > last {
+		// Never regress: a reconcile jump may already sit ahead of a
+		// still-buffered event.
+		h.processed.Store(ev.Seq)
+	}
+	if ev.Seq != last+1 {
+		// Dropped or duplicated sequence: the filter state cannot be
+		// trusted, so everyone recomputes from live state.
+		h.resyncs.Add(1)
+		for w := range h.watchers {
+			h.damageLocked(w, ev.Seq)
+		}
+		return true
+	}
+	for w := range h.anyOp {
+		h.damageLocked(w, ev.Seq)
+	}
+	switch ev.Op {
+	case netcoord.ChangeUpsert:
+		if ev.Entry == nil {
+			for w := range h.watchers {
+				h.damageLocked(w, ev.Seq)
+			}
+			return false
+		}
+		h.damageUpsertLocked(ev.Entry.ID, ev.Entry.Coord, ev.Seq)
+	case netcoord.ChangeRemove:
+		for w := range h.byID[ev.ID] {
+			h.damageLocked(w, ev.Seq)
+		}
+	case netcoord.ChangeEvict:
+		for _, id := range ev.IDs {
+			for w := range h.byID[id] {
+				h.damageLocked(w, ev.Seq)
+			}
+		}
+	default:
+		// Unknown op: be conservative.
+		for w := range h.watchers {
+			h.damageLocked(w, ev.Seq)
+		}
+	}
+	return false
+}
+
+// damageUpsertLocked damages the watchers an upsert at coordinate c
+// could affect: known-id watchers (unless the coordinate is unchanged —
+// a heartbeat moves nothing), not-yet-full watchers, and grid watchers
+// whose interest ball contains c.
+func (h *WatchHub) damageUpsertLocked(id string, c netcoord.Coordinate, seq uint64) {
+	for w := range h.byID[id] {
+		if id == w.watchID {
+			if c.Equal(w.origin) {
+				continue // heartbeat refresh of the watched origin
+			}
+		} else if mc, ok := w.members[id]; ok && c.Equal(mc) {
+			continue // heartbeat refresh of a current member
+		}
+		h.damageLocked(w, seq)
+	}
+	for w := range h.anyUpsert {
+		h.damageLocked(w, seq)
+	}
+	for level := range h.levels {
+		for _, w := range h.cells[cellAt(c, level)] {
+			if w.watchID == id {
+				continue // byID owns the origin's own events
+			}
+			if _, isMember := w.members[id]; isMember {
+				continue // byID owns member events
+			}
+			if d, err := w.origin.DistanceTo(c); err == nil && d <= w.kth {
+				h.damageLocked(w, seq)
+			}
+		}
+	}
+}
+
+// damage wakes one watcher from outside the drain loop — the handler
+// uses it to carry racing damage across a capped sync loop.
+func (h *WatchHub) damage(w *HubWatcher, seq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.damageLocked(w, seq)
+}
+
+// damageLocked records the damaging sequence and wakes the watcher.
+func (h *WatchHub) damageLocked(w *HubWatcher, seq uint64) {
+	if seq > w.damageSeq.Load() {
+		w.damageSeq.Store(seq)
+	}
+	h.damages.Add(1)
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Processed is the hub's stream position. A handler that reads it
+// before a recompute and finds SetInterest returning the same value
+// knows no event was filtered against its stale interest in between.
+func (h *WatchHub) Processed() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.processed.Load()
+}
+
+// Watch registers a watcher. Until its first SetInterest it is
+// "immature": damaged by every event, because nothing is known about
+// what could affect it — which is exactly what closes the gap between
+// registration and the handler's initial query.
+func (h *WatchHub) Watch(watchID string) (*HubWatcher, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.disabled {
+		return nil, errStreamUnavailable
+	}
+	w := &HubWatcher{
+		notify:   make(chan struct{}, 1),
+		watchID:  watchID,
+		kth:      math.Inf(1),
+		immature: true,
+	}
+	h.watchers[w] = struct{}{}
+	h.anyOp[w] = struct{}{}
+	if watchID != "" {
+		h.addByIDLocked(watchID, w)
+	}
+	w.joinSeq = h.processed.Load()
+	return w, nil
+}
+
+// SetInterest installs what the watcher now cares about — the origin
+// it measures from, its current top-k membership (with coordinates, so
+// member heartbeats filter), and the implied k-th distance ball — and
+// returns the hub's stream position at install time. The caller
+// compares it against Processed() read before its query: a difference
+// means events were routed against the previous interest while the
+// query ran, and the only safe response is to recompute again.
+func (h *WatchHub) SetInterest(w *HubWatcher, origin netcoord.Coordinate, results []netcoord.Ranked, k int) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if w.detached {
+		return h.processed.Load()
+	}
+	h.clearInterestLocked(w)
+	w.immature = false
+	w.origin = origin
+	w.members = make(map[string]netcoord.Coordinate, len(results))
+	for _, r := range results {
+		w.members[r.ID] = r.Coord
+		h.addByIDLocked(r.ID, w)
+	}
+	if w.watchID != "" {
+		h.addByIDLocked(w.watchID, w)
+	}
+	w.full = k > 0 && len(results) == k
+	if w.full {
+		w.kth = results[len(results)-1].EstimatedRTT
+	} else {
+		w.kth = math.Inf(1)
+	}
+	if level, ok := levelFor(w.kth); w.full && ok {
+		w.cells = coverCells(origin, w.kth, level, w.cells[:0])
+		for _, key := range w.cells {
+			h.cells[key] = append(h.cells[key], w)
+		}
+		h.levels[level] += len(w.cells)
+	} else {
+		// Radius unbounded (or absurd): any upsert may matter.
+		h.anyUpsert[w] = struct{}{}
+	}
+	return h.processed.Load()
+}
+
+// Detach unregisters the watcher; its channel stops receiving.
+func (h *WatchHub) Detach(w *HubWatcher) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if w.detached {
+		return
+	}
+	h.clearInterestLocked(w)
+	if w.watchID != "" {
+		h.dropByIDLocked(w.watchID, w)
+	}
+	delete(h.watchers, w)
+	delete(h.anyOp, w)
+	w.detached = true
+}
+
+// clearInterestLocked removes the watcher's member, grid, and
+// any-upsert registrations (the permanent watchID registration stays
+// until Detach; SetInterest re-adds it idempotently).
+func (h *WatchHub) clearInterestLocked(w *HubWatcher) {
+	for id := range w.members {
+		h.dropByIDLocked(id, w)
+	}
+	for _, key := range w.cells {
+		bucket := h.cells[key]
+		for i, cand := range bucket {
+			if cand == w {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(h.cells, key)
+		} else {
+			h.cells[key] = bucket
+		}
+		if h.levels[key.level]--; h.levels[key.level] == 0 {
+			delete(h.levels, key.level)
+		}
+	}
+	w.cells = w.cells[:0]
+	delete(h.anyUpsert, w)
+	delete(h.anyOp, w)
+}
+
+func (h *WatchHub) addByIDLocked(id string, w *HubWatcher) {
+	set := h.byID[id]
+	if set == nil {
+		set = make(map[*HubWatcher]struct{})
+		h.byID[id] = set
+	}
+	set[w] = struct{}{}
+}
+
+func (h *WatchHub) dropByIDLocked(id string, w *HubWatcher) {
+	if set, ok := h.byID[id]; ok {
+		delete(set, w)
+		if len(set) == 0 {
+			delete(h.byID, id)
+		}
+	}
+}
+
+// Stats snapshots the hub's counters.
+func (h *WatchHub) Stats() WatchHubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cells := 0
+	for _, n := range h.levels {
+		cells += n
+	}
+	return WatchHubStats{
+		Enabled:         !h.disabled,
+		Watchers:        len(h.watchers),
+		Cells:           cells,
+		Levels:          len(h.levels),
+		EventsProcessed: h.events.Load(),
+		Damages:         h.damages.Load(),
+		Resyncs:         h.resyncs.Load(),
+		ProcessedSeq:    h.processed.Load(),
+	}
+}
+
+// levelFor picks the grid level whose cell side (2^level) first
+// reaches the interest ball's diameter, so the ball overlaps at most
+// two cells per axis.
+func levelFor(r float64) (uint8, bool) {
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 1) {
+		return 0, false
+	}
+	level := uint8(0)
+	for float64(uint64(1)<<level) < 2*r {
+		if level++; level > maxGridLevel {
+			return 0, false
+		}
+	}
+	return level, true
+}
+
+// cellAt addresses the cell containing c at a level. Only the first
+// three vector axes key the grid; missing axes read as zero.
+func cellAt(c netcoord.Coordinate, level uint8) cellKey {
+	cs := float64(uint64(1) << level)
+	key := cellKey{level: level}
+	key.x = cellIdx(axis(c, 0) / cs)
+	key.y = cellIdx(axis(c, 1) / cs)
+	key.z = cellIdx(axis(c, 2) / cs)
+	return key
+}
+
+// coverCells appends the cells a ball (origin, r) overlaps at a level —
+// at most 2 per axis, 8 total, by levelFor's choice of cell side.
+func coverCells(origin netcoord.Coordinate, r float64, level uint8, buf []cellKey) []cellKey {
+	cs := float64(uint64(1) << level)
+	var lo, hi [3]int32
+	for i := 0; i < 3; i++ {
+		v := axis(origin, i)
+		lo[i] = cellIdx((v - r) / cs)
+		hi[i] = cellIdx((v + r) / cs)
+	}
+	for x := lo[0]; x <= hi[0]; x++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			for z := lo[2]; z <= hi[2]; z++ {
+				buf = append(buf, cellKey{level: level, x: x, y: y, z: z})
+			}
+		}
+	}
+	return buf
+}
+
+func axis(c netcoord.Coordinate, i int) float64 {
+	if i < len(c.Vec) {
+		return c.Vec[i]
+	}
+	return 0
+}
+
+// cellIdx floors to the grid, saturating at the int32 rim (coordinates
+// that far out all share the rim cell rather than wrapping).
+func cellIdx(v float64) int32 {
+	f := math.Floor(v)
+	switch {
+	case f <= math.MinInt32:
+		return math.MinInt32
+	case f >= math.MaxInt32:
+		return math.MaxInt32
+	default:
+		return int32(f)
+	}
+}

@@ -1,0 +1,196 @@
+// Package server is ncserve's HTTP serving stack: the query, mutation,
+// snapshot, and stream (long-poll + SSE) handlers, extracted from the
+// binary so every registry flavor shares one implementation.
+//
+// The stream surface — /snapshot, /changes, /watch — is written against
+// netcoord.ChangeSource, not a concrete registry type. That seam is
+// what makes replicas first-class serving tiers: a *FollowerRegistry
+// relays its leader's stream in the leader's own sequence space, so a
+// Server wrapped around a follower re-serves all three endpoints with
+// sequence numbers (and snapshot pairs) identical to the leader's, and
+// watcher/tail fan-out distributes across a replica tree instead of
+// concentrating on the leader.
+//
+// Live distribution is multiplexed: one change-stream subscription
+// feeds a WatchHub whose spatial damage map routes each mutation to the
+// watchers it could actually affect, and a second subscription drives a
+// single broadcast that wakes /changes long-pollers. N watchers cost
+// one subscription plus O(damaged) recomputes per mutation, not N
+// relevance checks; idle pollers cost nothing per request.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"netcoord"
+)
+
+// Config assembles a Server around a registry.
+type Config struct {
+	// Registry answers queries (Nearest, Estimate, ...) and applies
+	// mutations. Every flavor embeds one: pass pr.Registry or
+	// follower.Registry for the persistent and replica variants.
+	Registry *netcoord.Registry
+	// Source serves the stream surface (/snapshot, /changes, /watch).
+	// Pass the widest implementation available: the PersistentRegistry
+	// (WAL-deep history), the FollowerRegistry (leader sequence space),
+	// or the Registry itself.
+	Source netcoord.ChangeSource
+	// Persist, when the registry is disk-backed, adds recovery/WAL
+	// counters to /stats and the persistence-degraded flag to mutation
+	// responses.
+	Persist *netcoord.PersistentRegistry
+	// Follower, in replica mode, disables mutations (403 naming the
+	// leader) and adds replication lag to /stats.
+	Follower *netcoord.FollowerRegistry
+	// MaxBody caps request body sizes in bytes (0 = 1 MiB).
+	MaxBody int64
+}
+
+// Server wires a Registry and a ChangeSource to the HTTP surface.
+// Create with New, serve it (it is an http.Handler), and call Stop
+// before shutting the http.Server down — Stop wakes the long-lived
+// /watch and /changes handlers, which http.Server.Shutdown alone would
+// wait on forever.
+type Server struct {
+	reg      *netcoord.Registry
+	source   netcoord.ChangeSource
+	persist  *netcoord.PersistentRegistry
+	follower *netcoord.FollowerRegistry
+	started  time.Time
+	maxBody  int64
+	mux      *http.ServeMux
+
+	// hub multiplexes every /watch onto one change-stream subscription;
+	// notifier multiplexes every /changes long-poll onto another.
+	hub      *WatchHub
+	notifier *notifier
+
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
+}
+
+// New builds the HTTP serving stack. The caller owns the registry's
+// lifecycle; Stop only halts the server's goroutines.
+func New(cfg Config) *Server {
+	maxBody := cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	source := cfg.Source
+	if source == nil {
+		source = cfg.Registry
+	}
+	s := &Server{
+		reg:      cfg.Registry,
+		source:   source,
+		persist:  cfg.Persist,
+		follower: cfg.Follower,
+		started:  time.Now(),
+		maxBody:  maxBody,
+		mux:      http.NewServeMux(),
+		shutdown: make(chan struct{}),
+	}
+	s.hub = newWatchHub(source, s.shutdown)
+	s.notifier = newNotifier(source, s.shutdown)
+	s.mux.HandleFunc("POST /upsert", s.leaderOnly(s.handleUpsert))
+	s.mux.HandleFunc("POST /remove", s.leaderOnly(s.handleRemove))
+	s.mux.HandleFunc("GET /nearest", s.handleNearestGet)
+	s.mux.HandleFunc("POST /nearest", s.handleNearestPost)
+	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /changes", s.handleChanges)
+	s.mux.HandleFunc("GET /watch", s.handleWatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) { s.mux.ServeHTTP(w, req) }
+
+// Stop wakes every long-lived handler and halts the hub and notifier
+// goroutines; safe to call more than once.
+func (s *Server) Stop() { s.shutdownOnce.Do(func() { close(s.shutdown) }) }
+
+// leaderOnly rejects mutations on a follower: its state is a replica
+// of the leader's, and a local write would silently diverge it.
+func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if s.follower != nil {
+			writeError(w, http.StatusForbidden, fmt.Errorf("read-only replica of %s: send mutations to the leader", s.follower.FollowerStats().LeaderURL))
+			return
+		}
+		h(w, req)
+	}
+}
+
+// defaultK is the k used when a nearest query does not specify one.
+const defaultK = 8
+
+// maxK bounds a single query's result size so one request cannot ask
+// the service to rank the whole registry.
+const maxK = 1024
+
+func parseK(w http.ResponseWriter, raw string) (int, bool) {
+	if raw == "" {
+		return defaultK, true
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 || k > maxK {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be an integer in [1, %d]", maxK))
+		return 0, false
+	}
+	return k, true
+}
+
+// parseVec parses the vec=x,y,z (+ optional height) watch parameters.
+func parseVec(raw, height string) (netcoord.Coordinate, error) {
+	parts := strings.Split(raw, ",")
+	c := netcoord.Coordinate{Vec: make([]float64, len(parts))}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return netcoord.Coordinate{}, fmt.Errorf("bad vec component %q: %w", p, err)
+		}
+		c.Vec[i] = v
+	}
+	if height != "" {
+		h, err := strconv.ParseFloat(height, 64)
+		if err != nil {
+			return netcoord.Coordinate{}, fmt.Errorf("bad height: %w", err)
+		}
+		c.Height = h
+	}
+	return c, nil
+}
+
+// decode reads a bounded JSON body, rejecting unknown fields.
+func (s *Server) decode(w http.ResponseWriter, req *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errStreamUnavailable is served when a stream endpoint is hit on a
+// registry whose change stream is disabled.
+var errStreamUnavailable = errors.New("change stream disabled on this registry")

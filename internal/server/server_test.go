@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -28,11 +28,21 @@ func newTestServiceReg(t *testing.T, cfg netcoord.RegistryConfig) (*httptest.Ser
 		t.Fatal(err)
 	}
 	t.Cleanup(reg.Close)
-	srv := newServer(reg, nil, nil, 1<<20)
-	t.Cleanup(srv.stop)
+	srv := New(Config{Registry: reg, Source: reg})
+	t.Cleanup(srv.Stop)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts, reg
+}
+
+// newFollowerService serves a follower through the same stack.
+func newFollowerService(t *testing.T, f *netcoord.FollowerRegistry) *httptest.Server {
+	t.Helper()
+	srv := New(Config{Registry: f.Registry, Source: f, Follower: f})
+	t.Cleanup(srv.Stop)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
 }
 
 func postJSON(t *testing.T, url, body string) (int, map[string]any) {
@@ -227,7 +237,9 @@ func TestServiceBodyLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
-	ts := httptest.NewServer(newServer(reg, nil, nil, 64))
+	srv := New(Config{Registry: reg, Source: reg, MaxBody: 64})
+	defer srv.Stop()
+	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
 	var big bytes.Buffer

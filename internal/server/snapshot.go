@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"netcoord"
+)
+
+// handleSnapshot serves the replica-bootstrap pair: the entry set and
+// the stream sequence to resume from.
+//
+// With ?since=<seq> the server first tries a *delta*: live entries
+// whose per-entry sequence is newer than since (provable at any depth —
+// entries carry the sequence that produced them), plus the removed ids
+// from the stream's tombstone ring. Heartbeat upserts are what churn
+// the event ring; removals are rare, so the tombstone ring proves
+// removal-completeness far below the 410 floor — which is exactly when
+// a truncated follower shows up here. When even the tombstone ring
+// cannot cover the gap, the response silently degrades to the full
+// snapshot; the client distinguishes the two by the "delta" field.
+//
+// The full body is streamed entry by entry through a small buffer — a
+// bootstrap of a multi-million-entry registry must not materialize a
+// second (and third) copy of it in one response buffer. On a follower
+// the sequence is its applied position in the leader's sequence space
+// and the body carries `follower_of` (informational: replicas relay
+// the stream, so chaining a replica off a replica is supported).
+func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
+	var followerOf string
+	if s.follower != nil {
+		followerOf = s.follower.FollowerStats().LeaderURL
+	}
+	if raw := req.URL.Query().Get("since"); raw != "" {
+		since, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+			return
+		}
+		// The source assembles the triple atomically (a follower holds
+		// its bootstrap lock), or reports ok=false when only a full
+		// snapshot can guarantee correctness. The client applies
+		// removals before entries, so an id present in both (removed,
+		// then re-upserted) ends live, matching its newest state.
+		if entries, removed, seq, ok := s.source.DeltaSince(since); ok {
+			s.writeSnapshotBody(w, seq, followerOf, entries, removed, true)
+			return
+		}
+	}
+	entries, seq := s.source.SnapshotWithSeq()
+	s.writeSnapshotBody(w, seq, followerOf, entries, nil, false)
+}
+
+// writeSnapshotBody streams a (full or delta) snapshot response entry
+// by entry through a small buffer: under heartbeat churn a "delta"
+// approaches the whole registry, so it must not materialize
+// registry-sized response copies any more than the full path may.
+func (s *Server) writeSnapshotBody(w http.ResponseWriter, seq uint64, followerOf string, entries []netcoord.RegistryEntry, removed []string, delta bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, `{"seq":%d`, seq)
+	if followerOf != "" {
+		quoted, _ := json.Marshal(followerOf)
+		fmt.Fprintf(bw, `,"follower_of":%s`, quoted)
+	}
+	if delta {
+		// The removed list is tombstone-ring-bounded; it never rivals
+		// the entry set for size.
+		data, err := json.Marshal(removed)
+		if err != nil {
+			return
+		}
+		_, _ = bw.WriteString(`,"delta":true,"removed":`)
+		_, _ = bw.Write(data)
+	}
+	_, _ = bw.WriteString(`,"entries":[`)
+	for i, e := range entries {
+		if i > 0 {
+			_ = bw.WriteByte(',')
+		}
+		data, err := json.Marshal(netcoord.SnapshotEntry(e))
+		if err != nil {
+			return // headers are out; the truncated body fails the client's decode
+		}
+		_, _ = bw.Write(data)
+	}
+	_, _ = bw.WriteString("]}\n")
+	_ = bw.Flush()
+}
+
+// errGone keeps the 410 wording in one place for /changes and tests.
+var errGone = errors.New("re-bootstrap from /snapshot")

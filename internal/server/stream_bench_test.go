@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"fmt"
@@ -21,8 +21,8 @@ func BenchmarkFollowerCatchup(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer reg.Close()
-	srv := newServer(reg, nil, nil, 1<<20)
-	defer srv.stop()
+	srv := New(Config{Registry: reg, Source: reg})
+	defer srv.Stop()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

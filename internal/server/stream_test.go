@@ -1,11 +1,10 @@
-package main
+package server
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -331,28 +330,38 @@ func TestWatchByIDExcludesSelfAndFollowsMoves(t *testing.T) {
 	}
 }
 
-func TestFollowingAFollowerFailsFast(t *testing.T) {
+func TestFollowerOfFollowerChains(t *testing.T) {
 	leaderTS, leaderReg := newTestServiceReg(t, netcoord.RegistryConfig{
 		ChangeStreamBuffer: netcoord.DefaultChangeStreamBuffer,
 	})
-	postJSON(t, leaderTS.URL+"/upsert", `{"id":"a","coord":{"vec":[1,0,0]}}`)
-	f := startTestFollower(t, leaderTS.URL)
-	waitConverged(t, f, leaderReg)
-	srv := newServer(f.Registry, nil, f, 1<<20)
-	t.Cleanup(srv.stop)
-	fts := httptest.NewServer(srv)
-	t.Cleanup(fts.Close)
-
-	// The follower's /snapshot names its leader...
-	code, out := getJSON(t, fts.URL+"/snapshot")
-	if code != http.StatusOK || out["follower_of"].(string) != leaderTS.URL {
-		t.Fatalf("follower snapshot = %d %v, want follower_of=%s", code, out, leaderTS.URL)
+	for i := 0; i < 10; i++ {
+		postJSON(t, leaderTS.URL+"/upsert", fmt.Sprintf(`{"id":"n%02d","coord":{"vec":[%d,0,0]},"error":0.1}`, i, i))
 	}
-	// ...and a chained StartFollower is refused at bootstrap instead of
-	// starting a replica that could never tail anything.
-	_, err := netcoord.StartFollower(netcoord.FollowerConfig{LeaderURL: fts.URL})
-	if err == nil || !strings.Contains(err.Error(), leaderTS.URL) {
-		t.Fatalf("chained follow err = %v, want refusal naming the real leader", err)
+	mid := startTestFollower(t, leaderTS.URL)
+	waitConverged(t, mid, leaderReg)
+	midTS := newFollowerService(t, mid)
+
+	// The middle tier's /snapshot names its upstream (informational)...
+	code, out := getJSON(t, midTS.URL+"/snapshot")
+	if code != http.StatusOK || out["follower_of"].(string) != leaderTS.URL {
+		t.Fatalf("mid snapshot = %d %v, want follower_of=%s", code, out, leaderTS.URL)
+	}
+	// ...and a second-tier follower bootstraps from it and tails its
+	// relayed /changes — events arrive with the LEADER's sequences.
+	leaf := startTestFollower(t, midTS.URL)
+	waitConverged(t, leaf, leaderReg)
+	assertReplicaIdentical(t, leaf, leaderReg)
+
+	// Mutations keep flowing leader → mid → leaf.
+	for i := 0; i < 10; i++ {
+		postJSON(t, leaderTS.URL+"/upsert", fmt.Sprintf(`{"id":"m%02d","coord":{"vec":[0,%d,0]}}`, i, i))
+	}
+	postJSON(t, leaderTS.URL+"/remove", `{"id":"n00"}`)
+	waitConverged(t, mid, leaderReg)
+	waitConverged(t, leaf, leaderReg)
+	assertReplicaIdentical(t, leaf, leaderReg)
+	if st := leaf.FollowerStats(); st.AppliedSeq != leaderReg.ChangeSeq() {
+		t.Fatalf("leaf applied seq %d, leader at %d: tiers drifted out of one sequence space", st.AppliedSeq, leaderReg.ChangeSeq())
 	}
 }
 
@@ -517,10 +526,7 @@ func TestFollowerModeHTTPSurface(t *testing.T) {
 
 	f := startTestFollower(t, leaderTS.URL)
 	waitConverged(t, f, leaderReg)
-	srv := newServer(f.Registry, nil, f, 1<<20)
-	t.Cleanup(srv.stop)
-	fts := httptest.NewServer(srv)
-	t.Cleanup(fts.Close)
+	fts := newFollowerService(t, f)
 
 	// Reads work and see the replicated state.
 	code, out := getJSON(t, fts.URL+"/nearest?id=a&k=1")
@@ -540,9 +546,23 @@ func TestFollowerModeHTTPSurface(t *testing.T) {
 		t.Fatalf("follower remove: %d, want 403", code)
 	}
 
-	// No local stream; /snapshot still serves (chained bootstrap).
-	if code, _ = getJSON(t, fts.URL+"/changes?since=0"); code != http.StatusNotImplemented {
-		t.Fatalf("follower changes: %d, want 501", code)
+	// The stream is re-served in the leader's sequence space. History
+	// before the follower's bootstrap point is genuinely gone here — a
+	// resume below the relay ring is a 410 (re-bootstrap from this
+	// follower's /snapshot), the same protocol the leader speaks.
+	if code, _ = getJSON(t, fts.URL+"/changes?since=0"); code != http.StatusGone {
+		t.Fatalf("follower changes below bootstrap point: %d, want 410", code)
+	}
+	bootSeq := leaderReg.ChangeSeq()
+	postJSON(t, leaderTS.URL+"/upsert", `{"id":"c","coord":{"vec":[3,0,0]}}`)
+	waitConverged(t, f, leaderReg)
+	code, out = getJSON(t, fts.URL+fmt.Sprintf("/changes?since=%d", bootSeq))
+	if code != http.StatusOK {
+		t.Fatalf("follower changes: %d %v, want 200 (replicas relay the stream)", code, out)
+	}
+	evs := out["events"].([]any)
+	if len(evs) != 1 || evs[0].(map[string]any)["seq"].(float64) != float64(bootSeq+1) {
+		t.Fatalf("follower relayed events = %v, want the leader's upsert at seq %d", evs, bootSeq+1)
 	}
 	code, out = getJSON(t, fts.URL+"/snapshot")
 	if code != http.StatusOK || out["seq"].(float64) != float64(leaderReg.ChangeSeq()) {

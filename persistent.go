@@ -172,7 +172,7 @@ func OpenPersistentRegistry(cfg PersistentRegistryConfig) (*PersistentRegistry, 
 	if len(recovered) > 0 {
 		batch := make([]RegistryEntry, len(recovered))
 		for i, e := range recovered {
-			batch[i] = RegistryEntry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt}
+			batch[i] = RegistryEntry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt, Seq: e.Seq}
 		}
 		// Every shard is empty, so this lands on the index.Build bulk
 		// path: one balanced O(n log n) construction per shard instead

@@ -42,6 +42,13 @@ type RegistryEntry struct {
 	// UpdatedAt is when the entry was last upserted; the TTL eviction
 	// clock.
 	UpdatedAt time.Time
+	// Seq is the change-stream sequence of the mutation that produced
+	// this entry state (0 with the stream disabled). It is what lets a
+	// delta snapshot answer "every entry changed since sequence N" by
+	// scanning live state, without needing event history back to N.
+	// Replication preserves it: a replica's entry carries the leader's
+	// sequence.
+	Seq uint64
 }
 
 // RegistryConfig assembles a Registry.
@@ -95,10 +102,13 @@ type RegistryStats struct {
 // the published order matches the applied order for any given id. The
 // feed only assigns a sequence, buffers, and enqueues — it never
 // blocks on I/O — which is what makes calling it under the lock safe.
-func (r *Registry) publishUpsert(e RegistryEntry) {
+// It returns the assigned sequence (0 with the stream disabled), which
+// the caller stamps onto the stored entry.
+func (r *Registry) publishUpsert(e RegistryEntry) uint64 {
 	if r.feed != nil {
-		r.feed.PublishUpsert(changefeed.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt})
+		return r.feed.PublishUpsert(changefeed.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt})
 	}
+	return 0
 }
 
 // registryShard is one lock stripe: a map for point lookups and a
@@ -335,9 +345,11 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 			}
 			s.tree = tree
 			for _, e := range group {
+				if seq := r.publishUpsert(e); seq != 0 {
+					e.Seq = seq
+				}
 				s.entries[e.ID] = e // later duplicates win, as Build resolves them
 				r.upserts.Add(1)
-				r.publishUpsert(e)
 			}
 			s.mu.Unlock()
 			continue
@@ -345,9 +357,11 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 		for _, e := range group {
 			// Same pure-refresh shortcut as upsertEntry.
 			if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
+				if seq := r.publishUpsert(e); seq != 0 {
+					e.Seq = seq
+				}
 				s.entries[e.ID] = e
 				r.upserts.Add(1)
-				r.publishUpsert(e)
 				continue
 			}
 			if err := s.tree.Insert(e.ID, e.Coord); err != nil {
@@ -356,9 +370,11 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 				s.mu.Unlock()
 				return fmt.Errorf("netcoord: registry upsert: %w", err)
 			}
+			if seq := r.publishUpsert(e); seq != 0 {
+				e.Seq = seq
+			}
 			s.entries[e.ID] = e
 			r.upserts.Add(1)
-			r.publishUpsert(e)
 		}
 		s.mu.Unlock()
 	}
@@ -385,17 +401,21 @@ func (r *Registry) upsertEntry(e RegistryEntry) error {
 	// churn the index with tombstone+reinsert cycles and the rebuilds
 	// they trigger.
 	if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
+		if seq := r.publishUpsert(e); seq != 0 {
+			e.Seq = seq
+		}
 		s.entries[e.ID] = e
 		r.upserts.Add(1)
-		r.publishUpsert(e)
 		return nil
 	}
 	if err := s.tree.Insert(e.ID, e.Coord); err != nil {
 		return fmt.Errorf("netcoord: registry upsert: %w", err)
 	}
+	if seq := r.publishUpsert(e); seq != 0 {
+		e.Seq = seq
+	}
 	s.entries[e.ID] = e
 	r.upserts.Add(1)
-	r.publishUpsert(e)
 	return nil
 }
 
