@@ -152,11 +152,18 @@ type ChangeEvent struct {
 	ID string `json:"id,omitempty"`
 	// IDs is set for evictions.
 	IDs []string `json:"ids,omitempty"`
+	// PubNs is the Unix-nanosecond wall-clock time the event was first
+	// published at the stream's origin (the leader). It travels through
+	// every relay tier unchanged, so any consumer can measure true
+	// end-to-end propagation lag as now-PubNs. Zero means unknown
+	// (events replayed from the WAL carry no stamp) — skip lag
+	// measurement rather than fabricate one.
+	PubNs int64 `json:"pub_ns,omitempty"`
 }
 
 // fromFeedEvent converts an internal feed event to the wire form.
 func fromFeedEvent(ev changefeed.Event) ChangeEvent {
-	out := ChangeEvent{Seq: ev.Seq}
+	out := ChangeEvent{Seq: ev.Seq, PubNs: ev.PubNs}
 	switch ev.Op {
 	case changefeed.OpUpsert:
 		out.Op = ChangeUpsert
@@ -181,7 +188,7 @@ func fromFeedEvent(ev changefeed.Event) ChangeEvent {
 // the relay direction: a follower republishes its leader's events into
 // its own feed under the leader's sequence numbers.
 func toFeedEvent(ev ChangeEvent) changefeed.Event {
-	out := changefeed.Event{Seq: ev.Seq}
+	out := changefeed.Event{Seq: ev.Seq, PubNs: ev.PubNs}
 	switch ev.Op {
 	case ChangeUpsert:
 		out.Op = changefeed.OpUpsert
@@ -214,9 +221,17 @@ type ChangeStreamStats struct {
 	Overflows uint64 `json:"overflows"`
 	// OldestSeq is the oldest event still in the catch-up ring.
 	OldestSeq uint64 `json:"oldest_seq"`
-	// RingLen and RingCap describe the ring's fill.
+	// RingLen is the ring's current occupancy (live events buffered);
+	// RingCap is its capacity.
 	RingLen int `json:"ring_len"`
 	RingCap int `json:"ring_cap"`
+	// TombLen/TombCap are the tombstone ring's occupancy and capacity,
+	// and TombFloor is the sequence below which removal knowledge is
+	// incomplete (delta snapshots from at or below it must fall back to
+	// full transfers).
+	TombLen   int    `json:"tomb_len"`
+	TombCap   int    `json:"tomb_cap"`
+	TombFloor uint64 `json:"tomb_floor"`
 }
 
 // ChangeSeq returns the sequence number of the most recent mutation
@@ -253,6 +268,9 @@ func feedStreamStats(feed *changefeed.Feed) ChangeStreamStats {
 		OldestSeq:   st.OldestSeq,
 		RingLen:     st.RingLen,
 		RingCap:     st.RingCap,
+		TombLen:     st.TombLen,
+		TombCap:     st.TombCap,
+		TombFloor:   st.TombFloor,
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -45,8 +47,9 @@ func getJSON(t *testing.T, url string) (int, map[string]any) {
 
 // ncserveProc is one running ncserve binary under test.
 type ncserveProc struct {
-	cmd  *exec.Cmd
-	base string // http://host:port
+	cmd   *exec.Cmd
+	base  string // http://host:port
+	debug string // http://host:port of -debug-addr, when enabled
 }
 
 // startNCServe launches the built binary and waits for its listen line.
@@ -62,9 +65,14 @@ func startNCServe(t *testing.T, bin string, args ...string) *ncserveProc {
 		t.Fatalf("start ncserve: %v", err)
 	}
 	lines := bufio.NewScanner(stdout)
-	var base string
+	var base, debug string
 	for lines.Scan() {
 		line := lines.Text()
+		// The debug line (when -debug-addr is on) prints before the
+		// main listen line, so both are available once the loop breaks.
+		if i := strings.Index(line, "debug endpoints (pprof, expvar) on http://"); i >= 0 {
+			debug = "http://" + strings.Fields(line[i+len("debug endpoints (pprof, expvar) on http://"):])[0]
+		}
 		if i := strings.Index(line, "listening on http://"); i >= 0 {
 			base = "http://" + strings.Fields(line[i+len("listening on http://"):])[0]
 			break
@@ -79,7 +87,7 @@ func startNCServe(t *testing.T, bin string, args ...string) *ncserveProc {
 		for lines.Scan() {
 		}
 	}()
-	p := &ncserveProc{cmd: cmd, base: base}
+	p := &ncserveProc{cmd: cmd, base: base, debug: debug}
 	t.Cleanup(func() {
 		if p.cmd.ProcessState == nil {
 			_ = p.cmd.Process.Kill()
@@ -286,7 +294,7 @@ func TestFollowerCatchupE2E(t *testing.T) {
 	postJSON(t, leader.base+"/remove", `{"id":"n00"}`)
 	postJSON(t, leader.base+"/remove", `{"id":"n13"}`)
 
-	follower2 := startNCServe(t, bin, "-follow", leader.base)
+	follower2 := startNCServe(t, bin, "-follow", leader.base, "-debug-addr", "127.0.0.1:0")
 	leaderSeq, leaderEntries = fetchSnapshot(t, leader.base)
 	waitFollowerConverged(t, follower2.base, leaderSeq)
 	_, followerEntries = fetchSnapshot(t, follower2.base)
@@ -324,6 +332,88 @@ func TestFollowerCatchupE2E(t *testing.T) {
 	if status, _ := postJSON(t, follower2.base+"/upsert", `{"id":"x","coord":{"vec":[1,1,1]}}`); status != http.StatusForbidden {
 		t.Fatalf("follower accepted a mutation: %d", status)
 	}
+
+	// Observability surface across real processes. A few more streamed
+	// mutations first: follower2 bootstrapped from a snapshot, and only
+	// streamed (stamped) events feed the propagation-lag histogram.
+	for i := 0; i < 5; i++ {
+		postJSON(t, leader.base+"/upsert", fmt.Sprintf(`{"id":"p%02d","coord":{"vec":[%d,1,0]}}`, i, i))
+	}
+	leaderSeq, _ = fetchSnapshot(t, leader.base)
+	waitFollowerConverged(t, follower2.base, leaderSeq)
+
+	for _, base := range []string{leader.base, follower2.base} {
+		if status, body := getText(t, base+"/healthz"); status != http.StatusOK {
+			t.Fatalf("%s/healthz = %d (%s), want 200", base, status, body)
+		}
+	}
+	status, metrics := getText(t, leader.base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("leader /metrics: %d", status)
+	}
+	for _, want := range []string{"netcoord_http_requests_total", "netcoord_persist_wal_records_total", "netcoord_changefeed_published_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("leader /metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	status, metrics = getText(t, follower2.base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("follower /metrics: %d", status)
+	}
+	if v := metricValue(t, metrics, "netcoord_follower_apply_lag_seconds_count"); v <= 0 {
+		t.Fatalf("follower apply-lag count = %v, want > 0 after streamed mutations", v)
+	}
+	if v := metricValue(t, metrics, "netcoord_follower_apply_lag_seconds_sum"); v <= 0 {
+		t.Fatalf("follower apply-lag sum = %v, want > 0 (publish stamps lost on the wire?)", v)
+	}
+
+	// The -debug-addr listener serves pprof and expvar off the public
+	// mux; the public listener must NOT serve them.
+	if follower2.debug == "" {
+		t.Fatal("follower never reported its -debug-addr listener")
+	}
+	if status, _ := getText(t, follower2.debug+"/debug/pprof/cmdline"); status != http.StatusOK {
+		t.Fatalf("debug pprof: %d", status)
+	}
+	if status, body := getText(t, follower2.debug+"/debug/vars"); status != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("debug expvar: %d (%s)", status, body)
+	}
+	if status, _ := getText(t, follower2.base+"/debug/pprof/cmdline"); status == http.StatusOK {
+		t.Fatal("public listener serves pprof — the debug surface leaked onto the service mux")
+	}
+
 	follower2.terminate(t)
 	leader.terminate(t)
+}
+
+// getText fetches a URL and returns the status plus raw body.
+func getText(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// metricValue extracts one unlabeled sample's value from a Prometheus
+// text exposition.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("bad value for %s: %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, exposition)
+	return 0
 }

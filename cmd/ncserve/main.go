@@ -19,6 +19,13 @@
 //	GET  /changes?since=N&wait=10s     (sequenced mutation tail)
 //	GET  /watch?id=n1&k=8              (SSE nearest-set deltas)
 //	GET  /stats
+//	GET  /healthz                      (readiness; followers 503 past -max-lag)
+//	GET  /metrics                      (Prometheus text exposition)
+//
+// With -debug-addr ncserve additionally serves net/http/pprof and
+// expvar on a separate listener. That listener can dump heap contents
+// and must never be exposed publicly — bind it to loopback or a
+// management network.
 //
 // Every mutation is sequenced into a change stream. /changes tails it:
 // pass the sequence you hold (mutation responses, /stats, and
@@ -62,10 +69,12 @@ package main
 import (
 	"context"
 	"errors"
+	_ "expvar" // registers /debug/vars on http.DefaultServeMux for -debug-addr
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -97,6 +106,8 @@ func run(args []string) (err error) {
 		compactRecs  = fs.Int64("compact-wal-records", 0, "also compact when the active WAL exceeds this many records (0 = default, negative = timer only; with -data-dir)")
 		streamBuffer = fs.Int("change-buffer", netcoord.DefaultChangeStreamBuffer, "change-stream ring size: how many recent mutations /changes can serve from memory (in -follow mode, the relay ring)")
 		follow       = fs.String("follow", "", "run as a read-only replica of this upstream ncserve URL (a leader, or another follower in a relay tree)")
+		maxLag       = fs.Uint64("max-lag", 0, "follower readiness bound: /healthz answers 503 when replication lag exceeds this many events (0 = default)")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address; bind to loopback only — this listener must never be exposed publicly")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,7 +119,7 @@ func run(args []string) (err error) {
 		TTL:                *ttl,
 		ChangeStreamBuffer: *streamBuffer,
 	}
-	srvCfg := server.Config{MaxBody: *maxBody}
+	srvCfg := server.Config{MaxBody: *maxBody, MaxLag: *maxLag}
 	switch {
 	case *follow != "":
 		if *dataDir != "" {
@@ -167,6 +178,22 @@ func run(args []string) (err error) {
 		defer reg.Close()
 		srvCfg.Registry = reg
 		srvCfg.Source = reg
+	}
+
+	if *debugAddr != "" {
+		// pprof and expvar self-register on http.DefaultServeMux, which
+		// the main mux never serves: profiling gets its own socket so
+		// exposing the service never exposes the debug surface. The
+		// operator is expected to bind this to loopback (or a management
+		// network) — pprof handlers can dump heap contents.
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			return derr
+		}
+		dbg := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = dbg.Serve(dln) }()
+		defer dbg.Close()
+		fmt.Printf("ncserve debug endpoints (pprof, expvar) on http://%s — never expose publicly\n", dln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)

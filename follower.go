@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"netcoord/internal/changefeed"
+	"netcoord/internal/telemetry"
 )
 
 // FollowerConfig assembles a FollowerRegistry.
@@ -75,6 +76,17 @@ type FollowerStats struct {
 	// Errors counts failed leader calls; LastError is the most recent.
 	Errors    uint64 `json:"errors"`
 	LastError string `json:"last_error,omitempty"`
+	// ApplyLagNs summarizes publish→apply propagation lag: for every
+	// applied event carrying a leader publish stamp, the wall-clock
+	// nanoseconds between the leader publishing it and this replica
+	// applying it. This is the true end-to-end staleness of the relay
+	// chain (cross-host clock skew included; negative lags clamp to 0).
+	ApplyLagNs telemetry.Summary `json:"apply_lag_ns"`
+	// LastBootstrapSeconds and LastBootstrapKind describe the most
+	// recent snapshot load: how long it took and whether it was a
+	// "full" or "delta" transfer.
+	LastBootstrapSeconds float64 `json:"last_bootstrap_seconds"`
+	LastBootstrapKind    string  `json:"last_bootstrap_kind,omitempty"`
 }
 
 // errStreamGone signals a 410 from /changes: the resume point was
@@ -129,6 +141,14 @@ type FollowerRegistry struct {
 	bootstraps,
 	deltaBootstraps,
 	errCount atomic.Uint64
+
+	// applyLag accumulates publish→apply propagation lag (ns) for every
+	// applied event that carries a leader publish stamp.
+	applyLag *telemetry.Histogram
+	// lastBootstrapNs is the duration of the most recent bootstrap;
+	// lastBootstrapDelta records whether it was a delta transfer.
+	lastBootstrapNs    atomic.Int64
+	lastBootstrapDelta atomic.Bool
 
 	mu          sync.Mutex
 	lastContact time.Time
@@ -194,6 +214,7 @@ func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
 		retry:     retry,
 		limit:     limit,
 		relayBuf:  relayBuf,
+		applyLag:  telemetry.NewHistogram(),
 		ctx:       ctx,
 		cancel:    cancel,
 	}
@@ -219,6 +240,15 @@ func (f *FollowerRegistry) FollowerStats() FollowerStats {
 		DeltaBootstraps:       f.deltaBootstraps.Load(),
 		Errors:                f.errCount.Load(),
 		LastContactAgeSeconds: -1,
+		ApplyLagNs:            f.applyLag.Summary(),
+		LastBootstrapSeconds:  float64(f.lastBootstrapNs.Load()) / 1e9,
+	}
+	if f.bootstraps.Load() > 0 {
+		if f.lastBootstrapDelta.Load() {
+			st.LastBootstrapKind = "delta"
+		} else {
+			st.LastBootstrapKind = "full"
+		}
 	}
 	if leader > applied {
 		st.Lag = leader - applied
@@ -464,6 +494,9 @@ func (f *FollowerRegistry) apply(events []ChangeEvent) error {
 		f.applied.Store(applied)
 		f.relay.PublishAt(toFeedEvent(ev))
 		f.eventsApplied.Add(1)
+		if ev.PubNs > 0 {
+			f.applyLag.Observe(time.Now().UnixNano() - ev.PubNs)
+		}
 	}
 	return nil
 }
@@ -485,6 +518,7 @@ func (f *FollowerRegistry) apply(events []ChangeEvent) error {
 // rewritten state, so every relay subscriber is closed and resyncs —
 // the same protocol they run when they fall off the ring.
 func (f *FollowerRegistry) bootstrap() error {
+	start := time.Now()
 	url := f.leaderURL + "/snapshot"
 	applied := f.applied.Load()
 	if f.relay != nil && applied > 0 {
@@ -555,6 +589,8 @@ func (f *FollowerRegistry) bootstrap() error {
 		f.relay.ResetTo(snap.Seq)
 	}
 	f.bootstraps.Add(1)
+	f.lastBootstrapNs.Store(time.Since(start).Nanoseconds())
+	f.lastBootstrapDelta.Store(snap.Delta)
 	return nil
 }
 

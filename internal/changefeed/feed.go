@@ -92,6 +92,13 @@ type Event struct {
 	ID string
 	// IDs is set for OpEvict.
 	IDs []string
+	// PubNs is the wall-clock Unix-nanosecond timestamp stamped once
+	// when the event was first published at the stream's origin (the
+	// leader). Relays preserve it verbatim through PublishAt, so at any
+	// tier "now - PubNs" is the event's true end-to-end propagation lag.
+	// Zero means unknown (e.g. an event replayed from the WAL, which
+	// does not persist stamps) — consumers skip lag observation then.
+	PubNs int64
 }
 
 // ErrTruncated is returned by Since when the ring no longer holds the
@@ -118,6 +125,12 @@ type Stats struct {
 	// RingLen and RingCap describe the catch-up ring's fill.
 	RingLen int `json:"ring_len"`
 	RingCap int `json:"ring_cap"`
+	// TombLen and TombCap describe the tombstone ring's fill, and
+	// TombFloor is the sequence below which removal knowledge is
+	// incomplete — delta snapshots from at or below it are impossible.
+	TombLen   int    `json:"tomb_len"`
+	TombCap   int    `json:"tomb_cap"`
+	TombFloor uint64 `json:"tomb_floor"`
 }
 
 // Feed is the sequenced change stream. Create with New; methods are
@@ -400,8 +413,10 @@ func (f *Feed) deliverLocked(ev Event) {
 
 // publish assigns the next sequence, retains the event in the ring,
 // runs the taps, and offers the event to every subscriber without
-// blocking.
+// blocking. This is the stream's origin, so the propagation stamp is
+// taken here — exactly once per event, before any relay tier sees it.
 func (f *Feed) publish(ev Event) uint64 {
+	ev.PubNs = time.Now().UnixNano()
 	f.mu.Lock()
 	f.seq++
 	ev.Seq = f.seq
@@ -469,6 +484,9 @@ func (f *Feed) Stats() Stats {
 	subs := len(f.subs)
 	ringLen := f.len
 	ringCap := len(f.ring)
+	tombLen := f.tombLen
+	tombCap := len(f.tombs)
+	tombFloor := f.tombFloor
 	var oldest uint64
 	if f.len > 0 {
 		oldest = f.seq - uint64(f.len) + 1
@@ -482,6 +500,9 @@ func (f *Feed) Stats() Stats {
 		OldestSeq:   oldest,
 		RingLen:     ringLen,
 		RingCap:     ringCap,
+		TombLen:     tombLen,
+		TombCap:     tombCap,
+		TombFloor:   tombFloor,
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"netcoord/internal/telemetry"
 )
 
 // Options tunes a Store.
@@ -100,6 +102,12 @@ type StoreStats struct {
 	Dropped uint64 `json:"dropped_records"`
 	// Err is the sticky I/O error, if the store has failed.
 	Err string `json:"error,omitempty"`
+	// FsyncNs summarizes the latency of each WAL fsync — the tail of
+	// this distribution IS the durability window's real-world floor,
+	// whatever FlushInterval promises.
+	FsyncNs telemetry.Summary `json:"fsync_ns"`
+	// CompactionNs summarizes the duration of completed compactions.
+	CompactionNs telemetry.Summary `json:"compaction_ns"`
 }
 
 // Store is the on-disk half of a persistent registry: one directory
@@ -144,6 +152,11 @@ type Store struct {
 	compactErrs   atomic.Uint64
 	dropped       atomic.Uint64
 	histFloor     atomic.Uint64
+
+	// fsyncLat times each WAL fsync; compactDur each completed
+	// compaction (snapshot write included).
+	fsyncLat   *telemetry.Histogram
+	compactDur *telemetry.Histogram
 
 	compactErrMu      sync.Mutex
 	lastCompactErr    string
@@ -199,6 +212,8 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 		opts:           opts,
 		lock:           lock,
 		compactReasons: make(map[string]uint64),
+		fsyncLat:       telemetry.NewHistogram(),
+		compactDur:     telemetry.NewHistogram(),
 		kick:           make(chan struct{}, 1),
 		done:           make(chan struct{}),
 	}
@@ -334,6 +349,8 @@ func (s *Store) Stats() StoreStats {
 		CompactFailures: s.compactErrs.Load(),
 		Dropped:         s.dropped.Load(),
 		HistoryFloor:    s.histFloor.Load(),
+		FsyncNs:         s.fsyncLat.Summary(),
+		CompactionNs:    s.compactDur.Summary(),
 	}
 	s.compactErrMu.Lock()
 	st.CompactErr = s.lastCompactErr
@@ -478,12 +495,14 @@ func (s *Store) flushLocked() error {
 		s.dirty = true
 	}
 	if s.dirty && !s.opts.NoSync {
+		syncStart := time.Now()
 		if err := f.Sync(); err != nil {
 			// Page-cache bytes that never reached the platter are lost
 			// records, not written ones: they belong in Dropped.
 			s.dropped.Add(uint64(n))
 			return s.fail(fmt.Errorf("persist: wal sync: %w", err))
 		}
+		s.fsyncLat.Observe(time.Since(syncStart).Nanoseconds())
 		s.syncs.Add(1)
 	}
 	s.dirty = false
@@ -543,6 +562,7 @@ func (s *Store) Compact(reason string, capture func() ([]Entry, uint64, error)) 
 func (s *Store) compact(capture func() ([]Entry, uint64, error)) error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
+	start := time.Now()
 
 	// Rotate: drain and fsync the old generation, then switch appends
 	// to the new one.
@@ -588,6 +608,7 @@ func (s *Store) compact(capture func() ([]Entry, uint64, error)) error {
 	s.histFloor.Store(capSeq)
 	s.removeObsolete(newGen)
 	s.compactions.Add(1)
+	s.compactDur.Observe(time.Since(start).Nanoseconds())
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"netcoord"
+	"netcoord/internal/telemetry"
 )
 
 // hubSubBuffer is the watch hub's single subscription buffer. Overflow
@@ -70,6 +71,15 @@ type WatchHub struct {
 	events  atomic.Uint64
 	damages atomic.Uint64
 	resyncs atomic.Uint64
+	dropped atomic.Uint64
+
+	// recomputeLat times each watcher recompute (query + interest
+	// install); deliverLag is publish→deliver propagation: for every
+	// damaging event carrying an origin publish stamp, the wall-clock
+	// nanoseconds until a watcher's recompute reflected it — the full
+	// leader→(relays)→watcher path.
+	recomputeLat *telemetry.Histogram
+	deliverLag   *telemetry.Histogram
 
 	mu        sync.Mutex
 	disabled  bool
@@ -98,8 +108,17 @@ type WatchHubStats struct {
 	EventsProcessed uint64 `json:"events_processed"`
 	Damages         uint64 `json:"damages"`
 	Resyncs         uint64 `json:"resyncs"`
+	// SubscriptionDropped counts events the hub's own stream
+	// subscription lost to buffer overflow (each detected drop run also
+	// shows up as one resync).
+	SubscriptionDropped uint64 `json:"subscription_dropped"`
 	// ProcessedSeq is the hub's position in the stream.
 	ProcessedSeq uint64 `json:"processed_seq"`
+	// RecomputeNs summarizes watcher recompute latency (query +
+	// interest install); DeliverLagNs summarizes publish→deliver
+	// propagation lag for stamped events.
+	RecomputeNs  telemetry.Summary `json:"recompute_ns"`
+	DeliverLagNs telemetry.Summary `json:"deliver_lag_ns"`
 }
 
 // HubWatcher is one /watch registered with the hub. The handler waits
@@ -108,6 +127,11 @@ type WatchHubStats struct {
 type HubWatcher struct {
 	notify    chan struct{}
 	damageSeq atomic.Uint64
+	// pendingPubNs is the origin publish stamp of the OLDEST damaging
+	// event not yet reflected by a recompute (0 = none pending). Keeping
+	// the oldest makes the deliver-lag reading conservative: a coalesced
+	// burst reports the wait of the event that waited longest.
+	pendingPubNs atomic.Int64
 
 	// The fields below are guarded by the hub's mu.
 	watchID  string
@@ -152,6 +176,9 @@ func newWatchHub(source netcoord.ChangeSource, shutdown <-chan struct{}) *WatchH
 		anyUpsert: make(map[*HubWatcher]struct{}),
 		cells:     make(map[cellKey][]*HubWatcher),
 		levels:    make(map[uint8]int),
+
+		recomputeLat: telemetry.NewHistogram(),
+		deliverLag:   telemetry.NewHistogram(),
 	}
 	// Subscribe synchronously so Watch can report a disabled stream
 	// rather than racing the drain goroutine's first attach.
@@ -207,7 +234,7 @@ func (h *WatchHub) run(sub *netcoord.ChangeSubscription) {
 			h.processed.Store(sub.JoinSeq())
 			h.resyncs.Add(1)
 			for w := range h.watchers {
-				h.damageLocked(w, sub.JoinSeq())
+				h.damageLocked(w, sub.JoinSeq(), 0)
 			}
 			h.mu.Unlock()
 		}
@@ -224,7 +251,10 @@ func (h *WatchHub) run(sub *netcoord.ChangeSubscription) {
 			if h.processEvent(ev) {
 				// The gap just got repaired by a damage-all; the drops
 				// behind it are accounted for.
-				droppedSeen = sub.Dropped()
+				if d := sub.Dropped(); d > droppedSeen {
+					h.dropped.Add(d - droppedSeen)
+					droppedSeen = d
+				}
 			}
 		case <-reconcile.C:
 			// Trailing-drop check: drops whose gap no later event has
@@ -234,6 +264,7 @@ func (h *WatchHub) run(sub *netcoord.ChangeSubscription) {
 			// exactly like a detected gap: jump to the stream position
 			// and damage everyone.
 			if d := sub.Dropped(); d > droppedSeen {
+				h.dropped.Add(d - droppedSeen)
 				droppedSeen = d
 				seqNow := h.source.ChangeSeq()
 				h.mu.Lock()
@@ -241,7 +272,7 @@ func (h *WatchHub) run(sub *netcoord.ChangeSubscription) {
 					h.processed.Store(seqNow)
 					h.resyncs.Add(1)
 					for w := range h.watchers {
-						h.damageLocked(w, seqNow)
+						h.damageLocked(w, seqNow, 0)
 					}
 				}
 				h.mu.Unlock()
@@ -267,36 +298,36 @@ func (h *WatchHub) processEvent(ev netcoord.ChangeEvent) (gap bool) {
 		// trusted, so everyone recomputes from live state.
 		h.resyncs.Add(1)
 		for w := range h.watchers {
-			h.damageLocked(w, ev.Seq)
+			h.damageLocked(w, ev.Seq, ev.PubNs)
 		}
 		return true
 	}
 	for w := range h.anyOp {
-		h.damageLocked(w, ev.Seq)
+		h.damageLocked(w, ev.Seq, ev.PubNs)
 	}
 	switch ev.Op {
 	case netcoord.ChangeUpsert:
 		if ev.Entry == nil {
 			for w := range h.watchers {
-				h.damageLocked(w, ev.Seq)
+				h.damageLocked(w, ev.Seq, ev.PubNs)
 			}
 			return false
 		}
-		h.damageUpsertLocked(ev.Entry.ID, ev.Entry.Coord, ev.Seq)
+		h.damageUpsertLocked(ev.Entry.ID, ev.Entry.Coord, ev.Seq, ev.PubNs)
 	case netcoord.ChangeRemove:
 		for w := range h.byID[ev.ID] {
-			h.damageLocked(w, ev.Seq)
+			h.damageLocked(w, ev.Seq, ev.PubNs)
 		}
 	case netcoord.ChangeEvict:
 		for _, id := range ev.IDs {
 			for w := range h.byID[id] {
-				h.damageLocked(w, ev.Seq)
+				h.damageLocked(w, ev.Seq, ev.PubNs)
 			}
 		}
 	default:
 		// Unknown op: be conservative.
 		for w := range h.watchers {
-			h.damageLocked(w, ev.Seq)
+			h.damageLocked(w, ev.Seq, ev.PubNs)
 		}
 	}
 	return false
@@ -306,7 +337,7 @@ func (h *WatchHub) processEvent(ev netcoord.ChangeEvent) (gap bool) {
 // could affect: known-id watchers (unless the coordinate is unchanged —
 // a heartbeat moves nothing), not-yet-full watchers, and grid watchers
 // whose interest ball contains c.
-func (h *WatchHub) damageUpsertLocked(id string, c netcoord.Coordinate, seq uint64) {
+func (h *WatchHub) damageUpsertLocked(id string, c netcoord.Coordinate, seq uint64, pubNs int64) {
 	for w := range h.byID[id] {
 		if id == w.watchID {
 			if c.Equal(w.origin) {
@@ -315,10 +346,10 @@ func (h *WatchHub) damageUpsertLocked(id string, c netcoord.Coordinate, seq uint
 		} else if mc, ok := w.members[id]; ok && c.Equal(mc) {
 			continue // heartbeat refresh of a current member
 		}
-		h.damageLocked(w, seq)
+		h.damageLocked(w, seq, pubNs)
 	}
 	for w := range h.anyUpsert {
-		h.damageLocked(w, seq)
+		h.damageLocked(w, seq, pubNs)
 	}
 	for level := range h.levels {
 		for _, w := range h.cells[cellAt(c, level)] {
@@ -329,7 +360,7 @@ func (h *WatchHub) damageUpsertLocked(id string, c netcoord.Coordinate, seq uint
 				continue // byID owns member events
 			}
 			if d, err := w.origin.DistanceTo(c); err == nil && d <= w.kth {
-				h.damageLocked(w, seq)
+				h.damageLocked(w, seq, pubNs)
 			}
 		}
 	}
@@ -340,19 +371,30 @@ func (h *WatchHub) damageUpsertLocked(id string, c netcoord.Coordinate, seq uint
 func (h *WatchHub) damage(w *HubWatcher, seq uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.damageLocked(w, seq)
+	h.damageLocked(w, seq, 0)
 }
 
 // damageLocked records the damaging sequence and wakes the watcher.
-func (h *WatchHub) damageLocked(w *HubWatcher, seq uint64) {
+// pubNs, when nonzero, is the damaging event's origin publish stamp;
+// the oldest pending stamp is kept so deliver-lag measures the longest
+// wait in a coalesced burst.
+func (h *WatchHub) damageLocked(w *HubWatcher, seq uint64, pubNs int64) {
 	if seq > w.damageSeq.Load() {
 		w.damageSeq.Store(seq)
+	}
+	if pubNs > 0 {
+		w.pendingPubNs.CompareAndSwap(0, pubNs)
 	}
 	h.damages.Add(1)
 	select {
 	case w.notify <- struct{}{}:
 	default:
 	}
+}
+
+// observeRecompute records one watcher recompute's latency.
+func (h *WatchHub) observeRecompute(d time.Duration) {
+	h.recomputeLat.Observe(d.Nanoseconds())
 }
 
 // Processed is the hub's stream position. A handler that reads it
@@ -505,14 +547,17 @@ func (h *WatchHub) Stats() WatchHubStats {
 		cells += n
 	}
 	return WatchHubStats{
-		Enabled:         !h.disabled,
-		Watchers:        len(h.watchers),
-		Cells:           cells,
-		Levels:          len(h.levels),
-		EventsProcessed: h.events.Load(),
-		Damages:         h.damages.Load(),
-		Resyncs:         h.resyncs.Load(),
-		ProcessedSeq:    h.processed.Load(),
+		Enabled:             !h.disabled,
+		Watchers:            len(h.watchers),
+		Cells:               cells,
+		Levels:              len(h.levels),
+		EventsProcessed:     h.events.Load(),
+		Damages:             h.damages.Load(),
+		Resyncs:             h.resyncs.Load(),
+		SubscriptionDropped: h.dropped.Load(),
+		ProcessedSeq:        h.processed.Load(),
+		RecomputeNs:         h.recomputeLat.Summary(),
+		DeliverLagNs:        h.deliverLag.Summary(),
 	}
 }
 

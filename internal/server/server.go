@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"netcoord"
+	"netcoord/internal/telemetry"
 )
 
 // Config assembles a Server around a registry.
@@ -52,7 +53,19 @@ type Config struct {
 	Follower *netcoord.FollowerRegistry
 	// MaxBody caps request body sizes in bytes (0 = 1 MiB).
 	MaxBody int64
+	// Metrics receives every instrument this server registers and backs
+	// GET /metrics. nil builds a private registry — tests running a
+	// leader and a follower in one process then keep separate series.
+	Metrics *telemetry.Registry
+	// MaxLag is the follower readiness bound for GET /healthz: a
+	// replica lagging more events than this answers 503 so a load
+	// balancer drains it until it catches up. 0 = DefaultMaxLag.
+	MaxLag uint64
 }
+
+// DefaultMaxLag is the /healthz follower lag bound used when
+// Config.MaxLag is zero.
+const DefaultMaxLag = 4096
 
 // Server wires a Registry and a ChangeSource to the HTTP surface.
 // Create with New, serve it (it is an http.Handler), and call Stop
@@ -66,7 +79,9 @@ type Server struct {
 	follower *netcoord.FollowerRegistry
 	started  time.Time
 	maxBody  int64
+	maxLag   uint64
 	mux      *http.ServeMux
+	met      *serverMetrics
 
 	// hub multiplexes every /watch onto one change-stream subscription;
 	// notifier multiplexes every /changes long-poll onto another.
@@ -88,6 +103,14 @@ func New(cfg Config) *Server {
 	if source == nil {
 		source = cfg.Registry
 	}
+	maxLag := cfg.MaxLag
+	if maxLag == 0 {
+		maxLag = DefaultMaxLag
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = telemetry.NewRegistry()
+	}
 	s := &Server{
 		reg:      cfg.Registry,
 		source:   source,
@@ -95,20 +118,25 @@ func New(cfg Config) *Server {
 		follower: cfg.Follower,
 		started:  time.Now(),
 		maxBody:  maxBody,
+		maxLag:   maxLag,
 		mux:      http.NewServeMux(),
+		met:      newServerMetrics(metrics),
 		shutdown: make(chan struct{}),
 	}
 	s.hub = newWatchHub(source, s.shutdown)
 	s.notifier = newNotifier(source, s.shutdown)
-	s.mux.HandleFunc("POST /upsert", s.leaderOnly(s.handleUpsert))
-	s.mux.HandleFunc("POST /remove", s.leaderOnly(s.handleRemove))
-	s.mux.HandleFunc("GET /nearest", s.handleNearestGet)
-	s.mux.HandleFunc("POST /nearest", s.handleNearestPost)
-	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /changes", s.handleChanges)
-	s.mux.HandleFunc("GET /watch", s.handleWatch)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.registerCollectors()
+	s.mux.HandleFunc("POST /upsert", s.instrument("/upsert", s.leaderOnly(s.handleUpsert)))
+	s.mux.HandleFunc("POST /remove", s.instrument("/remove", s.leaderOnly(s.handleRemove)))
+	s.mux.HandleFunc("GET /nearest", s.instrument("/nearest", s.handleNearestGet))
+	s.mux.HandleFunc("POST /nearest", s.instrument("/nearest", s.handleNearestPost))
+	s.mux.HandleFunc("GET /estimate", s.instrument("/estimate", s.handleEstimate))
+	s.mux.HandleFunc("GET /snapshot", s.instrument("/snapshot", s.handleSnapshot))
+	s.mux.HandleFunc("GET /changes", s.instrument("/changes", s.handleChanges))
+	s.mux.HandleFunc("GET /watch", s.instrument("/watch", s.handleWatch))
+	s.mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", metrics.Handler())
 	return s
 }
 

@@ -154,6 +154,12 @@ func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
 // install). The returned sequence is that stream position: the result
 // provably reflects everything the hub routed through it.
 func (s *Server) syncWatch(watcher *HubWatcher, recompute func() ([]netcoord.Ranked, netcoord.Coordinate, error), k int) ([]netcoord.Ranked, uint64, error) {
+	start := time.Now()
+	// The pending publish stamp belongs to damage this recompute is
+	// about to absorb; take it up front so damage that lands DURING the
+	// loop (and wakes us again) starts a fresh lag measurement instead
+	// of being double-counted by this delivery.
+	pending := watcher.pendingPubNs.Swap(0)
 	for tries := 0; ; tries++ {
 		pre := s.hub.Processed()
 		res, origin, err := recompute()
@@ -166,6 +172,10 @@ func (s *Server) syncWatch(watcher *HubWatcher, recompute func() ([]netcoord.Ran
 				// Events raced every attempt; ship this result and make
 				// sure the pending damage wakes us again.
 				s.hub.damage(watcher, post)
+			}
+			s.hub.observeRecompute(time.Since(start))
+			if pending > 0 {
+				s.hub.deliverLag.Observe(time.Now().UnixNano() - pending)
 			}
 			return res, post, nil
 		}

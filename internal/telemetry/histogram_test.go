@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketIndexMonotone checks the bucket mapping is monotone and
+// that bucketUpper really is the inclusive upper bound: every value
+// maps to a bucket whose upper bound is >= the value, and the next
+// bucket starts strictly above it.
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range boundaryValues() {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous index %d: not monotone", v, idx, prev)
+		}
+		prev = idx
+		up := bucketUpper(idx)
+		if v > up {
+			t.Fatalf("value %d maps to bucket %d with upper bound %d < value", v, idx, up)
+		}
+		if bucketIndex(up) != idx {
+			t.Fatalf("bucketUpper(%d)=%d maps back to bucket %d", idx, up, bucketIndex(up))
+		}
+		if up < ^uint64(0) && bucketIndex(up+1) != idx+1 {
+			t.Fatalf("value %d (one past bucket %d's bound) maps to bucket %d, want %d",
+				up+1, idx, bucketIndex(up+1), idx+1)
+		}
+	}
+}
+
+// TestBucketRelativeError verifies the <=25% relative error contract:
+// a bucket's upper bound never exceeds the smallest value in the
+// bucket by more than 25%.
+func TestBucketRelativeError(t *testing.T) {
+	for idx := exactLimit; idx < numBuckets; idx++ {
+		lo := bucketUpper(idx-1) + 1
+		hi := bucketUpper(idx)
+		if hi < lo {
+			continue // past 2^63 the ring of octaves runs out; unused slack
+		}
+		errFrac := float64(hi-lo) / float64(lo)
+		if errFrac > 0.25 {
+			t.Fatalf("bucket %d spans [%d,%d]: relative error %.3f > 0.25", idx, lo, hi, errFrac)
+		}
+	}
+}
+
+// TestBucketIndexInRange makes sure no observable value can index out
+// of the bucket array.
+func TestBucketIndexInRange(t *testing.T) {
+	for _, v := range []uint64{0, 7, 8, ^uint64(0), ^uint64(0) - 1, 1 << 62, (1 << 63) + 12345} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0,%d)", v, idx, numBuckets)
+		}
+	}
+}
+
+// TestSummaryAgainstOracle feeds identical samples to the histogram
+// and a brute-force sorted slice, then checks each reported percentile
+// is within one bucket of the oracle's nearest-rank answer: never
+// below it, never more than 25% above.
+func TestSummaryAgainstOracle(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform": func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+		"exp":     func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(2) == 0 {
+				return r.Int63n(100)
+			}
+			return 1_000_000 + r.Int63n(1000)
+		},
+		"constant":  func(r *rand.Rand) int64 { return 42 },
+		"small":     func(r *rand.Rand) int64 { return r.Int63n(8) },
+		"negatives": func(r *rand.Rand) int64 { return r.Int63n(2000) - 1000 },
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			h := newHistogram(1)
+			var oracle []uint64
+			for i := 0; i < 20_000; i++ {
+				v := gen(r)
+				h.Observe(v)
+				if v < 0 {
+					v = 0 // histogram clamps; oracle must match
+				}
+				oracle = append(oracle, uint64(v))
+			}
+			sort.Slice(oracle, func(i, j int) bool { return oracle[i] < oracle[j] })
+			s := h.Summary()
+			if s.Count != uint64(len(oracle)) {
+				t.Fatalf("Count = %d, want %d", s.Count, len(oracle))
+			}
+			var sum uint64
+			for _, v := range oracle {
+				sum += v
+			}
+			if s.Sum != sum {
+				t.Fatalf("Sum = %d, want %d", s.Sum, sum)
+			}
+			if want := oracle[len(oracle)-1]; s.Max != want {
+				t.Fatalf("Max = %d, want %d", s.Max, want)
+			}
+			checks := []struct {
+				name string
+				got  uint64
+				q    uint64
+			}{{"p50", s.P50, 50}, {"p90", s.P90, 90}, {"p99", s.P99, 99}}
+			for _, c := range checks {
+				exact := oracle[quantileRank(uint64(len(oracle)), c.q)-1]
+				if c.got < exact {
+					t.Errorf("%s = %d below oracle %d", c.name, c.got, exact)
+				}
+				// Upper-bound readout may overshoot by one sub-bucket
+				// (25%), but never past the max.
+				limit := exact + exact/4 + 1
+				if limit > s.Max {
+					limit = s.Max
+				}
+				if c.got > limit {
+					t.Errorf("%s = %d exceeds oracle %d by more than a bucket (limit %d)", c.name, c.got, exact, limit)
+				}
+			}
+		})
+	}
+}
+
+// TestSummaryEmpty checks the zero-observation readout.
+func TestSummaryEmpty(t *testing.T) {
+	h := newHistogram(1)
+	s := h.Summary()
+	if s != (Summary{}) {
+		t.Fatalf("empty histogram summary = %+v, want zero", s)
+	}
+}
+
+// TestObserveAllocs is the package-local allocation check; the CI gate
+// runs the benchmark below through benchjson.
+func TestObserveAllocs(t *testing.T) {
+	h := newHistogram(1)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per run, want 0", allocs)
+	}
+	c := &Counter{}
+	g := &Gauge{}
+	allocs = testing.AllocsPerRun(1000, func() { c.Inc(); g.Set(7) })
+	if allocs != 0 {
+		t.Fatalf("Counter/Gauge mutation allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkTelemetryObserve is part of the zero-alloc CI gate
+// (benchjson -require-zero-alloc BenchmarkTelemetry).
+func BenchmarkTelemetryObserve(b *testing.B) {
+	h := newHistogram(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkTelemetryCounter measures the counter hot path.
+func BenchmarkTelemetryCounter(b *testing.B) {
+	c := &Counter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// boundaryValues enumerates values around every bucket boundary plus
+// assorted interior points.
+func boundaryValues() []uint64 {
+	var vals []uint64
+	for v := uint64(0); v < 64; v++ {
+		vals = append(vals, v)
+	}
+	for shift := uint(6); shift < 63; shift++ {
+		base := uint64(1) << shift
+		for _, d := range []uint64{0, 1, base / 4, base/4 + 1, base / 2, base - 1} {
+			vals = append(vals, base+d)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the
+// Prometheus text exposition format (version 0.0.4): one HELP/TYPE
+// header per family, then one sample line per series. Histograms and
+// SummaryFuncs render as summaries — quantile series plus _sum and
+// _count — because quantiles are what the log buckets store cheaply;
+// scrapers aggregate counters/gauges and read percentiles directly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	// Snapshot the family list so value readout (which may call
+	// bridged funcs that take other locks) happens outside r.mu.
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition — the
+// GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WritePrometheus(w)
+	})
+}
+
+// write renders one family. The series lock is not needed: families
+// are append-only and series values are read through atomics or
+// bridged funcs.
+func (f *family) write(b *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind.typeName())
+	for _, key := range f.order {
+		s := f.series[key]
+		switch {
+		case s.counter != nil:
+			writeSample(b, f.name, s.labels, "", "", float64(s.counter.Value()))
+		case s.countFn != nil:
+			writeSample(b, f.name, s.labels, "", "", float64(s.countFn()))
+		case s.gauge != nil:
+			writeSample(b, f.name, s.labels, "", "", float64(s.gauge.Value()))
+		case s.gaugeFn != nil:
+			writeSample(b, f.name, s.labels, "", "", s.gaugeFn())
+		case s.hist != nil:
+			writeSummary(b, f.name, s.labels, s.hist.Summary(), s.hist.scale)
+		case s.summaryFn != nil:
+			writeSummary(b, f.name, s.labels, s.summaryFn(), s.sumScale)
+		}
+	}
+}
+
+// writeSummary emits the quantile/_sum/_count series for one summary
+// snapshot, scaling raw values into exposition units.
+func writeSummary(b *strings.Builder, name string, labels Labels, s Summary, scale float64) {
+	writeSample(b, name, labels, "quantile", "0.5", float64(s.P50)*scale)
+	writeSample(b, name, labels, "quantile", "0.9", float64(s.P90)*scale)
+	writeSample(b, name, labels, "quantile", "0.99", float64(s.P99)*scale)
+	writeSample(b, name, labels, "quantile", "1", float64(s.Max)*scale)
+	writeSample(b, name+"_sum", labels, "", "", float64(s.Sum)*scale)
+	writeSample(b, name+"_count", labels, "", "", float64(s.Count))
+}
+
+// writeSample emits one sample line: name{labels} value. extraKey, if
+// set, appends one more label (the quantile).
+func writeSample(b *strings.Builder, name string, labels Labels, extraKey, extraVal string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		first := true
+		for _, k := range sortedKeys(labels) {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(b, "%s=%q", k, labels[k])
+		}
+		if extraKey != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", extraKey, extraVal)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// decimal notation, no exponent for integers, +Inf/-Inf/NaN spelled
+// out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// escapeHelp escapes backslashes and newlines per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// sortedKeys returns label names in lexical order so exposition output
+// is deterministic.
+func sortedKeys(labels Labels) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates a registry with one of everything.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests.", Labels{"route": "/upsert", "code": "200"}).Add(17)
+	r.Counter("test_requests_total", "Total requests.", Labels{"route": "/nearest", "code": "400"}).Add(3)
+	r.Gauge("test_inflight", "In-flight requests.", nil).Set(2)
+	h := r.Histogram("test_latency_seconds", "Request latency.", Labels{"route": "/upsert"}, 1e-9)
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1_000_000) // 1ms..1s
+	}
+	r.CounterFunc("test_bridge_total", "Bridged counter.", nil, func() uint64 { return 99 })
+	r.GaugeFunc("test_bridge_ratio", "Bridged gauge.", Labels{"kind": "x"}, func() float64 { return 0.25 })
+	r.SummaryFunc("test_bridge_summary", "Bridged summary.", nil, 1, func() Summary {
+		return Summary{Count: 4, Sum: 40, P50: 9, P90: 12, P99: 13, Max: 13}
+	})
+	return r
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	labelPairRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// TestPrometheusExpositionParses walks every emitted line and checks
+// it is a structurally valid text-format line: HELP/TYPE headers with
+// legal names and types, sample lines whose metric names, label names,
+// and values all parse, and every sample preceded by its family's TYPE
+// header.
+func TestPrometheusExpositionParses(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	if out == "" {
+		t.Fatal("empty exposition")
+	}
+	types := map[string]string{} // family -> type
+	seen := map[string]bool{}    // sample metric names
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: bad HELP line %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: bad TYPE line %q", i+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("line %d: invalid type %q", i+1, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", i+1, name)
+			}
+			types[name] = typ
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment %q", i+1, line)
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: unparseable sample %q", i+1, line)
+			}
+			name, labelBody, valStr := m[1], m[3], m[4]
+			if !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: bad metric name %q", i+1, name)
+			}
+			if labelBody != "" {
+				for _, pair := range splitLabelPairs(labelBody) {
+					pm := labelPairRe.FindStringSubmatch(pair)
+					if pm == nil {
+						t.Fatalf("line %d: bad label pair %q", i+1, pair)
+					}
+					if !labelNameRe.MatchString(pm[1]) {
+						t.Fatalf("line %d: bad label name %q", i+1, pm[1])
+					}
+				}
+			}
+			if valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+				if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+					t.Fatalf("line %d: bad value %q: %v", i+1, valStr, err)
+				}
+			}
+			// Every sample must belong to a declared family: its name,
+			// or its name minus a _sum/_count suffix for summaries.
+			fam := name
+			if types[fam] == "" {
+				fam = strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+			}
+			if types[fam] == "" {
+				t.Fatalf("line %d: sample %q has no TYPE header", i+1, name)
+			}
+			seen[name] = true
+		}
+	}
+	// Spot-check expected series made it out.
+	for _, want := range []string{
+		"test_requests_total", "test_inflight", "test_latency_seconds",
+		"test_latency_seconds_sum", "test_latency_seconds_count",
+		"test_bridge_total", "test_bridge_ratio", "test_bridge_summary",
+	} {
+		if !seen[want] {
+			t.Errorf("expected sample %q missing from exposition:\n%s", want, out)
+		}
+	}
+}
+
+// splitLabelPairs splits a label body on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, body[start:])
+}
+
+// TestSummaryExpositionValues checks the quantile labels and scaling:
+// a nanosecond histogram must come out in seconds.
+func TestSummaryExpositionValues(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lag_seconds", "", nil, 1e-9)
+	h.Observe(2_000_000_000) // 2s in ns
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, q := range []string{`quantile="0.5"`, `quantile="0.9"`, `quantile="0.99"`, `quantile="1"`} {
+		if !strings.Contains(out, q) {
+			t.Errorf("missing %s in:\n%s", q, out)
+		}
+	}
+	if !strings.Contains(out, "lag_seconds_count 1\n") {
+		t.Errorf("missing count line in:\n%s", out)
+	}
+	if !strings.Contains(out, "lag_seconds_sum 2\n") {
+		t.Errorf("sum not scaled to seconds in:\n%s", out)
+	}
+	// quantile=1 is the exact max: 2e9 * 1e-9 = 2.
+	if !strings.Contains(out, `quantile="1"} 2`) {
+		t.Errorf("max quantile not scaled in:\n%s", out)
+	}
+}
+
+// TestHandler exercises the HTTP wrapper.
+func TestHandler(t *testing.T) {
+	r := buildTestRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status %d, want 405", post.StatusCode)
+	}
+}
+
+// TestRegistryIdempotent verifies owned instruments dedupe and kind
+// conflicts panic.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Labels{"k": "1"})
+	b := r.Counter("x_total", "", Labels{"k": "1"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("x_total", "", Labels{"k": "2"})
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind conflict did not panic")
+			}
+		}()
+		r.Gauge("x_total", "", nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid metric name did not panic")
+			}
+		}()
+		r.Counter("bad name", "", nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid label name did not panic")
+			}
+		}()
+		r.Counter("ok_total", "", Labels{"bad-label": "v"})
+	}()
+}

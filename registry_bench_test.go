@@ -9,7 +9,9 @@ package netcoord
 import (
 	"fmt"
 	"testing"
+	"time"
 
+	"netcoord/internal/telemetry"
 	"netcoord/internal/xrand"
 )
 
@@ -114,6 +116,60 @@ func BenchmarkRegistryUpsert(b *testing.B) {
 		if err := r.Upsert(id, benchQuery(rng), 0.3); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryMutationBare and ...Instrumented bound the cost of
+// observability on the write path. Bare is the served mutation as-is —
+// which already includes the change stream's publish stamp; the
+// instrumented variant adds the per-mutation telemetry the serving
+// stack layers on top (a latency observation and a counter). Both must
+// stay allocation-free: ids and coordinates are pre-generated so the
+// loop measures Upsert, not fmt. CI gates allocs/op == 0 on both via
+// tools/benchjson -require-zero-alloc.
+func benchMutationFixtures(b *testing.B) (*Registry, []string, []Coordinate) {
+	b.Helper()
+	const n = 100_000
+	r, _ := buildBenchRegistry(b, n)
+	rng := xrand.NewStream(7)
+	ids := make([]string, 4096)
+	coords := make([]Coordinate, 4096)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%07d", rng.Intn(n))
+		coords[i] = benchQuery(rng)
+	}
+	return r, ids, coords
+}
+
+func BenchmarkTelemetryMutationBare(b *testing.B) {
+	r, ids, coords := benchMutationFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 4095
+		if err := r.Upsert(ids[j], coords[j], 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTelemetryMutationInstrumented(b *testing.B) {
+	r, ids, coords := benchMutationFixtures(b)
+	hist := telemetry.NewHistogram()
+	var count telemetry.Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 4095
+		start := time.Now()
+		if err := r.Upsert(ids[j], coords[j], 0.3); err != nil {
+			b.Fatal(err)
+		}
+		hist.Observe(time.Since(start).Nanoseconds())
+		count.Inc()
+	}
+	if hist.Summary().Count == 0 || count.Value() == 0 {
+		b.Fatal("instruments saw no observations")
 	}
 }
 
