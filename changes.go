@@ -109,6 +109,10 @@ func SnapshotEntry(e RegistryEntry) ChangeEntry {
 type ChangeSource interface {
 	// ChangeSeq is the sequence of the most recent mutation.
 	ChangeSeq() uint64
+	// ChangeEpoch is the stream's current fencing epoch: bumped on
+	// every promotion, persisted, and carried by every event, so
+	// consumers can refuse a deposed leader's stale stream.
+	ChangeEpoch() uint64
 	// ChangesSince returns up to max events with sequence > since,
 	// oldest first (max <= 0 means no limit).
 	ChangesSince(since uint64, max int) ([]ChangeEvent, error)
@@ -159,11 +163,18 @@ type ChangeEvent struct {
 	// (events replayed from the WAL carry no stamp) — skip lag
 	// measurement rather than fabricate one.
 	PubNs int64 `json:"pub_ns,omitempty"`
+	// Epoch is the fencing epoch the event was published under. A
+	// promotion bumps the stream's epoch, so events a deposed leader
+	// keeps writing carry a lower epoch than the promoted stream and
+	// are rejected by every consumer instead of forking replica state.
+	// Zero is the unfenced pre-failover epoch (also what streams from
+	// older servers carry).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // fromFeedEvent converts an internal feed event to the wire form.
 func fromFeedEvent(ev changefeed.Event) ChangeEvent {
-	out := ChangeEvent{Seq: ev.Seq, PubNs: ev.PubNs}
+	out := ChangeEvent{Seq: ev.Seq, PubNs: ev.PubNs, Epoch: ev.Epoch}
 	switch ev.Op {
 	case changefeed.OpUpsert:
 		out.Op = ChangeUpsert
@@ -188,7 +199,7 @@ func fromFeedEvent(ev changefeed.Event) ChangeEvent {
 // the relay direction: a follower republishes its leader's events into
 // its own feed under the leader's sequence numbers.
 func toFeedEvent(ev ChangeEvent) changefeed.Event {
-	out := changefeed.Event{Seq: ev.Seq, PubNs: ev.PubNs}
+	out := changefeed.Event{Seq: ev.Seq, PubNs: ev.PubNs, Epoch: ev.Epoch}
 	switch ev.Op {
 	case ChangeUpsert:
 		out.Op = changefeed.OpUpsert
@@ -232,6 +243,11 @@ type ChangeStreamStats struct {
 	TombLen   int    `json:"tomb_len"`
 	TombCap   int    `json:"tomb_cap"`
 	TombFloor uint64 `json:"tomb_floor"`
+	// Epoch is the stream's current fencing epoch; RejectedStaleEpoch
+	// counts events refused because they carried a lower one (a deposed
+	// leader still writing after a promotion).
+	Epoch              uint64 `json:"epoch"`
+	RejectedStaleEpoch uint64 `json:"rejected_stale_epoch"`
 }
 
 // ChangeSeq returns the sequence number of the most recent mutation
@@ -240,16 +256,27 @@ type ChangeStreamStats struct {
 // every later mutation with no gap — the race-free read-then-follow
 // handshake.
 func (r *Registry) ChangeSeq() uint64 {
-	if r.feed == nil {
+	feed := r.getFeed()
+	if feed == nil {
 		return 0
 	}
-	return r.feed.Seq()
+	return feed.Seq()
+}
+
+// ChangeEpoch returns the stream's current fencing epoch (0 with the
+// stream disabled, or before any promotion has ever happened).
+func (r *Registry) ChangeEpoch() uint64 {
+	feed := r.getFeed()
+	if feed == nil {
+		return 0
+	}
+	return feed.Epoch()
 }
 
 // ChangeStreamStats snapshots the change stream's counters; Enabled is
 // false (and the rest zero) when the stream is disabled.
 func (r *Registry) ChangeStreamStats() ChangeStreamStats {
-	return feedStreamStats(r.feed)
+	return feedStreamStats(r.getFeed())
 }
 
 // feedStreamStats converts a feed's counters to the public form;
@@ -260,17 +287,19 @@ func feedStreamStats(feed *changefeed.Feed) ChangeStreamStats {
 	}
 	st := feed.Stats()
 	return ChangeStreamStats{
-		Enabled:     true,
-		Seq:         st.Seq,
-		Published:   st.Published,
-		Subscribers: st.Subscribers,
-		Overflows:   st.Overflows,
-		OldestSeq:   st.OldestSeq,
-		RingLen:     st.RingLen,
-		RingCap:     st.RingCap,
-		TombLen:     st.TombLen,
-		TombCap:     st.TombCap,
-		TombFloor:   st.TombFloor,
+		Enabled:            true,
+		Seq:                st.Seq,
+		Published:          st.Published,
+		Subscribers:        st.Subscribers,
+		Overflows:          st.Overflows,
+		OldestSeq:          st.OldestSeq,
+		RingLen:            st.RingLen,
+		RingCap:            st.RingCap,
+		TombLen:            st.TombLen,
+		TombCap:            st.TombCap,
+		TombFloor:          st.TombFloor,
+		Epoch:              st.Epoch,
+		RejectedStaleEpoch: st.RejectedStaleEpoch,
 	}
 }
 
@@ -280,10 +309,11 @@ func feedStreamStats(feed *changefeed.Feed) ChangeStreamStats {
 // since+1; a PersistentRegistry extends this with WAL replay before
 // giving up — use its method when one is available.
 func (r *Registry) ChangesSince(since uint64, max int) ([]ChangeEvent, error) {
-	if r.feed == nil {
+	feed := r.getFeed()
+	if feed == nil {
 		return nil, ErrChangeStreamDisabled
 	}
-	return feedChangesSince(r.feed, since, max, "ring")
+	return feedChangesSince(feed, since, max, "ring")
 }
 
 // feedChangesSince serves a resume from a feed's ring in wire form,
@@ -345,10 +375,11 @@ func (r *Registry) EntriesChangedSince(since uint64) []RegistryEntry {
 // full snapshot can guarantee deleted entries do not survive on the
 // consumer.
 func (r *Registry) RemovedSince(since uint64) ([]string, bool) {
-	if r.feed == nil {
+	feed := r.getFeed()
+	if feed == nil {
 		return nil, false
 	}
-	return r.feed.RemovedSince(since)
+	return feed.RemovedSince(since)
 }
 
 // DeltaSince assembles the delta-snapshot triple. Ordering makes it
@@ -396,10 +427,11 @@ type ChangeSubscription struct {
 // JoinSeq; fetch history at or before JoinSeq with ChangesSince — the
 // split is what makes catch-up-then-follow race-free.
 func (r *Registry) SubscribeChanges(buffer int) (*ChangeSubscription, error) {
-	if r.feed == nil {
+	feed := r.getFeed()
+	if feed == nil {
 		return nil, ErrChangeStreamDisabled
 	}
-	return newChangeSubscription(r.feed, buffer), nil
+	return newChangeSubscription(feed, buffer), nil
 }
 
 // newChangeSubscription wraps a feed subscription in the public wire

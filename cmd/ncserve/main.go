@@ -56,14 +56,25 @@
 // deep /changes history, so resumers can reach back past the in-memory
 // ring.
 //
-// With -follow=<leader-url> ncserve runs as a read-only replica: it
-// bootstraps from the leader's /snapshot, tails its /changes stream,
+// With -upstreams=<url,url,...> (or the single-upstream alias
+// -follow=<url>) ncserve runs as a read-only replica: it bootstraps
+// from the first live upstream's /snapshot, tails its /changes stream,
 // and serves the full read surface locally — including /changes,
 // /watch, and /snapshot, re-served in the leader's own sequence
-// numbers — with replication lag reported in /stats. Replicas
+// numbers — with replication lag reported in /stats and disclosed on
+// every read via the X-NC-Staleness and X-NC-Lag headers. Replicas
 // therefore absorb stream fan-out, and chain: a follower can follow a
 // follower, forming a relay tree with the leader at the root. Mutation
 // endpoints return 403 in this mode.
+//
+// Failover: when the tailed upstream dies, the replica rotates through
+// the -upstreams list with jittered exponential backoff, resuming from
+// its applied sequence — the whole tree shares one sequence space, so
+// any replica of the same stream can become its parent mid-stream.
+// POST /promote turns a replica into the leader: its fencing epoch is
+// bumped, the mutation surface opens, and anything the deposed leader
+// still writes is rejected (rejected_stale_epoch in /stats) by every
+// tier that followed the promotion.
 package main
 
 import (
@@ -77,6 +88,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -105,7 +117,8 @@ func run(args []string) (err error) {
 		compactBytes = fs.Int64("compact-wal-bytes", 0, "also compact when the active WAL exceeds this many bytes (0 = default, negative = timer only; with -data-dir)")
 		compactRecs  = fs.Int64("compact-wal-records", 0, "also compact when the active WAL exceeds this many records (0 = default, negative = timer only; with -data-dir)")
 		streamBuffer = fs.Int("change-buffer", netcoord.DefaultChangeStreamBuffer, "change-stream ring size: how many recent mutations /changes can serve from memory (in -follow mode, the relay ring)")
-		follow       = fs.String("follow", "", "run as a read-only replica of this upstream ncserve URL (a leader, or another follower in a relay tree)")
+		follow       = fs.String("follow", "", "run as a read-only replica of this upstream ncserve URL (single-upstream alias for -upstreams)")
+		upstreams    = fs.String("upstreams", "", "comma-separated ordered list of upstream ncserve URLs to replicate from; the first is preferred, the rest are failover targets")
 		maxLag       = fs.Uint64("max-lag", 0, "follower readiness bound: /healthz answers 503 when replication lag exceeds this many events (0 = default)")
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address; bind to loopback only — this listener must never be exposed publicly")
 	)
@@ -119,17 +132,27 @@ func run(args []string) (err error) {
 		TTL:                *ttl,
 		ChangeStreamBuffer: *streamBuffer,
 	}
+	var upstreamList []string
+	if *follow != "" {
+		upstreamList = append(upstreamList, *follow)
+	}
+	for _, u := range strings.Split(*upstreams, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			upstreamList = append(upstreamList, u)
+		}
+	}
+
 	srvCfg := server.Config{MaxBody: *maxBody, MaxLag: *maxLag}
 	switch {
-	case *follow != "":
+	case len(upstreamList) > 0:
 		if *dataDir != "" {
-			return errors.New("-follow and -data-dir are mutually exclusive: a follower's durable state is the leader's")
+			return errors.New("-follow/-upstreams and -data-dir are mutually exclusive: a follower's durable state is the leader's")
 		}
 		if *ttl != 0 {
-			return errors.New("-follow and -ttl are mutually exclusive: evictions are the leader's decision and arrive through the stream")
+			return errors.New("-follow/-upstreams and -ttl are mutually exclusive: evictions are the leader's decision and arrive through the stream")
 		}
 		follower, ferr := netcoord.StartFollower(netcoord.FollowerConfig{
-			LeaderURL: *follow,
+			Upstreams: upstreamList,
 			Registry:  regCfg,
 		})
 		if ferr != nil {
@@ -140,7 +163,8 @@ func run(args []string) (err error) {
 		srvCfg.Source = follower
 		srvCfg.Follower = follower
 		st := follower.FollowerStats()
-		fmt.Printf("ncserve following %s (bootstrapped %d entries at seq %d)\n", *follow, follower.Len(), st.AppliedSeq)
+		fmt.Printf("ncserve following %s (bootstrapped %d entries at seq %d, %d failover targets)\n",
+			st.LeaderURL, follower.Len(), st.AppliedSeq, len(upstreamList)-1)
 	case *dataDir != "":
 		// No `:=` / shadowed error anywhere in this block: the deferred
 		// close below must write run's NAMED return, so a failed final

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -17,11 +19,41 @@ import (
 	"netcoord/internal/telemetry"
 )
 
+// Follower retry policy: capped jittered exponential backoff, the same
+// shape the serving layer's notifier re-attach loop uses. The base is
+// the first sleep after an error; every consecutive failure doubles it
+// up to the cap, and each sleep is jittered across its upper half so a
+// fleet of followers orphaned by one leader death does not reconnect in
+// lockstep.
+const (
+	DefaultFollowerRetryBase = 50 * time.Millisecond
+	followerRetryMax         = 5 * time.Second
+	// followerDialTimeout bounds connection establishment; a partitioned
+	// upstream fails fast instead of consuming a kernel-default TCP
+	// timeout per attempt.
+	followerDialTimeout = 5 * time.Second
+	// followerHeaderSlack is added to the long-poll wait window to bound
+	// how long a /changes call may go headerless before the client gives
+	// up on a wedged upstream.
+	followerHeaderSlack = 10 * time.Second
+	// followerBootstrapTimeout bounds one whole snapshot transfer.
+	followerBootstrapTimeout = 5 * time.Minute
+)
+
 // FollowerConfig assembles a FollowerRegistry.
 type FollowerConfig struct {
-	// LeaderURL is the base URL of the leader's ncserve HTTP surface
-	// (e.g. "http://10.0.0.1:8700"). The follower bootstraps from its
-	// /snapshot and tails its /changes stream.
+	// Upstreams is the ordered list of base URLs this follower may tail
+	// (e.g. "http://10.0.0.1:8700"): the first is preferred, the rest
+	// are failover targets. The follower bootstraps from the first live
+	// upstream's /snapshot and tails its /changes stream; when an
+	// upstream dies — or turns out to be a deposed leader serving a
+	// stale fencing epoch — the follower rotates to the next and resumes
+	// from its applied sequence (or a delta re-bootstrap) across the
+	// boundary.
+	Upstreams []string
+	// LeaderURL is the single-upstream form of Upstreams, kept for
+	// callers wired before failover existed; when both are set it is
+	// treated as the most-preferred upstream.
 	LeaderURL string
 	// Registry configures the local replica. TTL and JanitorInterval
 	// are ignored (forced off): evictions are the leader's decision and
@@ -37,27 +69,37 @@ type FollowerConfig struct {
 	// /changes endpoint; the tail loop blocks server-side up to this
 	// long when the stream is quiet. 0 means 25s.
 	WaitTimeout time.Duration
-	// RetryInterval is how long the tail loop backs off after an error
-	// before contacting the leader again. 0 means 500ms.
+	// RetryInterval is the backoff BASE after an error: the first sleep,
+	// doubled per consecutive failure up to 5s, jittered. 0 means
+	// DefaultFollowerRetryBase (50ms).
 	RetryInterval time.Duration
 	// BatchLimit caps events fetched per /changes call. 0 means 4096.
 	BatchLimit int
-	// HTTPClient overrides the default client (which has no overall
-	// timeout, as long-polls hold connections open deliberately).
+	// HTTPClient overrides the default client (which has a dial timeout
+	// and a response-header timeout sized to the long-poll window, but
+	// no overall timeout — long-polls hold connections open
+	// deliberately).
 	HTTPClient *http.Client
 }
 
 // FollowerStats reports a follower's replication position — the
 // staleness a read-only replica serves with.
 type FollowerStats struct {
-	// LeaderURL is the leader being tailed.
-	LeaderURL string `json:"leader_url"`
+	// LeaderURL is the upstream currently being tailed; Upstreams is
+	// the full ordered failover list.
+	LeaderURL string   `json:"leader_url"`
+	Upstreams []string `json:"upstreams,omitempty"`
 	// AppliedSeq is the last leader sequence applied locally.
 	AppliedSeq uint64 `json:"applied_seq"`
 	// LeaderSeq is the leader's stream sequence as of the last contact;
 	// Lag is LeaderSeq - AppliedSeq, the events known outstanding.
 	LeaderSeq uint64 `json:"leader_seq"`
 	Lag       uint64 `json:"lag"`
+	// Epoch is the fencing epoch of the stream this replica carries;
+	// Promoted reports whether this process has been promoted to
+	// leader (the tail loop is stopped and local writes are sequenced).
+	Epoch    uint64 `json:"epoch"`
+	Promoted bool   `json:"promoted"`
 	// LastContactAgeSeconds is how long ago the leader last answered
 	// (-1 before first contact). With Lag 0, staleness is bounded by
 	// this plus the leader's flush-to-stream latency (zero: events are
@@ -73,6 +115,14 @@ type FollowerStats struct {
 	// (/snapshot?since=): only the entries changed since the follower's
 	// applied sequence travelled, not the whole registry.
 	DeltaBootstraps uint64 `json:"delta_bootstraps"`
+	// Failovers counts rotations to the next upstream; Reconnects
+	// counts successful resumptions after one or more errors (on the
+	// same upstream or a new one). RejectedStaleEpoch counts responses
+	// and events refused because they carried a lower fencing epoch
+	// than this replica's stream — a deposed leader still serving.
+	Failovers          uint64 `json:"failovers"`
+	Reconnects         uint64 `json:"reconnects"`
+	RejectedStaleEpoch uint64 `json:"rejected_stale_epoch"`
 	// Errors counts failed leader calls; LastError is the most recent.
 	Errors    uint64 `json:"errors"`
 	LastError string `json:"last_error,omitempty"`
@@ -92,6 +142,16 @@ type FollowerStats struct {
 // errStreamGone signals a 410 from /changes: the resume point was
 // compacted away and only a fresh snapshot can re-synchronize.
 var errStreamGone = errors.New("netcoord: follower: leader history truncated")
+
+// errStaleEpoch signals that an upstream served a lower fencing epoch
+// than this replica's stream carries: it is a deposed leader (or a
+// replica still following one). The only correct reaction is to refuse
+// everything it sent and rotate to the next upstream.
+var errStaleEpoch = errors.New("netcoord: follower: upstream serves a stale fencing epoch")
+
+// ErrNotPromotable is returned by Promote on a follower that was
+// already promoted.
+var ErrNotPromotable = errors.New("netcoord: follower: already promoted")
 
 // FollowerRegistry is a read-only replica of a leader registry,
 // synchronized over the leader's change stream: it bootstraps from
@@ -120,9 +180,21 @@ var errStreamGone = errors.New("netcoord: follower: leader history truncated")
 // re-bootstraps from this follower's snapshot — the same protocol it
 // would run against the leader — which is what lets replicas chain
 // (follower-of-follower) into a fan-out tree.
+//
+// Failure handling: the tail loop survives upstream death. Errors back
+// off with capped jittered exponentials; a second consecutive failure
+// (or any stale-epoch detection) rotates to the next configured
+// upstream, resuming from the applied sequence — the whole tree speaks
+// one sequence space, so any replica of the same stream can take over
+// as parent mid-stream. Promote turns this replica into the leader:
+// the fencing epoch is bumped, the relay becomes the write feed, and
+// every subsequent local mutation continues the dense sequence space
+// under the new epoch, fencing out whatever the deposed leader still
+// writes.
 type FollowerRegistry struct {
 	*Registry
-	leaderURL string
+	upstreams []string
+	active    atomic.Int32
 	client    *http.Client
 	wait      time.Duration
 	retry     time.Duration
@@ -131,7 +203,7 @@ type FollowerRegistry struct {
 	// relay republishes applied events in the leader's sequence space;
 	// created at the initial bootstrap, reset on every re-bootstrap
 	// (the old ring describes a stream position that no longer connects
-	// to the rewritten state).
+	// to the rewritten state). After promotion it IS the write feed.
 	relay    *changefeed.Feed
 	relayBuf int
 
@@ -140,7 +212,13 @@ type FollowerRegistry struct {
 	eventsApplied,
 	bootstraps,
 	deltaBootstraps,
+	failovers,
+	reconnects,
+	rejectedStale,
 	errCount atomic.Uint64
+
+	promoted    atomic.Bool
+	promoteOnce sync.Once
 
 	// applyLag accumulates publish→apply propagation lag (ns) for every
 	// applied event that carries a leader publish stamp.
@@ -166,13 +244,24 @@ type FollowerRegistry struct {
 }
 
 // StartFollower builds the local replica, performs the initial
-// snapshot bootstrap synchronously — the caller serves warm data the
-// moment it returns — and starts the background tail loop. Call Close
-// to stop it.
+// snapshot bootstrap synchronously — trying each configured upstream in
+// order until one answers, so the caller serves warm data the moment it
+// returns — and starts the background tail loop. Call Close to stop it.
 func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
-	base, err := url.Parse(cfg.LeaderURL)
-	if err != nil || base.Host == "" || (base.Scheme != "http" && base.Scheme != "https") {
-		return nil, fmt.Errorf("netcoord: follower: leader URL %q is not an absolute http(s) URL", cfg.LeaderURL)
+	var upstreams []string
+	if cfg.LeaderURL != "" {
+		upstreams = append(upstreams, cfg.LeaderURL)
+	}
+	upstreams = append(upstreams, cfg.Upstreams...)
+	if len(upstreams) == 0 {
+		return nil, fmt.Errorf("netcoord: follower: no upstreams configured")
+	}
+	for i, u := range upstreams {
+		base, err := url.Parse(u)
+		if err != nil || base.Host == "" || (base.Scheme != "http" && base.Scheme != "https") {
+			return nil, fmt.Errorf("netcoord: follower: upstream URL %q is not an absolute http(s) URL", u)
+		}
+		upstreams[i] = strings.TrimRight(u, "/")
 	}
 	regCfg := cfg.Registry
 	regCfg.TTL = 0
@@ -183,7 +272,8 @@ func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
 	}
 	// The registry's own feed stays off: the follower's sequence space
 	// is the leader's, carried by the relay — a locally numbered stream
-	// would hand consumers sequences no other tier recognizes.
+	// would hand consumers sequences no other tier recognizes. (The
+	// relay is installed as the registry's feed at promotion.)
 	regCfg.ChangeStreamBuffer = 0
 	reg, err := NewRegistry(regCfg)
 	if err != nil {
@@ -195,7 +285,7 @@ func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
 	}
 	retry := cfg.RetryInterval
 	if retry <= 0 {
-		retry = 500 * time.Millisecond
+		retry = DefaultFollowerRetryBase
 	}
 	limit := cfg.BatchLimit
 	if limit <= 0 {
@@ -203,12 +293,22 @@ func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
 	}
 	client := cfg.HTTPClient
 	if client == nil {
-		client = &http.Client{}
+		client = &http.Client{
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout: followerDialTimeout,
+				}).DialContext,
+				// A wedged upstream must fail the poll shortly after the
+				// long-poll window, not hold a goroutine hostage.
+				ResponseHeaderTimeout: wait + followerHeaderSlack,
+				MaxIdleConnsPerHost:   4,
+			},
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &FollowerRegistry{
 		Registry:  reg,
-		leaderURL: strings.TrimRight(cfg.LeaderURL, "/"),
+		upstreams: upstreams,
 		client:    client,
 		wait:      wait,
 		retry:     retry,
@@ -218,26 +318,63 @@ func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
 		ctx:       ctx,
 		cancel:    cancel,
 	}
-	if err := f.bootstrap(); err != nil {
+	var bootErr error
+	for range upstreams {
+		if bootErr = f.bootstrap(); bootErr == nil {
+			break
+		}
+		f.active.Store((f.active.Load() + 1) % int32(len(upstreams)))
+	}
+	if bootErr != nil {
 		cancel()
 		reg.Close()
-		return nil, fmt.Errorf("netcoord: follower: bootstrap from %s: %w", f.leaderURL, err)
+		return nil, fmt.Errorf("netcoord: follower: bootstrap (tried %d upstreams, last %s): %w", len(upstreams), f.upstream(), bootErr)
 	}
 	f.wg.Add(1)
 	go f.tail()
 	return f, nil
 }
 
+// upstream is the base URL currently being tailed.
+func (f *FollowerRegistry) upstream() string {
+	return f.upstreams[int(f.active.Load())%len(f.upstreams)]
+}
+
+// rotateUpstream fails over to the next configured upstream. With a
+// single upstream it is a no-op (there is nowhere to go; backoff keeps
+// retrying the one we have).
+func (f *FollowerRegistry) rotateUpstream() {
+	if len(f.upstreams) < 2 {
+		return
+	}
+	f.active.Store((f.active.Load() + 1) % int32(len(f.upstreams)))
+	f.failovers.Add(1)
+}
+
+// epoch is the fencing epoch of the stream this replica carries.
+func (f *FollowerRegistry) epoch() uint64 {
+	if r := f.relay; r != nil {
+		return r.Epoch()
+	}
+	return 0
+}
+
 // FollowerStats snapshots the replication position.
 func (f *FollowerRegistry) FollowerStats() FollowerStats {
 	applied, leader := f.applied.Load(), f.leaderSeq.Load()
 	st := FollowerStats{
-		LeaderURL:             f.leaderURL,
+		LeaderURL:             f.upstream(),
+		Upstreams:             f.upstreams,
 		AppliedSeq:            applied,
 		LeaderSeq:             leader,
+		Epoch:                 f.epoch(),
+		Promoted:              f.promoted.Load(),
 		EventsApplied:         f.eventsApplied.Load(),
 		Bootstraps:            f.bootstraps.Load(),
 		DeltaBootstraps:       f.deltaBootstraps.Load(),
+		Failovers:             f.failovers.Load(),
+		Reconnects:            f.reconnects.Load(),
+		RejectedStaleEpoch:    f.rejectedStale.Load(),
 		Errors:                f.errCount.Load(),
 		LastContactAgeSeconds: -1,
 		ApplyLagNs:            f.applyLag.Summary(),
@@ -266,6 +403,45 @@ func (f *FollowerRegistry) FollowerStats() FollowerStats {
 // the leader's /changes to continue exactly where this replica stands.
 func (f *FollowerRegistry) AppliedSeq() uint64 { return f.applied.Load() }
 
+// Promoted reports whether this replica has been promoted to leader.
+func (f *FollowerRegistry) Promoted() bool { return f.promoted.Load() }
+
+// Promote turns this replica into the authoritative leader of the
+// stream it carries. The tail loop is stopped and drained (no more
+// upstream events can race local writes), the fencing epoch is bumped,
+// and the relay — which sits exactly at the applied sequence — is
+// installed as the registry's write feed, so every subsequent local
+// mutation continues the dense sequence space under the new epoch.
+// Anything the deposed leader still writes carries the old epoch and is
+// rejected by every replica and watcher that followed the promotion.
+//
+// Promote returns the new epoch. It is idempotent: later calls return
+// ErrNotPromotable with the already-established epoch. The caller owns
+// making promotion unique across the deployment (promote exactly one
+// replica); two promoted leaders fence each other's followers into
+// whichever epoch is higher.
+func (f *FollowerRegistry) Promote() (uint64, error) {
+	first := false
+	f.promoteOnce.Do(func() {
+		first = true
+		f.cancel()
+		f.wg.Wait()
+		f.bootMu.Lock()
+		defer f.bootMu.Unlock()
+		epoch := f.relay.Epoch() + 1
+		f.relay.SetEpoch(epoch)
+		// The relay's sequence equals the applied sequence, so writes
+		// published through the registry continue the dense total order
+		// exactly where replication stopped.
+		f.Registry.installFeed(f.relay)
+		f.promoted.Store(true)
+	})
+	if !first {
+		return f.epoch(), ErrNotPromotable
+	}
+	return f.epoch(), nil
+}
+
 // Close stops the tail loop, the relay (closing every subscription),
 // and the local registry.
 func (f *FollowerRegistry) Close() {
@@ -279,9 +455,18 @@ func (f *FollowerRegistry) Close() {
 	})
 }
 
-// ChangeSeq is the follower's position in the leader's sequence space —
-// identical to AppliedSeq, named for the ChangeSource seam.
-func (f *FollowerRegistry) ChangeSeq() uint64 { return f.applied.Load() }
+// ChangeSeq is the follower's position in the leader's sequence space.
+// After promotion it is the relay's live sequence — local writes keep
+// the same clock ticking.
+func (f *FollowerRegistry) ChangeSeq() uint64 {
+	if f.promoted.Load() {
+		return f.relay.Seq()
+	}
+	return f.applied.Load()
+}
+
+// ChangeEpoch is the fencing epoch of the stream this replica carries.
+func (f *FollowerRegistry) ChangeEpoch() uint64 { return f.epoch() }
 
 // ChangesSince serves the leader's events back out of the relay ring,
 // with the leader's own sequence numbers. A resume point older than the
@@ -310,7 +495,7 @@ func (f *FollowerRegistry) SubscribeChanges(buffer int) (*ChangeSubscription, er
 func (f *FollowerRegistry) SnapshotWithSeq() ([]RegistryEntry, uint64) {
 	f.bootMu.RLock()
 	defer f.bootMu.RUnlock()
-	seq := f.applied.Load()
+	seq := f.ChangeSeq()
 	return f.Registry.Snapshot(), seq
 }
 
@@ -336,41 +521,89 @@ func (f *FollowerRegistry) RemovedSince(since uint64) ([]string, bool) {
 func (f *FollowerRegistry) DeltaSince(since uint64) (entries []RegistryEntry, removed []string, seq uint64, ok bool) {
 	f.bootMu.RLock()
 	defer f.bootMu.RUnlock()
-	return assembleDelta(since, f.applied.Load(), f.relay.RemovedSince, f.Registry.EntriesChangedSince)
+	return assembleDelta(since, f.ChangeSeq(), f.relay.RemovedSince, f.Registry.EntriesChangedSince)
 }
 
-// tail follows the leader's change stream until Close.
+// tail follows the current upstream's change stream until Close (or
+// Promote). Transient errors back off with capped jittered
+// exponentials; a second consecutive failure rotates to the next
+// upstream, and a stale-epoch detection rotates immediately — a
+// deposed leader never becomes healthy again, so waiting on it is
+// pure unavailability.
 func (f *FollowerRegistry) tail() {
 	defer f.wg.Done()
+	backoff := f.retry
+	consecutive := 0
 	for f.ctx.Err() == nil {
 		err := f.pollOnce()
 		switch {
 		case err == nil:
-			// A long-poll returned (events or a quiet timeout): go right
-			// back; pacing is the leader's wait window.
-		case errors.Is(err, errStreamGone):
-			f.noteErr(err)
-			if berr := f.bootstrap(); berr != nil {
-				f.noteErr(berr)
-				f.sleep(f.retry)
+			if consecutive > 0 {
+				f.reconnects.Add(1)
 			}
+			consecutive = 0
+			backoff = f.retry
 		case f.ctx.Err() != nil:
 			return
+		case errors.Is(err, errStaleEpoch):
+			f.noteErr(err)
+			f.rotateUpstream()
+			consecutive = 0
+			backoff = f.sleepBackoff(backoff)
+		case errors.Is(err, errStreamGone):
+			f.noteErr(err)
+			berr := f.bootstrap()
+			switch {
+			case berr == nil:
+				if consecutive > 0 {
+					f.reconnects.Add(1)
+				}
+				consecutive = 0
+				backoff = f.retry
+			case errors.Is(berr, errStaleEpoch):
+				f.noteErr(berr)
+				f.rotateUpstream()
+				consecutive = 0
+				backoff = f.sleepBackoff(backoff)
+			default:
+				f.noteErr(berr)
+				consecutive++
+				if consecutive >= 2 {
+					f.rotateUpstream()
+					consecutive = 0
+				}
+				backoff = f.sleepBackoff(backoff)
+			}
 		default:
 			f.noteErr(err)
-			f.sleep(f.retry)
+			consecutive++
+			if consecutive >= 2 {
+				// One failure can be a blip; two in a row reads as a dead
+				// upstream. Rotate rather than wait out the full backoff
+				// ladder against a corpse.
+				f.rotateUpstream()
+				consecutive = 0
+			}
+			backoff = f.sleepBackoff(backoff)
 		}
 	}
 }
 
-// sleep waits d or until Close.
-func (f *FollowerRegistry) sleep(d time.Duration) {
+// sleepBackoff sleeps a jittered cur (uniform over [cur/2, cur]) or
+// until Close, and returns the next backoff (doubled, capped).
+func (f *FollowerRegistry) sleepBackoff(cur time.Duration) time.Duration {
+	d := cur/2 + time.Duration(rand.Int63n(int64(cur/2)+1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-f.ctx.Done():
 	case <-t.C:
 	}
+	next := cur * 2
+	if next > followerRetryMax {
+		next = followerRetryMax
+	}
+	return next
 }
 
 func (f *FollowerRegistry) noteErr(err error) {
@@ -386,9 +619,19 @@ func (f *FollowerRegistry) noteContact() {
 	f.mu.Unlock()
 }
 
+// LastContact reports when the current upstream last answered (zero
+// before first contact) — the basis of the staleness bound a degraded
+// replica advertises on reads.
+func (f *FollowerRegistry) LastContact() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastContact
+}
+
 // changesResponse mirrors ncserve's /changes body.
 type changesResponse struct {
 	Seq    uint64        `json:"seq"`
+	Epoch  uint64        `json:"epoch"`
 	Events []ChangeEvent `json:"events"`
 }
 
@@ -399,6 +642,7 @@ type changesResponse struct {
 // sequence, plus the ids removed since it.
 type snapshotResponse struct {
 	Seq        uint64        `json:"seq"`
+	Epoch      uint64        `json:"epoch"`
 	FollowerOf string        `json:"follower_of"`
 	Delta      bool          `json:"delta"`
 	Entries    []ChangeEntry `json:"entries"`
@@ -406,12 +650,16 @@ type snapshotResponse struct {
 }
 
 // pollOnce long-polls /changes once from the current position and
-// applies whatever it returns.
+// applies whatever it returns. The request carries a deadline past the
+// long-poll window so a wedged upstream (connected but never
+// finishing) fails the poll instead of hanging the tail loop forever.
 func (f *FollowerRegistry) pollOnce() error {
 	since := f.applied.Load()
 	u := fmt.Sprintf("%s/changes?since=%d&limit=%d&wait=%s",
-		f.leaderURL, since, f.limit, url.QueryEscape(f.wait.String()))
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, u, nil)
+		f.upstream(), since, f.limit, url.QueryEscape(f.wait.String()))
+	ctx, cancel := context.WithTimeout(f.ctx, f.wait+2*followerHeaderSlack)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err
 	}
@@ -436,6 +684,16 @@ func (f *FollowerRegistry) pollOnce() error {
 		return fmt.Errorf("leader /changes: decode: %w", err)
 	}
 	f.noteContact()
+	// Body-level fencing: an upstream whose stream epoch is behind ours
+	// is deposed (or still following the deposed leader) — detectable
+	// even on an empty batch, so the follower rotates away instead of
+	// quietly tailing a fork. An upstream merely lagging the promotion
+	// reports the old epoch too, but rotating off it is also right: it
+	// cannot have events we need that the promoted chain lacks.
+	if own := f.epoch(); body.Epoch < own {
+		f.rejectedStale.Add(1)
+		return fmt.Errorf("%w (/changes epoch %d < local %d)", errStaleEpoch, body.Epoch, own)
+	}
 	f.leaderSeq.Store(body.Seq)
 	return f.apply(body.Events)
 }
@@ -448,9 +706,19 @@ func (f *FollowerRegistry) pollOnce() error {
 // stamps zero timestamps); removes and evictions delete. The sequence
 // must advance by at most one per event — a gap means the leader
 // served us a hole, and the only safe repair is a fresh bootstrap.
+// An event carrying a lower fencing epoch than the stream already
+// adopted is a deposed leader's write: it is rejected and the follower
+// rotates upstream (per-event defense in depth under the body-level
+// check in pollOnce).
 func (f *FollowerRegistry) apply(events []ChangeEvent) error {
 	applied := f.applied.Load()
+	epoch := f.epoch()
 	for _, ev := range events {
+		if ev.Epoch < epoch {
+			f.rejectedStale.Add(1)
+			return fmt.Errorf("%w (event seq %d epoch %d < local %d)", errStaleEpoch, ev.Seq, ev.Epoch, epoch)
+		}
+		epoch = ev.Epoch
 		switch {
 		case ev.Seq == applied && ev.Op == ChangeEvict:
 			// Continuation chunk of the eviction event just applied
@@ -517,14 +785,21 @@ func (f *FollowerRegistry) apply(events []ChangeEvent) error {
 // ring described a stream position that no longer connects to the
 // rewritten state, so every relay subscriber is closed and resyncs —
 // the same protocol they run when they fall off the ring.
+//
+// A snapshot carrying a lower fencing epoch than the stream already
+// adopted is refused outright: re-basing onto a deposed leader's state
+// would fork this replica (and every tier below it) off the promoted
+// history.
 func (f *FollowerRegistry) bootstrap() error {
 	start := time.Now()
-	url := f.leaderURL + "/snapshot"
+	snapURL := f.upstream() + "/snapshot"
 	applied := f.applied.Load()
 	if f.relay != nil && applied > 0 {
-		url = fmt.Sprintf("%s?since=%d", url, applied)
+		snapURL = fmt.Sprintf("%s?since=%d", snapURL, applied)
 	}
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
+	ctx, cancel := context.WithTimeout(f.ctx, followerBootstrapTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, snapURL, nil)
 	if err != nil {
 		return err
 	}
@@ -544,6 +819,10 @@ func (f *FollowerRegistry) bootstrap() error {
 		return fmt.Errorf("leader /snapshot: decode: %w", err)
 	}
 	f.noteContact()
+	if own := f.epoch(); snap.Epoch < own {
+		f.rejectedStale.Add(1)
+		return fmt.Errorf("%w (/snapshot epoch %d < local %d)", errStaleEpoch, snap.Epoch, own)
+	}
 
 	f.bootMu.Lock()
 	defer f.bootMu.Unlock()
@@ -588,6 +867,9 @@ func (f *FollowerRegistry) bootstrap() error {
 	default:
 		f.relay.ResetTo(snap.Seq)
 	}
+	// Adopt the snapshot's epoch (validated >= ours above): a replica
+	// bootstrapping across a promotion joins the new epoch here.
+	f.relay.SetEpoch(snap.Epoch)
 	f.bootstraps.Add(1)
 	f.lastBootstrapNs.Store(time.Since(start).Nanoseconds())
 	f.lastBootstrapDelta.Store(snap.Delta)

@@ -99,6 +99,12 @@ type Event struct {
 	// Zero means unknown (e.g. an event replayed from the WAL, which
 	// does not persist stamps) — consumers skip lag observation then.
 	PubNs int64
+	// Epoch is the fencing epoch the event was published under. Each
+	// promotion bumps the stream's epoch, so an event from a deposed
+	// leader carries a lower epoch than the stream it tries to enter
+	// and is rejected instead of corrupting replica state. Zero is the
+	// unfenced pre-failover epoch (and what legacy streams carry).
+	Epoch uint64
 }
 
 // ErrTruncated is returned by Since when the ring no longer holds the
@@ -131,6 +137,12 @@ type Stats struct {
 	TombLen   int    `json:"tomb_len"`
 	TombCap   int    `json:"tomb_cap"`
 	TombFloor uint64 `json:"tomb_floor"`
+	// Epoch is the stream's current fencing epoch.
+	Epoch uint64 `json:"epoch"`
+	// RejectedStaleEpoch counts relayed events refused because they
+	// carried an epoch below the stream's — a deposed leader still
+	// publishing after a promotion.
+	RejectedStaleEpoch uint64 `json:"rejected_stale_epoch"`
 }
 
 // Feed is the sequenced change stream. Create with New; methods are
@@ -159,12 +171,31 @@ type Feed struct {
 	seqAtomic atomic.Uint64
 	published atomic.Uint64
 	overflows atomic.Uint64
+
+	// epoch is the stream's fencing epoch: stamped onto every locally
+	// published event, adopted upward from relayed events, and the bar
+	// a relayed event must meet — PublishAt drops events below it
+	// (counted in rejectedStale) so a deposed leader's stale stream
+	// cannot re-enter a promoted tier.
+	epoch         atomic.Uint64
+	rejectedStale atomic.Uint64
 }
 
 // tombstone records one removed id and the sequence that removed it.
 type tombstone struct {
 	seq uint64
 	id  string
+}
+
+// Tombstone is the exported form of one remembered removal, used to
+// persist the tombstone ring through snapshots and re-seed it on
+// recovery — a restarted or newly promoted leader can then still prove
+// removal-completeness for delta re-bootstraps.
+type Tombstone struct {
+	// Seq is the sequence of the removal.
+	Seq uint64
+	// ID is the removed id.
+	ID string
 }
 
 // New builds a Feed whose ring retains up to ringSize recent events
@@ -201,6 +232,19 @@ func (f *Feed) Tap(fn func(Event)) {
 
 // Seq returns the last assigned sequence number.
 func (f *Feed) Seq() uint64 { return f.seqAtomic.Load() }
+
+// Epoch returns the stream's current fencing epoch.
+func (f *Feed) Epoch() uint64 { return f.epoch.Load() }
+
+// SetEpoch sets the fencing epoch stamped onto subsequently published
+// events. Recovery seeds the persisted epoch here; promotion bumps it.
+// Epochs only ever rise — callers pass a value at or above the current
+// one (PublishAt adopts higher relayed epochs on its own).
+func (f *Feed) SetEpoch(epoch uint64) { f.epoch.Store(epoch) }
+
+// RejectedStaleEpoch counts relayed events refused for carrying an
+// epoch below the stream's.
+func (f *Feed) RejectedStaleEpoch() uint64 { return f.rejectedStale.Load() }
 
 // PublishUpsert publishes an upsert event and returns its sequence.
 func (f *Feed) PublishUpsert(e Entry) uint64 {
@@ -250,8 +294,21 @@ func (f *Feed) PublishEvict(ids []string) uint64 {
 //   - ev.Seq > Seq()+1 is a hole the caller chose to jump over; the
 //     ring is cleared first so Since never fabricates continuity across
 //     it (resumers below the hole get ErrTruncated and re-bootstrap).
+//
+// Fencing: an event carrying an epoch below the stream's is rejected
+// outright (counted in RejectedStaleEpoch) — it originates from a
+// deposed leader still publishing after a promotion, and applying it
+// would fork the promoted stream. A higher epoch is adopted: the relay
+// is observing its upstream's promotion.
 func (f *Feed) PublishAt(ev Event) {
 	f.mu.Lock()
+	if cur := f.epoch.Load(); ev.Epoch < cur {
+		f.mu.Unlock()
+		f.rejectedStale.Add(1)
+		return
+	} else if ev.Epoch > cur {
+		f.epoch.Store(ev.Epoch)
+	}
 	switch {
 	case ev.Seq == f.seq+1:
 	case ev.Seq == f.seq && ev.Op == OpEvict && f.len > 0:
@@ -353,6 +410,35 @@ func (f *Feed) recordTombLocked(seq uint64, id string) {
 	f.tombNext = (f.tombNext + 1) % len(f.tombs)
 }
 
+// SeedTombstones replays persisted removal knowledge into the ring:
+// floor is the sequence below which knowledge was already incomplete
+// when it was captured, and tombs are the remembered removals, oldest
+// first. Call before the feed is shared (recovery), like Tap — the
+// normal ring-overwrite accounting applies, so seeding more tombstones
+// than the ring holds simply raises the floor as it would live.
+func (f *Feed) SeedTombstones(floor uint64, tombs []Tombstone) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tombFloor = floor
+	for _, t := range tombs {
+		f.recordTombLocked(t.Seq, t.ID)
+	}
+}
+
+// Tombstones exports the removal knowledge for persistence: the floor
+// and every remembered removal, oldest first.
+func (f *Feed) Tombstones() (floor uint64, tombs []Tombstone) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tombs = make([]Tombstone, 0, f.tombLen)
+	start := (f.tombNext - f.tombLen + len(f.tombs)) % len(f.tombs)
+	for i := 0; i < f.tombLen; i++ {
+		t := f.tombs[(start+i)%len(f.tombs)]
+		tombs = append(tombs, Tombstone{Seq: t.seq, ID: t.id})
+	}
+	return f.tombFloor, tombs
+}
+
 // recordTombsLocked records an event's removals; the caller holds f.mu.
 func (f *Feed) recordTombsLocked(ev Event) {
 	switch ev.Op {
@@ -417,6 +503,7 @@ func (f *Feed) deliverLocked(ev Event) {
 // taken here — exactly once per event, before any relay tier sees it.
 func (f *Feed) publish(ev Event) uint64 {
 	ev.PubNs = time.Now().UnixNano()
+	ev.Epoch = f.epoch.Load()
 	f.mu.Lock()
 	f.seq++
 	ev.Seq = f.seq
@@ -493,16 +580,18 @@ func (f *Feed) Stats() Stats {
 	}
 	f.mu.Unlock()
 	return Stats{
-		Seq:         f.Seq(),
-		Published:   f.published.Load(),
-		Subscribers: subs,
-		Overflows:   f.overflows.Load(),
-		OldestSeq:   oldest,
-		RingLen:     ringLen,
-		RingCap:     ringCap,
-		TombLen:     tombLen,
-		TombCap:     tombCap,
-		TombFloor:   tombFloor,
+		Seq:                f.Seq(),
+		Published:          f.published.Load(),
+		Subscribers:        subs,
+		Overflows:          f.overflows.Load(),
+		OldestSeq:          oldest,
+		RingLen:            ringLen,
+		RingCap:            ringCap,
+		TombLen:            tombLen,
+		TombCap:            tombCap,
+		TombFloor:          tombFloor,
+		Epoch:              f.epoch.Load(),
+		RejectedStaleEpoch: f.rejectedStale.Load(),
 	}
 }
 

@@ -350,7 +350,7 @@ func TestResetToClosesSubscribersAndRestartsSequence(t *testing.T) {
 func TestRemovedSinceTracksTombstones(t *testing.T) {
 	f := New(4, 0) // event ring of 4; tombstone ring is 1024 (the minimum)
 	f.PublishUpsert(upsert("a", 1))
-	f.PublishRemove("a")            // seq 2
+	f.PublishRemove("a")               // seq 2
 	f.PublishEvict([]string{"b", "c"}) // seq 3
 	mark := f.Seq()
 	f.PublishRemove("d") // seq 4
@@ -449,5 +449,103 @@ func TestAdvanceToPreservesTombstoneDepth(t *testing.T) {
 	}
 	if f.Seq() != 100 {
 		t.Fatalf("Seq() = %d, want 100", f.Seq())
+	}
+}
+
+func TestPublishAtFencesStaleEpochs(t *testing.T) {
+	f := New(8, 0)
+	f.SetEpoch(2)
+	f.PublishAt(Event{Seq: 1, Epoch: 2, Op: OpUpsert, Entry: upsert("a", 1)})
+
+	// A deposed leader (epoch 1) keeps publishing: every event is
+	// rejected, counted, and leaves the stream untouched.
+	f.PublishAt(Event{Seq: 2, Epoch: 1, Op: OpUpsert, Entry: upsert("stale", 9)})
+	f.PublishAt(Event{Seq: 3, Epoch: 1, Op: OpRemove, ID: "a"})
+	if got := f.Seq(); got != 1 {
+		t.Fatalf("Seq() after stale publishes = %d, want 1", got)
+	}
+	if got := f.RejectedStaleEpoch(); got != 2 {
+		t.Fatalf("RejectedStaleEpoch() = %d, want 2", got)
+	}
+	if evs, err := f.Since(0, -1); err != nil || len(evs) != 1 {
+		t.Fatalf("stale events reached the ring: %v, %v", evs, err)
+	}
+
+	// Removal knowledge must not record the fenced remove either.
+	if removed, ok := f.RemovedSince(0); !ok || len(removed) != 0 {
+		t.Fatalf("fenced remove left a tombstone: %v, %v", removed, ok)
+	}
+}
+
+func TestPublishAtAdoptsHigherEpoch(t *testing.T) {
+	f := New(8, 0)
+	f.PublishAt(Event{Seq: 1, Epoch: 1, Op: OpUpsert, Entry: upsert("a", 1)})
+	// The relay observes its upstream's promotion mid-stream: the higher
+	// epoch is adopted, and the old epoch is fenced from then on.
+	f.PublishAt(Event{Seq: 2, Epoch: 2, Op: OpUpsert, Entry: upsert("b", 2)})
+	if got := f.Epoch(); got != 2 {
+		t.Fatalf("Epoch() = %d, want 2 (adopted from the event)", got)
+	}
+	f.PublishAt(Event{Seq: 3, Epoch: 1, Op: OpUpsert, Entry: upsert("c", 3)})
+	if got := f.Seq(); got != 2 {
+		t.Fatalf("Seq() = %d, want 2 (epoch-1 event after adoption must be fenced)", got)
+	}
+	if got := f.RejectedStaleEpoch(); got != 1 {
+		t.Fatalf("RejectedStaleEpoch() = %d, want 1", got)
+	}
+}
+
+func TestPublishStampsCurrentEpoch(t *testing.T) {
+	f := New(8, 0)
+	f.SetEpoch(3)
+	sub := f.Subscribe(4)
+	f.PublishUpsert(upsert("a", 1))
+	ev := <-sub.C()
+	if ev.Epoch != 3 {
+		t.Fatalf("published event epoch = %d, want 3", ev.Epoch)
+	}
+	evs, err := f.Since(0, -1)
+	if err != nil || len(evs) != 1 || evs[0].Epoch != 3 {
+		t.Fatalf("ring event epoch = %v, %v; want epoch 3", evs, err)
+	}
+	if st := f.Stats(); st.Epoch != 3 {
+		t.Fatalf("Stats().Epoch = %d, want 3", st.Epoch)
+	}
+	sub.Close()
+}
+
+func TestTombstoneExportSeedRoundTrip(t *testing.T) {
+	f := New(8, 0)
+	f.PublishUpsert(upsert("a", 1))
+	f.PublishRemove("a")               // seq 2
+	f.PublishEvict([]string{"b", "c"}) // seq 3
+	floor, tombs := f.Tombstones()
+	if floor != 0 || len(tombs) != 3 {
+		t.Fatalf("Tombstones() = floor %d, %v; want floor 0 and 3 tombstones", floor, tombs)
+	}
+
+	// A restarted leader seeds the captured knowledge into a fresh feed
+	// started at the captured seq (as recovery does): RemovedSince must
+	// answer exactly as the original would have.
+	f2 := New(8, 3)
+	f2.SeedTombstones(floor, tombs)
+	f2.PublishAt(Event{Seq: 4, Op: OpUpsert, Entry: upsert("d", 4)})
+	removed, ok := f2.RemovedSince(1)
+	if !ok || len(removed) != 3 {
+		t.Fatalf("seeded RemovedSince(1) = %v, %v; want [a b c], true", removed, ok)
+	}
+	removed, ok = f2.RemovedSince(2)
+	if !ok || len(removed) != 2 {
+		t.Fatalf("seeded RemovedSince(2) = %v, %v; want [b c], true", removed, ok)
+	}
+
+	// A non-zero floor survives the round trip and bounds completeness.
+	f3 := New(8, 3)
+	f3.SeedTombstones(2, tombs[1:])
+	if _, ok := f3.RemovedSince(1); ok {
+		t.Fatal("seeded feed claimed completeness below its floor")
+	}
+	if removed, ok := f3.RemovedSince(2); !ok || len(removed) != 2 {
+		t.Fatalf("seeded RemovedSince(2) = %v, %v; want [b c], true", removed, ok)
 	}
 }

@@ -1,0 +1,208 @@
+package faultproxy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend returns an httptest server serving a fixed body, plus its
+// host:port for proxying.
+func newBackend(t *testing.T, body string) (*httptest.Server, string) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestTransparentForwarding(t *testing.T) {
+	_, addr := newBackend(t, "hello through the proxy")
+	p, err := New(addr, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	resp, err := http.Get(p.URL())
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(data) != "hello through the proxy" {
+		t.Fatalf("body = %q, err %v", data, err)
+	}
+	st := p.Stats()
+	if st.Accepted != 1 || st.Refused != 0 || st.Resets != 0 || st.Truncations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPartitionRefusesAndKills(t *testing.T) {
+	_, addr := newBackend(t, "x")
+	p, err := New(addr, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	// Hold a raw connection open through the proxy, then partition: the
+	// in-flight connection must die, not linger.
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Make sure the proxy accepted and is piping before we partition.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Accepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("proxy never accepted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.SetPartitioned(true)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded across a partition")
+	}
+
+	// New connections are refused while partitioned.
+	client := &http.Client{Timeout: 2 * time.Second}
+	if _, err := client.Get(p.URL()); err == nil {
+		t.Fatal("GET succeeded across a partition")
+	}
+	if st := p.Stats(); st.Refused == 0 {
+		t.Fatalf("no refusals counted: %+v", st)
+	}
+
+	// Healing the partition restores service.
+	p.SetPartitioned(false)
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		t.Fatalf("GET after heal: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestTruncateAfterCutsResponses(t *testing.T) {
+	_, addr := newBackend(t, strings.Repeat("A", 64<<10))
+	p, err := New(addr, Options{TruncateAfter: 1024})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(p.URL())
+	if err == nil {
+		// Headers may arrive inside the cap; the body read must fail.
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Fatalf("read %d bytes of a truncated response without error", len(data))
+		}
+		if len(data) > 1024 {
+			t.Fatalf("received %d bytes, cap is 1024", len(data))
+		}
+	}
+	if st := p.Stats(); st.Truncations != 1 {
+		t.Fatalf("Truncations = %d, want 1", st.Truncations)
+	}
+}
+
+func TestResetProbIsDeterministic(t *testing.T) {
+	// Same seed, same connection order → identical reset decisions.
+	run := func() []bool {
+		_, addr := newBackend(t, "payload")
+		p, err := New(addr, Options{Seed: 42, ResetProb: 0.5})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer p.Close()
+		outcomes := make([]bool, 0, 8)
+		client := &http.Client{Timeout: 5 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+		for i := 0; i < 8; i++ {
+			resp, err := client.Get(p.URL())
+			ok := err == nil
+			if ok {
+				_, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				ok = rerr == nil
+			}
+			outcomes = append(outcomes, ok)
+		}
+		if p.Stats().Resets == 0 {
+			t.Fatal("ResetProb 0.5 over 8 connections reset nothing")
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at connection %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestLatencyDelaysTraffic(t *testing.T) {
+	_, addr := newBackend(t, "slow")
+	p, err := New(addr, Options{Latency: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	start := time.Now()
+	resp, err := http.Get(p.URL())
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Fatalf("request took %v, injected latency is 50ms each way", took)
+	}
+}
+
+func TestCloseUnblocksEverything(t *testing.T) {
+	_, addr := newBackend(t, "x")
+	p, err := New(addr, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on an in-flight connection")
+	}
+	if _, err := net.Dial("tcp", p.Addr()); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}
+
+// Example documents the intended wiring: proxy per replication edge.
+func Example() {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	}))
+	defer backend.Close()
+	p, _ := New(strings.TrimPrefix(backend.URL, "http://"), Options{Seed: 7})
+	defer p.Close()
+	resp, _ := http.Get(p.URL())
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println(string(body))
+	// Output: ok
+}

@@ -25,7 +25,7 @@ func BenchmarkWALReplay(b *testing.B) {
 			Coord:     coord.New(float64(i%1009), float64(i%601), float64(i%251)),
 			Error:     0.2,
 			UpdatedAt: at,
-		}, uint64(i+1))
+		}, uint64(i+1), 1)
 	}
 	if err := s.Close(); err != nil {
 		b.Fatalf("Close: %v", err)
@@ -69,6 +69,6 @@ func BenchmarkLogUpsert(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.LogUpsert(e, uint64(i+1))
+		s.LogUpsert(e, uint64(i+1), 1)
 	}
 }

@@ -84,12 +84,42 @@ type Record struct {
 	// nondecreasing within a log; an eviction event split across chunk
 	// records repeats its sequence on every chunk.
 	Seq uint64
+	// Epoch is the fencing epoch the mutation was published under.
+	// Persisting it is what makes promotion durable: a leader that
+	// restarts after being promoted recovers its bumped epoch from the
+	// log and keeps fencing out the deposed stream. Epochs are
+	// nondecreasing within a log.
+	Epoch uint64
 	// Entry is set for OpUpsert.
 	Entry Entry
 	// ID is set for OpRemove.
 	ID string
 	// IDs is set for OpEvict.
 	IDs []string
+}
+
+// Tombstone records that an id was removed (or evicted) at a
+// change-stream sequence. Snapshots persist the registry's tombstone
+// ring so removal knowledge — what delta re-bootstraps depend on —
+// survives a restart or a promotion.
+type Tombstone struct {
+	// Seq is the sequence of the removal.
+	Seq uint64
+	// ID is the removed id.
+	ID string
+}
+
+// Capture is one consistent registry state capture, the input to
+// compaction: the live entries, the change-stream position and fencing
+// epoch they were read at, and the tombstone ring (oldest first) with
+// its floor — the sequence at or below which removal knowledge is
+// incomplete.
+type Capture struct {
+	Entries        []Entry
+	Seq            uint64
+	Epoch          uint64
+	TombstoneFloor uint64
+	Tombstones     []Tombstone
 }
 
 // Wire-format bounds. Oversized values on disk mean corruption, not
@@ -174,10 +204,12 @@ func decodeEntry(src []byte) (Entry, []byte, error) {
 }
 
 // appendRecordPayload encodes one record (without framing) onto dst:
-// the op byte, the uvarint change-stream sequence, then the op body.
+// the op byte, the uvarint change-stream sequence, the uvarint fencing
+// epoch, then the op body.
 func appendRecordPayload(dst []byte, rec Record) ([]byte, error) {
 	dst = append(dst, byte(rec.Op))
 	dst = binary.AppendUvarint(dst, rec.Seq)
+	dst = binary.AppendUvarint(dst, rec.Epoch)
 	switch rec.Op {
 	case OpUpsert:
 		return appendEntry(dst, rec.Entry)
@@ -217,6 +249,12 @@ func decodeRecordPayload(src []byte) (Record, error) {
 		return Record{}, fmt.Errorf("persist: bad record sequence")
 	}
 	rec.Seq = seq
+	src = src[used:]
+	epoch, used := binary.Uvarint(src)
+	if used <= 0 {
+		return Record{}, fmt.Errorf("persist: bad record epoch")
+	}
+	rec.Epoch = epoch
 	src = src[used:]
 	switch rec.Op {
 	case OpUpsert:

@@ -12,13 +12,16 @@ import (
 	"strings"
 )
 
-// Snapshot file layout (format 2 — the body carries the change-stream
-// sequence the snapshot was captured at; format-1 files are rejected
-// at the magic check):
+// Snapshot file layout (format 3 — the body carries the fencing epoch
+// and the tombstone ring alongside the capture sequence; older formats
+// are rejected at the magic check):
 //
-//	8 bytes  magic "NCSNAP\x02\x00"
+//	8 bytes  magic "NCSNAP\x03\x00"
 //	body:    uint64 generation | uint64 capture sequence |
-//	         uint64 entry count | entries
+//	         uint64 fencing epoch | uint64 tombstone floor |
+//	         uint64 tombstone count | uint64 entry count |
+//	         tombstones (uvarint seq | uvarint id length | id bytes) |
+//	         entries
 //	4 bytes  IEEE CRC of the body
 //
 // A snapshot becomes visible only through an atomic rename of a fully
@@ -33,7 +36,18 @@ import (
 // (records are per-id last-write-wins). It seeds the change stream on
 // recovery and is the resume point a replica bootstrapping from this
 // snapshot hands to the stream.
-var snapMagic = [8]byte{'N', 'C', 'S', 'N', 'A', 'P', 2, 0}
+//
+// The tombstone section persists removal knowledge: the floor is the
+// sequence at or below which removals are unknown, and each tombstone
+// is one removed (or evicted) id with the sequence that removed it.
+// Recovering them is what lets a restarted — or newly promoted — leader
+// keep serving /snapshot?since= delta re-bootstraps instead of forcing
+// every replica through a full transfer.
+var snapMagic = [8]byte{'N', 'C', 'S', 'N', 'A', 'P', 3, 0}
+
+// snapHeaderSize is the fixed body header: generation, capture
+// sequence, epoch, tombstone floor, tombstone count, entry count.
+const snapHeaderSize = 48
 
 // snapPath names the snapshot file for a generation.
 func snapPath(dir string, gen uint64) string {
@@ -57,9 +71,8 @@ func (e *snapEncoder) body(b []byte) {
 	_, _ = e.w.Write(b)
 }
 
-// writeSnapshot durably writes entries as the snapshot for gen,
-// captured at change-stream sequence seq.
-func writeSnapshot(dir string, gen, seq uint64, entries []Entry, nosync bool) error {
+// writeSnapshot durably writes a state capture as the snapshot for gen.
+func writeSnapshot(dir string, gen uint64, cap Capture, nosync bool) error {
 	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: snapshot temp: %w", err)
@@ -67,13 +80,26 @@ func writeSnapshot(dir string, gen, seq uint64, entries []Entry, nosync bool) er
 	defer os.Remove(tmp.Name()) // no-op once renamed
 	enc := &snapEncoder{w: bufio.NewWriterSize(tmp, 1<<16)}
 	_, _ = enc.w.Write(snapMagic[:])
-	var hdr [24]byte
+	var hdr [snapHeaderSize]byte
 	binary.LittleEndian.PutUint64(hdr[0:], gen)
-	binary.LittleEndian.PutUint64(hdr[8:], seq)
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(entries)))
+	binary.LittleEndian.PutUint64(hdr[8:], cap.Seq)
+	binary.LittleEndian.PutUint64(hdr[16:], cap.Epoch)
+	binary.LittleEndian.PutUint64(hdr[24:], cap.TombstoneFloor)
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(cap.Tombstones)))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(len(cap.Entries)))
 	enc.body(hdr[:])
 	scratch := make([]byte, 0, 256)
-	for _, e := range entries {
+	for _, t := range cap.Tombstones {
+		if len(t.ID) == 0 || len(t.ID) > MaxIDLen {
+			tmp.Close()
+			return fmt.Errorf("persist: tombstone id length %d, want 1..%d", len(t.ID), MaxIDLen)
+		}
+		scratch = binary.AppendUvarint(scratch[:0], t.Seq)
+		scratch = binary.AppendUvarint(scratch, uint64(len(t.ID)))
+		scratch = append(scratch, t.ID...)
+		enc.body(scratch)
+	}
+	for _, e := range cap.Entries {
 		scratch, err = appendEntry(scratch[:0], e)
 		if err != nil {
 			tmp.Close()
@@ -108,49 +134,79 @@ func writeSnapshot(dir string, gen, seq uint64, entries []Entry, nosync bool) er
 	return nil
 }
 
-// loadSnapshot reads and verifies the snapshot for gen, returning its
-// entries and the change-stream sequence it was captured at.
-func loadSnapshot(dir string, gen uint64) ([]Entry, uint64, error) {
+// snapContents is one decoded snapshot body.
+type snapContents struct {
+	entries   []Entry
+	seq       uint64
+	epoch     uint64
+	tombFloor uint64
+	tombs     []Tombstone
+}
+
+// loadSnapshot reads and verifies the snapshot for gen.
+func loadSnapshot(dir string, gen uint64) (snapContents, error) {
 	data, err := os.ReadFile(snapPath(dir, gen))
 	if err != nil {
-		return nil, 0, fmt.Errorf("persist: read snapshot: %w", err)
+		return snapContents{}, fmt.Errorf("persist: read snapshot: %w", err)
 	}
-	if len(data) < len(snapMagic)+24+4 || [8]byte(data[:8]) != snapMagic {
-		return nil, 0, fmt.Errorf("persist: snapshot gen %d: bad magic or truncated", gen)
+	if len(data) < len(snapMagic)+snapHeaderSize+4 || [8]byte(data[:8]) != snapMagic {
+		return snapContents{}, fmt.Errorf("persist: snapshot gen %d: bad magic or truncated", gen)
 	}
 	body := data[8 : len(data)-4]
 	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return nil, 0, fmt.Errorf("persist: snapshot gen %d: checksum mismatch", gen)
+		return snapContents{}, fmt.Errorf("persist: snapshot gen %d: checksum mismatch", gen)
 	}
 	if g := binary.LittleEndian.Uint64(body); g != gen {
-		return nil, 0, fmt.Errorf("persist: snapshot gen %d: header says %d", gen, g)
+		return snapContents{}, fmt.Errorf("persist: snapshot gen %d: header says %d", gen, g)
 	}
-	seq := binary.LittleEndian.Uint64(body[8:])
-	count := binary.LittleEndian.Uint64(body[16:])
-	src := body[24:]
-	// A CRC is a checksum, not authentication: the count must still be
-	// treated as untrusted. Every entry occupies at least minEntrySize
-	// bytes, so a count the body cannot hold is corruption — reject it
-	// (recovery falls back a generation) instead of letting it size an
-	// allocation.
+	sc := snapContents{
+		seq:       binary.LittleEndian.Uint64(body[8:]),
+		epoch:     binary.LittleEndian.Uint64(body[16:]),
+		tombFloor: binary.LittleEndian.Uint64(body[24:]),
+	}
+	tombCount := binary.LittleEndian.Uint64(body[32:])
+	count := binary.LittleEndian.Uint64(body[40:])
+	src := body[snapHeaderSize:]
+	// A CRC is a checksum, not authentication: the counts must still be
+	// treated as untrusted. Every tombstone occupies at least 3 bytes
+	// and every entry at least minEntrySize, so counts the body cannot
+	// hold are corruption — reject them (recovery falls back a
+	// generation) instead of letting them size an allocation.
+	const minTombSize = 3   // 1 seq + 1 id frame + 1 id byte
 	const minEntrySize = 27 // 2 id frame + 9 empty coord + 16 error/time
-	if count > uint64(len(src))/minEntrySize {
-		return nil, 0, fmt.Errorf("persist: snapshot gen %d: count %d impossible for %d body bytes", gen, count, len(src))
+	if tombCount > uint64(len(src))/minTombSize {
+		return snapContents{}, fmt.Errorf("persist: snapshot gen %d: tombstone count %d impossible for %d body bytes", gen, tombCount, len(src))
 	}
-	entries := make([]Entry, 0, count)
+	sc.tombs = make([]Tombstone, 0, tombCount)
+	for i := uint64(0); i < tombCount; i++ {
+		seq, used := binary.Uvarint(src)
+		if used <= 0 {
+			return snapContents{}, fmt.Errorf("persist: snapshot gen %d tombstone %d: bad sequence", gen, i)
+		}
+		id, rest, err := decodeID(src[used:])
+		if err != nil {
+			return snapContents{}, fmt.Errorf("persist: snapshot gen %d tombstone %d: %w", gen, i, err)
+		}
+		sc.tombs = append(sc.tombs, Tombstone{Seq: seq, ID: id})
+		src = rest
+	}
+	if count > uint64(len(src))/minEntrySize {
+		return snapContents{}, fmt.Errorf("persist: snapshot gen %d: count %d impossible for %d body bytes", gen, count, len(src))
+	}
+	sc.entries = make([]Entry, 0, count)
 	for i := uint64(0); i < count; i++ {
 		e, rest, err := decodeEntry(src)
 		if err != nil {
-			return nil, 0, fmt.Errorf("persist: snapshot gen %d entry %d: %w", gen, i, err)
+			return snapContents{}, fmt.Errorf("persist: snapshot gen %d entry %d: %w", gen, i, err)
 		}
-		entries = append(entries, e)
+		sc.entries = append(sc.entries, e)
 		src = rest
 	}
 	if len(src) != 0 {
-		return nil, 0, fmt.Errorf("persist: snapshot gen %d: %d trailing bytes", gen, len(src))
+		return snapContents{}, fmt.Errorf("persist: snapshot gen %d: %d trailing bytes", gen, len(src))
 	}
-	return entries, seq, nil
+	return sc, nil
 }
 
 // scanDir lists the snapshot and WAL generations present in dir, each

@@ -55,6 +55,13 @@ type RecoveryStats struct {
 	// TornBytes is how many trailing bytes were discarded from torn or
 	// truncated log tails.
 	TornBytes int64 `json:"torn_bytes"`
+	// QuarantinedWALs counts log generations that contained a corrupt
+	// record (complete frame, failed verification — media damage, not a
+	// crash tail): the damaged file is renamed aside with a .corrupt
+	// suffix, its valid prefix is rewritten in place, and replay of that
+	// generation stops at the bad record. The typed cause is available
+	// through QuarantineErr.
+	QuarantinedWALs int `json:"quarantined_wals"`
 	// Entries is the recovered live-entry count.
 	Entries int `json:"entries"`
 	// LastSeq is the highest change-stream sequence persisted — the
@@ -62,6 +69,16 @@ type RecoveryStats struct {
 	// record's sequence. The owner seeds its change stream here so
 	// sequence numbers survive restarts instead of restarting at zero.
 	LastSeq uint64 `json:"last_seq"`
+	// LastEpoch is the highest fencing epoch persisted — the maximum of
+	// the snapshot's epoch and every replayed record's. The owner seeds
+	// its change stream here so a promoted leader keeps fencing after a
+	// restart.
+	LastEpoch uint64 `json:"last_epoch"`
+	// TombstoneFloor and Tombstones describe the recovered removal
+	// knowledge (snapshot ring plus replayed removal records); the ids
+	// themselves are available through RecoveredTombstones.
+	TombstoneFloor uint64 `json:"tombstone_floor"`
+	Tombstones     int    `json:"tombstones"`
 }
 
 // StoreStats snapshots a Store's operational counters.
@@ -165,6 +182,12 @@ type Store struct {
 
 	compactMu sync.Mutex
 	recovery  RecoveryStats
+	// recoveredTombs is the removal knowledge reconstructed at Open
+	// (snapshot ring plus replayed removal records), sorted by sequence;
+	// quarantineErr is the typed cause of the first WAL quarantine.
+	recoveredTombs []Tombstone
+	tombFloor      uint64
+	quarantineErr  error
 
 	kick chan struct{}
 	done chan struct{}
@@ -227,25 +250,31 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 	state := make(map[string]Entry)
 	baseGen := uint64(0)
 	lastSeq := uint64(0)
+	lastEpoch := uint64(0)
+	var tombs []Tombstone
+	tombFloor := uint64(0)
 	loadedSnap := len(snaps) == 0
 	for i := len(snaps) - 1; i >= 0; i-- {
-		entries, snapSeq, err := loadSnapshot(dir, snaps[i])
+		sc, err := loadSnapshot(dir, snaps[i])
 		if err != nil {
 			s.recovery.CorruptSnapshots++
 			continue
 		}
-		for _, e := range entries {
+		for _, e := range sc.entries {
 			// The snapshot format carries no per-entry sequence; the
 			// capture sequence over-approximates every entry's, which
 			// errs toward resending in delta snapshots, never losing.
-			e.Seq = snapSeq
+			e.Seq = sc.seq
 			state[e.ID] = e
 		}
 		baseGen = snaps[i]
-		lastSeq = snapSeq
-		s.histFloor.Store(snapSeq)
+		lastSeq = sc.seq
+		lastEpoch = sc.epoch
+		tombs = append(tombs, sc.tombs...)
+		tombFloor = sc.tombFloor
+		s.histFloor.Store(sc.seq)
 		s.recovery.SnapshotGen = baseGen
-		s.recovery.SnapshotEntries = len(entries)
+		s.recovery.SnapshotEntries = len(sc.entries)
 		loadedSnap = true
 		break
 	}
@@ -259,15 +288,20 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 		if rec.Seq > lastSeq {
 			lastSeq = rec.Seq
 		}
+		if rec.Epoch > lastEpoch {
+			lastEpoch = rec.Epoch
+		}
 		switch rec.Op {
 		case OpUpsert:
 			rec.Entry.Seq = rec.Seq
 			state[rec.Entry.ID] = rec.Entry
 		case OpRemove:
 			delete(state, rec.ID)
+			tombs = append(tombs, Tombstone{Seq: rec.Seq, ID: rec.ID})
 		case OpEvict:
 			for _, id := range rec.IDs {
 				delete(state, id)
+				tombs = append(tombs, Tombstone{Seq: rec.Seq, ID: id})
 			}
 		}
 	}
@@ -284,6 +318,23 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 		rep, err := replayWAL(walPath(dir, gen), gen, apply)
 		if err != nil {
 			return nil, nil, err
+		}
+		if rep.corrupt {
+			// Media damage inside the durable prefix: quarantine the
+			// damaged file aside and rewrite its valid prefix in place,
+			// so a later restart replays the same clean prefix instead
+			// of tripping over the rot again. Replay of this generation
+			// already stopped at the bad record; later generations are
+			// still applied — their records are newer last-write-wins
+			// state.
+			if err := quarantineWAL(walPath(dir, gen), rep.validSize, opts.NoSync); err != nil {
+				return nil, nil, err
+			}
+			s.recovery.QuarantinedWALs++
+			if s.quarantineErr == nil {
+				s.quarantineErr = rep.corruptErr
+			}
+			rep.tornBytes = 0 // the damage is quarantined, not discarded
 		}
 		s.recovery.WALFiles++
 		s.recovery.WALRecords += rep.records
@@ -322,6 +373,30 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	s.recovery.Entries = len(out)
 	s.recovery.LastSeq = lastSeq
+	s.recovery.LastEpoch = lastEpoch
+
+	// Snapshot tombstones and replayed removal records overlap around
+	// the rotation boundary (records logged between rotation and capture
+	// appear in both); sort by sequence and drop exact duplicates so the
+	// seeded ring stays ordered — floor accounting in the feed depends
+	// on overwrite order matching sequence order.
+	sort.Slice(tombs, func(i, j int) bool {
+		if tombs[i].Seq != tombs[j].Seq {
+			return tombs[i].Seq < tombs[j].Seq
+		}
+		return tombs[i].ID < tombs[j].ID
+	})
+	dedup := tombs[:0]
+	for i, t := range tombs {
+		if i > 0 && t == tombs[i-1] {
+			continue
+		}
+		dedup = append(dedup, t)
+	}
+	s.recoveredTombs = dedup
+	s.tombFloor = tombFloor
+	s.recovery.TombstoneFloor = tombFloor
+	s.recovery.Tombstones = len(dedup)
 
 	s.wg.Add(1)
 	go s.flusher()
@@ -331,6 +406,60 @@ func Open(dir string, opts Options) (*Store, []Entry, error) {
 
 // Recovery reports what Open reconstructed.
 func (s *Store) Recovery() RecoveryStats { return s.recovery }
+
+// RecoveredTombstones returns the removal knowledge Open reconstructed:
+// the floor (the sequence at or below which removals are unknown) and
+// the tombstones, sorted by sequence. The owner seeds its change
+// stream's tombstone ring here so delta re-bootstraps survive restarts
+// and promotions. The slice is owned by the store; do not mutate.
+func (s *Store) RecoveredTombstones() (floor uint64, tombs []Tombstone) {
+	return s.tombFloor, s.recoveredTombs
+}
+
+// QuarantineErr returns the typed cause of the first WAL quarantine
+// performed at Open (nil if none); errors.Is(err, ErrCorruptRecord)
+// holds when set.
+func (s *Store) QuarantineErr() error { return s.quarantineErr }
+
+// quarantineWAL renames a corrupt WAL file aside (appending .corrupt,
+// which scanDir ignores) and rewrites its valid prefix at the original
+// path, so the clean records stay replayable on the next restart while
+// the damaged bytes are preserved for forensics.
+func quarantineWAL(path string, validSize int64, nosync bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("persist: quarantine read: %w", err)
+	}
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		return fmt.Errorf("persist: quarantine rename: %w", err)
+	}
+	if validSize > int64(len(data)) {
+		validSize = int64(len(data))
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: quarantine rewrite: %w", err)
+	}
+	if _, err := f.Write(data[:validSize]); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: quarantine rewrite: %w", err)
+	}
+	if !nosync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: quarantine sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: quarantine close: %w", err)
+	}
+	if !nosync {
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Stats snapshots operational counters.
 func (s *Store) Stats() StoreStats {
@@ -375,14 +504,16 @@ func (s *Store) Err() error {
 	return s.err
 }
 
-// LogUpsert appends an upsert record for change-stream sequence seq.
-func (s *Store) LogUpsert(e Entry, seq uint64) {
-	s.append(Record{Op: OpUpsert, Seq: seq, Entry: e})
+// LogUpsert appends an upsert record for change-stream sequence seq,
+// published under fencing epoch.
+func (s *Store) LogUpsert(e Entry, seq, epoch uint64) {
+	s.append(Record{Op: OpUpsert, Seq: seq, Epoch: epoch, Entry: e})
 }
 
-// LogRemove appends a remove record for change-stream sequence seq.
-func (s *Store) LogRemove(id string, seq uint64) {
-	s.append(Record{Op: OpRemove, Seq: seq, ID: id})
+// LogRemove appends a remove record for change-stream sequence seq,
+// published under fencing epoch.
+func (s *Store) LogRemove(id string, seq, epoch uint64) {
+	s.append(Record{Op: OpRemove, Seq: seq, Epoch: epoch, ID: id})
 }
 
 // LogEvict appends eviction records for ids, chunked by count and by
@@ -390,14 +521,14 @@ func (s *Store) LogRemove(id string, seq uint64) {
 // even when every id is at MaxIDLen. Chunks repeat seq — they are one
 // logical event; replay is idempotent and stream reads never split an
 // equal-sequence run.
-func (s *Store) LogEvict(ids []string, seq uint64) {
+func (s *Store) LogEvict(ids []string, seq, epoch uint64) {
 	for len(ids) > 0 {
 		n, bytes := 0, 0
 		for n < len(ids) && n < evictChunk && bytes < evictChunkBytes {
 			bytes += len(ids[n]) + 4
 			n++
 		}
-		s.append(Record{Op: OpEvict, Seq: seq, IDs: ids[:n]})
+		s.append(Record{Op: OpEvict, Seq: seq, Epoch: epoch, IDs: ids[:n]})
 		ids = ids[n:]
 	}
 }
@@ -542,8 +673,10 @@ func (s *Store) fail(err error) error {
 // rotation-before-capture order is the crash-safety invariant: every
 // record in older generations describes a mutation applied before the
 // capture, so the snapshot subsumes them, and the new generation's
-// records replay idempotently over it.
-func (s *Store) Compact(reason string, capture func() ([]Entry, uint64, error)) error {
+// records replay idempotently over it. The capture also carries the
+// stream's fencing epoch and tombstone ring, which persist in the
+// snapshot so promotion and delta re-bootstraps survive restarts.
+func (s *Store) Compact(reason string, capture func() (Capture, error)) error {
 	err := s.compact(capture)
 	s.compactErrMu.Lock()
 	if err != nil {
@@ -559,7 +692,7 @@ func (s *Store) Compact(reason string, capture func() ([]Entry, uint64, error)) 
 	return err
 }
 
-func (s *Store) compact(capture func() ([]Entry, uint64, error)) error {
+func (s *Store) compact(capture func() (Capture, error)) error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 	start := time.Now()
@@ -591,13 +724,13 @@ func (s *Store) compact(capture func() ([]Entry, uint64, error)) error {
 	s.walGenRecords.Store(0)
 	s.ioMu.Unlock()
 
-	entries, capSeq, err := capture()
+	captured, err := capture()
 	if err != nil {
 		// The WAL rotated but no snapshot was written; recovery simply
 		// replays both generations, so nothing is lost.
 		return fmt.Errorf("persist: compaction capture: %w", err)
 	}
-	if err := writeSnapshot(s.dir, newGen, capSeq, entries, s.opts.NoSync); err != nil {
+	if err := writeSnapshot(s.dir, newGen, captured, s.opts.NoSync); err != nil {
 		return err
 	}
 	// Generations below newGen are gone: the stream's history floor
@@ -605,7 +738,7 @@ func (s *Store) compact(capture func() ([]Entry, uint64, error)) error {
 	// concurrent TailSince never reports "available" history that the
 	// removal is about to delete (TailSince holds compactMu anyway;
 	// this ordering is defense in depth).
-	s.histFloor.Store(capSeq)
+	s.histFloor.Store(captured.Seq)
 	s.removeObsolete(newGen)
 	s.compactions.Add(1)
 	s.compactDur.Observe(time.Since(start).Nanoseconds())
@@ -638,7 +771,7 @@ func (s *Store) TailSince(since uint64, max int) (recs []Record, truncated bool,
 		return nil, false, err
 	}
 	for _, gen := range wals {
-		_, rerr := replayWAL(walPath(s.dir, gen), gen, func(rec Record) {
+		rep, rerr := replayWAL(walPath(s.dir, gen), gen, func(rec Record) {
 			if rec.Seq <= since {
 				return
 			}
@@ -649,6 +782,17 @@ func (s *Store) TailSince(since uint64, max int) (recs []Record, truncated bool,
 		})
 		if rerr != nil {
 			return nil, false, rerr
+		}
+		if rep.corrupt {
+			// Records past the damaged one are unreachable, and later
+			// generations would leave a sequence gap — the one thing a
+			// resumed stream must never contain. Serve the dense prefix
+			// if any was collected; otherwise report truncation so the
+			// consumer re-bootstraps from a snapshot.
+			if len(recs) == 0 {
+				return nil, true, nil
+			}
+			return recs, false, nil
 		}
 	}
 	return recs, false, nil

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -47,9 +48,9 @@ func entriesEqual(t *testing.T, got, want []Entry) {
 // are monotonic, so a shared counter stands in for the feed.
 var testSeqCounter atomic.Uint64
 
-func logUpsert(s *Store, e Entry)     { s.LogUpsert(e, testSeqCounter.Add(1)) }
-func logRemove(s *Store, id string)   { s.LogRemove(id, testSeqCounter.Add(1)) }
-func logEvict(s *Store, ids []string) { s.LogEvict(ids, testSeqCounter.Add(1)) }
+func logUpsert(s *Store, e Entry)     { s.LogUpsert(e, testSeqCounter.Add(1), 1) }
+func logRemove(s *Store, id string)   { s.LogRemove(id, testSeqCounter.Add(1), 1) }
+func logEvict(s *Store, ids []string) { s.LogEvict(ids, testSeqCounter.Add(1), 1) }
 
 func mustOpen(t *testing.T, dir string) (*Store, []Entry) {
 	t.Helper()
@@ -100,7 +101,9 @@ func TestStoreCompactionAndRestart(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		state = append(state, testEntry(fmt.Sprintf("n%03d", i), float64(i), int64(i+1)))
 	}
-	if err := s.Compact("manual", func() ([]Entry, uint64, error) { return state, testSeqCounter.Load(), nil }); err != nil {
+	if err := s.Compact("manual", func() (Capture, error) {
+		return Capture{Entries: state, Seq: testSeqCounter.Load(), Epoch: 1}, nil
+	}); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
 	logRemove(s, "n000")
@@ -305,8 +308,11 @@ func TestRecoveryTruncatedTailEveryOffset(t *testing.T) {
 }
 
 func TestRecoveryCorruptMidRecordChecksum(t *testing.T) {
-	// A flipped bit inside a record's payload stops replay at that
-	// record; everything before it survives.
+	// A flipped bit inside a complete record is media damage, not a
+	// crash tail: replay stops cleanly at the bad record, everything
+	// before it survives, the damaged file is quarantined aside with a
+	// .corrupt suffix, and the valid prefix is rewritten in place so the
+	// next restart replays clean.
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
 	logUpsert(s, testEntry("a", 1, 100))
@@ -326,10 +332,75 @@ func TestRecoveryCorruptMidRecordChecksum(t *testing.T) {
 		t.Fatalf("write: %v", err)
 	}
 	s2, recovered := mustOpen(t, dir)
-	defer s2.Close()
 	entriesEqual(t, recovered, []Entry{testEntry("a", 1, 100), testEntry("b", 2, 200)})
-	if rec := s2.Recovery(); rec.TornBytes == 0 {
-		t.Fatal("corruption not reported as torn bytes")
+	rec := s2.Recovery()
+	if rec.QuarantinedWALs != 1 {
+		t.Fatalf("QuarantinedWALs = %d, want 1", rec.QuarantinedWALs)
+	}
+	if rec.TornBytes != 0 {
+		t.Fatalf("quarantined damage double-reported as %d torn bytes", rec.TornBytes)
+	}
+	if qerr := s2.QuarantineErr(); !errors.Is(qerr, ErrCorruptRecord) {
+		t.Fatalf("QuarantineErr = %v, want ErrCorruptRecord", qerr)
+	}
+	// The damaged original is preserved for forensics...
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// ...and the store stays appendable: new records extend the clean
+	// prefix, and a further restart replays with no damage reported.
+	logUpsert(s2, testEntry("d", 4, 400))
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s3, again := mustOpen(t, dir)
+	defer s3.Close()
+	entriesEqual(t, again, []Entry{
+		testEntry("a", 1, 100), testEntry("b", 2, 200), testEntry("d", 4, 400),
+	})
+	if rec := s3.Recovery(); rec.QuarantinedWALs != 0 || rec.TornBytes != 0 {
+		t.Fatalf("second restart still reports damage: %+v", rec)
+	}
+}
+
+func TestTailSinceStopsAtCorruptRecordDensely(t *testing.T) {
+	// A corrupt record mid-WAL must never let TailSince serve a gapped
+	// sequence: the dense prefix below the damage is served, and a
+	// resume point at or past the damage reports truncation so the
+	// consumer re-bootstraps.
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	for i := 1; i <= 6; i++ {
+		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i)), uint64(i), 1)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	path := walPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Flip a bit inside record 4 of 6: three records of damage-free
+	// prefix, two unreachable behind the damage. Records are equal-sized
+	// here, so byte math locates record 4's payload.
+	recSize := (int64(len(data)) - walHeaderSize) / 6
+	data[walHeaderSize+3*recSize+recSize/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	recs, truncated, err := s.TailSince(1, 0)
+	if err != nil || truncated {
+		t.Fatalf("TailSince(1): truncated=%v err=%v", truncated, err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 2 || recs[1].Seq != 3 {
+		t.Fatalf("TailSince(1) across damage not dense: %+v", recs)
+	}
+	// Nothing clean above the resume point: must report truncation, not
+	// an empty "caught up" answer that would strand the consumer.
+	if _, truncated, err := s.TailSince(4, 0); err != nil || !truncated {
+		t.Fatalf("TailSince past damage: truncated=%v err=%v", truncated, err)
 	}
 }
 
@@ -341,8 +412,8 @@ func TestRecoveryOnlyCorruptSnapshotRefusesToOpen(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
 	logUpsert(s, testEntry("a", 1, 100))
-	if err := s.Compact("manual", func() ([]Entry, uint64, error) {
-		return []Entry{testEntry("a", 1, 100)}, testSeqCounter.Load(), nil
+	if err := s.Compact("manual", func() (Capture, error) {
+		return Capture{Entries: []Entry{testEntry("a", 1, 100)}, Seq: testSeqCounter.Load(), Epoch: 1}, nil
 	}); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
@@ -386,10 +457,10 @@ func TestRecoveryCorruptSnapshotFallsBackAGeneration(t *testing.T) {
 	}
 	// Manufacture the crash-mid-compaction layout: snap-1 (valid),
 	// wal-1 (a, b), snap-2 (will be corrupted), wal-2 (c).
-	if err := writeSnapshot(dir, 1, 0, nil, true); err != nil {
+	if err := writeSnapshot(dir, 1, Capture{}, true); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
-	if err := writeSnapshot(dir, 2, 2, []Entry{testEntry("a", 1, 100), testEntry("b", 2, 200)}, true); err != nil {
+	if err := writeSnapshot(dir, 2, Capture{Seq: 2, Entries: []Entry{testEntry("a", 1, 100), testEntry("b", 2, 200)}}, true); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
 	f, err := createWAL(dir, 2, true)
@@ -433,8 +504,8 @@ func TestCrashBetweenRotateAndSnapshot(t *testing.T) {
 	s, _ := mustOpen(t, dir)
 	logUpsert(s, testEntry("a", 1, 100))
 	logUpsert(s, testEntry("b", 2, 200))
-	err := s.Compact("manual", func() ([]Entry, uint64, error) {
-		return nil, 0, fmt.Errorf("simulated crash before snapshot write")
+	err := s.Compact("manual", func() (Capture, error) {
+		return Capture{}, fmt.Errorf("simulated crash before snapshot write")
 	})
 	if err == nil {
 		t.Fatal("Compact swallowed the capture failure")
@@ -569,7 +640,7 @@ func TestCompactFailureSurfaced(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
 	defer s.Close()
-	if err := s.Compact("manual", func() ([]Entry, uint64, error) { return nil, 0, fmt.Errorf("capture exploded") }); err == nil {
+	if err := s.Compact("manual", func() (Capture, error) { return Capture{}, fmt.Errorf("capture exploded") }); err == nil {
 		t.Fatal("capture failure swallowed")
 	}
 	st := s.Stats()
@@ -585,7 +656,7 @@ func TestTailSinceServesWALAndHonorsHistoryFloor(t *testing.T) {
 	state := make([]Entry, 0, 10)
 	for i := 1; i <= 10; i++ {
 		e := testEntry(fmt.Sprintf("n%02d", i), float64(i), int64(i))
-		s.LogUpsert(e, uint64(i))
+		s.LogUpsert(e, uint64(i), 1)
 		state = append(state, e)
 	}
 	recs, truncated, err := s.TailSince(4, 0)
@@ -606,10 +677,10 @@ func TestTailSinceServesWALAndHonorsHistoryFloor(t *testing.T) {
 	// Compaction folds seqs <= 10 into the snapshot: resuming below the
 	// floor must report truncation, resuming at it must work and span
 	// the generation boundary.
-	if err := s.Compact("manual", func() ([]Entry, uint64, error) { return state, 10, nil }); err != nil {
+	if err := s.Compact("manual", func() (Capture, error) { return Capture{Entries: state, Seq: 10}, nil }); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	s.LogUpsert(testEntry("n11", 11, 11), 11)
+	s.LogUpsert(testEntry("n11", 11, 11), 11, 1)
 	if _, truncated, err := s.TailSince(3, 0); err != nil || !truncated {
 		t.Fatalf("TailSince below floor: truncated=%v err=%v", truncated, err)
 	}
@@ -634,8 +705,8 @@ func TestTailSinceNeverSplitsEvictChunks(t *testing.T) {
 	for i := range ids {
 		ids[i] = fmt.Sprintf("node-%05d", i)
 	}
-	s.LogEvict(ids, 1)
-	s.LogUpsert(testEntry("after", 1, 2), 2)
+	s.LogEvict(ids, 1, 1)
+	s.LogUpsert(testEntry("after", 1, 2), 2, 1)
 	recs, truncated, err := s.TailSince(0, 1)
 	if err != nil || truncated {
 		t.Fatalf("TailSince: truncated=%v err=%v", truncated, err)
@@ -659,7 +730,7 @@ func TestRecoveryLastSeqAcrossSnapshotAndWAL(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
 	for i := 1; i <= 5; i++ {
-		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i)), uint64(i))
+		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i)), uint64(i), 1)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
@@ -669,11 +740,11 @@ func TestRecoveryLastSeqAcrossSnapshotAndWAL(t *testing.T) {
 		t.Fatalf("WAL-only LastSeq = %d, want 5", got)
 	}
 	// Compact at seq 5, append 6..7: LastSeq must take the WAL max.
-	if err := s2.Compact("manual", func() ([]Entry, uint64, error) { return nil, 5, nil }); err != nil {
+	if err := s2.Compact("manual", func() (Capture, error) { return Capture{Seq: 5}, nil }); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	s2.LogUpsert(testEntry("n6", 6, 6), 6)
-	s2.LogUpsert(testEntry("n7", 7, 7), 7)
+	s2.LogUpsert(testEntry("n6", 6, 6), 6, 1)
+	s2.LogUpsert(testEntry("n7", 7, 7), 7, 1)
 	if err := s2.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -686,7 +757,7 @@ func TestRecoveryLastSeqAcrossSnapshotAndWAL(t *testing.T) {
 	}
 	// Snapshot-only recovery (empty WAL tail): the snapshot's capture
 	// sequence alone must seed LastSeq.
-	if err := s3.Compact("manual", func() ([]Entry, uint64, error) { return nil, 7, nil }); err != nil {
+	if err := s3.Compact("manual", func() (Capture, error) { return Capture{Seq: 7}, nil }); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
 	if err := s3.Close(); err != nil {
@@ -703,10 +774,10 @@ func TestCompactReasonRecorded(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
 	defer s.Close()
-	if err := s.Compact("wal-bytes", func() ([]Entry, uint64, error) { return nil, 0, nil }); err != nil {
+	if err := s.Compact("wal-bytes", func() (Capture, error) { return Capture{}, nil }); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	if err := s.Compact("timer", func() ([]Entry, uint64, error) { return nil, 0, nil }); err != nil {
+	if err := s.Compact("timer", func() (Capture, error) { return Capture{}, nil }); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
 	st := s.Stats()
@@ -723,7 +794,7 @@ func TestWALGenRecordsResetOnCompaction(t *testing.T) {
 	s, _ := mustOpen(t, dir)
 	defer s.Close()
 	for i := 1; i <= 8; i++ {
-		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i)), uint64(i))
+		s.LogUpsert(testEntry(fmt.Sprintf("n%d", i), float64(i), int64(i)), uint64(i), 1)
 	}
 	if err := s.Sync(); err != nil {
 		t.Fatalf("Sync: %v", err)
@@ -731,13 +802,13 @@ func TestWALGenRecordsResetOnCompaction(t *testing.T) {
 	if got := s.Stats().WALGenRecords; got != 8 {
 		t.Fatalf("WALGenRecords = %d, want 8", got)
 	}
-	if err := s.Compact("manual", func() ([]Entry, uint64, error) { return nil, 8, nil }); err != nil {
+	if err := s.Compact("manual", func() (Capture, error) { return Capture{Seq: 8}, nil }); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
 	if got := s.Stats().WALGenRecords; got != 0 {
 		t.Fatalf("WALGenRecords after compaction = %d, want 0", got)
 	}
-	s.LogUpsert(testEntry("n9", 9, 9), 9)
+	s.LogUpsert(testEntry("n9", 9, 9), 9, 1)
 	if err := s.Sync(); err != nil {
 		t.Fatalf("Sync: %v", err)
 	}
@@ -754,8 +825,8 @@ func TestSnapshotBogusCountRejectedNotAllocated(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir)
 	logUpsert(s, testEntry("a", 1, 100))
-	if err := s.Compact("manual", func() ([]Entry, uint64, error) {
-		return []Entry{testEntry("a", 1, 100)}, testSeqCounter.Load(), nil
+	if err := s.Compact("manual", func() (Capture, error) {
+		return Capture{Entries: []Entry{testEntry("a", 1, 100)}, Seq: testSeqCounter.Load(), Epoch: 1}, nil
 	}); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
@@ -763,15 +834,15 @@ func TestSnapshotBogusCountRejectedNotAllocated(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	// Rewrite the snapshot's count to an absurd value and fix up the
-	// CRC so only the bounds check can catch it.
+	// Rewrite the snapshot's entry count to an absurd value and fix up
+	// the CRC so only the bounds check can catch it.
 	path := snapPath(dir, 2)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
 	body := data[8 : len(data)-4]
-	binary.LittleEndian.PutUint64(body[16:], 1<<56)
+	binary.LittleEndian.PutUint64(body[40:], 1<<56)
 	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatalf("write: %v", err)

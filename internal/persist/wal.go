@@ -2,30 +2,46 @@ package persist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 )
 
-// WAL file layout (format 2 — record payloads carry the change-stream
-// sequence number; format-1 files are rejected at the magic check):
+// ErrCorruptRecord marks a WAL record whose frame is fully present but
+// whose bytes fail verification (checksum mismatch or undecodable
+// payload) — media damage inside the durable prefix, as opposed to the
+// torn tail a crash leaves. Recovery stops replay at the damaged
+// record, quarantines the generation file, and reports the error
+// through RecoveryStats; match with errors.Is.
+var ErrCorruptRecord = errors.New("persist: corrupt wal record")
+
+// WAL file layout (format 3 — record payloads carry the change-stream
+// sequence number and the fencing epoch; older formats are rejected at
+// the magic check):
 //
-//	8 bytes  magic "NCWAL\x02\x00\x00"
+//	8 bytes  magic "NCWAL\x03\x00\x00"
 //	8 bytes  generation (little endian)
 //	records: uint32 payload length | uint32 IEEE CRC of payload | payload
 //
-// The frame makes every record self-verifying: replay stops at the
-// first frame whose length is implausible, whose payload is cut short,
-// or whose checksum fails — all three are what a crash mid-append (or a
-// torn sector) looks like, and everything before that point is intact
-// by construction because records are written strictly append-only.
+// The frame makes every record self-verifying, and replay distinguishes
+// two failure shapes. A *torn* tail — not enough bytes left for the
+// frame header or the declared payload, or an implausible length that
+// makes further framing unparseable — is the signature of a crash
+// mid-append: replay ends cleanly at the last complete record and the
+// tail is discarded. A *corrupt* record — a complete frame whose
+// checksum or payload decode fails — means bytes inside the durable
+// prefix rotted (bit flip, bad sector): replay still stops there, but
+// the damage is surfaced as ErrCorruptRecord so recovery can quarantine
+// the file instead of silently treating media damage as a crash
+// artifact.
 const (
 	walHeaderSize   = 16
 	frameHeaderSize = 8
 )
 
-var walMagic = [8]byte{'N', 'C', 'W', 'A', 'L', 2, 0, 0}
+var walMagic = [8]byte{'N', 'C', 'W', 'A', 'L', 3, 0, 0}
 
 // walPath names the WAL file for a generation.
 func walPath(dir string, gen uint64) string {
@@ -80,6 +96,11 @@ type walReplay struct {
 	validSize int64
 	// tornBytes is how many trailing bytes were discarded.
 	tornBytes int64
+	// corrupt reports that the scan ended on a complete-but-damaged
+	// frame (checksum or decode failure) rather than a torn tail;
+	// corruptErr wraps ErrCorruptRecord with the position.
+	corrupt    bool
+	corruptErr error
 }
 
 // replayWAL scans the WAL at path, invoking apply for every complete
@@ -115,18 +136,26 @@ func replayWAL(path string, wantGen uint64, apply func(Record)) (walReplay, erro
 		plen := binary.LittleEndian.Uint32(rest)
 		sum := binary.LittleEndian.Uint32(rest[4:])
 		if plen == 0 || plen > maxRecordSize {
-			break // implausible length: corruption
+			// An implausible length makes further framing unparseable;
+			// indistinguishable from append garbage, so treat as torn.
+			break
 		}
 		if len(rest) < frameHeaderSize+int(plen) {
 			break // torn payload
 		}
 		payload := rest[frameHeaderSize : frameHeaderSize+int(plen)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			break // torn or bit-rotted write
+			// The full frame is on disk but its bytes rotted: this is
+			// media damage inside the durable prefix, not a crash tail.
+			rep.corrupt = true
+			rep.corruptErr = fmt.Errorf("%w: %s: record %d at offset %d: checksum mismatch", ErrCorruptRecord, filepath.Base(path), rep.records, off)
+			break
 		}
 		rec, err := decodeRecordPayload(payload)
 		if err != nil {
-			break // framed but undecodable: treat as corruption boundary
+			rep.corrupt = true
+			rep.corruptErr = fmt.Errorf("%w: %s: record %d at offset %d: %v", ErrCorruptRecord, filepath.Base(path), rep.records, off, err)
+			break
 		}
 		apply(rec)
 		rep.records++

@@ -186,13 +186,16 @@ func (s *Server) handleChanges(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		if len(evs) > 0 || wait <= 0 || !time.Now().Before(deadline) {
-			writeJSON(w, http.StatusOK, map[string]any{"seq": s.source.ChangeSeq(), "events": evs})
+			// epoch is the body-level fencing signal: a follower polling
+			// a deposed leader detects the stale epoch here even when the
+			// batch is empty, and rotates to a live upstream.
+			writeJSON(w, http.StatusOK, map[string]any{"seq": s.source.ChangeSeq(), "epoch": s.source.ChangeEpoch(), "events": evs})
 			return
 		}
 		if !s.waitForChange(req, since, deadline) {
 			// Client went away, or shutdown/deadline: answer with what
 			// there is (nothing) so long-poll loops stay simple.
-			writeJSON(w, http.StatusOK, map[string]any{"seq": s.source.ChangeSeq(), "events": []netcoord.ChangeEvent{}})
+			writeJSON(w, http.StatusOK, map[string]any{"seq": s.source.ChangeSeq(), "epoch": s.source.ChangeEpoch(), "events": []netcoord.ChangeEvent{}})
 			return
 		}
 	}

@@ -62,8 +62,10 @@ func (s *Server) handleUpsert(w http.ResponseWriter, req *http.Request) {
 	}
 	// seq is read after the batch applied, so it covers these upserts:
 	// a writer can hand it straight to /changes?since= and observe every
-	// subsequent mutation with no read-then-subscribe race.
-	resp := map[string]any{"applied": len(batch), "entries": s.reg.Len(), "seq": s.source.ChangeSeq()}
+	// subsequent mutation with no read-then-subscribe race. epoch lets
+	// the writer prove it talked to the fenced-in leader, not a deposed
+	// one still answering.
+	resp := map[string]any{"applied": len(batch), "entries": s.reg.Len(), "seq": s.source.ChangeSeq(), "epoch": s.source.ChangeEpoch()}
 	s.flagDegraded(resp)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -92,9 +94,57 @@ func (s *Server) handleRemove(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("no id in request"))
 		return
 	}
-	resp := map[string]any{"removed": s.reg.Remove(body.ID), "seq": s.source.ChangeSeq()}
+	resp := map[string]any{"removed": s.reg.Remove(body.ID), "seq": s.source.ChangeSeq(), "epoch": s.source.ChangeEpoch()}
 	s.flagDegraded(resp)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePromote turns this process into the stream's leader.
+//
+// On a follower it stops the tail loop, bumps the fencing epoch, and
+// opens the mutation surface — local writes continue the dense sequence
+// space under the new epoch, and everything the deposed leader still
+// writes is fenced out by every tier that saw the promotion. The caller
+// (an operator, or an external failure detector) owns promoting exactly
+// one replica. Idempotent: repeating the call re-answers with the
+// established epoch.
+//
+// On a persistent leader it is a defensive fence: the epoch is bumped
+// and made durable (WAL rotation), so anything still replaying the old
+// epoch — say a partitioned replica of a deposed predecessor — is
+// rejected from here on. On a plain in-memory leader there is nothing
+// to promote and the call is a 409.
+func (s *Server) handlePromote(w http.ResponseWriter, req *http.Request) {
+	switch {
+	case s.follower != nil:
+		epoch, err := s.follower.Promote()
+		already := errors.Is(err, netcoord.ErrNotPromotable)
+		if err != nil && !already {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.promoted.Store(true)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"promoted": true,
+			"already":  already,
+			"epoch":    epoch,
+			"seq":      s.source.ChangeSeq(),
+		})
+	case s.persist != nil:
+		epoch, err := s.persist.Fence()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"promoted": true,
+			"fenced":   true,
+			"epoch":    epoch,
+			"seq":      s.source.ChangeSeq(),
+		})
+	default:
+		writeError(w, http.StatusConflict, errors.New("already the leader (in-memory registry; nothing to promote)"))
+	}
 }
 
 // handleNearestGet answers proximity queries centered on a registered
@@ -214,6 +264,7 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"change_stream":  s.source.ChangeStreamStats(),
 		"seq":            s.source.ChangeSeq(),
+		"epoch":          s.source.ChangeEpoch(),
 		"watch_hub":      s.hub.Stats(),
 	}
 	if s.follower != nil {

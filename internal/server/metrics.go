@@ -149,6 +149,12 @@ func (s *Server) registerCollectors() {
 	reg.GaugeFunc("netcoord_changefeed_seq",
 		"Last assigned change-stream sequence number.", nil,
 		cs(func(st netcoord.ChangeStreamStats) float64 { return float64(st.Seq) }))
+	reg.GaugeFunc("netcoord_changefeed_epoch",
+		"Fencing epoch of the stream this process serves (bumped on promotion).", nil,
+		cs(func(st netcoord.ChangeStreamStats) float64 { return float64(st.Epoch) }))
+	reg.CounterFunc("netcoord_changefeed_rejected_stale_epoch_total",
+		"Events refused by this process's feed because they carried a stale fencing epoch.", nil,
+		func() uint64 { return s.source.ChangeStreamStats().RejectedStaleEpoch })
 	reg.CounterFunc("netcoord_changefeed_published_total",
 		"Change events published by this process (relayed events included on a follower).", nil,
 		func() uint64 { return s.source.ChangeStreamStats().Published })
@@ -217,6 +223,23 @@ func (s *Server) registerCollectors() {
 		reg.CounterFunc("netcoord_follower_errors_total",
 			"Failed leader calls.", nil,
 			func() uint64 { return f.FollowerStats().Errors })
+		reg.CounterFunc("netcoord_follower_failovers_total",
+			"Rotations to the next configured upstream.", nil,
+			func() uint64 { return f.FollowerStats().Failovers })
+		reg.CounterFunc("netcoord_follower_reconnects_total",
+			"Successful resumptions after one or more upstream errors.", nil,
+			func() uint64 { return f.FollowerStats().Reconnects })
+		reg.CounterFunc("netcoord_follower_rejected_stale_epoch_total",
+			"Upstream responses and events refused for carrying a stale fencing epoch.", nil,
+			func() uint64 { return f.FollowerStats().RejectedStaleEpoch })
+		reg.GaugeFunc("netcoord_follower_promoted",
+			"1 once this replica has been promoted to leader.", nil,
+			func() float64 {
+				if f.Promoted() {
+					return 1
+				}
+				return 0
+			})
 		reg.GaugeFunc("netcoord_follower_last_bootstrap_seconds",
 			"Duration of the most recent snapshot bootstrap.", nil,
 			func() float64 { return f.FollowerStats().LastBootstrapSeconds })
@@ -273,7 +296,7 @@ func (s *Server) registerCollectors() {
 // bound — past it the replica serves reads staler than the operator
 // tolerates and should be drained until it catches up.
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
-	if s.follower != nil {
+	if s.follower != nil && !s.promoted.Load() {
 		st := s.follower.FollowerStats()
 		body := map[string]any{
 			"role":        "follower",
@@ -281,6 +304,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 			"leader_seq":  st.LeaderSeq,
 			"lag":         st.Lag,
 			"max_lag":     s.maxLag,
+			"epoch":       st.Epoch,
 		}
 		switch {
 		case st.Bootstraps == 0:
@@ -295,7 +319,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 		}
 		return
 	}
-	body := map[string]any{"role": "leader", "status": "ok"}
+	body := map[string]any{"role": "leader", "status": "ok", "epoch": s.source.ChangeEpoch()}
+	if s.follower != nil {
+		// A promoted follower reports as leader, flagged so an operator
+		// can tell a born leader from a failover survivor.
+		body["promoted"] = true
+	}
 	if s.persist != nil {
 		if err := s.persist.Err(); err != nil {
 			body["status"] = "degraded"

@@ -158,9 +158,9 @@ func TestFollowerWatchBitIdenticalToLeader(t *testing.T) {
 	// Paced relevant mutations: each changes the top-2, and each tier
 	// must push the identical delta (same seq, results, added/removed).
 	steps := []string{
-		`{"id":"c","coord":{"vec":[0.5,0,0]}}`,  // enters at rank 1
-		`{"id":"a","coord":{"vec":[90,0,0]}}`,   // member leaves, b re-enters
-		`{"id":"c","coord":{"vec":[3,0,0]}}`,    // reorder
+		`{"id":"c","coord":{"vec":[0.5,0,0]}}`,   // enters at rank 1
+		`{"id":"a","coord":{"vec":[90,0,0]}}`,    // member leaves, b re-enters
+		`{"id":"c","coord":{"vec":[3,0,0]}}`,     // reorder
 		`{"id":"far","coord":{"vec":[0.1,0,0]}}`, // outsider dives in
 	}
 	for i, step := range steps {

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netcoord"
@@ -83,6 +84,11 @@ type Server struct {
 	mux      *http.ServeMux
 	met      *serverMetrics
 
+	// promoted latches once POST /promote succeeds on a follower: the
+	// replica is now the leader, so the mutation surface opens and the
+	// staleness headers stop (its state is authoritative, not a copy).
+	promoted atomic.Bool
+
 	// hub multiplexes every /watch onto one change-stream subscription;
 	// notifier multiplexes every /changes long-poll onto another.
 	hub      *WatchHub
@@ -128,11 +134,12 @@ func New(cfg Config) *Server {
 	s.registerCollectors()
 	s.mux.HandleFunc("POST /upsert", s.instrument("/upsert", s.leaderOnly(s.handleUpsert)))
 	s.mux.HandleFunc("POST /remove", s.instrument("/remove", s.leaderOnly(s.handleRemove)))
-	s.mux.HandleFunc("GET /nearest", s.instrument("/nearest", s.handleNearestGet))
-	s.mux.HandleFunc("POST /nearest", s.instrument("/nearest", s.handleNearestPost))
-	s.mux.HandleFunc("GET /estimate", s.instrument("/estimate", s.handleEstimate))
-	s.mux.HandleFunc("GET /snapshot", s.instrument("/snapshot", s.handleSnapshot))
-	s.mux.HandleFunc("GET /changes", s.instrument("/changes", s.handleChanges))
+	s.mux.HandleFunc("POST /promote", s.instrument("/promote", s.handlePromote))
+	s.mux.HandleFunc("GET /nearest", s.instrument("/nearest", s.staleness(s.handleNearestGet)))
+	s.mux.HandleFunc("POST /nearest", s.instrument("/nearest", s.staleness(s.handleNearestPost)))
+	s.mux.HandleFunc("GET /estimate", s.instrument("/estimate", s.staleness(s.handleEstimate)))
+	s.mux.HandleFunc("GET /snapshot", s.instrument("/snapshot", s.staleness(s.handleSnapshot)))
+	s.mux.HandleFunc("GET /changes", s.instrument("/changes", s.staleness(s.handleChanges)))
 	s.mux.HandleFunc("GET /watch", s.instrument("/watch", s.handleWatch))
 	s.mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -147,12 +154,36 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) { s.mux.Ser
 func (s *Server) Stop() { s.shutdownOnce.Do(func() { close(s.shutdown) }) }
 
 // leaderOnly rejects mutations on a follower: its state is a replica
-// of the leader's, and a local write would silently diverge it.
+// of the leader's, and a local write would silently diverge it. A
+// promoted follower IS the leader — its writes continue the stream
+// under the new fencing epoch — so the gate opens after promotion.
 func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
-		if s.follower != nil {
+		if s.follower != nil && !s.promoted.Load() {
 			writeError(w, http.StatusForbidden, fmt.Errorf("read-only replica of %s: send mutations to the leader", s.follower.FollowerStats().LeaderURL))
 			return
+		}
+		h(w, req)
+	}
+}
+
+// staleness stamps follower read responses with how stale they may be:
+// X-NC-Staleness is seconds since the upstream last answered, X-NC-Lag
+// the events known outstanding. A replica cut off from its upstream
+// keeps serving reads — availability degrades gracefully instead of
+// cliffing — but every response discloses the bound, so a client that
+// needs read-your-writes (it just mutated through the leader) knows to
+// pin to the leader or to wait out the advertised staleness instead of
+// trusting an arbitrary replica. Promotion ends the stamping: the
+// state is authoritative from then on.
+func (s *Server) staleness(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if s.follower != nil && !s.promoted.Load() {
+			st := s.follower.FollowerStats()
+			if st.LastContactAgeSeconds >= 0 {
+				w.Header().Set("X-NC-Staleness", strconv.FormatFloat(st.LastContactAgeSeconds, 'f', 3, 64))
+			}
+			w.Header().Set("X-NC-Lag", strconv.FormatUint(st.Lag, 10))
 		}
 		h(w, req)
 	}

@@ -32,7 +32,7 @@ import (
 // the stream, so chaining a replica off a replica is supported).
 func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 	var followerOf string
-	if s.follower != nil {
+	if s.follower != nil && !s.promoted.Load() {
 		followerOf = s.follower.FollowerStats().LeaderURL
 	}
 	if raw := req.URL.Query().Get("since"); raw != "" {
@@ -63,7 +63,10 @@ func (s *Server) writeSnapshotBody(w http.ResponseWriter, seq uint64, followerOf
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	bw := bufio.NewWriterSize(w, 1<<16)
-	fmt.Fprintf(bw, `{"seq":%d`, seq)
+	// The epoch rides the bootstrap pair: a replica refusing to re-base
+	// onto a deposed leader's snapshot needs the epoch of the state it
+	// is about to adopt.
+	fmt.Fprintf(bw, `{"seq":%d,"epoch":%d`, seq, s.source.ChangeEpoch())
 	if followerOf != "" {
 		quoted, _ := json.Marshal(followerOf)
 		fmt.Fprintf(bw, `,"follower_of":%s`, quoted)

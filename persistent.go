@@ -106,11 +106,11 @@ func storeTap(s *persist.Store) func(changefeed.Event) {
 				Coord:     ev.Entry.Coord,
 				Error:     ev.Entry.Error,
 				UpdatedAt: ev.Entry.UpdatedAt,
-			}, ev.Seq)
+			}, ev.Seq, ev.Epoch)
 		case changefeed.OpRemove:
-			s.LogRemove(ev.ID, ev.Seq)
+			s.LogRemove(ev.ID, ev.Seq, ev.Epoch)
 		case changefeed.OpEvict:
-			s.LogEvict(ev.IDs, ev.Seq)
+			s.LogEvict(ev.IDs, ev.Seq, ev.Epoch)
 		}
 	}
 }
@@ -186,12 +186,23 @@ func OpenPersistentRegistry(cfg PersistentRegistryConfig) (*PersistentRegistry, 
 	}
 	// Install the change stream only after recovery, so recovered
 	// entries are not re-published into the log they came from: the
-	// feed continues from the last persisted sequence, the store
-	// consumes it as a tap, and only then may the janitor start
-	// evicting.
-	feed := changefeed.New(streamBuf, store.Recovery().LastSeq)
+	// feed continues from the last persisted sequence — and the last
+	// persisted fencing epoch, so a promoted leader keeps fencing after
+	// a restart — the store consumes it as a tap, the recovered
+	// tombstone ring restores removal knowledge for delta
+	// re-bootstraps, and only then may the janitor start evicting.
+	rec := store.Recovery()
+	feed := changefeed.New(streamBuf, rec.LastSeq)
+	feed.SetEpoch(rec.LastEpoch)
+	if floor, tombs := store.RecoveredTombstones(); len(tombs) > 0 || floor > 0 {
+		seed := make([]changefeed.Tombstone, len(tombs))
+		for i, t := range tombs {
+			seed[i] = changefeed.Tombstone{Seq: t.Seq, ID: t.ID}
+		}
+		feed.SeedTombstones(floor, seed)
+	}
 	feed.Tap(storeTap(store))
-	reg.feed = feed
+	reg.installFeed(feed)
 	reg.startJanitor()
 
 	p := &PersistentRegistry{
@@ -261,17 +272,51 @@ func (p *PersistentRegistry) walTrigger() (reason string, hit bool) {
 func (p *PersistentRegistry) Compact() error { return p.compactAs("manual") }
 
 func (p *PersistentRegistry) compactAs(reason string) error {
-	return p.store.Compact(reason, func() ([]persist.Entry, uint64, error) {
+	return p.store.Compact(reason, func() (persist.Capture, error) {
 		// Sequence before state: the snapshot is then a superset of the
-		// stream at seq, and replay above seq converges exactly.
-		seq := p.Registry.ChangeSeq()
-		snap := p.Registry.Snapshot()
-		entries := make([]persist.Entry, len(snap))
-		for i, e := range snap {
-			entries[i] = persist.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt}
+		// stream at seq, and replay above seq converges exactly. The
+		// capture also carries the fencing epoch and the tombstone ring
+		// so promotion and delta re-bootstraps survive restarts.
+		c := persist.Capture{
+			Seq:   p.Registry.ChangeSeq(),
+			Epoch: p.Registry.ChangeEpoch(),
 		}
-		return entries, seq, nil
+		if feed := p.Registry.getFeed(); feed != nil {
+			floor, tombs := feed.Tombstones()
+			c.TombstoneFloor = floor
+			c.Tombstones = make([]persist.Tombstone, len(tombs))
+			for i, t := range tombs {
+				c.Tombstones[i] = persist.Tombstone{Seq: t.Seq, ID: t.ID}
+			}
+		}
+		snap := p.Registry.Snapshot()
+		c.Entries = make([]persist.Entry, len(snap))
+		for i, e := range snap {
+			c.Entries[i] = persist.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt}
+		}
+		return c, nil
 	})
+}
+
+// Fence bumps the registry's fencing epoch and rotates the WAL into a
+// fresh, epoch-stamped snapshot — the durable half of promoting this
+// process to (or re-asserting it as) the authoritative leader. Every
+// mutation applied after Fence returns carries the new epoch, so
+// streams still flowing from a deposed leader (stuck at the old epoch)
+// are rejected by followers and watchers. The compaction is what makes
+// the bump durable immediately: a crash right after Fence recovers the
+// new epoch from the snapshot instead of reverting to the old one.
+func (p *PersistentRegistry) Fence() (uint64, error) {
+	feed := p.Registry.getFeed()
+	if feed == nil {
+		return 0, ErrChangeStreamDisabled
+	}
+	epoch := feed.Epoch() + 1
+	feed.SetEpoch(epoch)
+	if err := p.compactAs("promote"); err != nil {
+		return epoch, err
+	}
+	return epoch, nil
 }
 
 // ChangesSince returns up to max events with sequence > since, oldest
@@ -295,7 +340,7 @@ func (p *PersistentRegistry) ChangesSince(since uint64, max int) ([]ChangeEvent,
 	}
 	out := make([]ChangeEvent, 0, len(recs))
 	for _, rec := range recs {
-		ev := ChangeEvent{Seq: rec.Seq}
+		ev := ChangeEvent{Seq: rec.Seq, Epoch: rec.Epoch}
 		switch rec.Op {
 		case persist.OpUpsert:
 			entry := toChangeEntry(RegistryEntry{

@@ -326,3 +326,103 @@ func TestPersistentRegistryJanitorEvictionLogged(t *testing.T) {
 		t.Fatal("janitor eviction was not logged: entry resurrected on restart")
 	}
 }
+
+func TestPersistentRegistryEpochSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	p := openTestPR(t, dir, RegistryConfig{})
+	if err := p.Upsert("a", c3(1, 0, 0), 0.1); err != nil {
+		t.Fatalf("Upsert: %v", err)
+	}
+	if got := p.ChangeEpoch(); got != 0 {
+		t.Fatalf("fresh registry epoch = %d, want 0", got)
+	}
+	epoch, err := p.Fence()
+	if err != nil {
+		t.Fatalf("Fence: %v", err)
+	}
+	if epoch != 1 {
+		t.Fatalf("Fence epoch = %d, want 1", epoch)
+	}
+	// Fencing is cumulative: a second fence keeps climbing.
+	if epoch, err = p.Fence(); err != nil || epoch != 2 {
+		t.Fatalf("second Fence = %d, %v; want 2", epoch, err)
+	}
+	// Post-fence mutations are stamped with the new epoch.
+	if err := p.Upsert("b", c3(2, 0, 0), 0.1); err != nil {
+		t.Fatalf("Upsert: %v", err)
+	}
+	seq := p.ChangeSeq()
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	p2 := openTestPR(t, dir, RegistryConfig{})
+	defer p2.Close()
+	if got := p2.ChangeEpoch(); got != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", got)
+	}
+	if got := p2.ChangeSeq(); got != seq {
+		t.Fatalf("recovered seq = %d, want %d", got, seq)
+	}
+	// New mutations continue under the recovered epoch.
+	if err := p2.Upsert("c", c3(3, 0, 0), 0.1); err != nil {
+		t.Fatalf("Upsert: %v", err)
+	}
+	evs, err := p2.ChangesSince(seq, -1)
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("ChangesSince(%d) = %v, %v", seq, evs, err)
+	}
+	if evs[0].Epoch != 2 {
+		t.Fatalf("post-restart event epoch = %d, want 2", evs[0].Epoch)
+	}
+}
+
+func TestPersistentRegistryTombstonesSurviveRestart(t *testing.T) {
+	// A follower that bootstrapped at seq S asks the restarted leader for
+	// /snapshot?since=S. The delta's removed list comes from tombstone
+	// knowledge, which must therefore be durable — otherwise the restart
+	// silently forgets removals and the follower resurrects dead nodes.
+	dir := t.TempDir()
+	p := openTestPR(t, dir, RegistryConfig{})
+	for i := 0; i < 8; i++ {
+		if err := p.Upsert(fmt.Sprintf("n%d", i), c3(float64(i), 0, 0), 0.1); err != nil {
+			t.Fatalf("Upsert: %v", err)
+		}
+	}
+	mark := p.ChangeSeq() // a follower's resume point, before the removals
+	p.Remove("n0")
+	p.Remove("n1")
+	// Compact so the tombstones must travel through the snapshot, not
+	// just WAL replay.
+	if err := p.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	p2 := openTestPR(t, dir, RegistryConfig{})
+	defer p2.Close()
+	entries, removed, _, ok := p2.DeltaSince(mark)
+	if !ok {
+		t.Fatalf("DeltaSince(%d) not provable after restart; tombstones lost", mark)
+	}
+	// Per-entry sequences are not persisted, so a recovered delta may
+	// conservatively over-include live entries — but it must never
+	// resurrect a removed one.
+	for _, e := range entries {
+		if e.ID == "n0" || e.ID == "n1" {
+			t.Fatalf("delta resurrected removed entry %s", e.ID)
+		}
+	}
+	if len(removed) != 2 {
+		t.Fatalf("delta removed = %v, want [n0 n1]", removed)
+	}
+	seen := map[string]bool{}
+	for _, id := range removed {
+		seen[id] = true
+	}
+	if !seen["n0"] || !seen["n1"] {
+		t.Fatalf("delta removed = %v, want n0 and n1", removed)
+	}
+}

@@ -105,10 +105,25 @@ type RegistryStats struct {
 // It returns the assigned sequence (0 with the stream disabled), which
 // the caller stamps onto the stored entry.
 func (r *Registry) publishUpsert(e RegistryEntry) uint64 {
-	if r.feed != nil {
-		return r.feed.PublishUpsert(changefeed.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt})
+	if feed := r.getFeed(); feed != nil {
+		return feed.PublishUpsert(changefeed.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt})
 	}
 	return 0
+}
+
+// getFeed loads the current change feed (nil with the stream disabled).
+func (r *Registry) getFeed() *changefeed.Feed {
+	return r.feed.Load()
+}
+
+// installFeed replaces the registry's change feed. Two callers exist,
+// both of which guarantee no mutation is in flight: persistence
+// recovery (before the registry is shared) and follower promotion
+// (after the tailer has fully stopped). The new feed must already be
+// positioned at the stream's current sequence so the dense total order
+// continues without a gap.
+func (r *Registry) installFeed(feed *changefeed.Feed) {
+	r.feed.Store(feed)
 }
 
 // registryShard is one lock stripe: a map for point lookups and a
@@ -153,12 +168,14 @@ type Registry struct {
 	// feed, when non-nil, is the change stream every applied mutation is
 	// published to (under the owning shard's lock, so per-id stream
 	// order matches apply order); persistence taps it, subscribers and
-	// replicas consume it. The field is set before the registry is
-	// shared and never changed. validateID, when non-nil, rejects
-	// upserts whose ids downstream consumers could not represent (the
-	// persistence wire format bounds id length); an accepted-but-
-	// unloggable entry would be silently non-durable.
-	feed       *changefeed.Feed
+	// replicas consume it. It is normally installed before the registry
+	// is shared (construction, or persistence recovery), but promotion
+	// swaps a follower's relay in as the write feed at runtime — hence
+	// the atomic pointer rather than a plain field. validateID, when
+	// non-nil, rejects upserts whose ids downstream consumers could not
+	// represent (the persistence wire format bounds id length); an
+	// accepted-but-unloggable entry would be silently non-durable.
+	feed       atomic.Pointer[changefeed.Feed]
 	validateID func(id string) error
 
 	// lifeMu orders goroutine starts (janitor, feeds) against Close:
@@ -216,7 +233,7 @@ func newRegistry(cfg RegistryConfig) (*Registry, error) {
 		closed: make(chan struct{}),
 	}
 	if cfg.ChangeStreamBuffer > 0 {
-		r.feed = changefeed.New(cfg.ChangeStreamBuffer, 0)
+		r.feed.Store(changefeed.New(cfg.ChangeStreamBuffer, 0))
 	}
 	for i := range r.shards {
 		tree, err := index.New(cfg.Dimension)
@@ -263,8 +280,8 @@ func (r *Registry) Close() {
 		r.lifeMu.Unlock()
 	})
 	r.wg.Wait()
-	if r.feed != nil {
-		r.feed.Close()
+	if feed := r.getFeed(); feed != nil {
+		feed.Close()
 	}
 }
 
@@ -430,8 +447,8 @@ func (r *Registry) Remove(id string) bool {
 	delete(s.entries, id)
 	s.tree.Remove(id)
 	r.removes.Add(1)
-	if r.feed != nil {
-		r.feed.PublishRemove(id)
+	if feed := r.getFeed(); feed != nil {
+		feed.PublishRemove(id)
 	}
 	return true
 }
@@ -606,6 +623,7 @@ func (r *Registry) EvictStale() int {
 	}
 	cutoff := r.clock().Add(-r.ttl)
 	evicted := 0
+	feed := r.getFeed()
 	for _, s := range r.shards {
 		var evictedIDs []string
 		s.mu.Lock()
@@ -614,7 +632,7 @@ func (r *Registry) EvictStale() int {
 				delete(s.entries, id)
 				s.tree.Remove(id)
 				evicted++
-				if r.feed != nil {
+				if feed != nil {
 					evictedIDs = append(evictedIDs, id)
 				}
 			}
@@ -622,7 +640,7 @@ func (r *Registry) EvictStale() int {
 		if len(evictedIDs) > 0 {
 			// Published under the shard lock like every other mutation;
 			// the feed chunks oversized sweeps into multiple events.
-			r.feed.PublishEvict(evictedIDs)
+			feed.PublishEvict(evictedIDs)
 		}
 		s.mu.Unlock()
 	}

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"netcoord/internal/changefeed"
 	"netcoord/internal/telemetry"
 	"netcoord/internal/xrand"
 )
@@ -131,6 +132,15 @@ func benchMutationFixtures(b *testing.B) (*Registry, []string, []Coordinate) {
 	b.Helper()
 	const n = 100_000
 	r, _ := buildBenchRegistry(b, n)
+	// The serving stack always runs with the change stream on, but the
+	// shared bench registry is built without one — install a feed (as
+	// recovery does) carrying a nonzero fencing epoch, so the measured
+	// path includes the sequencing and epoch stamp a post-promotion
+	// leader pays. The zero-alloc gate then proves fencing costs no
+	// garbage on the write path.
+	feed := changefeed.New(DefaultChangeStreamBuffer, 0)
+	feed.SetEpoch(3)
+	r.installFeed(feed)
 	rng := xrand.NewStream(7)
 	ids := make([]string, 4096)
 	coords := make([]Coordinate, 4096)
