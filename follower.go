@@ -669,7 +669,7 @@ func (f *FollowerRegistry) pollOnce() error {
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		resp.Body.Close()
+		_ = resp.Body.Close() // drained above; the response was already consumed
 	}()
 	switch resp.StatusCode {
 	case http.StatusOK:
@@ -809,7 +809,7 @@ func (f *FollowerRegistry) bootstrap() error {
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		resp.Body.Close()
+		_ = resp.Body.Close() // drained above; the response was already consumed
 	}()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("leader /snapshot: %s", httpErrorDetail(resp))

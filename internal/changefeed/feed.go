@@ -300,6 +300,8 @@ func (f *Feed) PublishEvict(ids []string) uint64 {
 // deposed leader still publishing after a promotion, and applying it
 // would fork the promoted stream. A higher epoch is adopted: the relay
 // is observing its upstream's promotion.
+//
+//nc:hotpath
 func (f *Feed) PublishAt(ev Event) {
 	f.mu.Lock()
 	if cur := f.epoch.Load(); ev.Epoch < cur {
@@ -388,6 +390,8 @@ func (f *Feed) AdvanceTo(seq uint64, removed []string) {
 
 // resetLocked restarts the sequence space and closes every subscriber;
 // the caller holds f.mu and has already settled ring and tombstones.
+//
+//nc:locked(mu)
 func (f *Feed) resetLocked(seq uint64) {
 	f.seq = seq
 	f.seqAtomic.Store(seq)
@@ -400,6 +404,8 @@ func (f *Feed) resetLocked(seq uint64) {
 // recordTombLocked remembers one removal in the tombstone ring; the
 // caller holds f.mu. Overwriting the oldest slot raises the floor: the
 // feed can no longer prove completeness of removals at or before it.
+//
+//nc:locked(mu)
 func (f *Feed) recordTombLocked(seq uint64, id string) {
 	if f.tombLen == len(f.tombs) {
 		f.tombFloor = f.tombs[f.tombNext].seq
@@ -440,6 +446,8 @@ func (f *Feed) Tombstones() (floor uint64, tombs []Tombstone) {
 }
 
 // recordTombsLocked records an event's removals; the caller holds f.mu.
+//
+//nc:locked(mu)
 func (f *Feed) recordTombsLocked(ev Event) {
 	switch ev.Op {
 	case OpRemove:
@@ -481,6 +489,8 @@ func (f *Feed) RemovedSince(since uint64) ([]string, bool) {
 
 // deliverLocked runs the taps and offers ev to every subscriber; the
 // caller holds f.mu.
+//
+//nc:locked(mu)
 func (f *Feed) deliverLocked(ev Event) {
 	for _, tap := range f.taps {
 		tap(ev)

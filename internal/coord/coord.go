@@ -66,6 +66,7 @@ func (c Coordinate) Clone() Coordinate {
 func (c *Coordinate) CopyFrom(other Coordinate) {
 	if c.Vec.Set(other.Vec) != nil {
 		// Dimension changed: fall back to a fresh clone.
+		//nc:allow(hotpath) dimension-change fallback: cold by definition
 		c.Vec = other.Vec.Clone()
 	}
 	c.Height = other.Height
@@ -78,12 +79,15 @@ func (c Coordinate) Dim() int { return c.Vec.Dim() }
 // dimension, finite components, and a finite non-negative height.
 func (c Coordinate) Validate(dim int) error {
 	if c.Vec.Dim() != dim {
+		//nc:allow(hotpath) validation-failure return: cold by definition
 		return fmt.Errorf("%w: dimension %d, want %d", ErrInvalid, c.Vec.Dim(), dim)
 	}
 	if !c.Vec.IsFinite() {
+		//nc:allow(hotpath) validation-failure return: cold by definition
 		return fmt.Errorf("%w: non-finite component in %v", ErrInvalid, c.Vec)
 	}
 	if math.IsNaN(c.Height) || math.IsInf(c.Height, 0) || c.Height < 0 {
+		//nc:allow(hotpath) validation-failure return: cold by definition
 		return fmt.Errorf("%w: height %v", ErrInvalid, c.Height)
 	}
 	return nil
@@ -94,6 +98,7 @@ func (c Coordinate) Validate(dim int) error {
 func (c Coordinate) DistanceTo(other Coordinate) (float64, error) {
 	d, err := c.Vec.Dist(other.Vec)
 	if err != nil {
+		//nc:allow(hotpath) dimension-mismatch return: cold by definition
 		return 0, fmt.Errorf("coordinate distance: %w", err)
 	}
 	return d + c.Height + other.Height, nil
@@ -106,6 +111,7 @@ func (c Coordinate) DistanceTo(other Coordinate) (float64, error) {
 func (c Coordinate) DisplacementFrom(prev Coordinate) (float64, error) {
 	d, err := c.Vec.Dist(prev.Vec)
 	if err != nil {
+		//nc:allow(hotpath) dimension-mismatch return: cold by definition
 		return 0, fmt.Errorf("coordinate displacement: %w", err)
 	}
 	return d + math.Abs(c.Height-prev.Height), nil

@@ -13,6 +13,7 @@
 package faultproxy
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"net"
@@ -72,6 +73,12 @@ type Proxy struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// ctx is canceled by Close; upstream dials and latency sleeps hang
+	// off it so a closing proxy never pins a goroutine in a dial or a
+	// timer.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	wg sync.WaitGroup
 }
 
@@ -93,6 +100,7 @@ func New(target string, opts Options) (*Proxy, error) {
 		opts:   opts,
 		conns:  make(map[net.Conn]struct{}),
 	}
+	p.ctx, p.cancel = context.WithCancel(context.Background())
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -141,6 +149,7 @@ func (p *Proxy) Close() {
 	p.connMu.Lock()
 	p.closed = true
 	p.connMu.Unlock()
+	p.cancel()
 	_ = p.ln.Close()
 	p.killAll()
 	p.wg.Wait()
@@ -154,6 +163,19 @@ func (p *Proxy) killAll() {
 		delete(p.conns, c)
 	}
 	p.connMu.Unlock()
+}
+
+// sleep waits d or until the proxy closes, reporting whether the full
+// latency elapsed — the injected delay must never outlive Close.
+func (p *Proxy) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.ctx.Done():
+		return false
+	}
 }
 
 // abort closes a connection with RST semantics where the transport
@@ -216,7 +238,8 @@ func (p *Proxy) proxy(client net.Conn, opts Options, doomed bool) {
 		return
 	}
 	defer p.untrack(client)
-	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	dialer := net.Dialer{Timeout: 5 * time.Second}
+	upstream, err := dialer.DialContext(p.ctx, "tcp", p.target)
 	if err != nil {
 		abort(client)
 		return
@@ -264,8 +287,9 @@ func (p *Proxy) pipe(dst, src net.Conn, opts Options, doomed bool, truncateAfter
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
-			if opts.Latency > 0 {
-				time.Sleep(opts.Latency)
+			if opts.Latency > 0 && !p.sleep(opts.Latency) {
+				kill()
+				return
 			}
 			chunk := buf[:n]
 			if truncateAfter > 0 && forwarded+int64(n) >= truncateAfter {

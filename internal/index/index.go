@@ -114,8 +114,10 @@ type Tree struct {
 // New builds an empty Tree for coordinates of the given dimension.
 func New(dim int) (*Tree, error) {
 	if dim <= 0 {
+		//nc:allow(hotpath) validation-failure return: cold by definition
 		return nil, fmt.Errorf("index: dimension %d, want > 0", dim)
 	}
+	//nc:allow(hotpath) tree construction: once per shard, not per upsert
 	return &Tree{dim: dim, ids: make(map[string]*treeNode)}, nil
 }
 
@@ -142,13 +144,14 @@ func Build(dim int, entries []Entry) (*Tree, error) {
 	}
 	for i := range entries {
 		if err := entries[i].Coord.Validate(dim); err != nil {
+			//nc:allow(hotpath) validation-failure return: cold by definition
 			return nil, fmt.Errorf("index build %q: %w", entries[i].ID, err)
 		}
 	}
 	// Nodes come from one contiguous backing array: a single allocation,
 	// and better locality for the build's median scans. The capacity is
 	// fixed up front so node addresses stay stable as it fills.
-	backing := make([]treeNode, 0, len(entries))
+	backing := make([]treeNode, 0, len(entries)) //nc:allow(hotpath) bulk build: one contiguous backing array per build
 	for i := range entries {
 		e := &entries[i]
 		if old, ok := t.ids[e.ID]; ok {
@@ -168,7 +171,7 @@ func Build(dim int, entries []Entry) (*Tree, error) {
 	// median build partitions by the (axis value, id) total order, whose
 	// medians are unique, so the resulting tree shape is a pure function
 	// of the point set — no pre-sort needed for determinism.
-	pts := make([]*treeNode, len(backing))
+	pts := make([]*treeNode, len(backing)) //nc:allow(hotpath) bulk build: one pointer slice per build
 	for i := range backing {
 		pts[i] = &backing[i]
 	}
@@ -199,12 +202,13 @@ func balancedHeight(n int) int {
 // Insert adds the point, replacing any existing point with the same id.
 func (t *Tree) Insert(id string, c coord.Coordinate) error {
 	if err := c.Validate(t.dim); err != nil {
+		//nc:allow(hotpath) validation-failure return: cold by definition
 		return fmt.Errorf("index insert %q: %w", id, err)
 	}
 	if old, ok := t.ids[id]; ok {
 		t.tombstone(old)
 	}
-	n := &treeNode{id: id, c: c, size: 1, minHeight: c.Height}
+	n := &treeNode{id: id, c: c, size: 1, minHeight: c.Height} //nc:allow(hotpath) one node per newly-inserted point; pure refreshes short-circuit before Insert
 	t.ids[id] = n
 	depth := 1
 	if t.root == nil {
@@ -309,12 +313,13 @@ const minRebuildSlack = 32
 // Rebuild replaces the tree with a balanced median build over the live
 // points. O(n log n) expected.
 func (t *Tree) Rebuild() {
-	pts := make([]*treeNode, 0, len(t.ids))
+	pts := make([]*treeNode, 0, len(t.ids)) //nc:allow(hotpath) amortized rebalance: O(log n) rebuilds over n inserts
 	for _, n := range t.ids {
 		pts = append(pts, n)
 	}
 	// Deterministic starting order so rebuilds do not depend on map
 	// iteration order.
+	//nc:allow(hotpath) amortized rebalance: O(log n) rebuilds over n inserts
 	sort.Slice(pts, func(i, j int) bool { return pts[i].id < pts[j].id })
 	t.root = build(pts, 0, t.dim, nil)
 	t.dead = 0

@@ -118,6 +118,7 @@ func (c *Collector) growTo(tick uint64) {
 // Non-finite values are ignored (a lost ping has no error).
 func (c *Collector) RecordError(node int, tick uint64, relErr float64) error {
 	if node < 0 || node >= c.nodes {
+		//nc:allow(hotpath) range-check return: cold by definition
 		return fmt.Errorf("metrics: node %d out of range", node)
 	}
 	if math.IsNaN(relErr) || math.IsInf(relErr, 0) {
@@ -133,9 +134,11 @@ func (c *Collector) RecordError(node int, tick uint64, relErr float64) error {
 // system-level streams whenever displacement > 0).
 func (c *Collector) RecordMovement(node int, tick uint64, displacement float64, changed bool) error {
 	if node < 0 || node >= c.nodes {
+		//nc:allow(hotpath) range-check return: cold by definition
 		return fmt.Errorf("metrics: node %d out of range", node)
 	}
 	if math.IsNaN(displacement) || math.IsInf(displacement, 0) || displacement < 0 {
+		//nc:allow(hotpath) validation-failure return: cold by definition
 		return fmt.Errorf("metrics: displacement %v invalid", displacement)
 	}
 	c.growTo(tick)

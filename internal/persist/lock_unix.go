@@ -21,7 +21,7 @@ func lockDir(dir string) (*os.File, error) {
 		return nil, fmt.Errorf("persist: open lock file: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("persist: data directory %s is in use by another store: %w", dir, err)
 	}
 	return f, nil

@@ -91,7 +91,7 @@ func writeSnapshot(dir string, gen uint64, cap Capture, nosync bool) error {
 	scratch := make([]byte, 0, 256)
 	for _, t := range cap.Tombstones {
 		if len(t.ID) == 0 || len(t.ID) > MaxIDLen {
-			tmp.Close()
+			_ = tmp.Close()
 			return fmt.Errorf("persist: tombstone id length %d, want 1..%d", len(t.ID), MaxIDLen)
 		}
 		scratch = binary.AppendUvarint(scratch[:0], t.Seq)
@@ -102,7 +102,7 @@ func writeSnapshot(dir string, gen uint64, cap Capture, nosync bool) error {
 	for _, e := range cap.Entries {
 		scratch, err = appendEntry(scratch[:0], e)
 		if err != nil {
-			tmp.Close()
+			_ = tmp.Close()
 			return err
 		}
 		enc.body(scratch)
@@ -111,12 +111,12 @@ func writeSnapshot(dir string, gen uint64, cap Capture, nosync bool) error {
 	binary.LittleEndian.PutUint32(trailer[:], enc.crc)
 	_, _ = enc.w.Write(trailer[:])
 	if err := enc.w.Flush(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("persist: write snapshot: %w", err)
 	}
 	if !nosync {
 		if err := tmp.Sync(); err != nil {
-			tmp.Close()
+			_ = tmp.Close()
 			return fmt.Errorf("persist: sync snapshot: %w", err)
 		}
 	}

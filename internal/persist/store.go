@@ -441,12 +441,12 @@ func quarantineWAL(path string, validSize int64, nosync bool) error {
 		return fmt.Errorf("persist: quarantine rewrite: %w", err)
 	}
 	if _, err := f.Write(data[:validSize]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("persist: quarantine rewrite: %w", err)
 	}
 	if !nosync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("persist: quarantine sync: %w", err)
 		}
 	}

@@ -60,12 +60,12 @@ func createWAL(dir string, gen uint64, nosync bool) (*os.File, error) {
 	hdr = append(hdr, walMagic[:]...)
 	hdr = binary.LittleEndian.AppendUint64(hdr, gen)
 	if _, err := f.Write(hdr); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("persist: write wal header: %w", err)
 	}
 	if !nosync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("persist: sync wal header: %w", err)
 		}
 		// The dirent must be journaled too: without a directory sync a
@@ -73,7 +73,7 @@ func createWAL(dir string, gen uint64, nosync bool) (*os.File, error) {
 		// record fsynced into it — far more than the flush window the
 		// durability contract allows.
 		if err := syncDir(dir); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
@@ -175,16 +175,16 @@ func openWALForAppend(path string, validSize int64, nosync bool) (*os.File, erro
 		return nil, fmt.Errorf("persist: open wal: %w", err)
 	}
 	if err := f.Truncate(validSize); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("persist: truncate wal tail: %w", err)
 	}
 	if _, err := f.Seek(validSize, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("persist: seek wal: %w", err)
 	}
 	if !nosync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("persist: sync truncated wal: %w", err)
 		}
 	}

@@ -337,6 +337,8 @@ func (h *WatchHub) processEvent(ev netcoord.ChangeEvent) (gap bool) {
 // could affect: known-id watchers (unless the coordinate is unchanged —
 // a heartbeat moves nothing), not-yet-full watchers, and grid watchers
 // whose interest ball contains c.
+//
+//nc:locked(mu)
 func (h *WatchHub) damageUpsertLocked(id string, c netcoord.Coordinate, seq uint64, pubNs int64) {
 	for w := range h.byID[id] {
 		if id == w.watchID {
@@ -378,6 +380,8 @@ func (h *WatchHub) damage(w *HubWatcher, seq uint64) {
 // pubNs, when nonzero, is the damaging event's origin publish stamp;
 // the oldest pending stamp is kept so deliver-lag measures the longest
 // wait in a coalesced burst.
+//
+//nc:locked(mu)
 func (h *WatchHub) damageLocked(w *HubWatcher, seq uint64, pubNs int64) {
 	if seq > w.damageSeq.Load() {
 		w.damageSeq.Store(seq)
@@ -493,6 +497,8 @@ func (h *WatchHub) Detach(w *HubWatcher) {
 // clearInterestLocked removes the watcher's member, grid, and
 // any-upsert registrations (the permanent watchID registration stays
 // until Detach; SetInterest re-adds it idempotently).
+//
+//nc:locked(mu)
 func (h *WatchHub) clearInterestLocked(w *HubWatcher) {
 	for id := range w.members {
 		h.dropByIDLocked(id, w)
@@ -520,6 +526,9 @@ func (h *WatchHub) clearInterestLocked(w *HubWatcher) {
 	delete(h.anyOp, w)
 }
 
+// addByIDLocked registers w under id; the caller holds h.mu.
+//
+//nc:locked(mu)
 func (h *WatchHub) addByIDLocked(id string, w *HubWatcher) {
 	set := h.byID[id]
 	if set == nil {
@@ -529,6 +538,9 @@ func (h *WatchHub) addByIDLocked(id string, w *HubWatcher) {
 	set[w] = struct{}{}
 }
 
+// dropByIDLocked unregisters w from id; the caller holds h.mu.
+//
+//nc:locked(mu)
 func (h *WatchHub) dropByIDLocked(id string, w *HubWatcher) {
 	if set, ok := h.byID[id]; ok {
 		delete(set, w)

@@ -213,13 +213,18 @@ func NewRunner(cfg Config) (*Runner, error) {
 	return r, nil
 }
 
+// errSelfSample is package-level so the per-sample check path returns
+// it without allocating.
+var errSelfSample = errors.New("sim: self-sample")
+
 // check validates a sample's node references.
 func (r *Runner) check(s trace.Sample) error {
 	if s.From < 0 || s.From >= len(r.nodes) || s.To < 0 || s.To >= len(r.nodes) {
+		//nc:allow(hotpath) malformed-trace return: cold by definition
 		return fmt.Errorf("sim: sample references node outside [0, %d): %+v", len(r.nodes), s)
 	}
 	if s.From == s.To {
-		return errors.New("sim: self-sample")
+		return errSelfSample
 	}
 	return nil
 }
@@ -303,12 +308,14 @@ func (r *Runner) compute(s trace.Sample, res *stepResult) {
 	// of being recomputed.
 	est, sep, err := src.viv.EstimateWithSeparation(dst.pubSys)
 	if err != nil {
+		//nc:allow(hotpath) estimate-failure return: cold by definition
 		res.err = fmt.Errorf("sim: estimate: %w", err)
 		return
 	}
 	res.sysRelErr = math.Abs(est-s.RTT) / s.RTT
 	appEst, err := src.policy.AppRef().DistanceTo(dst.pubApp)
 	if err != nil {
+		//nc:allow(hotpath) estimate-failure return: cold by definition
 		res.err = fmt.Errorf("sim: app estimate: %w", err)
 		return
 	}
@@ -332,6 +339,7 @@ func (r *Runner) compute(s trace.Sample, res *stepResult) {
 
 	src.prevSys.CopyFrom(src.viv.CoordinateRef())
 	if err := src.viv.UpdateWithSeparation(filtered, dst.pubSys, dst.pubErr, sep); err != nil {
+		//nc:allow(hotpath) update-failure return: cold by definition
 		res.err = fmt.Errorf("sim: vivaldi update: %w", err)
 		return
 	}
@@ -350,6 +358,7 @@ func (r *Runner) compute(s trace.Sample, res *stepResult) {
 		HasNeighbor: src.hasNN,
 	})
 	if err != nil {
+		//nc:allow(hotpath) policy-failure return: cold by definition
 		res.err = fmt.Errorf("sim: policy: %w", err)
 		return
 	}
@@ -390,6 +399,8 @@ func (r *Runner) record(s trace.Sample, res *stepResult) error {
 }
 
 // Step processes one trace sample under tick-barrier semantics.
+//
+//nc:hotpath
 func (r *Runner) Step(s trace.Sample) error {
 	if err := r.check(s); err != nil {
 		return err

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterTypedErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.RegisterCounter("0bad", "", nil); !errors.Is(err, ErrInvalidMetricName) {
+		t.Fatalf("invalid name: got %v, want ErrInvalidMetricName", err)
+	}
+	if _, err := r.RegisterCounter("netcoord_ok_total", "", Labels{"0bad": "x"}); !errors.Is(err, ErrInvalidLabelName) {
+		t.Fatalf("invalid label: got %v, want ErrInvalidLabelName", err)
+	}
+	if _, err := r.RegisterCounter("netcoord_dual", "", nil); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	_, err := r.RegisterGauge("netcoord_dual", "", nil)
+	if !errors.Is(err, ErrKindConflict) {
+		t.Fatalf("kind conflict: got %v, want ErrKindConflict", err)
+	}
+	var re *RegistrationError
+	if !errors.As(err, &re) || re.Metric != "netcoord_dual" {
+		t.Fatalf("kind conflict: want *RegistrationError naming the metric, got %#v", err)
+	}
+}
+
+func TestMustRegisterPanicsTyped(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("expected panic")
+		}
+		err, ok := v.(error)
+		if !ok || !errors.Is(err, ErrInvalidMetricName) {
+			t.Fatalf("panic value %#v, want error wrapping ErrInvalidMetricName", v)
+		}
+	}()
+	r := NewRegistry()
+	MustRegister(r.RegisterCounter("not a name", "", nil))
+}
+
+func TestValidateMetricName(t *testing.T) {
+	for _, ok := range []string{"netcoord_x_total", "a:b", "_hidden"} {
+		if err := ValidateMetricName(ok); err != nil {
+			t.Errorf("ValidateMetricName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "0lead", "has space", "dash-ed"} {
+		if err := ValidateMetricName(bad); !errors.Is(err, ErrInvalidMetricName) {
+			t.Errorf("ValidateMetricName(%q) = %v, want ErrInvalidMetricName", bad, err)
+		}
+	}
+}

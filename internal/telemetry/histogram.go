@@ -77,6 +77,8 @@ func NewHistogram() *Histogram { return newHistogram(1) }
 // propagation-lag observations can go negative under clock skew
 // between leader and follower hosts, and a skewed clock should read as
 // "immeasurably fast", not corrupt the distribution.
+//
+//nc:hotpath
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0

@@ -132,21 +132,25 @@ func NewRegistry() *Registry {
 
 // familyFor finds or creates the family for name, enforcing name
 // validity and kind consistency. Caller holds r.mu.
-func (r *Registry) familyFor(name, help string, k kind) *family {
-	if !validMetricName(name) {
-		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+func (r *Registry) familyFor(name, help string, k kind) (*family, error) {
+	if err := ValidateMetricName(name); err != nil {
+		return nil, err
 	}
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
 		r.families[name] = f
 		r.order = append(r.order, name)
-		return f
+		return f, nil
 	}
 	if f.kind != k {
-		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind.typeName(), k.typeName()))
+		return nil, &RegistrationError{
+			Metric: name,
+			Detail: fmt.Sprintf("registered as %s and %s", f.kind.typeName(), k.typeName()),
+			Err:    ErrKindConflict,
+		}
 	}
-	return f
+	return f, nil
 }
 
 // add installs a series under its family, returning the existing one
@@ -154,87 +158,134 @@ func (r *Registry) familyFor(name, help string, k kind) *family {
 // holds r.mu. replace controls func-bridged re-registration: owned
 // instruments dedupe, bridges overwrite (a restarted component's
 // closure must not leave a stale one scraping freed state).
-func (f *family) add(s *series, replace bool) *series {
+func (f *family) add(s *series, replace bool) (*series, error) {
 	for l := range s.labels {
-		if !validLabelName(l) {
-			panic(fmt.Sprintf("telemetry: invalid label name %q on metric %q", l, f.name))
+		if err := ValidateLabelName(l); err != nil {
+			return nil, &RegistrationError{Metric: f.name, Detail: fmt.Sprintf("label %q", l), Err: ErrInvalidLabelName}
 		}
 	}
 	s.labelKey = labelKey(s.labels)
 	if old, ok := f.series[s.labelKey]; ok && !replace {
-		return old
+		return old, nil
 	} else if !ok {
 		f.order = append(f.order, s.labelKey)
 	}
 	f.series[s.labelKey] = s
-	return s
+	return s, nil
+}
+
+// register is the error-returning core every Register*/convenience
+// constructor funnels through. Caller does not hold r.mu.
+func (r *Registry) register(name, help string, k kind, s *series, replace bool) (*series, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, err := r.familyFor(name, help, k)
+	if err != nil {
+		return nil, err
+	}
+	return f.add(s, replace)
+}
+
+// RegisterCounter registers (or finds) the counter under name + labels,
+// reporting a *RegistrationError instead of panicking on invalid input.
+func (r *Registry) RegisterCounter(name, help string, labels Labels) (*Counter, error) {
+	s, err := r.register(name, help, kindCounter, &series{labels: labels, counter: &Counter{}}, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.counter, nil
+}
+
+// RegisterGauge registers (or finds) the gauge under name + labels.
+func (r *Registry) RegisterGauge(name, help string, labels Labels) (*Gauge, error) {
+	s, err := r.register(name, help, kindGauge, &series{labels: labels, gauge: &Gauge{}}, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.gauge, nil
+}
+
+// RegisterHistogram registers (or finds) the histogram under name +
+// labels, scaled by scale at exposition time.
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, scale float64) (*Histogram, error) {
+	s, err := r.register(name, help, kindSummary, &series{labels: labels, hist: newHistogram(scale)}, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.hist, nil
 }
 
 // Counter returns the counter registered under name + labels, creating
-// it on first use.
+// it on first use. It is MustRegister(RegisterCounter(...)): invalid
+// names panic with a typed *RegistrationError.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.familyFor(name, help, kindCounter)
-	s := f.add(&series{labels: labels, counter: &Counter{}}, false)
-	return s.counter
+	return MustRegister(r.RegisterCounter(name, help, labels))
 }
 
 // Gauge returns the gauge registered under name + labels, creating it
-// on first use.
+// on first use. Panics with *RegistrationError on invalid input.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.familyFor(name, help, kindGauge)
-	s := f.add(&series{labels: labels, gauge: &Gauge{}}, false)
-	return s.gauge
+	return MustRegister(r.RegisterGauge(name, help, labels))
 }
 
 // Histogram returns the histogram registered under name + labels,
 // creating it on first use. It renders as a Prometheus summary
 // (quantiles computed from the log buckets at scrape time) with the
 // value scaled by scale — pass 1e-9 for a nanosecond-observed
-// histogram exported in seconds.
+// histogram exported in seconds. Panics with *RegistrationError on
+// invalid input.
 func (r *Registry) Histogram(name, help string, labels Labels, scale float64) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.familyFor(name, help, kindSummary)
-	s := f.add(&series{labels: labels, hist: newHistogram(scale)}, false)
-	return s.hist
+	return MustRegister(r.RegisterHistogram(name, help, labels, scale))
 }
 
-// CounterFunc registers a counter whose value is pulled from fn at
-// scrape time — the bridge for subsystems that already keep their own
-// atomic counters.
-func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.familyFor(name, help, kindCounter)
-	f.add(&series{labels: labels, countFn: fn}, true)
+// RegisterCounterFunc registers a counter whose value is pulled from fn
+// at scrape time — the bridge for subsystems that already keep their
+// own atomic counters.
+func (r *Registry) RegisterCounterFunc(name, help string, labels Labels, fn func() uint64) error {
+	_, err := r.register(name, help, kindCounter, &series{labels: labels, countFn: fn}, true)
+	return err
 }
 
-// GaugeFunc registers a gauge whose value is pulled from fn at scrape
-// time.
-func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f := r.familyFor(name, help, kindGauge)
-	f.add(&series{labels: labels, gaugeFn: fn}, true)
+// RegisterGaugeFunc registers a gauge whose value is pulled from fn at
+// scrape time.
+func (r *Registry) RegisterGaugeFunc(name, help string, labels Labels, fn func() float64) error {
+	_, err := r.register(name, help, kindGauge, &series{labels: labels, gaugeFn: fn}, true)
+	return err
 }
 
-// SummaryFunc registers a summary whose snapshot is pulled from fn at
-// scrape time — the bridge for histograms owned by another package
-// that exposes only a Summary through its stats struct. scale converts
-// the summary's raw units to exposition units (1e-9 for nanosecond
-// summaries exported as seconds; 0 means 1).
-func (r *Registry) SummaryFunc(name, help string, labels Labels, scale float64, fn func() Summary) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// RegisterSummaryFunc registers a summary whose snapshot is pulled from
+// fn at scrape time. scale converts raw units to exposition units
+// (1e-9 for nanosecond summaries exported as seconds; 0 means 1).
+func (r *Registry) RegisterSummaryFunc(name, help string, labels Labels, scale float64, fn func() Summary) error {
 	if scale == 0 {
 		scale = 1
 	}
-	f := r.familyFor(name, help, kindSummary)
-	f.add(&series{labels: labels, summaryFn: fn, sumScale: scale}, true)
+	_, err := r.register(name, help, kindSummary, &series{labels: labels, summaryFn: fn, sumScale: scale}, true)
+	return err
+}
+
+// CounterFunc is MustRegister-style RegisterCounterFunc: panics with a
+// typed *RegistrationError on invalid input.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	if err := r.RegisterCounterFunc(name, help, labels, fn); err != nil {
+		panic(err)
+	}
+}
+
+// GaugeFunc is MustRegister-style RegisterGaugeFunc.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if err := r.RegisterGaugeFunc(name, help, labels, fn); err != nil {
+		panic(err)
+	}
+}
+
+// SummaryFunc is MustRegister-style RegisterSummaryFunc — the bridge
+// for histograms owned by another package that exposes only a Summary
+// through its stats struct.
+func (r *Registry) SummaryFunc(name, help string, labels Labels, scale float64, fn func() Summary) {
+	if err := r.RegisterSummaryFunc(name, help, labels, scale, fn); err != nil {
+		panic(err)
+	}
 }
 
 // labelKey builds a canonical, order-independent key for a label set.

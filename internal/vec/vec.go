@@ -171,6 +171,7 @@ func (v Vector) Norm() float64 {
 // Dist returns the Euclidean distance between v and w.
 func (v Vector) Dist(w Vector) (float64, error) {
 	if len(v) != len(w) {
+		//nc:allow(hotpath) dimension-mismatch return: cold by definition
 		return 0, fmt.Errorf("dist %d-dim and %d-dim: %w", len(v), len(w), ErrDimensionMismatch)
 	}
 	var sum float64

@@ -216,6 +216,7 @@ func (n *Node) EstimateRTT(remote coord.Coordinate) (float64, error) {
 func (n *Node) EstimateWithSeparation(remote coord.Coordinate) (est, sep float64, err error) {
 	sep, err = n.coord.Vec.Dist(remote.Vec)
 	if err != nil {
+		//nc:allow(hotpath) dimension-mismatch return: cold by definition
 		return 0, 0, fmt.Errorf("estimate rtt: %w", err)
 	}
 	return sep + n.coord.Height + remote.Height, sep, nil
@@ -255,6 +256,8 @@ func (n *Node) Update(rtt float64, remote coord.Coordinate, remoteErr float64) (
 // coordinates, i.e. the second return of EstimateWithSeparation with no
 // intervening update. It validates the remote with allocation-free
 // sentinel errors and performs zero heap allocations.
+//
+//nc:hotpath
 func (n *Node) UpdateWithSeparation(rtt float64, remote coord.Coordinate, remoteErr float64, sep float64) error {
 	// The checks mirror coord.Coordinate.Validate but return the bare
 	// sentinel: dimension compatibility is established once at node

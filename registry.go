@@ -20,6 +20,10 @@ import (
 // services can map it to a not-found response.
 var ErrUnknownID = errors.New("netcoord: registry: unknown id")
 
+// errEmptyUpsertID is package-level so the hot upsert paths return it
+// without allocating.
+var errEmptyUpsertID = errors.New("netcoord: registry upsert: empty id")
+
 // Registry defaults.
 const (
 	// DefaultRegistryShards is the lock-striping factor: enough that a
@@ -104,6 +108,9 @@ type RegistryStats struct {
 // blocks on I/O — which is what makes calling it under the lock safe.
 // It returns the assigned sequence (0 with the stream disabled), which
 // the caller stamps onto the stored entry.
+//
+//nc:hotpath
+//nc:locked(s.mu)
 func (r *Registry) publishUpsert(e RegistryEntry) uint64 {
 	if feed := r.getFeed(); feed != nil {
 		return feed.PublishUpsert(changefeed.Entry{ID: e.ID, Coord: e.Coord, Error: e.Error, UpdatedAt: e.UpdatedAt})
@@ -310,6 +317,8 @@ func (r *Registry) shardFor(id string) *registryShard {
 // Upsert inserts or refreshes a node. Error is the node's Vivaldi error
 // weight (pass 0 if your protocol does not carry it). The update
 // timestamp is taken from the registry clock.
+//
+//nc:hotpath
 func (r *Registry) Upsert(id string, c Coordinate, errWeight float64) error {
 	return r.upsertEntry(RegistryEntry{ID: id, Coord: c, Error: errWeight})
 }
@@ -318,21 +327,25 @@ func (r *Registry) Upsert(id string, c Coordinate, errWeight float64) error {
 // rather than once per entry. Entries with a zero UpdatedAt are stamped
 // with the registry clock. The whole batch is validated before anything
 // is applied: on error, the registry is unchanged.
+//
+//nc:hotpath
 func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 	now := r.clock()
 	// Validate everything first so a bad entry cannot leave the batch
 	// half-applied, then group per shard so each stripe is locked once.
-	groups := make(map[*registryShard][]RegistryEntry, len(r.shards))
+	groups := make(map[*registryShard][]RegistryEntry, len(r.shards)) //nc:allow(hotpath) one map per batch, amortized across the batch's entries
 	for _, e := range entries {
 		if e.ID == "" {
-			return fmt.Errorf("netcoord: registry upsert: empty id")
+			return errEmptyUpsertID
 		}
 		if r.validateID != nil {
 			if err := r.validateID(e.ID); err != nil {
+				//nc:allow(hotpath) validation-failure return: cold by definition
 				return fmt.Errorf("netcoord: registry upsert: %w", err)
 			}
 		}
 		if err := e.Coord.Validate(r.dim); err != nil {
+			//nc:allow(hotpath) validation-failure return: cold by definition
 			return fmt.Errorf("netcoord: registry upsert %q: %w", e.ID, err)
 		}
 		if e.UpdatedAt.IsZero() {
@@ -349,7 +362,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 			// This is the registry warm-up path (snapshot restore,
 			// first Feed burst) — O(n log n) instead of O(n log^2 n)
 			// amortized.
-			pts := make([]index.Entry, len(group))
+			pts := make([]index.Entry, len(group)) //nc:allow(hotpath) warm-up path: one slice per bulk build of an empty shard
 			for i, e := range group {
 				pts[i] = index.Entry{ID: e.ID, Coord: e.Coord}
 			}
@@ -358,6 +371,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 				// Unreachable: coordinates were validated above, and
 				// validation is Build's only failure.
 				s.mu.Unlock()
+				//nc:allow(hotpath) unreachable wrap: inputs were pre-validated
 				return fmt.Errorf("netcoord: registry upsert: %w", err)
 			}
 			s.tree = tree
@@ -385,6 +399,7 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 				// Unreachable: coordinates were validated above, and
 				// validation is the tree's only insert failure.
 				s.mu.Unlock()
+				//nc:allow(hotpath) unreachable wrap: inputs were pre-validated
 				return fmt.Errorf("netcoord: registry upsert: %w", err)
 			}
 			if seq := r.publishUpsert(e); seq != 0 {
@@ -398,12 +413,14 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 	return nil
 }
 
+//nc:hotpath
 func (r *Registry) upsertEntry(e RegistryEntry) error {
 	if e.ID == "" {
-		return fmt.Errorf("netcoord: registry upsert: empty id")
+		return errEmptyUpsertID
 	}
 	if r.validateID != nil {
 		if err := r.validateID(e.ID); err != nil {
+			//nc:allow(hotpath) validation-failure return: cold by definition
 			return fmt.Errorf("netcoord: registry upsert: %w", err)
 		}
 	}
@@ -426,6 +443,7 @@ func (r *Registry) upsertEntry(e RegistryEntry) error {
 		return nil
 	}
 	if err := s.tree.Insert(e.ID, e.Coord); err != nil {
+		//nc:allow(hotpath) insert-failure return: cold by definition
 		return fmt.Errorf("netcoord: registry upsert: %w", err)
 	}
 	if seq := r.publishUpsert(e); seq != 0 {

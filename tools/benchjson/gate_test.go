@@ -1,0 +1,135 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestZeroAllocGatesCoverHotPaths pins the CI allocation gates to the
+// //nc:hotpath annotations nclint enforces: every benchmark prefix
+// passed to `benchjson -require-zero-alloc` in the workflow must match
+// at least one benchmark function, and every package that defines such
+// a benchmark must annotate at least one //nc:hotpath function. A gate
+// over a package with no annotated hot path is measuring nothing nclint
+// defends; an annotation with no gate is caught the other way round by
+// nclint itself. This test fails when the workflow and the annotations
+// drift apart.
+func TestZeroAllocGatesCoverHotPaths(t *testing.T) {
+	root := moduleRoot(t)
+
+	workflow, err := os.ReadFile(filepath.Join(root, ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatalf("reading workflow: %v", err)
+	}
+	gateRe := regexp.MustCompile(`-require-zero-alloc\s+(Benchmark\w*)`)
+	var prefixes []string
+	for _, m := range gateRe.FindAllStringSubmatch(string(workflow), -1) {
+		prefixes = append(prefixes, m[1])
+	}
+	if len(prefixes) == 0 {
+		t.Fatal("no -require-zero-alloc gates found in ci.yml; the zero-alloc contract has been dropped from CI")
+	}
+
+	benchDirs := map[string][]string{} // prefix -> package dirs defining a matching benchmark
+	hotDirs := map[string]bool{}       // package dirs containing an //nc:hotpath function
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		dir := filepath.Dir(path)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if strings.HasSuffix(path, "_test.go") {
+				for _, p := range prefixes {
+					if strings.HasPrefix(fn.Name.Name, p) {
+						benchDirs[p] = append(benchDirs[p], dir)
+					}
+				}
+			} else if hasHotPath(fn.Doc) {
+				hotDirs[dir] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+
+	for _, p := range prefixes {
+		dirs := benchDirs[p]
+		if len(dirs) == 0 {
+			t.Errorf("CI gates %q with -require-zero-alloc but no benchmark matches that prefix", p)
+			continue
+		}
+		for _, dir := range dedupe(dirs) {
+			if !hotDirs[dir] {
+				rel, _ := filepath.Rel(root, dir)
+				t.Errorf("gate %q runs benchmarks in %s, but that package annotates no //nc:hotpath function: the gate measures a path nclint does not defend", p, rel)
+			}
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := wd; ; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		if dir == filepath.Dir(dir) {
+			t.Fatal("no go.mod above test directory")
+		}
+	}
+}
+
+func hasHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		s := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if s == "nc:hotpath" || strings.HasPrefix(s, "nc:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

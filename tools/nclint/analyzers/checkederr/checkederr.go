@@ -1,0 +1,87 @@
+// Package checkederr flags silently dropped errors from the
+// flush-to-durable-storage trio — Sync, Flush, Close — when called as
+// a bare statement. On the persist write path a dropped fsync error
+// is a durability hole: the WAL claims an entry is stable that the
+// kernel never promised. The fix is to check the error, or to discard
+// it visibly (`_ = f.Close()`) so review sees the decision.
+//
+// Deferred calls are exempt: `defer f.Close()` on read paths is
+// idiomatic and the error is unreachable there anyway. Write paths
+// that defer a Close still need an explicit Sync/Close check before
+// returning success — which this analyzer forces to exist, because
+// that check is a non-deferred call.
+package checkederr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"netcoord/tools/nclint/internal/nclib"
+	"netcoord/tools/nclint/internal/ncutil"
+)
+
+var Analyzer = &nclib.Analyzer{
+	Name: "checkederr",
+	Doc:  "bare Sync/Flush/Close statements drop durability errors; check them or discard visibly with _ =",
+	Run:  run,
+}
+
+var watched = map[string]bool{"Sync": true, "Flush": true, "Close": true}
+
+func run(pass *nclib.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := resolve(pass, call)
+			if callee == nil || !watched[callee.Name()] {
+				return true
+			}
+			if !returnsOnlyError(callee) {
+				return true
+			}
+			recv := "it"
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				recv = types.ExprString(sel.X)
+			}
+			pass.Reportf(call.Pos(), "%s.%s() returns an error that is silently dropped: check it, or discard visibly with `_ = %s.%s()`",
+				recv, callee.Name(), recv, callee.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// resolve names the callee. Unlike hotpath, the dynamic target is
+// irrelevant here — func() error through an interface drops the error
+// just the same — so interface method calls resolve too.
+func resolve(pass *nclib.Pass, call *ast.CallExpr) *types.Func {
+	if f := ncutil.StaticCallee(pass.TypesInfo, call); f != nil {
+		return f
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		f, _ := s.Obj().(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// returnsOnlyError reports whether f's signature is func(...) error.
+func returnsOnlyError(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -1,0 +1,12 @@
+package checkederr_test
+
+import (
+	"testing"
+
+	"netcoord/tools/nclint/analyzers/checkederr"
+	"netcoord/tools/nclint/internal/nclib/nclibtest"
+)
+
+func TestCheckedErr(t *testing.T) {
+	nclibtest.Run(t, checkederr.Analyzer, "chkfix")
+}

@@ -1,0 +1,37 @@
+// Package chkfix exercises the dropped-durability-error rule on the
+// Sync/Flush/Close trio.
+package chkfix
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// Journal mirrors the WAL surface: Close returns error, Stop does not.
+type Journal struct{}
+
+func (j *Journal) Close() error { return nil }
+func (j *Journal) Stop()        {}
+
+func Bare(f *os.File, w *bufio.Writer, j *Journal) {
+	f.Sync()  // want `f\.Sync\(\) returns an error that is silently dropped`
+	w.Flush() // want `w\.Flush\(\) returns an error that is silently dropped`
+	j.Close() // want `j\.Close\(\) returns an error that is silently dropped`
+}
+
+func Checked(f *os.File, w *bufio.Writer, j *Journal) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	_ = f.Sync() // visible discard: reviewer sees the decision
+	defer f.Close()
+	j.Stop() // no error to drop
+	return j.Close()
+}
+
+// CloseAll takes the interface: io.Closer's Close also returns only
+// error, so the bare statement is still a finding.
+func CloseAll(c io.Closer) {
+	c.Close() // want `c\.Close\(\) returns an error that is silently dropped`
+}

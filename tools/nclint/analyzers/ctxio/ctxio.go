@@ -1,0 +1,101 @@
+// Package ctxio enforces that blocking I/O and sleeps in
+// context-holding packages are cancellable. PR 7 hand-audited
+// follower.go for uncancellable backoff sleeps; this analyzer makes
+// the audit permanent:
+//
+//   - time.Sleep is banned — a sleep must be a select on a timer and
+//     the context/shutdown channel, or it pins goroutines through
+//     shutdown and failover;
+//   - net.Dial/DialTimeout are banned — dials go through a
+//     net.Dialer's DialContext so a partitioned target cannot wedge a
+//     reconnect loop;
+//   - http.Get/Post/Head/PostForm (package-level or on a client) are
+//     banned — requests are built with http.NewRequestWithContext.
+//
+// A package is in scope when it imports context, net, or net/http —
+// i.e. when it does the kind of work that must be cancellable.
+// Example binaries (examples/...) and test files are exempt; a
+// deliberate blocking call elsewhere takes //nc:allow(ctxio) <reason>.
+package ctxio
+
+import (
+	"go/ast"
+	"strings"
+
+	"netcoord/tools/nclint/internal/nclib"
+	"netcoord/tools/nclint/internal/ncutil"
+)
+
+var Analyzer = &nclib.Analyzer{
+	Name: "ctxio",
+	Doc:  "sleeps, dials and HTTP requests in context-holding packages must be cancellable",
+	Run:  run,
+}
+
+// banned maps stdlib package path -> function name -> remedy.
+var banned = map[string]map[string]string{
+	"time": {
+		"Sleep": "select on a time.Timer and the context/shutdown channel instead",
+	},
+	"net": {
+		"Dial":        "use a net.Dialer and DialContext",
+		"DialTimeout": "use a net.Dialer with Timeout and DialContext",
+		"DialIP":      "use a net.Dialer and DialContext",
+		"DialTCP":     "use a net.Dialer and DialContext",
+		"DialUDP":     "use a net.Dialer and DialContext",
+		"DialUnix":    "use a net.Dialer and DialContext",
+	},
+	"net/http": {
+		"Get":      "build the request with http.NewRequestWithContext and use a client's Do",
+		"Post":     "build the request with http.NewRequestWithContext and use a client's Do",
+		"PostForm": "build the request with http.NewRequestWithContext and use a client's Do",
+		"Head":     "build the request with http.NewRequestWithContext and use a client's Do",
+	},
+}
+
+func run(pass *nclib.Pass) error {
+	if strings.Contains(pass.Pkg.Path(), "examples/") || !inScope(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := ncutil.StaticCallee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			names, ok := banned[callee.Pkg().Path()]
+			if !ok {
+				return true
+			}
+			remedy, ok := names[callee.Name()]
+			if !ok {
+				return true
+			}
+			// Package-level Dial/Get/... or the equivalent methods on
+			// http.Client; (*net.Dialer).DialContext is fine and not
+			// in the table.
+			if recv := ncutil.NamedRecv(callee); recv != nil && recv.Obj().Name() != "Client" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s is not context-cancellable: %s", callee.Pkg().Name(), callee.Name(), remedy)
+			return true
+		})
+	}
+	return nil
+}
+
+// inScope reports whether the package directly imports any of the
+// packages whose use implies it must be cancellation-aware.
+func inScope(pass *nclib.Pass) bool {
+	for _, imp := range pass.Pkg.Imports() {
+		switch imp.Path() {
+		case "context", "net", "net/http":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxio_test
+
+import (
+	"testing"
+
+	"netcoord/tools/nclint/analyzers/ctxio"
+	"netcoord/tools/nclint/internal/nclib/nclibtest"
+)
+
+func TestCtxio(t *testing.T) {
+	nclibtest.Run(t, ctxio.Analyzer, "ctxfix", "ctxout")
+}

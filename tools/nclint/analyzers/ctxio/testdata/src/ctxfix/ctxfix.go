@@ -1,0 +1,43 @@
+// Package ctxfix is context-holding (it imports context and net), so
+// blocking calls must be cancellable.
+package ctxfix
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+func Bad(ctx context.Context) {
+	time.Sleep(time.Second)        // want `time.Sleep is not context-cancellable`
+	_, _ = net.Dial("tcp", "x:80") // want `net.Dial is not context-cancellable`
+	_, _ = http.Get("http://x/")   // want `http.Get is not context-cancellable`
+	c := http.Client{}
+	_, _ = c.Get("http://x/") // want `http.Get is not context-cancellable`
+}
+
+func Good(ctx context.Context) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", "x:80")
+	if err != nil {
+		return err
+	}
+	defer conn.Close() // fixture: ctxio does not police Close
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://x/", nil)
+	if err != nil {
+		return err
+	}
+	_, err = http.DefaultClient.Do(req)
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	return err
+}
+
+func Allowed(ctx context.Context) {
+	time.Sleep(time.Millisecond) //nc:allow(ctxio) fixture: deliberate settle delay in a test helper
+}

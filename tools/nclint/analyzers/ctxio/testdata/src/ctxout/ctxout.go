@@ -1,0 +1,9 @@
+// Package ctxout imports neither context, net, nor net/http: it is
+// out of ctxio's scope, and its sleep is not a finding.
+package ctxout
+
+import "time"
+
+func Settle() {
+	time.Sleep(time.Millisecond)
+}

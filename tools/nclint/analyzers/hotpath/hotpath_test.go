@@ -1,0 +1,18 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"netcoord/tools/nclint/analyzers/hotpath"
+	"netcoord/tools/nclint/internal/nclib/nclibtest"
+)
+
+func TestHotpath(t *testing.T) {
+	nclibtest.Run(t, hotpath.Analyzer, "a")
+}
+
+// TestCrossPackage proves allocation summaries propagate through
+// facts: hotmain's finding names a site inside hotdep.
+func TestCrossPackage(t *testing.T) {
+	nclibtest.Run(t, hotpath.Analyzer, "hotdep", "hotmain")
+}

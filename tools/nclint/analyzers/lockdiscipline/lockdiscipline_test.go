@@ -1,0 +1,18 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"netcoord/tools/nclint/analyzers/lockdiscipline"
+	"netcoord/tools/nclint/internal/nclib/nclibtest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	nclibtest.Run(t, lockdiscipline.Analyzer, "lockfix")
+}
+
+// TestCrossPackage proves //nc:locked obligations propagate through
+// facts to importing packages.
+func TestCrossPackage(t *testing.T) {
+	nclibtest.Run(t, lockdiscipline.Analyzer, "lockdep", "lockmain")
+}

@@ -1,0 +1,15 @@
+// Package lockdep exports a locked-callee method; the obligation must
+// reach importers through facts.
+package lockdep
+
+import "sync"
+
+type Box struct {
+	Mu sync.Mutex
+	v  int
+}
+
+// SetLocked stores v under Mu, which the caller holds.
+//
+//nc:locked(Mu)
+func (b *Box) SetLocked(v int) { b.v = v }

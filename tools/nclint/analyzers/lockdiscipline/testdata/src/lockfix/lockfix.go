@@ -1,0 +1,87 @@
+// Package lockfix exercises the //nc:locked call-site check and the
+// atomic/plain mixed-access check.
+package lockfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpLocked mutates under the caller's lock.
+//
+//nc:locked(mu)
+func (t *T) bumpLocked() { t.n++ }
+
+func (t *T) Good() {
+	t.mu.Lock()
+	t.bumpLocked()
+	t.mu.Unlock()
+}
+
+func (t *T) GoodDeferred() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked()
+}
+
+func (t *T) Bad() {
+	t.bumpLocked() // want `call to bumpLocked requires t.mu held`
+}
+
+// chainLocked passes the obligation up by annotation.
+//
+//nc:locked(mu)
+func (t *T) chainLocked() { t.bumpLocked() }
+
+func (t *T) Revoked() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+	t.bumpLocked() // want `call to bumpLocked requires t.mu held`
+}
+
+func (t *T) EarlyReturnKeepsLock(b bool) {
+	t.mu.Lock()
+	if b {
+		t.mu.Unlock()
+		return
+	}
+	t.bumpLocked() // early-return unlock does not revoke the fall-through path
+	t.mu.Unlock()
+}
+
+func (t *T) LockedInBranch(b bool) {
+	t.mu.Lock()
+	if b {
+		t.bumpLocked() // lock taken at function level covers nested blocks
+	}
+	t.mu.Unlock()
+}
+
+func (t *T) AllowedCall() {
+	t.bumpLocked() //nc:allow(lockdiscipline) fixture: single-threaded constructor path
+}
+
+// counters mixes atomic and plain access to exercise the second check.
+type counters struct {
+	hits uint64
+	misc uint64
+}
+
+func (c *counters) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+	c.misc++ // plain field, never touched atomically: fine
+}
+
+func (c *counters) Read() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere in this package`
+}
+
+func (c *counters) ReadAtomic() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}

@@ -1,0 +1,15 @@
+// Package lockmain imports lockdep: the finding below only exists if
+// the //nc:locked fact crossed the package boundary.
+package lockmain
+
+import "lockdep"
+
+func Good(b *lockdep.Box) {
+	b.Mu.Lock()
+	b.SetLocked(1)
+	b.Mu.Unlock()
+}
+
+func Bad(b *lockdep.Box) {
+	b.SetLocked(2) // want `call to SetLocked requires b.Mu held`
+}

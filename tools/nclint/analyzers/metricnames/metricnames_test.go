@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"netcoord/tools/nclint/analyzers/metricnames"
+	"netcoord/tools/nclint/internal/nclib/nclibtest"
+)
+
+func TestMetricNames(t *testing.T) {
+	nclibtest.Run(t, metricnames.Analyzer, "netcoord/metfix")
+}

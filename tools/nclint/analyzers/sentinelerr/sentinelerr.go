@@ -1,0 +1,147 @@
+// Package sentinelerr enforces the module's error-matching contract.
+// The registry, persist and changefeed packages export Err* sentinels
+// that callers branch on; the contract only survives wrapping if
+// everyone plays by three rules, which this analyzer machine-checks:
+//
+//   - comparisons against a project Err* sentinel use errors.Is, never
+//     == or != — a wrapped sentinel fails == silently and the caller's
+//     fallback path quietly swallows the condition;
+//   - exported Err* sentinels are ==-stable: assigned once at
+//     declaration and never reassigned (a reassigned sentinel breaks
+//     every errors.Is already inflight);
+//   - fmt.Errorf calls that include a sentinel argument wrap it with
+//     %w, so the sentinel stays matchable through the wrap.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"netcoord/tools/nclint/internal/nclib"
+	"netcoord/tools/nclint/internal/ncutil"
+)
+
+var Analyzer = &nclib.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "project Err* sentinels: compare with errors.Is, never reassign, wrap with %w",
+	Run:  run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *nclib.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.AssignStmt:
+				checkReassignment(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSentinel reports whether e resolves to an exported package-level
+// Err* error variable in project code.
+func isSentinel(pass *nclib.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !pass.IsProject(v.Pkg()) {
+		return nil
+	}
+	if !v.Exported() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	if !types.Implements(v.Type(), errorIface) {
+		return nil
+	}
+	return v
+}
+
+// checkComparison flags err == pkg.ErrFoo / err != pkg.ErrFoo.
+func checkComparison(pass *nclib.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	v := isSentinel(pass, be.X)
+	if v == nil {
+		v = isSentinel(pass, be.Y)
+	}
+	if v == nil {
+		return
+	}
+	pass.Reportf(be.Pos(), "comparing against %s with %s misses wrapped errors: use errors.Is(err, %s)", v.Name(), be.Op, v.Name())
+}
+
+// checkReassignment flags any assignment to an exported Err* sentinel
+// outside its var declaration.
+func checkReassignment(pass *nclib.Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		var id *ast.Ident
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			continue
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil || !pass.IsProject(v.Pkg()) {
+			continue
+		}
+		if !v.Exported() || !strings.HasPrefix(v.Name(), "Err") || v.Parent() != v.Pkg().Scope() {
+			continue
+		}
+		if !types.Implements(v.Type(), errorIface) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "reassigning sentinel %s breaks every errors.Is match against it; sentinels are write-once", v.Name())
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that pass a sentinel without a
+// %w verb in the (constant) format string.
+func checkErrorf(pass *nclib.Pass, call *ast.CallExpr) {
+	callee := ncutil.StaticCallee(pass.TypesInfo, call)
+	if !ncutil.IsPkgFunc(callee, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	var sentinel *types.Var
+	for _, arg := range call.Args[1:] {
+		if v := isSentinel(pass, arg); v != nil {
+			sentinel = v
+			break
+		}
+	}
+	if sentinel == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to prove
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	pass.Reportf(call.Pos(), "fmt.Errorf formats sentinel %s without %%w: the wrap is unmatchable by errors.Is", sentinel.Name())
+}

@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"netcoord/tools/nclint/analyzers/sentinelerr"
+	"netcoord/tools/nclint/internal/nclib/nclibtest"
+)
+
+func TestSentinelErr(t *testing.T) {
+	nclibtest.Run(t, sentinelerr.Analyzer, "sentfix")
+}

@@ -1,0 +1,47 @@
+// Package sentfix exercises the three sentinel rules: errors.Is over
+// ==, write-once sentinels, and %w-only wrapping.
+package sentfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrGone is an exported project sentinel; callers match it with
+// errors.Is.
+var ErrGone = errors.New("sentfix: gone")
+
+// errLocal is unexported: == against it is a package-private idiom the
+// analyzer leaves alone.
+var errLocal = errors.New("sentfix: local")
+
+func Compare(err error) bool {
+	if err == ErrGone { // want `comparing against ErrGone with == misses wrapped errors: use errors\.Is\(err, ErrGone\)`
+		return true
+	}
+	if err != ErrGone { // want `comparing against ErrGone with != misses wrapped errors`
+		return false
+	}
+	if errors.Is(err, ErrGone) { // the blessed form
+		return true
+	}
+	if err == errLocal { // unexported: out of contract
+		return true
+	}
+	return err == io.EOF // stdlib sentinel: not ours to police
+}
+
+func Reassign() {
+	ErrGone = errors.New("sentfix: replaced") // want `reassigning sentinel ErrGone breaks every errors\.Is match`
+	errLocal = nil
+	local := ErrGone
+	_ = local
+}
+
+func Wrap(id string) error {
+	if id == "" {
+		return fmt.Errorf("lookup %q: %v", id, ErrGone) // want `fmt\.Errorf formats sentinel ErrGone without %w: the wrap is unmatchable by errors\.Is`
+	}
+	return fmt.Errorf("lookup %q: %w", id, ErrGone)
+}

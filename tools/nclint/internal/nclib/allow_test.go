@@ -1,0 +1,123 @@
+package nclib
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// scanFixture parses src and runs scanAllows over it, returning the
+// Program and a position helper for line n of the fixture file.
+func scanFixture(t *testing.T, src string) (*Program, func(line int) token.Position) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	prog := &Program{Fset: fset, allows: map[string][]allowComment{}}
+	prog.scanAllows("fix.go", f)
+	return prog, func(line int) token.Position {
+		return token.Position{Filename: "fix.go", Line: line}
+	}
+}
+
+func TestAllowedScope(t *testing.T) {
+	prog, at := scanFixture(t, `package p
+
+func f() {
+	_ = 1 //nc:allow(hotpath) amortized: once per rebuild
+	_ = 2
+	_ = 3
+}
+`)
+	// Line 4 carries the allow; it covers its own line and line 5.
+	for _, tc := range []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"hotpath", 4, true},
+		{"hotpath", 5, true},
+		{"hotpath", 6, false}, // two lines below: out of scope
+		{"hotpath", 3, false}, // line above: out of scope
+		{"ctxio", 4, false},   // different analyzer
+	} {
+		if got := prog.allowed(tc.analyzer, at(tc.line)); got != tc.want {
+			t.Errorf("allowed(%s, line %d) = %v, want %v", tc.analyzer, tc.line, got, tc.want)
+		}
+	}
+	if ds := prog.allowFindings(map[string]bool{"hotpath": true}); len(ds) != 0 {
+		t.Errorf("well-formed allow produced findings: %v", ds)
+	}
+}
+
+func TestAllowMultipleAnalyzers(t *testing.T) {
+	prog, at := scanFixture(t, `package p
+
+func f() {
+	//nc:allow(hotpath, ctxio) shared fixture path
+	_ = 1
+}
+`)
+	for _, name := range []string{"hotpath", "ctxio"} {
+		if !prog.allowed(name, at(5)) {
+			t.Errorf("allowed(%s, line 5) = false, want true", name)
+		}
+	}
+}
+
+func TestReasonlessAllowDoesNotSuppress(t *testing.T) {
+	prog, at := scanFixture(t, `package p
+
+func f() {
+	_ = 1 //nc:allow(hotpath)
+}
+`)
+	if prog.allowed("hotpath", at(4)) {
+		t.Fatal("reasonless allow suppressed a finding; it must not")
+	}
+	ds := prog.allowFindings(map[string]bool{"hotpath": true})
+	if len(ds) != 1 {
+		t.Fatalf("got %d allow findings, want 1: %v", len(ds), ds)
+	}
+	if ds[0].Analyzer != "allow" || !strings.Contains(ds[0].Message, "requires a reason") {
+		t.Errorf("unexpected finding: %+v", ds[0])
+	}
+	if ds[0].Position.Line != 4 {
+		t.Errorf("finding at line %d, want 4", ds[0].Position.Line)
+	}
+}
+
+func TestAllowUnknownAnalyzer(t *testing.T) {
+	prog, _ := scanFixture(t, `package p
+
+func f() {
+	_ = 1 //nc:allow(hotpaths) typo in the analyzer name
+}
+`)
+	ds := prog.allowFindings(map[string]bool{"hotpath": true})
+	if len(ds) != 1 {
+		t.Fatalf("got %d allow findings, want 1: %v", len(ds), ds)
+	}
+	if !strings.Contains(ds[0].Message, `unknown analyzer "hotpaths"`) {
+		t.Errorf("unexpected message: %q", ds[0].Message)
+	}
+}
+
+func TestAllowNamesNoAnalyzer(t *testing.T) {
+	prog, _ := scanFixture(t, `package p
+
+func f() {
+	_ = 1 //nc:allow() just a reason, no target
+}
+`)
+	ds := prog.allowFindings(map[string]bool{"hotpath": true})
+	if len(ds) != 1 {
+		t.Fatalf("got %d allow findings, want 1: %v", len(ds), ds)
+	}
+	if !strings.Contains(ds[0].Message, "names no analyzer") {
+		t.Errorf("unexpected message: %q", ds[0].Message)
+	}
+}

@@ -1,0 +1,223 @@
+package nclib
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON the go command writes for -vettool
+// invocations (x/tools unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the `go vet -vettool` protocol: the version
+// handshake (-V=full), flag discovery (-flags), and per-package unit
+// checking driven by a *.cfg file. It returns true if it recognized
+// and fully handled the invocation (the caller should then exit),
+// false if the arguments are a normal standalone run.
+//
+// version participates in go vet's result caching — bump it whenever
+// an analyzer's behavior changes, or stale cached results will mask
+// new findings.
+func VetMain(args []string, version string, analyzers []*Analyzer) bool {
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			fmt.Printf("nclint version %s\n", version)
+			return true
+		case "-flags":
+			// No analyzer exposes flags; tell the go command so.
+			fmt.Println("[]")
+			return true
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		return false
+	}
+	diags, err := vetUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	return true
+}
+
+// vetUnit analyzes the single package described by cfgPath.
+func vetUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("nclint: parsing %s: %w", cfgPath, err)
+	}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, ByPath: map[string]*Package{}, allows: map[string][]allowComment{}}
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeEmptyVetx(cfg)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+		prog.scanAllows(name, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("nclint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeEmptyVetx(cfg)
+		}
+		return nil, err
+	}
+
+	// Upstream facts: one gob map per dependency's .vetx file.
+	facts := newFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		f, err := os.Open(vetx)
+		if err != nil {
+			continue // dependency exported no facts
+		}
+		var m map[string][]byte
+		derr := gob.NewDecoder(f).Decode(&m)
+		_ = f.Close() // read-only handle; the decode error is the verdict
+		if derr != nil {
+			return nil, fmt.Errorf("nclint: reading facts %s: %w", vetx, derr)
+		}
+		for k, v := range m {
+			facts.m[k] = v
+		}
+	}
+
+	// go vet feeds test files into the unit too; nclint's invariants
+	// are production-code contracts (tests sleep, drop Close errors,
+	// and poke sentinels by design), so _test.go files participate in
+	// type-checking but are not analyzed — matching the standalone
+	// driver, which loads only GoFiles.
+	analysisFiles := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			analysisFiles = append(analysisFiles, f)
+		}
+	}
+
+	isProject := func(path string) bool { return !cfg.Standard[path] }
+	var raw []Diagnostic
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     analysisFiles,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			isProject: isProject,
+			allowed:   prog.allowed,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+			facts:     facts,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("nclint: %s on %s: %w", a.Name, cfg.ImportPath, err)
+		}
+		// Finalize is whole-program; the unit protocol sees one
+		// package at a time, so cross-build checks run only in the
+		// standalone driver.
+	}
+
+	if err := writeVetx(cfg, facts); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		if prog.allowed(d.Analyzer, d.Position) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, prog.allowFindings(known)...)
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// writeVetx persists this package's exported facts for downstream
+// units. The go command requires the file to exist even when empty.
+func writeVetx(cfg vetConfig, facts *factStore) error {
+	f, err := os.Create(cfg.VetxOutput)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(facts.keysForPackage(cfg.ImportPath)); err != nil {
+		_ = f.Close() // the encode error is the one to surface
+		return err
+	}
+	return f.Close()
+}
+
+func writeEmptyVetx(cfg vetConfig) ([]Diagnostic, error) {
+	return nil, writeVetx(cfg, newFactStore())
+}

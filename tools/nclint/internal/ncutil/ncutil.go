@@ -1,0 +1,103 @@
+// Package ncutil holds the small AST/type helpers shared by nclint's
+// analyzers: the //nc: annotation grammar and static callee
+// resolution.
+package ncutil
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// HasAnnotation reports whether doc contains an //nc:<name> marker
+// line (e.g. //nc:hotpath).
+func HasAnnotation(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		t := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if t == "nc:"+name || strings.HasPrefix(t, "nc:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+var lockedRe = regexp.MustCompile(`^nc:locked\(([^)]+)\)`)
+
+// LockedAnnotation extracts the lock expression of an
+// //nc:locked(<mutex>) marker from doc: a bare field name ("mu")
+// binds to the callee's receiver at each call site, a dotted path
+// ("s.mu") matches call-site text literally.
+func LockedAnnotation(doc *ast.CommentGroup) (lock string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		t := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if m := lockedRe.FindStringSubmatch(t); m != nil {
+			return strings.TrimSpace(m[1]), true
+		}
+	}
+	return "", false
+}
+
+// StaticCallee resolves the called function or method when it is
+// statically known: a package-level function (possibly imported), or
+// a method call on a concrete receiver. Calls through function values
+// and interface methods return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				f, _ := sel.Obj().(*types.Func)
+				if f != nil && !isInterfaceRecv(f) {
+					return f
+				}
+				return nil
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.F.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func isInterfaceRecv(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// IsPkgFunc reports whether f is the package-level function (or any
+// method) pkgPath.name.
+func IsPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// NamedRecv returns the named type of f's receiver (through one
+// pointer), or nil for package-level functions.
+func NamedRecv(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
