@@ -170,36 +170,87 @@ type ChangeEvent struct {
 	// Zero is the unfenced pre-failover epoch (also what streams from
 	// older servers carry).
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Coalesced labels the sequence gap immediately before this event on
+	// a live subscription: that many earlier events were collapsed away
+	// before delivery as superseded same-id upserts (a heartbeat storm
+	// folding to one event per node). A consumer checks
+	// prev.Seq + 1 + Coalesced == ev.Seq to tell benign collapse from
+	// real loss. Always zero on ChangesSince reads — history is dense —
+	// so followers and catch-up consumers never see a labelled gap.
+	Coalesced uint64 `json:"coalesced,omitempty"`
+
+	// enc is the event's shared encode cache, carried over from the
+	// feed: every serialization of this event (JSON for one subscriber,
+	// a binary frame for another, a relay forwarding it downstream) is
+	// built at most once and shared by every copy. nil on hand-built
+	// events, which simply encode from scratch.
+	enc *changefeed.Encoded
 }
 
 // fromFeedEvent converts an internal feed event to the wire form.
-func fromFeedEvent(ev changefeed.Event) ChangeEvent {
-	out := ChangeEvent{Seq: ev.Seq, PubNs: ev.PubNs, Epoch: ev.Epoch}
+// When the event carries an encode cache, the converted form (one
+// decoded view shared by every consumer of this event) is built once
+// and cached alongside the serializations: sixty-four subscribers
+// fanning out one event pay one conversion, not sixty-four.
+func fromFeedEvent(ev *changefeed.Event) ChangeEvent {
+	if ev.Enc == nil {
+		var w encodedWire
+		fillChangeEvent(&w, ev)
+		out := w.ev
+		out.Coalesced = ev.Coalesced
+		return out
+	}
+	v, _ := ev.Enc.View().(*encodedWire)
+	if v == nil {
+		v = &encodedWire{}
+		fillChangeEvent(v, ev)
+		v.ev.enc = ev.Enc
+		// Racing builders store equivalent views; last write wins and
+		// the loser becomes garbage.
+		ev.Enc.StoreView(v)
+	}
+	out := v.ev
+	out.Coalesced = ev.Coalesced
+	return out
+}
+
+// encodedWire is the cached wire-form view of one feed event: the
+// event plus the backing store its Entry pointer references, so one
+// heap object carries both. Immutable once stored (fromFeedEvent
+// copies the event out by value; Entry is shared and never written).
+type encodedWire struct {
+	ev    ChangeEvent
+	entry ChangeEntry
+}
+
+// fillChangeEvent converts ev into w (Coalesced excluded — it is
+// per-delivery, not part of the event identity the cache keys on).
+func fillChangeEvent(w *encodedWire, ev *changefeed.Event) {
+	w.ev.Seq, w.ev.PubNs, w.ev.Epoch = ev.Seq, ev.PubNs, ev.Epoch
 	switch ev.Op {
 	case changefeed.OpUpsert:
-		out.Op = ChangeUpsert
-		entry := toChangeEntry(RegistryEntry{
-			ID:        ev.Entry.ID,
-			Coord:     ev.Entry.Coord,
-			Error:     ev.Entry.Error,
-			UpdatedAt: ev.Entry.UpdatedAt,
-		})
-		out.Entry = &entry
+		w.ev.Op = ChangeUpsert
+		w.entry = ChangeEntry{
+			ID:                ev.Entry.ID,
+			Coord:             ev.Entry.Coord,
+			Error:             ev.Entry.Error,
+			UpdatedAtUnixNano: ev.Entry.UpdatedAt.UnixNano(),
+		}
+		w.ev.Entry = &w.entry
 	case changefeed.OpRemove:
-		out.Op = ChangeRemove
-		out.ID = ev.ID
+		w.ev.Op = ChangeRemove
+		w.ev.ID = ev.ID
 	case changefeed.OpEvict:
-		out.Op = ChangeEvict
-		out.IDs = ev.IDs
+		w.ev.Op = ChangeEvict
+		w.ev.IDs = ev.IDs
 	}
-	return out
 }
 
 // toFeedEvent converts a wire event back to the internal feed form —
 // the relay direction: a follower republishes its leader's events into
 // its own feed under the leader's sequence numbers.
 func toFeedEvent(ev ChangeEvent) changefeed.Event {
-	out := changefeed.Event{Seq: ev.Seq, PubNs: ev.PubNs, Epoch: ev.Epoch}
+	out := changefeed.Event{Seq: ev.Seq, PubNs: ev.PubNs, Epoch: ev.Epoch, Enc: ev.enc}
 	switch ev.Op {
 	case ChangeUpsert:
 		out.Op = changefeed.OpUpsert
@@ -230,6 +281,11 @@ type ChangeStreamStats struct {
 	Subscribers int `json:"subscribers"`
 	// Overflows counts events dropped to full subscriber buffers.
 	Overflows uint64 `json:"overflows"`
+	// Coalesced counts events collapsed away before subscriber delivery
+	// because a newer upsert of the same id superseded them while still
+	// pending. Unlike Overflows these are not loss: the surviving event
+	// carries the final state and labels the gap (ChangeEvent.Coalesced).
+	Coalesced uint64 `json:"coalesced"`
 	// OldestSeq is the oldest event still in the catch-up ring.
 	OldestSeq uint64 `json:"oldest_seq"`
 	// RingLen is the ring's current occupancy (live events buffered);
@@ -292,6 +348,7 @@ func feedStreamStats(feed *changefeed.Feed) ChangeStreamStats {
 		Published:          st.Published,
 		Subscribers:        st.Subscribers,
 		Overflows:          st.Overflows,
+		Coalesced:          st.Coalesced,
 		OldestSeq:          st.OldestSeq,
 		RingLen:            st.RingLen,
 		RingCap:            st.RingCap,
@@ -329,8 +386,8 @@ func feedChangesSince(feed *changefeed.Feed, since uint64, max int, label string
 		return nil, err
 	}
 	out := make([]ChangeEvent, len(evs))
-	for i, ev := range evs {
-		out[i] = fromFeedEvent(ev)
+	for i := range evs {
+		out[i] = fromFeedEvent(&evs[i])
 	}
 	return out, nil
 }
@@ -418,7 +475,6 @@ func assembleDelta(since, seq uint64, removedSince func(uint64) ([]string, bool)
 type ChangeSubscription struct {
 	inner     *changefeed.Subscription
 	out       chan ChangeEvent
-	done      chan struct{}
 	closeOnce sync.Once
 }
 
@@ -436,31 +492,32 @@ func (r *Registry) SubscribeChanges(buffer int) (*ChangeSubscription, error) {
 
 // newChangeSubscription wraps a feed subscription in the public wire
 // type; shared by the registry's own stream and a follower's relay.
+//
+// Delivery is a callback subscription (SubscribeFunc), not a forwarded
+// channel: the feed's flusher converts each event to the wire form
+// (cached per event — sixty-four subscribers pay one conversion) and
+// drops it straight into this subscription's buffered channel. The
+// earlier design forwarded an internal channel through a per-subscriber
+// goroutine, which doubled the channel operations on every delivery and
+// parked a goroutine per event; the sink keeps the fan-out at exactly
+// one send and one receive per subscriber.
 func newChangeSubscription(feed *changefeed.Feed, buffer int) *ChangeSubscription {
 	if buffer < 1 {
 		buffer = 1
 	}
-	s := &ChangeSubscription{
-		inner: feed.Subscribe(buffer),
-		out:   make(chan ChangeEvent, 1),
-		done:  make(chan struct{}),
-	}
-	go s.forward()
+	s := &ChangeSubscription{out: make(chan ChangeEvent, buffer)}
+	s.inner = feed.SubscribeFunc(
+		func(ev *changefeed.Event) bool {
+			select {
+			case s.out <- fromFeedEvent(ev):
+				return true
+			default:
+				return false // full buffer: the feed counts the drop
+			}
+		},
+		func() { s.closeOnce.Do(func() { close(s.out) }) },
+	)
 	return s
-}
-
-// forward converts internal events to the wire type. The inner channel
-// carries the configured buffer; the outer channel only smooths the
-// hand-off.
-func (s *ChangeSubscription) forward() {
-	defer close(s.out)
-	for ev := range s.inner.C() {
-		select {
-		case s.out <- fromFeedEvent(ev):
-		case <-s.done:
-			return
-		}
-	}
 }
 
 // C is the event channel; it closes after Close (or registry Close),
@@ -483,5 +540,4 @@ func (s *ChangeSubscription) Dropped() uint64 { return s.inner.Dropped() }
 // from multiple goroutines.
 func (s *ChangeSubscription) Close() {
 	s.inner.Close()
-	s.closeOnce.Do(func() { close(s.done) })
 }

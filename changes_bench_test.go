@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"netcoord/internal/changefeed"
 )
 
 // BenchmarkWatchFanout measures the mutation hot path with a realistic
@@ -49,5 +51,41 @@ func BenchmarkWatchFanout(b *testing.B) {
 			r.Close() // closes subscriptions; drain goroutines exit
 			drained.Wait()
 		})
+	}
+}
+
+// BenchmarkRelayForward measures the relay-forward hot path: an event
+// whose frame bytes are already cached (as a frame-negotiated follower
+// stores them at ingest, and as publish-time encoding stores them at
+// the origin) is appended to an outgoing batch. This must be a pure
+// copy of the cached bytes — zero allocations, zero marshal calls — or
+// every tier of a fan-out tree re-pays the encode the origin already
+// paid once. CI gates it at 0 allocs/op.
+func BenchmarkRelayForward(b *testing.B) {
+	evs := make([]ChangeEvent, 256)
+	for i := range evs {
+		ev := ChangeEvent{Seq: uint64(i + 1), Op: ChangeUpsert, PubNs: 1712345678901234567, Entry: &ChangeEntry{
+			ID:                fmt.Sprintf("node-%04d", i),
+			Coord:             c3(float64(i%97), float64(i%89), float64(i%13)),
+			Error:             0.15,
+			UpdatedAtUnixNano: 1712345678901234567,
+		}}
+		ev.enc = &changefeed.Encoded{}
+		if _, err := ev.AppendFrameTo(nil); err != nil { // first encode populates the cache
+			b.Fatal(err)
+		}
+		evs[i] = ev
+	}
+	buf := make([]byte, 0, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(buf) > 1<<15 {
+			buf = buf[:0] // stay inside the preallocated batch buffer
+		}
+		var err error
+		if buf, err = evs[i%len(evs)].AppendFrameTo(buf); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,203 @@
+package netcoord
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+)
+
+// This file is the encode-once JSON path for change events. Serving a
+// change stream used to pay one json.Marshal — reflection, interface
+// boxing, a fresh buffer — per event per subscriber. ChangeEvent now
+// marshals through a hand-rolled appender that writes into one []byte
+// with no reflection, and the result is stored in the event's shared
+// encode cache, so a fan-out of N subscribers serializes each event
+// exactly once and N-1 of them just copy bytes.
+//
+// The appender reproduces encoding/json's output byte for byte for the
+// shapes a change event can take (same field order, same omitempty
+// decisions, same float and string formatting); anything it cannot
+// render identically — a string needing escapes, a non-finite float —
+// falls back to encoding/json itself, so the output is ALWAYS exactly
+// what the stdlib would have produced. TestChangeEventJSONMatchesStdlib
+// holds that equivalence.
+
+// changeEventJSON is ChangeEvent stripped of its methods, so the
+// fallback can use the stdlib encoder without recursing into
+// MarshalJSON.
+type changeEventJSON ChangeEvent
+
+// MarshalJSON renders the event exactly as encoding/json would render
+// its fields, serving cached bytes when the event carries the shared
+// encode cache. A labelled coalesce gap (Coalesced > 0) changes the
+// rendered shape, and only live deliveries carry labels, so those
+// encode fresh and only the dense form is cached.
+func (e ChangeEvent) MarshalJSON() ([]byte, error) {
+	cacheable := e.enc != nil && e.Coalesced == 0
+	if cacheable {
+		if b := e.enc.JSON(); b != nil {
+			return b, nil
+		}
+	}
+	b, ok := appendChangeEventJSON(make([]byte, 0, 192), e)
+	if !ok {
+		var err error
+		b, err = json.Marshal(changeEventJSON(e))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cacheable {
+		e.enc.StoreJSON(b)
+	}
+	return b, nil
+}
+
+// appendChangeEventJSON renders e in encoding/json's exact output
+// format. ok is false when some value needs a rendering this fast path
+// does not implement (escaped strings, non-finite floats) and the
+// caller must fall back to the stdlib.
+func appendChangeEventJSON(dst []byte, e ChangeEvent) ([]byte, bool) {
+	var ok bool
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"op":`...)
+	if dst, ok = appendJSONString(dst, e.Op); !ok {
+		return nil, false
+	}
+	if e.Entry != nil {
+		dst = append(dst, `,"entry":`...)
+		if dst, ok = appendChangeEntryJSON(dst, e.Entry); !ok {
+			return nil, false
+		}
+	}
+	if e.ID != "" {
+		dst = append(dst, `,"id":`...)
+		if dst, ok = appendJSONString(dst, e.ID); !ok {
+			return nil, false
+		}
+	}
+	if len(e.IDs) > 0 {
+		dst = append(dst, `,"ids":[`...)
+		for i, id := range e.IDs {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if dst, ok = appendJSONString(dst, id); !ok {
+				return nil, false
+			}
+		}
+		dst = append(dst, ']')
+	}
+	if e.PubNs != 0 {
+		dst = append(dst, `,"pub_ns":`...)
+		dst = strconv.AppendInt(dst, e.PubNs, 10)
+	}
+	if e.Epoch != 0 {
+		dst = append(dst, `,"epoch":`...)
+		dst = strconv.AppendUint(dst, e.Epoch, 10)
+	}
+	if e.Coalesced != 0 {
+		dst = append(dst, `,"coalesced":`...)
+		dst = strconv.AppendUint(dst, e.Coalesced, 10)
+	}
+	return append(dst, '}'), true
+}
+
+// appendChangeEntryJSON renders one entry, matching the stdlib field
+// order and omitempty choices of ChangeEntry.
+func appendChangeEntryJSON(dst []byte, e *ChangeEntry) ([]byte, bool) {
+	var ok bool
+	dst = append(dst, `{"id":`...)
+	if dst, ok = appendJSONString(dst, e.ID); !ok {
+		return nil, false
+	}
+	dst = append(dst, `,"coord":`...)
+	if dst, ok = appendCoordinateJSON(dst, e.Coord); !ok {
+		return nil, false
+	}
+	if e.Error != 0 {
+		dst = append(dst, `,"error":`...)
+		if dst, ok = appendJSONFloat(dst, e.Error); !ok {
+			return nil, false
+		}
+	}
+	dst = append(dst, `,"updated_at_unix_nano":`...)
+	dst = strconv.AppendInt(dst, e.UpdatedAtUnixNano, 10)
+	if e.Seq != 0 {
+		dst = append(dst, `,"seq":`...)
+		dst = strconv.AppendUint(dst, e.Seq, 10)
+	}
+	return append(dst, '}'), true
+}
+
+// appendCoordinateJSON renders a coordinate exactly as its MarshalJSON
+// does ({"vec":...,"height":...} with height omitted at zero and a nil
+// vector rendered null).
+func appendCoordinateJSON(dst []byte, c Coordinate) ([]byte, bool) {
+	var ok bool
+	dst = append(dst, `{"vec":`...)
+	if c.Vec == nil {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		for i, v := range c.Vec {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if dst, ok = appendJSONFloat(dst, v); !ok {
+				return nil, false
+			}
+		}
+		dst = append(dst, ']')
+	}
+	if c.Height != 0 {
+		dst = append(dst, `,"height":`...)
+		if dst, ok = appendJSONFloat(dst, c.Height); !ok {
+			return nil, false
+		}
+	}
+	return append(dst, '}'), true
+}
+
+// appendJSONString quotes s when no byte needs escaping under
+// encoding/json's default (HTML-escaping) encoder: printable ASCII
+// minus quote, backslash, and the HTML-significant characters. Any
+// other byte fails the fast path rather than risk diverging from the
+// stdlib's rendering.
+func appendJSONString(dst []byte, s string) ([]byte, bool) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return nil, false
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"'), true
+}
+
+// appendJSONFloat renders f with encoding/json's float algorithm:
+// shortest representation, 'f' form inside [1e-6, 1e21), 'e' form with
+// a trimmed exponent leading zero outside it. Non-finite values fail
+// the fast path (the stdlib reports them as errors, and the fallback
+// reproduces that exactly).
+func appendJSONFloat(dst []byte, f float64) ([]byte, bool) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, false
+	}
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims a one-digit negative exponent's leading
+		// zero: 1e-07 renders as 1e-7.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, true
+}

@@ -1,0 +1,214 @@
+package netcoord
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"netcoord/internal/changefeed"
+)
+
+// codecSampleEvents covers every op and the value shapes that push the
+// fast JSON path onto its edges (and off it, onto the stdlib fallback).
+func codecSampleEvents() []ChangeEvent {
+	return []ChangeEvent{
+		{Seq: 1, Op: ChangeUpsert, PubNs: 1712345678901234567, Epoch: 3, Entry: &ChangeEntry{
+			ID:                "node-0001",
+			Coord:             c3(12.5, -3.25, 0.0625),
+			Error:             0.15,
+			UpdatedAtUnixNano: 1712345678901234567,
+		}},
+		{Seq: 2, Op: ChangeUpsert, Entry: &ChangeEntry{
+			ID:                "h",
+			Coord:             Coordinate{Vec: []float64{1e-7, 1e21, -1e-6, 0.1}, Height: 2.5},
+			UpdatedAtUnixNano: -12345,
+		}},
+		{Seq: 3, Op: ChangeUpsert, Entry: &ChangeEntry{
+			ID:                "",
+			Coord:             Coordinate{},
+			UpdatedAtUnixNano: 0,
+		}},
+		{Seq: 4, Op: ChangeUpsert, Entry: &ChangeEntry{
+			ID:                "edge",
+			Coord:             Coordinate{Vec: []float64{}, Height: -1e-9},
+			Error:             math.MaxFloat64,
+			UpdatedAtUnixNano: 7,
+		}},
+		{Seq: 5, Op: ChangeRemove, ID: "node-0001", PubNs: -50, Epoch: math.MaxUint64},
+		{Seq: 6, Op: ChangeEvict, IDs: []string{"a", "b", "c"}},
+		{Seq: 7, Op: ChangeEvict, IDs: []string{""}},
+		{Seq: 0, Op: ChangeRemove, ID: `quote"backslash\and<html>&`},
+		{Seq: 8, Op: ChangeRemove, ID: "unicode-ü "},
+		{Seq: 9, Op: ChangeUpsert, Coalesced: 4, Entry: &ChangeEntry{
+			ID:                "labelled",
+			Coord:             c3(1, 2, 3),
+			UpdatedAtUnixNano: 11,
+		}},
+		{Seq: 10, Op: ChangeUpsert, Entry: &ChangeEntry{
+			ID:                "snapshot-shaped",
+			Coord:             c3(4, 5, 6),
+			UpdatedAtUnixNano: 12,
+			Seq:               10,
+		}},
+	}
+}
+
+// TestChangeEventJSONMatchesStdlib is the contract the fast encoder
+// lives under: for ANY event, MarshalJSON produces byte-for-byte what
+// encoding/json would produce for the same fields.
+func TestChangeEventJSONMatchesStdlib(t *testing.T) {
+	for i, ev := range codecSampleEvents() {
+		got, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("event %d: Marshal: %v", i, err)
+		}
+		want, err := json.Marshal(changeEventJSON(ev))
+		if err != nil {
+			t.Fatalf("event %d: stdlib Marshal: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("event %d diverges from stdlib:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestChangeEventJSONNonFinite: the stdlib refuses non-finite floats;
+// the fast path must refuse identically, not render them.
+func TestChangeEventJSONNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		ev := ChangeEvent{Seq: 1, Op: ChangeUpsert, Entry: &ChangeEntry{ID: "x", Coord: c3(1, 2, bad)}}
+		if _, err := json.Marshal(ev); err == nil {
+			t.Fatalf("Marshal accepted non-finite component %v", bad)
+		}
+	}
+}
+
+// TestChangeEventJSONCachedOnce: with an encode cache attached, the
+// first marshal stores bytes and later marshals return the same
+// backing array without re-encoding.
+func TestChangeEventJSONCachedOnce(t *testing.T) {
+	ev := codecSampleEvents()[0]
+	ev.enc = &changefeed.Encoded{}
+	first, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := ev.enc.JSON()
+	if cached == nil {
+		t.Fatal("marshal did not populate the cache")
+	}
+	again, err := ev.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &cached[0] {
+		t.Fatal("second marshal re-encoded instead of serving the cache")
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatalf("cache mismatch: %s vs %s", first, again)
+	}
+
+	// A labelled delivery renders a different shape and must bypass the
+	// cache in both directions.
+	labelled := ev
+	labelled.Coalesced = 3
+	out, err := json.Marshal(labelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte(`"coalesced":3`)) {
+		t.Fatalf("labelled marshal lost the label: %s", out)
+	}
+	if bytes.Contains(ev.enc.JSON(), []byte("coalesced")) {
+		t.Fatal("labelled form leaked into the cache")
+	}
+}
+
+// TestChangeEventFrameRoundTrip: event → frame bytes → event is
+// lossless for every frameable shape (PubNs is clamped non-negative on
+// the wire by design).
+func TestChangeEventFrameRoundTrip(t *testing.T) {
+	for i, ev := range codecSampleEvents() {
+		ev.Coalesced = 0 // frames carry no label; the binary path is ring-fed
+		if ev.Entry != nil && ev.Entry.Seq != 0 {
+			// The entry-level sequence travels only in snapshots (where the
+			// writer stamps it onto the frame's own Seq), never in change
+			// events, so the converter pair legitimately drops it.
+			e := *ev.Entry
+			e.Seq = 0
+			ev.Entry = &e
+		}
+		buf, err := ev.AppendFrameTo(nil)
+		if err != nil {
+			t.Fatalf("event %d: AppendFrameTo: %v", i, err)
+		}
+		fr, err := frameFromChangeEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := changeEventFromFrame(&fr)
+		if err != nil {
+			t.Fatalf("event %d: changeEventFromFrame: %v", i, err)
+		}
+		gotJSON, _ := json.Marshal(changeEventJSON(back))
+		wantJSON, _ := json.Marshal(changeEventJSON(ev))
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("event %d converter round trip diverged:\n got %s\nwant %s", i, gotJSON, wantJSON)
+		}
+		if len(buf) == 0 {
+			t.Fatalf("event %d produced an empty frame", i)
+		}
+	}
+}
+
+// TestChangeEventFrameCachedVerbatim: with a cache attached, the first
+// AppendFrameTo stores the frame and later calls append those exact
+// bytes — the relay-forward guarantee.
+func TestChangeEventFrameCachedVerbatim(t *testing.T) {
+	ev := codecSampleEvents()[0]
+	ev.enc = &changefeed.Encoded{}
+	first, err := ev.AppendFrameTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := ev.enc.Frame()
+	if cached == nil {
+		t.Fatal("AppendFrameTo did not populate the cache")
+	}
+	prefix := []byte("prefix")
+	again, err := ev.AppendFrameTo(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, append([]byte("prefix"), first...)) {
+		t.Fatal("cached append diverged from the first encoding")
+	}
+}
+
+// FuzzChangeEventJSON drives the stdlib-equivalence property with
+// hostile field values.
+func FuzzChangeEventJSON(f *testing.F) {
+	f.Add(uint64(1), "upsert", "node-1", 1.5, 2.5, 0.1, int64(123), uint64(0))
+	f.Add(uint64(2), "remove", "we\"ird<id>", 0.0, 0.0, 0.0, int64(-1), uint64(3))
+	f.Add(uint64(3), "evict", "\x00\x7f\xff", 1e-7, 1e21, -0.0, int64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, seq uint64, op, id string, x, h, errw float64, upd int64, coal uint64) {
+		ev := ChangeEvent{Seq: seq, Op: op, PubNs: upd, Coalesced: coal}
+		switch op {
+		case ChangeUpsert:
+			ev.Entry = &ChangeEntry{ID: id, Coord: Coordinate{Vec: []float64{x, x / 3}, Height: h}, Error: errw, UpdatedAtUnixNano: upd}
+		case ChangeEvict:
+			ev.IDs = []string{id, ""}
+		default:
+			ev.ID = id
+		}
+		got, gotErr := json.Marshal(ev)
+		want, wantErr := json.Marshal(changeEventJSON(ev))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("error divergence: %v vs %v", gotErr, wantErr)
+		}
+		if gotErr == nil && !bytes.Equal(got, want) {
+			t.Fatalf("output divergence:\n got %s\nwant %s", got, want)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package netcoord
+
+import (
+	"fmt"
+
+	"netcoord/internal/wire"
+)
+
+// This file bridges change events to the binary change-frame format in
+// internal/wire. The frame form is what followers negotiate on
+// /changes (and /snapshot) instead of JSON: one compact self-delimiting
+// record per event, encoded once at the stream's origin and forwarded
+// verbatim by every relay tier — a follower decodes a frame to apply
+// it, then republishes the received bytes untouched, so an N-tier
+// chain pays one encode total instead of one per hop.
+//
+// Frames carry no coalesce label: the binary path serves history reads
+// (dense by construction), never live coalesced deliveries.
+
+// AppendFrameTo appends the event's binary change frame to dst and
+// returns the extended slice, serving cached bytes when the event
+// carries the shared encode cache — the fan-out and relay-forward hot
+// path is then a single memcpy.
+//
+//nc:hotpath
+func (e ChangeEvent) AppendFrameTo(dst []byte) ([]byte, error) {
+	if e.enc != nil {
+		if b := e.enc.Frame(); b != nil {
+			return append(dst, b...), nil
+		}
+	}
+	return e.appendFrameCold(dst) //nc:allow(hotpath) first serialization of an event: built and cached once, after which every call takes the cached-copy path above
+}
+
+// appendFrameCold builds the frame from scratch and caches it when the
+// event carries an encode cache.
+func (e ChangeEvent) appendFrameCold(dst []byte) ([]byte, error) {
+	fr, err := frameFromChangeEvent(e)
+	if err != nil {
+		return nil, err
+	}
+	start := len(dst)
+	if dst, err = wire.AppendFrame(dst, &fr); err != nil {
+		return nil, err
+	}
+	if e.enc != nil {
+		// The cache needs its own backing: dst belongs to the caller and
+		// may be grown over, truncated, or reused.
+		e.enc.StoreFrame(append([]byte(nil), dst[start:]...))
+	}
+	return dst, nil
+}
+
+// frameFromChangeEvent maps the wire-JSON event shape onto a frame.
+func frameFromChangeEvent(e ChangeEvent) (wire.Frame, error) {
+	fr := wire.Frame{Seq: e.Seq, Epoch: e.Epoch, PubNs: e.PubNs}
+	switch e.Op {
+	case ChangeUpsert:
+		if e.Entry == nil {
+			return fr, fmt.Errorf("netcoord: upsert event %d has no entry", e.Seq)
+		}
+		fr.Op = wire.OpUpsert
+		fr.ID = e.Entry.ID
+		fr.Coord = e.Entry.Coord
+		fr.Error = e.Entry.Error
+		fr.UpdatedAtNs = e.Entry.UpdatedAtUnixNano
+	case ChangeRemove:
+		fr.Op = wire.OpRemove
+		fr.ID = e.ID
+	case ChangeEvict:
+		fr.Op = wire.OpEvict
+		fr.IDs = e.IDs
+	default:
+		return fr, fmt.Errorf("netcoord: op %q has no frame encoding", e.Op)
+	}
+	return fr, nil
+}
+
+// changeEventFromFrame maps a decoded frame back to the event shape.
+// The caller owns attaching the encode cache (with the received bytes)
+// before relaying.
+func changeEventFromFrame(fr *wire.Frame) (ChangeEvent, error) {
+	out := ChangeEvent{Seq: fr.Seq, Epoch: fr.Epoch, PubNs: fr.PubNs}
+	switch fr.Op {
+	case wire.OpUpsert:
+		out.Op = ChangeUpsert
+		out.Entry = &ChangeEntry{
+			ID:                fr.ID,
+			Coord:             fr.Coord,
+			Error:             fr.Error,
+			UpdatedAtUnixNano: fr.UpdatedAtNs,
+		}
+	case wire.OpRemove:
+		out.Op = ChangeRemove
+		out.ID = fr.ID
+	case wire.OpEvict:
+		out.Op = ChangeEvict
+		out.IDs = fr.IDs
+	default:
+		return out, fmt.Errorf("netcoord: unknown frame op %d (seq %d)", fr.Op, fr.Seq)
+	}
+	return out, nil
+}

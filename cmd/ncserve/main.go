@@ -120,6 +120,7 @@ func run(args []string) (err error) {
 		follow       = fs.String("follow", "", "run as a read-only replica of this upstream ncserve URL (single-upstream alias for -upstreams)")
 		upstreams    = fs.String("upstreams", "", "comma-separated ordered list of upstream ncserve URLs to replicate from; the first is preferred, the rest are failover targets")
 		maxLag       = fs.Uint64("max-lag", 0, "follower readiness bound: /healthz answers 503 when replication lag exceeds this many events (0 = default)")
+		noBinStream  = fs.Bool("no-binary-stream", false, "replicate over plain JSON instead of negotiating the binary change-frame encoding with the upstream (with -follow/-upstreams)")
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address; bind to loopback only — this listener must never be exposed publicly")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -152,8 +153,9 @@ func run(args []string) (err error) {
 			return errors.New("-follow/-upstreams and -ttl are mutually exclusive: evictions are the leader's decision and arrive through the stream")
 		}
 		follower, ferr := netcoord.StartFollower(netcoord.FollowerConfig{
-			Upstreams: upstreamList,
-			Registry:  regCfg,
+			Upstreams:           upstreamList,
+			Registry:            regCfg,
+			DisableBinaryStream: *noBinStream,
 		})
 		if ferr != nil {
 			return ferr

@@ -17,6 +17,7 @@ import (
 
 	"netcoord/internal/changefeed"
 	"netcoord/internal/telemetry"
+	"netcoord/internal/wire"
 )
 
 // Follower retry policy: capped jittered exponential backoff, the same
@@ -80,6 +81,12 @@ type FollowerConfig struct {
 	// no overall timeout — long-polls hold connections open
 	// deliberately).
 	HTTPClient *http.Client
+	// DisableBinaryStream forces JSON on /changes and /snapshot. By
+	// default the follower offers the binary frame encoding via Accept
+	// and uses whichever the upstream answers with — an upstream that
+	// predates frames (or has them disabled) simply keeps serving JSON,
+	// so mixed-version chains degrade per hop, not per tree.
+	DisableBinaryStream bool
 }
 
 // FollowerStats reports a follower's replication position — the
@@ -107,6 +114,10 @@ type FollowerStats struct {
 	LastContactAgeSeconds float64 `json:"last_contact_age_seconds"`
 	// EventsApplied counts stream events applied since start.
 	EventsApplied uint64 `json:"events_applied"`
+	// FramesReceived counts events that arrived in the binary frame
+	// encoding (zero means every batch so far was JSON — either the
+	// upstream doesn't speak frames or DisableBinaryStream is set).
+	FramesReceived uint64 `json:"frames_received"`
 	// Bootstraps counts snapshot loads: the initial one, plus one per
 	// stream truncation (the follower fell further behind than the
 	// leader retains).
@@ -199,6 +210,10 @@ type FollowerRegistry struct {
 	wait      time.Duration
 	retry     time.Duration
 	limit     int
+	// binary offers the frame encoding on /changes and /snapshot;
+	// either side may decline, so every response is branched on its
+	// Content-Type rather than on this flag.
+	binary bool
 
 	// relay republishes applied events in the leader's sequence space;
 	// created at the initial bootstrap, reset on every re-bootstrap
@@ -207,8 +222,9 @@ type FollowerRegistry struct {
 	relay    *changefeed.Feed
 	relayBuf int
 
-	applied   atomic.Uint64
-	leaderSeq atomic.Uint64
+	applied        atomic.Uint64
+	leaderSeq      atomic.Uint64
+	framesReceived atomic.Uint64
 	eventsApplied,
 	bootstraps,
 	deltaBootstraps,
@@ -313,6 +329,7 @@ func StartFollower(cfg FollowerConfig) (*FollowerRegistry, error) {
 		wait:      wait,
 		retry:     retry,
 		limit:     limit,
+		binary:    !cfg.DisableBinaryStream,
 		relayBuf:  relayBuf,
 		applyLag:  telemetry.NewHistogram(),
 		ctx:       ctx,
@@ -370,6 +387,7 @@ func (f *FollowerRegistry) FollowerStats() FollowerStats {
 		Epoch:                 f.epoch(),
 		Promoted:              f.promoted.Load(),
 		EventsApplied:         f.eventsApplied.Load(),
+		FramesReceived:        f.framesReceived.Load(),
 		Bootstraps:            f.bootstraps.Load(),
 		DeltaBootstraps:       f.deltaBootstraps.Load(),
 		Failovers:             f.failovers.Load(),
@@ -663,6 +681,9 @@ func (f *FollowerRegistry) pollOnce() error {
 	if err != nil {
 		return err
 	}
+	if f.binary {
+		req.Header.Set("Accept", wire.ContentTypeFrames)
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return err
@@ -678,6 +699,17 @@ func (f *FollowerRegistry) pollOnce() error {
 		return errStreamGone
 	default:
 		return fmt.Errorf("leader /changes: %s", httpErrorDetail(resp))
+	}
+	if resp.Header.Get("Content-Type") == wire.ContentTypeFrames {
+		// The upstream answered in frames: the whole batch is read as one
+		// byte slab, and each frame's bytes become the event's cached
+		// encoding — applied here, relayed verbatim below.
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("leader /changes: read frames: %w", err)
+		}
+		f.noteContact()
+		return f.applyFrames(data)
 	}
 	var body changesResponse
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
@@ -696,6 +728,57 @@ func (f *FollowerRegistry) pollOnce() error {
 	}
 	f.leaderSeq.Store(body.Seq)
 	return f.apply(body.Events)
+}
+
+// applyFrames decodes one binary /changes batch and applies it through
+// the ordinary event path. Each event keeps a zero-copy view of its own
+// frame bytes as its cached encoding, so when the relay fans this event
+// out to the next tier it forwards the leader's bytes verbatim — the
+// decode here is for applying, never for re-encoding.
+func (f *FollowerRegistry) applyFrames(body []byte) error {
+	hdr, n, err := wire.DecodeBatchHeader(body)
+	if err != nil {
+		return fmt.Errorf("leader /changes: frames: %w", err)
+	}
+	// Body-level fencing, same as the JSON path: a stale stream epoch is
+	// detectable even on an empty batch.
+	if own := f.epoch(); hdr.Epoch < own {
+		f.rejectedStale.Add(1)
+		return fmt.Errorf("%w (/changes epoch %d < local %d)", errStaleEpoch, hdr.Epoch, own)
+	}
+	if hdr.Count > uint64(len(body)) {
+		// Every frame takes more than one byte, so a count past the body
+		// length is structurally impossible — refuse before sizing
+		// anything by it.
+		return fmt.Errorf("leader /changes: frames: count %d exceeds body size %d", hdr.Count, len(body))
+	}
+	f.leaderSeq.Store(hdr.Seq)
+	events := make([]ChangeEvent, 0, hdr.Count)
+	off := n
+	for i := uint64(0); i < hdr.Count; i++ {
+		// A fresh Frame per iteration: DecodeFrameInto reuses backing
+		// storage, and these events outlive the loop inside the relay.
+		var fr wire.Frame
+		m, err := wire.DecodeFrameInto(&fr, body[off:])
+		if err != nil {
+			return fmt.Errorf("leader /changes: frame %d/%d: %w", i+1, hdr.Count, err)
+		}
+		end := off + m
+		ev, err := changeEventFromFrame(&fr)
+		if err != nil {
+			return fmt.Errorf("leader /changes: %w", err)
+		}
+		enc := &changefeed.Encoded{}
+		enc.StoreFrame(body[off:end:end])
+		ev.enc = enc
+		events = append(events, ev)
+		off = end
+	}
+	if off != len(body) {
+		return fmt.Errorf("leader /changes: frames: %d trailing bytes after %d frames", len(body)-off, hdr.Count)
+	}
+	f.framesReceived.Add(uint64(len(events)))
+	return f.apply(events)
 }
 
 // apply replays a batch of leader events, in order, onto the local
@@ -803,6 +886,9 @@ func (f *FollowerRegistry) bootstrap() error {
 	if err != nil {
 		return err
 	}
+	if f.binary {
+		req.Header.Set("Accept", wire.ContentTypeSnapshot)
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return err
@@ -814,29 +900,84 @@ func (f *FollowerRegistry) bootstrap() error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("leader /snapshot: %s", httpErrorDetail(resp))
 	}
+	if resp.Header.Get("Content-Type") == wire.ContentTypeSnapshot {
+		return f.bootstrapFrames(resp.Body, start)
+	}
 	var snap snapshotResponse
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return fmt.Errorf("leader /snapshot: decode: %w", err)
 	}
 	f.noteContact()
-	if own := f.epoch(); snap.Epoch < own {
+	batch := make([]RegistryEntry, len(snap.Entries))
+	for i, e := range snap.Entries {
+		batch[i] = e.Entry()
+	}
+	return f.finishBootstrap(start, snap.Seq, snap.Epoch, snap.Delta, snap.Removed, batch)
+}
+
+// bootstrapFrames decodes a binary /snapshot body incrementally: the
+// wire.Reader holds a sliding window over the response instead of
+// buffering the whole transfer, and each entry decodes straight into its
+// final RegistryEntry — no intermediate JSON tree, no []ChangeEntry
+// copy. For a large registry this is the difference between a bootstrap
+// allocating a few hundred thousand decoder nodes and one allocating an
+// entry slice plus the id strings it keeps.
+func (f *FollowerRegistry) bootstrapFrames(body io.Reader, start time.Time) error {
+	r := wire.NewReader(body, 0)
+	hdr, err := r.ReadSnapshotHeader()
+	if err != nil {
+		return fmt.Errorf("leader /snapshot: frames: %w", err)
+	}
+	// Fence before decoding entries: a deposed leader's snapshot is
+	// refused on its header, not after streaming its whole registry.
+	if own := f.epoch(); hdr.Epoch < own {
 		f.rejectedStale.Add(1)
-		return fmt.Errorf("%w (/snapshot epoch %d < local %d)", errStaleEpoch, snap.Epoch, own)
+		return fmt.Errorf("%w (/snapshot epoch %d < local %d)", errStaleEpoch, hdr.Epoch, own)
+	}
+	capHint := hdr.EntryCount
+	if capHint > 1<<16 {
+		capHint = 1 << 16 // never size an allocation by an unverified header field
+	}
+	batch := make([]RegistryEntry, 0, capHint)
+	for i := uint64(0); i < hdr.EntryCount; i++ {
+		// A fresh Frame per entry: ReadFrame reuses backing storage, and
+		// the decoded strings outlive the loop inside the batch.
+		var fr wire.Frame
+		if err := r.ReadFrame(&fr); err != nil {
+			return fmt.Errorf("leader /snapshot: entry %d/%d: %w", i+1, hdr.EntryCount, err)
+		}
+		if fr.Op != wire.OpUpsert {
+			return fmt.Errorf("leader /snapshot: entry %d/%d has op %d, want upsert", i+1, hdr.EntryCount, fr.Op)
+		}
+		batch = append(batch, RegistryEntry{
+			ID:        fr.ID,
+			Coord:     fr.Coord,
+			Error:     fr.Error,
+			UpdatedAt: time.Unix(0, fr.UpdatedAtNs),
+			// The snapshot writer stamps the entry-level sequence onto the
+			// frame's own Seq; chained delta snapshots depend on it.
+			Seq: fr.Seq,
+		})
+	}
+	f.noteContact()
+	return f.finishBootstrap(start, hdr.Seq, hdr.Epoch, hdr.Delta, hdr.Removed, batch)
+}
+
+// finishBootstrap applies a decoded snapshot — JSON or frames — to the
+// local registry and restarts the relay at its sequence.
+func (f *FollowerRegistry) finishBootstrap(start time.Time, seq, epoch uint64, delta bool, removed []string, batch []RegistryEntry) error {
+	if own := f.epoch(); epoch < own {
+		f.rejectedStale.Add(1)
+		return fmt.Errorf("%w (/snapshot epoch %d < local %d)", errStaleEpoch, epoch, own)
 	}
 
 	f.bootMu.Lock()
 	defer f.bootMu.Unlock()
-	batch := make([]RegistryEntry, len(snap.Entries))
-	live := make(map[string]struct{}, len(snap.Entries))
-	for i, e := range snap.Entries {
-		batch[i] = e.Entry()
-		live[e.ID] = struct{}{}
-	}
-	if snap.Delta {
+	if delta {
 		// Delta: untouched local entries are still correct. Removals
 		// apply FIRST — an id removed and later re-upserted appears in
 		// both lists, and the entry (the newer state) must win.
-		for _, id := range snap.Removed {
+		for _, id := range removed {
 			f.Registry.Remove(id)
 		}
 		f.deltaBootstraps.Add(1)
@@ -844,35 +985,39 @@ func (f *FollowerRegistry) bootstrap() error {
 	if err := f.Registry.UpsertBatch(batch); err != nil {
 		return fmt.Errorf("apply snapshot: %w", err)
 	}
-	if !snap.Delta {
+	if !delta {
+		live := make(map[string]struct{}, len(batch))
+		for i := range batch {
+			live[batch[i].ID] = struct{}{}
+		}
 		for _, e := range f.Registry.Snapshot() {
 			if _, ok := live[e.ID]; !ok {
 				f.Registry.Remove(e.ID)
 			}
 		}
 	}
-	f.applied.Store(snap.Seq)
-	if snap.Seq > f.leaderSeq.Load() {
-		f.leaderSeq.Store(snap.Seq)
+	f.applied.Store(seq)
+	if seq > f.leaderSeq.Load() {
+		f.leaderSeq.Store(seq)
 	}
 	switch {
 	case f.relay == nil:
-		f.relay = changefeed.New(f.relayBuf, snap.Seq)
-	case snap.Delta:
+		f.relay = changefeed.New(f.relayBuf, seq)
+	case delta:
 		// The delta carried the removal knowledge for the jumped
 		// range, so the relay keeps its tombstone depth: tiers below
 		// this one can still repair with deltas of their own instead
 		// of cascading full transfers.
-		f.relay.AdvanceTo(snap.Seq, snap.Removed)
+		f.relay.AdvanceTo(seq, removed)
 	default:
-		f.relay.ResetTo(snap.Seq)
+		f.relay.ResetTo(seq)
 	}
 	// Adopt the snapshot's epoch (validated >= ours above): a replica
 	// bootstrapping across a promotion joins the new epoch here.
-	f.relay.SetEpoch(snap.Epoch)
+	f.relay.SetEpoch(epoch)
 	f.bootstraps.Add(1)
 	f.lastBootstrapNs.Store(time.Since(start).Nanoseconds())
-	f.lastBootstrapDelta.Store(snap.Delta)
+	f.lastBootstrapDelta.Store(delta)
 	return nil
 }
 

@@ -1,0 +1,296 @@
+package changefeed
+
+import "time"
+
+// Subscriber delivery is asynchronous and coalescing, in the spirit of
+// serf's event coalescence: the publish path only appends the event to
+// a pending queue, and a background flusher drains the queue into every
+// subscriber's buffer. While an upsert for some id is still pending, a
+// newer upsert for the same id supersedes it — the older one is
+// collapsed away and only the newest state is delivered. A heartbeat
+// storm (the same nodes re-upserting in a tight burst) therefore
+// reaches subscribers as one event per node, not one per heartbeat.
+//
+// What a subscriber may observe:
+//
+//   - Collapsing never reorders mutations. Only an upsert can collapse
+//     an upsert of the same id; removes and evicts are never collapsed
+//     and never skipped, and survivors are delivered in sequence order.
+//     Final state per id is exactly what synchronous delivery would
+//     have produced.
+//   - A collapse leaves a sequence gap, and the gap is labelled: the
+//     survivor's Event.Coalesced counts the events collapsed away
+//     immediately before it, so a consumer checks
+//     prev.Seq + 1 + ev.Coalesced == ev.Seq and knows the gap is
+//     benign — superseded same-id upserts — rather than loss.
+//   - Loss happens exactly where it always did: a full subscriber
+//     buffer at delivery time, counted in Overflows/Dropped and left
+//     unlabelled so the consumer resynchronizes. The pending queue
+//     itself never drops: when it fills with *distinct* live events
+//     (nothing left to collapse), the publisher flushes it inline —
+//     paying the same fan-out cost the old synchronous path always
+//     paid — so a subscriber with room for everything still loses
+//     nothing.
+//
+// Taps are untouched: they remain synchronous, lossless, and inline
+// under the feed lock.
+const (
+	// coalesceLive caps distinct live (undelivered, uncollapsed)
+	// pending events; at the cap the publisher drains the queue
+	// inline instead of letting it grow without bound on a storm of
+	// distinct ids, which nothing can collapse.
+	coalesceLive = 1024
+	// pendCompactAt bounds the pending queue's physical length: when
+	// appending would pass it, collapsed slots are compacted away
+	// in place (live slots are capped far below it).
+	pendCompactAt = 4 * coalesceLive
+	// coalesceWindow is how long the flusher lingers after draining a
+	// batch that collapsed something: a storm that is collapsing now
+	// will collapse more if delivery waits one more beat.
+	coalesceWindow = 2 * time.Millisecond
+)
+
+// pendSlot states.
+const (
+	slotLive      uint8 = iota // will be delivered
+	slotCoalesced              // superseded by a later same-id upsert
+)
+
+// pendSlot is one pending event awaiting flush.
+type pendSlot struct {
+	ev    Event
+	skip  uint64 // collapsed events folded in front of this slot by compaction
+	state uint8
+}
+
+// enqueueLocked appends ev to the pending queue, collapsing any pending
+// upsert of the same id, and wakes the flusher. It reports whether the
+// queue is at capacity, in which case the caller must drain it inline
+// (flushOnce) after releasing f.mu. The caller holds f.mu.
+//
+//nc:locked(mu)
+func (f *Feed) enqueueLocked(ev Event) (full bool) {
+	if f.closed || len(f.subs) == 0 {
+		return false
+	}
+	if ev.Op == OpUpsert {
+		if i, ok := f.pendByID[ev.Entry.ID]; ok {
+			f.pend[i].state = slotCoalesced
+			f.pendLive--
+			f.coalesced.Add(1)
+		}
+	}
+	if len(f.pend) >= pendCompactAt {
+		f.compactLocked()
+	}
+	f.pend = append(f.pend, pendSlot{ev: ev})
+	f.pendLive++
+	if ev.Op == OpUpsert {
+		f.pendByID[ev.Entry.ID] = len(f.pend) - 1
+	}
+	if f.pendLive >= coalesceLive {
+		// Full of distinct events — nothing left to collapse. The
+		// publisher drains inline (after unlocking) rather than drop:
+		// that is exactly the fan-out the old synchronous path paid on
+		// every single event.
+		return true
+	}
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+	return false
+}
+
+// compactLocked squeezes collapsed slots out of the pending queue in
+// place, folding their counts into the next surviving slot so gap
+// labelling survives compaction. The caller holds f.mu.
+//
+//nc:locked(mu)
+func (f *Feed) compactLocked() {
+	out := 0
+	var carry uint64
+	for i := 0; i < len(f.pend); i++ {
+		s := f.pend[i]
+		if s.state == slotCoalesced {
+			carry += 1 + s.skip
+			continue
+		}
+		s.skip += carry
+		carry = 0
+		f.pend[out] = s
+		if s.ev.Op == OpUpsert {
+			f.pendByID[s.ev.Entry.ID] = out
+		}
+		out++
+	}
+	// No trailing carry is possible: a collapsed slot's superseder sits
+	// after it, so the queue always ends in a live slot.
+	for i := out; i < len(f.pend); i++ {
+		f.pend[i] = pendSlot{}
+	}
+	f.pend = f.pend[:out]
+}
+
+// swapPendLocked detaches the pending queue for delivery, leaving the
+// previous batch's backing array in place for reuse. The caller holds
+// both f.deliverMu and f.mu.
+//
+//nc:locked(mu)
+func (f *Feed) swapPendLocked() []pendSlot {
+	batch := f.pend
+	f.pend, f.pendSpare = f.pendSpare[:0], batch
+	f.pendLive = 0
+	clear(f.pendByID)
+	return batch
+}
+
+// deliverBatch stamps coalesce labels onto the surviving events and
+// offers each to the given subscribers without blocking. It returns how
+// many events were collapsed in this batch. The caller holds
+// f.deliverMu (delivery order across batches is what it serializes);
+// f.mu may or may not be held.
+func (f *Feed) deliverBatch(batch []pendSlot, subs []*Subscription) uint64 {
+	var collapsed uint64
+	var run uint64 // collapsed events since the last survivor
+	for i := range batch {
+		s := &batch[i]
+		if s.state == slotCoalesced {
+			run += 1 + s.skip
+			collapsed++
+			continue
+		}
+		// The slot is exclusively owned here (swapped out of pend under
+		// f.mu), so the label is stamped in place and the event handed to
+		// sinks by pointer — no per-subscriber copy of the struct.
+		s.ev.Coalesced = run + s.skip
+		run = 0
+		for _, sub := range subs {
+			if sub.sink != nil {
+				if sub.sink(&s.ev) || sub.signal.Load() {
+					continue
+				}
+				sub.dropped.Add(1)
+				f.overflows.Add(1)
+				continue
+			}
+			select {
+			case sub.ch <- s.ev:
+			default:
+				if !sub.signal.Load() {
+					sub.dropped.Add(1)
+					f.overflows.Add(1)
+				}
+			}
+		}
+	}
+	return collapsed
+}
+
+// flushOnce drains the pending queue once, delivering outside f.mu so a
+// slow fan-out never stalls publishers. It reports whether anything was
+// pending and whether any of it collapsed.
+func (f *Feed) flushOnce() (delivered bool, collapsed bool) {
+	f.deliverMu.Lock()
+	defer f.deliverMu.Unlock()
+	f.mu.Lock()
+	if len(f.pend) == 0 {
+		f.mu.Unlock()
+		return false, false
+	}
+	batch := f.swapPendLocked()
+	subs := f.subsList
+	f.mu.Unlock()
+	n := f.deliverBatch(batch, subs)
+	// Zero the spare backing so delivered events (ids, coordinates,
+	// encode caches) are collectable before the slots are overwritten.
+	for i := range batch {
+		batch[i] = pendSlot{}
+	}
+	return true, n > 0
+}
+
+// Flush synchronously drains the pending queue into subscriber
+// buffers. Tests and shutdown paths use it to make delivery
+// deterministic; normal operation relies on the background flusher.
+func (f *Feed) Flush() {
+	f.flushOnce()
+}
+
+// flushLoop is the background flusher: woken by the first pending event
+// after an idle period, it drains batches until the queue runs dry,
+// holding the coalescing window open while a storm is collapsing.
+func (f *Feed) flushLoop() {
+	for {
+		select {
+		case <-f.quit:
+			return
+		case <-f.wake:
+		}
+		for {
+			delivered, collapsed := f.flushOnce()
+			if !delivered {
+				break
+			}
+			if !collapsed {
+				continue
+			}
+			// Something collapsed: the stream is storming. Hold the
+			// window open so the next batch collapses harder instead
+			// of racing the storm event-by-event.
+			select {
+			case <-f.quit:
+				return
+			case <-time.After(coalesceWindow): //nc:allow(ctxio) bounded coalescing window on the background flusher, not a request path
+			}
+		}
+	}
+}
+
+// drainPendLocked delivers everything pending while holding both locks
+// — the inline variant used by Subscribe/Close, where the next action
+// (attaching or closing a subscriber) must see an empty queue. The
+// caller holds f.deliverMu and f.mu.
+//
+//nc:locked(mu)
+func (f *Feed) drainPendLocked() {
+	if len(f.pend) == 0 {
+		return
+	}
+	batch := f.swapPendLocked()
+	f.deliverBatch(batch, f.subsList)
+	for i := range batch {
+		batch[i] = pendSlot{}
+	}
+}
+
+// discardPendLocked throws the pending queue away — ResetTo/AdvanceTo
+// rewrite the sequence space, so events queued against the old space
+// must not leak into subscribers that resubscribe against the new one.
+// The caller holds f.deliverMu and f.mu.
+//
+//nc:locked(mu)
+func (f *Feed) discardPendLocked() {
+	for i := range f.pend {
+		f.pend[i] = pendSlot{}
+	}
+	f.pend = f.pend[:0]
+	f.pendLive = 0
+	clear(f.pendByID)
+}
+
+// rebuildSubsLocked refreshes the copy-on-write subscriber list the
+// flusher delivers from outside f.mu. The caller holds f.mu.
+//
+//nc:locked(mu)
+func (f *Feed) rebuildSubsLocked() {
+	if len(f.subs) == 0 {
+		f.subsList = nil
+		return
+	}
+	list := make([]*Subscription, 0, len(f.subs))
+	for sub := range f.subs {
+		list = append(list, sub)
+	}
+	f.subsList = list
+}

@@ -1,0 +1,52 @@
+package changefeed
+
+import "sync/atomic"
+
+// Encoded is the lazily built, immutably shared encoded form of one
+// event. The publisher attaches one Encoded per event (when anyone is
+// subscribed) before the event is copied into the ring and fanned out,
+// so every copy of the event — ring slot, subscriber delivery, relay
+// republication — shares the same cache cell. Whichever consumer needs
+// an encoding first builds it and stores it; everyone after reads the
+// stored bytes instead of re-serializing. Stored values are immutable
+// by contract: build once, store, never mutate the stored slice.
+//
+// A relay ingesting the binary stream stores the received frame bytes
+// verbatim, which is what makes multi-hop forwarding a copy instead of
+// a decode/re-encode per tier.
+type Encoded struct {
+	frame atomic.Pointer[[]byte] // binary change frame (internal/wire)
+	json  atomic.Pointer[[]byte] // canonical JSON object for /changes
+	view  atomic.Value           // consumer-defined decoded view (one concrete type per process)
+}
+
+// Frame returns the cached binary frame, or nil if none was stored yet.
+func (e *Encoded) Frame() []byte {
+	if p := e.frame.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// StoreFrame caches the binary frame. The slice must never be mutated
+// after the call.
+func (e *Encoded) StoreFrame(b []byte) { e.frame.Store(&b) }
+
+// JSON returns the cached JSON encoding, or nil if none was stored yet.
+func (e *Encoded) JSON() []byte {
+	if p := e.json.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// StoreJSON caches the JSON encoding. The slice must never be mutated
+// after the call.
+func (e *Encoded) StoreJSON(b []byte) { e.json.Store(&b) }
+
+// View returns the cached decoded view, or nil.
+func (e *Encoded) View() any { return e.view.Load() }
+
+// StoreView caches a decoded view. All stores through one process must
+// use the same concrete type (atomic.Value's contract).
+func (e *Encoded) StoreView(v any) { e.view.Store(v) }

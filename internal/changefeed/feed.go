@@ -105,6 +105,17 @@ type Event struct {
 	// and is rejected instead of corrupting replica state. Zero is the
 	// unfenced pre-failover epoch (and what legacy streams carry).
 	Epoch uint64
+	// Coalesced labels the sequence gap immediately before this event
+	// on a subscriber delivery: that many events were collapsed away as
+	// superseded same-id upserts (see coalesce.go). A consumer checks
+	// prev.Seq + 1 + Coalesced == ev.Seq to distinguish benign
+	// collapse from loss. Always zero on ring reads (Since) — the ring
+	// is dense — and on taps.
+	Coalesced uint64
+	// Enc is the event's shared encode cache, attached once by the
+	// publisher when subscribers exist and carried by every copy of the
+	// event; nil when nothing downstream will serialize it. See Encoded.
+	Enc *Encoded
 }
 
 // ErrTruncated is returned by Since when the ring no longer holds the
@@ -125,6 +136,11 @@ type Stats struct {
 	// their buffers were full — each one a gap some subscriber must
 	// repair by resuming from history.
 	Overflows uint64 `json:"overflows"`
+	// Coalesced counts events collapsed away before delivery because a
+	// newer upsert of the same id superseded them while they were still
+	// pending. Unlike Overflows these are not loss: the surviving event
+	// carries the final state and labels the gap (Event.Coalesced).
+	Coalesced uint64 `json:"coalesced"`
 	// OldestSeq is the oldest event still in the ring (0 = ring empty);
 	// Since can serve any resume point >= OldestSeq-1.
 	OldestSeq uint64 `json:"oldest_seq"`
@@ -157,6 +173,23 @@ type Feed struct {
 	taps   []func(Event)
 	subs   map[*Subscription]struct{}
 	closed bool
+
+	// Subscriber delivery is asynchronous and coalescing; see
+	// coalesce.go. deliverMu serializes delivery (flusher batches and
+	// the inline drains in Subscribe/Close) and orders strictly before
+	// mu — every path that takes both takes deliverMu first, which is
+	// what lets the flusher send to subscriber channels without holding
+	// mu while Close/ResetTo can still safely close those channels.
+	deliverMu sync.Mutex
+	pend      []pendSlot      // pending queue, guarded by mu
+	pendSpare []pendSlot      // previous batch's backing, reused on swap
+	pendLive  int             // live (deliverable) slots in pend
+	pendByID  map[string]int  // id -> index of its live pending upsert
+	subsList  []*Subscription // copy-on-write snapshot of subs for lock-free fan-out
+	wake      chan struct{}   // cap 1: nudges the flusher
+	quit      chan struct{}   // closed to stop the flusher
+	flusherOn bool            // guarded by mu
+	coalesced atomic.Uint64
 
 	// The tombstone ring remembers (seq, id) for removals only. Because
 	// heartbeat upserts dominate real streams, the event ring forgets a
@@ -216,6 +249,9 @@ func New(ringSize int, startSeq uint64) *Feed {
 		subs:      make(map[*Subscription]struct{}),
 		tombs:     make([]tombstone, tombCap),
 		tombFloor: startSeq,
+		pendByID:  make(map[string]int),
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
 	}
 	f.seqAtomic.Store(startSeq)
 	return f
@@ -322,9 +358,12 @@ func (f *Feed) PublishAt(ev Event) {
 			f.ring[tail].IDs = append(f.ring[tail].IDs[:len(f.ring[tail].IDs):len(f.ring[tail].IDs)], ev.IDs...)
 		}
 		f.recordTombsLocked(ev)
-		f.deliverLocked(ev)
+		full := f.deliverLocked(ev)
 		f.mu.Unlock()
 		f.published.Add(1)
+		if full {
+			f.flushOnce()
+		}
 		return
 	case ev.Seq <= f.seq:
 		f.mu.Unlock()
@@ -346,9 +385,12 @@ func (f *Feed) PublishAt(ev Event) {
 		f.len++
 	}
 	f.recordTombsLocked(ev)
-	f.deliverLocked(ev)
+	full := f.deliverLocked(ev)
 	f.mu.Unlock()
 	f.published.Add(1)
+	if full {
+		f.flushOnce()
+	}
 }
 
 // ResetTo discards the retained history and restarts the sequence
@@ -360,6 +402,8 @@ func (f *Feed) PublishAt(ev Event) {
 // exactly as they would after falling off the ring. The feed itself
 // stays open for subsequent Subscribe/PublishAt.
 func (f *Feed) ResetTo(seq uint64) {
+	f.deliverMu.Lock()
+	defer f.deliverMu.Unlock()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.next, f.len = 0, 0
@@ -379,6 +423,8 @@ func (f *Feed) ResetTo(seq uint64) {
 // on every tier below it, in exactly the truncation-under-churn
 // scenario delta snapshots exist for.
 func (f *Feed) AdvanceTo(seq uint64, removed []string) {
+	f.deliverMu.Lock()
+	defer f.deliverMu.Unlock()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.next, f.len = 0, 0
@@ -389,16 +435,21 @@ func (f *Feed) AdvanceTo(seq uint64, removed []string) {
 }
 
 // resetLocked restarts the sequence space and closes every subscriber;
-// the caller holds f.mu and has already settled ring and tombstones.
+// the caller holds f.deliverMu (so no flush is mid-delivery on the
+// channels being closed) and f.mu, and has already settled ring and
+// tombstones. Events still pending against the old sequence space are
+// discarded — the subscribers they were destined for are being closed.
 //
 //nc:locked(mu)
 func (f *Feed) resetLocked(seq uint64) {
 	f.seq = seq
 	f.seqAtomic.Store(seq)
+	f.discardPendLocked()
 	for sub := range f.subs {
-		close(sub.ch)
+		sub.finish()
 	}
 	f.subs = make(map[*Subscription]struct{})
+	f.subsList = nil
 }
 
 // recordTombLocked remembers one removal in the tombstone ring; the
@@ -487,24 +538,17 @@ func (f *Feed) RemovedSince(since uint64) ([]string, bool) {
 	return out, true
 }
 
-// deliverLocked runs the taps and offers ev to every subscriber; the
-// caller holds f.mu.
+// deliverLocked runs the taps inline and queues ev for the coalescing
+// flusher to fan out to subscribers (see coalesce.go). It reports
+// whether the pending queue hit capacity — the caller must then drain
+// it with flushOnce after releasing f.mu. The caller holds f.mu.
 //
 //nc:locked(mu)
-func (f *Feed) deliverLocked(ev Event) {
+func (f *Feed) deliverLocked(ev Event) (full bool) {
 	for _, tap := range f.taps {
 		tap(ev)
 	}
-	for sub := range f.subs {
-		select {
-		case sub.ch <- ev:
-		default:
-			if !sub.signal.Load() {
-				sub.dropped.Add(1)
-				f.overflows.Add(1)
-			}
-		}
-	}
+	return f.enqueueLocked(ev)
 }
 
 // publish assigns the next sequence, retains the event in the ring,
@@ -517,6 +561,12 @@ func (f *Feed) publish(ev Event) uint64 {
 	f.mu.Lock()
 	f.seq++
 	ev.Seq = f.seq
+	if len(f.subs) > 0 {
+		// One shared encode cache per event, attached before the ring
+		// copy so every downstream serialization of this event — any
+		// subscriber, any tier — is paid at most once.
+		ev.Enc = &Encoded{} //nc:allow(hotpath) single amortized cache cell per published event; it is what removes the per-subscriber marshal allocs
+	}
 	f.seqAtomic.Store(f.seq)
 	f.ring[f.next] = ev
 	f.next = (f.next + 1) % len(f.ring)
@@ -528,9 +578,12 @@ func (f *Feed) publish(ev Event) uint64 {
 	// path must not wait for it. The gap is visible to the subscriber
 	// (non-contiguous Seq, Dropped counter) and repairable via Since /
 	// WAL replay.
-	f.deliverLocked(ev)
+	full := f.deliverLocked(ev)
 	f.mu.Unlock()
 	f.published.Add(1)
+	if full {
+		f.flushOnce()
+	}
 	return ev.Seq
 }
 
@@ -594,6 +647,7 @@ func (f *Feed) Stats() Stats {
 		Published:          f.published.Load(),
 		Subscribers:        subs,
 		Overflows:          f.overflows.Load(),
+		Coalesced:          f.coalesced.Load(),
 		OldestSeq:          oldest,
 		RingLen:            ringLen,
 		RingCap:            ringCap,
@@ -608,18 +662,28 @@ func (f *Feed) Stats() Stats {
 // Close closes every subscription's channel and stops accepting new
 // ones. Publishing remains legal after Close (the owning registry
 // stays mutable after its background work stops); events still reach
-// taps and the ring, but no subscribers.
+// taps and the ring, but no subscribers. Events already pending are
+// flushed into subscriber buffers first, so a consumer that drains its
+// channel after close still sees everything published before it.
 func (f *Feed) Close() {
+	f.deliverMu.Lock()
+	defer f.deliverMu.Unlock()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return
 	}
+	f.drainPendLocked()
 	f.closed = true
+	if f.flusherOn {
+		close(f.quit)
+		f.flusherOn = false
+	}
 	for sub := range f.subs {
-		close(sub.ch)
+		sub.finish()
 	}
 	f.subs = make(map[*Subscription]struct{})
+	f.subsList = nil
 }
 
 // Subscription is one bounded asynchronous consumer. Receive from C;
@@ -633,6 +697,27 @@ type Subscription struct {
 	dropped atomic.Uint64
 	closed  atomic.Bool
 	signal  atomic.Bool
+
+	// sink/onClose replace ch for callback subscriptions (SubscribeFunc):
+	// the flusher hands each event to sink instead of a channel send, and
+	// onClose fires exactly where ch would have been closed. This is what
+	// lets a wrapper that re-types events (the root package's public
+	// subscription) deliver straight into its own buffered channel —
+	// one channel hop per event instead of two, and no forwarding
+	// goroutine parked per subscriber.
+	sink    func(*Event) bool
+	onClose func()
+}
+
+// finish ends delivery to the subscription: closes the channel for
+// channel subscriptions, invokes onClose for callback ones. Called
+// exactly once, always under f.deliverMu (so no delivery is mid-flight).
+func (s *Subscription) finish() {
+	if s.ch != nil {
+		close(s.ch)
+		return
+	}
+	s.onClose()
 }
 
 // MarkSignal declares this subscriber a pure wake signal: it only
@@ -655,15 +740,51 @@ func (f *Feed) Subscribe(buffer int) *Subscription {
 		buffer = 1
 	}
 	sub := &Subscription{f: f, ch: make(chan Event, buffer)}
+	f.attach(sub)
+	return sub
+}
+
+// SubscribeFunc attaches a callback subscription: the flusher invokes
+// sink for every event instead of a channel send, and onClose fires
+// exactly where the channel would have closed (feed close, reset, or
+// Subscription.Close). sink must not block — it runs on the delivery
+// path for every subscriber — and reports whether it accepted the
+// event; false counts as an overflow drop exactly like a full channel
+// buffer (unless the subscription is marked a signal). The event
+// pointer is valid only for the duration of the call (it aims at the
+// delivery loop's local); a sink that retains the event copies it.
+// sink and onClose are serialized with each other: onClose is never
+// invoked while a sink call is in flight, and sink is never invoked
+// after onClose. Subscribing to a closed feed invokes onClose before
+// returning.
+func (f *Feed) SubscribeFunc(sink func(*Event) bool, onClose func()) *Subscription {
+	sub := &Subscription{f: f, sink: sink, onClose: onClose}
+	f.attach(sub)
+	return sub
+}
+
+// attach wires a new subscription into the feed (or finishes it
+// immediately when the feed is closed).
+func (f *Feed) attach(sub *Subscription) {
+	f.deliverMu.Lock()
 	f.mu.Lock()
+	// Drain anything still pending before reading joinSeq: a pending
+	// event's seq is at or below f.seq, so attaching first would let
+	// the flusher deliver events at or below the join point.
+	f.drainPendLocked()
 	sub.joinSeq = f.seq
 	if f.closed {
-		close(sub.ch)
+		sub.finish()
 	} else {
 		f.subs[sub] = struct{}{}
+		f.rebuildSubsLocked()
+		if !f.flusherOn {
+			f.flusherOn = true
+			go f.flushLoop()
+		}
 	}
 	f.mu.Unlock()
-	return sub
+	f.deliverMu.Unlock()
 }
 
 // C is the event channel. It is closed when the subscription or the
@@ -683,10 +804,15 @@ func (s *Subscription) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	// deliverMu first: the flusher must not be mid-send on this channel
+	// when it closes.
+	s.f.deliverMu.Lock()
 	s.f.mu.Lock()
 	if _, ok := s.f.subs[s]; ok {
 		delete(s.f.subs, s)
-		close(s.ch)
+		s.f.rebuildSubsLocked()
+		s.finish()
 	}
 	s.f.mu.Unlock()
+	s.f.deliverMu.Unlock()
 }

@@ -125,6 +125,9 @@ func TestSlowSubscriberDropsAndCounts(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		f.PublishUpsert(upsert(fmt.Sprintf("n%d", i), float64(i)))
 	}
+	// Delivery is asynchronous; drain the pending queue so the drop
+	// accounting below is deterministic.
+	f.Flush()
 	if got := sub.Dropped(); got != 3 {
 		t.Fatalf("Dropped = %d, want 3", got)
 	}

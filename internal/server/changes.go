@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"netcoord"
+	"netcoord/internal/wire"
 )
 
 // Changes endpoint bounds.
@@ -174,6 +176,7 @@ func (s *Server) handleChanges(w http.ResponseWriter, req *http.Request) {
 			wait = maxChangesWait
 		}
 	}
+	frames := wantsFrames(req)
 	deadline := time.Now().Add(wait)
 	for {
 		evs, err := s.source.ChangesSince(since, limit)
@@ -189,16 +192,59 @@ func (s *Server) handleChanges(w http.ResponseWriter, req *http.Request) {
 			// epoch is the body-level fencing signal: a follower polling
 			// a deposed leader detects the stale epoch here even when the
 			// batch is empty, and rotates to a live upstream.
-			writeJSON(w, http.StatusOK, map[string]any{"seq": s.source.ChangeSeq(), "epoch": s.source.ChangeEpoch(), "events": evs})
+			if frames {
+				s.writeFrameBatch(w, evs)
+			} else {
+				writeJSON(w, http.StatusOK, map[string]any{"seq": s.source.ChangeSeq(), "epoch": s.source.ChangeEpoch(), "events": evs})
+			}
 			return
 		}
 		if !s.waitForChange(req, since, deadline) {
 			// Client went away, or shutdown/deadline: answer with what
 			// there is (nothing) so long-poll loops stay simple.
-			writeJSON(w, http.StatusOK, map[string]any{"seq": s.source.ChangeSeq(), "epoch": s.source.ChangeEpoch(), "events": []netcoord.ChangeEvent{}})
+			if frames {
+				s.writeFrameBatch(w, nil)
+			} else {
+				writeJSON(w, http.StatusOK, map[string]any{"seq": s.source.ChangeSeq(), "epoch": s.source.ChangeEpoch(), "events": []netcoord.ChangeEvent{}})
+			}
 			return
 		}
 	}
+}
+
+// wantsFrames reports whether the client negotiated the binary frame
+// encoding for /changes: an Accept header naming the frames media type,
+// or ?format=frames for clients that cannot set headers. Anything else
+// gets JSON — the negotiation is opt-in per request, so mixed-protocol
+// trees work hop by hop.
+func wantsFrames(req *http.Request) bool {
+	return strings.Contains(req.Header.Get("Accept"), wire.ContentTypeFrames) ||
+		req.URL.Query().Get("format") == "frames"
+}
+
+// writeFrameBatch answers a /changes poll in the binary encoding: a
+// batch header carrying the seq/epoch fencing pair, then one frame per
+// event. Events that already carry their encoded form (published since
+// the stream gained subscribers, or relayed in from a binary upstream)
+// are served as a copy of those bytes — the encode happened once,
+// upstream or at publish, and this handler concatenates.
+func (s *Server) writeFrameBatch(w http.ResponseWriter, evs []netcoord.ChangeEvent) {
+	hdr := wire.BatchHeader{Seq: s.source.ChangeSeq(), Epoch: s.source.ChangeEpoch(), Count: uint64(len(evs))}
+	buf := wire.AppendBatchHeader(make([]byte, 0, 64+96*len(evs)), hdr)
+	var err error
+	for i := range evs {
+		if buf, err = evs[i].AppendFrameTo(buf); err != nil {
+			// Impossible for ring-served events (every op a feed accepts
+			// has a frame encoding); fail loudly rather than send a
+			// truncated batch the client would decode as damage.
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeFrames)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+	s.framesServed.Add(uint64(len(evs)))
 }
 
 // waitForChange parks on the shared broadcast until the stream moves

@@ -68,10 +68,11 @@ type WatchHub struct {
 	// under mu, read anywhere.
 	processed atomic.Uint64
 
-	events  atomic.Uint64
-	damages atomic.Uint64
-	resyncs atomic.Uint64
-	dropped atomic.Uint64
+	events    atomic.Uint64
+	damages   atomic.Uint64
+	resyncs   atomic.Uint64
+	dropped   atomic.Uint64
+	coalesced atomic.Uint64
 
 	// recomputeLat times each watcher recompute (query + interest
 	// install); deliverLag is publish→deliver propagation: for every
@@ -112,6 +113,10 @@ type WatchHubStats struct {
 	// subscription lost to buffer overflow (each detected drop run also
 	// shows up as one resync).
 	SubscriptionDropped uint64 `json:"subscription_dropped"`
+	// CoalescedSkipped counts sequence numbers skipped under coalesce
+	// labels: the feed collapsed same-id heartbeats and told us so, so
+	// the gap damages only the survivor's id instead of everyone.
+	CoalescedSkipped uint64 `json:"coalesced_skipped"`
 	// ProcessedSeq is the hub's position in the stream.
 	ProcessedSeq uint64 `json:"processed_seq"`
 	// RecomputeNs summarizes watcher recompute latency (query +
@@ -293,7 +298,7 @@ func (h *WatchHub) processEvent(ev netcoord.ChangeEvent) (gap bool) {
 		// still-buffered event.
 		h.processed.Store(ev.Seq)
 	}
-	if ev.Seq != last+1 {
+	if ev.Seq != last+1+ev.Coalesced {
 		// Dropped or duplicated sequence: the filter state cannot be
 		// trusted, so everyone recomputes from live state.
 		h.resyncs.Add(1)
@@ -301,6 +306,13 @@ func (h *WatchHub) processEvent(ev netcoord.ChangeEvent) (gap bool) {
 			h.damageLocked(w, ev.Seq, ev.PubNs)
 		}
 		return true
+	}
+	if ev.Coalesced > 0 {
+		// A labelled gap: the feed collapsed ev.Coalesced same-id
+		// heartbeats into this survivor. The skipped events were older
+		// states of the same id, so damaging with the survivor covers
+		// them — no resync needed.
+		h.coalesced.Add(ev.Coalesced)
 	}
 	for w := range h.anyOp {
 		h.damageLocked(w, ev.Seq, ev.PubNs)
@@ -567,6 +579,7 @@ func (h *WatchHub) Stats() WatchHubStats {
 		Damages:             h.damages.Load(),
 		Resyncs:             h.resyncs.Load(),
 		SubscriptionDropped: h.dropped.Load(),
+		CoalescedSkipped:    h.coalesced.Load(),
 		ProcessedSeq:        h.processed.Load(),
 		RecomputeNs:         h.recomputeLat.Summary(),
 		DeliverLagNs:        h.deliverLag.Summary(),

@@ -149,6 +149,17 @@ func TestWatchHubStressRace(t *testing.T) {
 	defer close(shutdown)
 	hub := newWatchHub(reg, shutdown)
 
+	// One watcher held attached across the whole storm, deliberately
+	// immature (no SetInterest): every drained event must damage it.
+	// The churning watchers below can't guarantee overlap with the drain
+	// — feed-side coalescing keeps the hub ahead of the storm now, with
+	// no overflow→resync rounds to damage-all — so this is what pins the
+	// damage path as exercised.
+	idle, err := hub.Watch("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	const (
 		watcherGoroutines = 8
 		mutators          = 4
@@ -265,6 +276,7 @@ func TestWatchHubStressRace(t *testing.T) {
 		}
 		hub.Detach(w)
 	}
+	hub.Detach(idle)
 	st := hub.Stats()
 	if st.Watchers != 0 || st.Cells != 0 || st.Levels != 0 {
 		t.Fatalf("damage map not empty after all watchers detached: %+v", st)

@@ -164,6 +164,12 @@ func (s *Server) registerCollectors() {
 	reg.CounterFunc("netcoord_changefeed_overflows_total",
 		"Events dropped across all subscribers because their buffers were full.", nil,
 		func() uint64 { return s.source.ChangeStreamStats().Overflows })
+	reg.CounterFunc("netcoord_changefeed_coalesced_total",
+		"Same-id heartbeat events collapsed into their newer successor during delivery storms (labelled skips, not loss — distinct from overflows).", nil,
+		func() uint64 { return s.source.ChangeStreamStats().Coalesced })
+	reg.CounterFunc("netcoord_changefeed_frames_served_total",
+		"Change events answered in the binary frame encoding on /changes.", nil,
+		func() uint64 { return s.framesServed.Load() })
 	reg.GaugeFunc("netcoord_changefeed_ring_events",
 		"Catch-up ring occupancy (events currently buffered).", nil,
 		cs(func(st netcoord.ChangeStreamStats) float64 { return float64(st.RingLen) }))
@@ -196,6 +202,9 @@ func (s *Server) registerCollectors() {
 	reg.CounterFunc("netcoord_watch_subscription_dropped_total",
 		"Events the hub's own stream subscription lost to buffer overflow.", nil,
 		func() uint64 { return s.hub.dropped.Load() })
+	reg.CounterFunc("netcoord_watch_coalesced_skips_total",
+		"Sequence numbers skipped under coalesce labels (explained gaps; no resync paid).", nil,
+		func() uint64 { return s.hub.coalesced.Load() })
 	reg.SummaryFunc("netcoord_watch_recompute_seconds",
 		"Watcher recompute latency (query plus interest install).", nil, 1e-9,
 		func() telemetry.Summary { return s.hub.recomputeLat.Summary() })
@@ -214,6 +223,9 @@ func (s *Server) registerCollectors() {
 		reg.CounterFunc("netcoord_follower_events_applied_total",
 			"Stream events applied since start.", nil,
 			func() uint64 { return f.FollowerStats().EventsApplied })
+		reg.CounterFunc("netcoord_follower_frames_received_total",
+			"Events that arrived in the binary frame encoding (zero when the upstream serves JSON).", nil,
+			func() uint64 { return f.FollowerStats().FramesReceived })
 		reg.CounterFunc("netcoord_follower_bootstraps_total",
 			"Snapshot bootstraps (initial plus one per stream truncation).", nil,
 			func() uint64 { return f.FollowerStats().Bootstraps })

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"netcoord"
+)
+
+// TestMixedProtocolChainE2E runs a three-tier relay chain whose hops
+// alternate wire encodings — leader → binary-framed follower →
+// JSON-only follower (frames disabled) → binary-framed leaf — and
+// drives a heartbeat storm hot enough that the leader's feed provably
+// coalesces. Every tier must converge bit-identically with the leader,
+// the /changes JSON a client reads at any tier must be byte-identical
+// across all of them (the encoding a hop negotiated below must never
+// leak into what it serves above), and the negotiation itself must land
+// exactly where configured: frame counters move on the binary hops and
+// stay zero on the JSON one.
+func TestMixedProtocolChainE2E(t *testing.T) {
+	leaderTS, leaderReg := newTestServiceReg(t, netcoord.RegistryConfig{
+		ChangeStreamBuffer: netcoord.DefaultChangeStreamBuffer,
+	})
+	const population = 32
+	for i := 0; i < population; i++ {
+		postJSON(t, leaderTS.URL+"/upsert", fmt.Sprintf(`{"id":"n%03d","coord":{"vec":[%d,0,0]},"error":0.1}`, i, i))
+	}
+
+	// Tier 1 negotiates the binary framing from the leader (the default).
+	bin := startTestFollower(t, leaderTS.URL)
+	waitConverged(t, bin, leaderReg)
+	binTS := newFollowerService(t, bin)
+
+	// Tier 2 is a downgraded consumer: frames disabled, plain JSON
+	// against tier 1 — the hop above it speaks binary, this one doesn't.
+	plain, err := netcoord.StartFollower(netcoord.FollowerConfig{
+		LeaderURL:           binTS.URL,
+		WaitTimeout:         200 * time.Millisecond,
+		RetryInterval:       20 * time.Millisecond,
+		DisableBinaryStream: true,
+	})
+	if err != nil {
+		t.Fatalf("StartFollower (JSON tier): %v", err)
+	}
+	t.Cleanup(plain.Close)
+	waitConverged(t, plain, leaderReg)
+	plainTS := newFollowerService(t, plain)
+
+	// Tier 3 negotiates frames again: binary under JSON under binary.
+	leaf := startTestFollower(t, plainTS.URL)
+	waitConverged(t, leaf, leaderReg)
+	leafTS := newFollowerService(t, leaf)
+
+	// Heartbeat storm: re-upsert the same population in a tight loop
+	// until the leader's feed has provably collapsed superseded upserts
+	// (Coalesced > 0). The chain is live throughout, so the relays are
+	// ingesting — in their negotiated encodings — while the storm runs.
+	stormDeadline := time.Now().Add(15 * time.Second)
+	for leaderReg.ChangeStreamStats().Coalesced == 0 {
+		if time.Now().After(stormDeadline) {
+			t.Fatalf("storm never coalesced: %+v", leaderReg.ChangeStreamStats())
+		}
+		for i := 0; i < 512; i++ {
+			id := fmt.Sprintf("n%03d", i%population)
+			if err := leaderReg.Upsert(id, netcoord.Coordinate{Vec: []float64{float64(i % 13), float64(i % 7), 1}}, 0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A few removes so the tailed window carries non-upsert ops too —
+	// those are never coalesced and must relay verbatim like the rest.
+	for i := 0; i < 3; i++ {
+		leaderReg.Remove(fmt.Sprintf("n%03d", i))
+	}
+
+	waitConverged(t, bin, leaderReg)
+	waitConverged(t, plain, leaderReg)
+	waitConverged(t, leaf, leaderReg)
+	assertReplicaIdentical(t, bin, leaderReg)
+	assertReplicaIdentical(t, plain, leaderReg)
+	assertReplicaIdentical(t, leaf, leaderReg)
+
+	// Negotiation landed exactly where configured.
+	if st := bin.FollowerStats(); st.FramesReceived == 0 {
+		t.Fatalf("binary tier never received a frame: %+v", st)
+	}
+	if st := plain.FollowerStats(); st.FramesReceived != 0 {
+		t.Fatalf("JSON-only tier received %d frames", st.FramesReceived)
+	}
+	if st := leaf.FollowerStats(); st.FramesReceived == 0 {
+		t.Fatalf("leaf (binary under a JSON hop) never received a frame: %+v", st)
+	}
+
+	// The JSON a client reads must be byte-identical at every tier, no
+	// matter which encodings the hops beneath negotiated. Tail the last
+	// stretch of the stream (well inside every tier's ring) everywhere.
+	until := leaderReg.ChangeSeq()
+	since := until - 64
+	want := tailAll(t, leaderTS.URL, since, until)
+	for name, base := range map[string]string{"binary tier": binTS.URL, "JSON tier": plainTS.URL, "leaf": leafTS.URL} {
+		got := tailAll(t, base, since, until)
+		if len(got) != len(want) {
+			t.Fatalf("%s served %d events, leader %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s event %d diverged:\nleader %s\ntier   %s", name, i, want[i], got[i])
+			}
+		}
+	}
+}

@@ -89,6 +89,10 @@ type Server struct {
 	// staleness headers stop (its state is authoritative, not a copy).
 	promoted atomic.Bool
 
+	// framesServed counts change events answered in the binary frame
+	// encoding (negotiated per request; JSON pollers don't move it).
+	framesServed atomic.Uint64
+
 	// hub multiplexes every /watch onto one change-stream subscription;
 	// notifier multiplexes every /changes long-poll onto another.
 	hub      *WatchHub

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"netcoord"
+	"netcoord/internal/wire"
 )
 
 // handleSnapshot serves the replica-bootstrap pair: the entry set and
@@ -47,12 +49,71 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 		// removals before entries, so an id present in both (removed,
 		// then re-upserted) ends live, matching its newest state.
 		if entries, removed, seq, ok := s.source.DeltaSince(since); ok {
-			s.writeSnapshotBody(w, seq, followerOf, entries, removed, true)
+			if wantsSnapshotFrames(req) {
+				s.writeSnapshotFrames(w, seq, followerOf, entries, removed, true)
+			} else {
+				s.writeSnapshotBody(w, seq, followerOf, entries, removed, true)
+			}
 			return
 		}
 	}
 	entries, seq := s.source.SnapshotWithSeq()
+	if wantsSnapshotFrames(req) {
+		s.writeSnapshotFrames(w, seq, followerOf, entries, nil, false)
+		return
+	}
 	s.writeSnapshotBody(w, seq, followerOf, entries, nil, false)
+}
+
+// wantsSnapshotFrames reports whether the client negotiated the binary
+// snapshot encoding (Accept naming the snapshot media type, or
+// ?format=frames for header-less clients).
+func wantsSnapshotFrames(req *http.Request) bool {
+	return strings.Contains(req.Header.Get("Accept"), wire.ContentTypeSnapshot) ||
+		req.URL.Query().Get("format") == "frames"
+}
+
+// writeSnapshotFrames streams the binary form of the bootstrap pair: a
+// snapshot header (seq, epoch, delta marker, removed ids, entry count),
+// then one upsert frame per entry with the entry-level sequence stamped
+// on the frame's Seq — which is where chained delta snapshots read it
+// back from. One scratch buffer is reused for every entry, so the
+// response allocates per-registry, not per-entry.
+func (s *Server) writeSnapshotFrames(w http.ResponseWriter, seq uint64, followerOf string, entries []netcoord.RegistryEntry, removed []string, delta bool) {
+	hdr := wire.SnapshotHeader{
+		Seq:        seq,
+		Epoch:      s.source.ChangeEpoch(),
+		Delta:      delta,
+		FollowerOf: followerOf,
+		Removed:    removed,
+		EntryCount: uint64(len(entries)),
+	}
+	scratch, err := wire.AppendSnapshotHeader(make([]byte, 0, 4096), &hdr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeSnapshot)
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	_, _ = bw.Write(scratch)
+	for i := range entries {
+		e := &entries[i]
+		fr := wire.Frame{
+			Op:          wire.OpUpsert,
+			Seq:         e.Seq,
+			ID:          e.ID,
+			Coord:       e.Coord,
+			Error:       e.Error,
+			UpdatedAtNs: e.UpdatedAt.UnixNano(),
+		}
+		scratch, err = wire.AppendFrame(scratch[:0], &fr)
+		if err != nil {
+			return // headers are out; the truncated body fails the client's decode
+		}
+		_, _ = bw.Write(scratch)
+	}
+	_ = bw.Flush()
 }
 
 // writeSnapshotBody streams a (full or delta) snapshot response entry

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -110,7 +111,8 @@ func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
-	if writeSSE(w, "snapshot", watchDelta{Seq: seq, Results: toRankedJSON(cur)}) != nil {
+	sse := newSSEWriter(w)
+	if sse.write("snapshot", watchDelta{Seq: seq, Results: toRankedJSON(cur)}) != nil {
 		return
 	}
 	fl.Flush()
@@ -140,7 +142,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, req *http.Request) {
 			if !changed {
 				continue
 			}
-			if writeSSE(w, "delta", watchDelta{Seq: seq, Results: toRankedJSON(cur), Added: added, Removed: removed}) != nil {
+			if sse.write("delta", watchDelta{Seq: seq, Results: toRankedJSON(cur), Added: added, Removed: removed}) != nil {
 				return
 			}
 			fl.Flush()
@@ -216,12 +218,35 @@ func diffRanked(old, next []netcoord.Ranked) (added, removed []string, changed b
 	return added, removed, true
 }
 
-// writeSSE frames one server-sent event.
-func writeSSE(w io.Writer, event string, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
+// sseWriter frames server-sent events through one reused buffer: a
+// watch connection emits a delta per damaging event for its lifetime,
+// and the old per-frame Marshal+Fprintf path paid a fresh buffer (and a
+// reflection walk of the format string) for every one of them. The
+// encoder is bound to the buffer once; each frame reuses both.
+type sseWriter struct {
+	dst io.Writer
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+func newSSEWriter(dst io.Writer) *sseWriter {
+	sw := &sseWriter{dst: dst}
+	sw.enc = json.NewEncoder(&sw.buf)
+	return sw
+}
+
+// write frames one event. The JSON encoder emits a trailing newline,
+// which serves as the first of the two newlines the SSE framing needs
+// (JSON string escaping guarantees no other newline appears mid-frame).
+func (sw *sseWriter) write(event string, v any) error {
+	sw.buf.Reset()
+	sw.buf.WriteString("event: ")
+	sw.buf.WriteString(event)
+	sw.buf.WriteString("\ndata: ")
+	if err := sw.enc.Encode(v); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	sw.buf.WriteByte('\n')
+	_, err := sw.dst.Write(sw.buf.Bytes())
 	return err
 }

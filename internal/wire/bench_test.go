@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"testing"
+
+	"netcoord/internal/coord"
+)
+
+// BenchmarkFrameEncode measures the publish-time encode of a typical
+// upsert frame into a reused buffer. This is the once-per-event cost
+// the fan-out paths amortize across every subscriber; CI gates it at
+// zero allocations.
+func BenchmarkFrameEncode(b *testing.B) {
+	fr := &Frame{
+		Op:          OpUpsert,
+		Seq:         123456,
+		Epoch:       3,
+		PubNs:       1_700_000_000_123_456_789,
+		ID:          "node-0001",
+		Coord:       coord.New(0.25, -1.5, 3.75),
+		Error:       0.42,
+		UpdatedAtNs: 1_700_000_000_000_000_000,
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		if buf, err = AppendFrame(buf, fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkFrameDecode measures the apply-side decode into a reused
+// frame. The id string and coordinate vector are fresh allocations by
+// necessity (they outlive the source buffer), so this is not gated at
+// zero.
+func BenchmarkFrameDecode(b *testing.B) {
+	buf, err := AppendFrame(nil, &Frame{
+		Op:          OpUpsert,
+		Seq:         123456,
+		Epoch:       3,
+		PubNs:       1_700_000_000_123_456_789,
+		ID:          "node-0001",
+		Coord:       coord.New(0.25, -1.5, 3.75),
+		Error:       0.42,
+		UpdatedAtNs: 1_700_000_000_000_000_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fr Frame
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrameInto(&fr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

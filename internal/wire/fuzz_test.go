@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the frame decoder with arbitrary bytes. Any
+// input must either fail cleanly with ErrShort/ErrMalformed or decode
+// into a frame whose re-encoding is idempotent: encoding the decoded
+// frame and decoding that again yields byte-identical encodings and an
+// equal frame. Byte-level comparison of the encodings keeps the check
+// NaN-safe, mirroring internal/coord/fuzz_test.go. (Equality with the
+// raw input is deliberately not required — varints admit non-canonical
+// encodings that re-encode shorter.)
+func FuzzDecodeFrame(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		buf, err := AppendFrame(nil, &fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		for _, cut := range []int{1, 3, 7, len(buf) / 2, len(buf) - 1} {
+			if cut >= 0 && cut < len(buf) {
+				f.Add(buf[:cut])
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{MagicFrame})
+	f.Add([]byte{MagicFrame, Version, OpUpsert, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		fr, n, err := DecodeFrame(src)
+		if err != nil {
+			if !errors.Is(err, ErrShort) && !errors.Is(err, ErrMalformed) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(src) {
+			t.Fatalf("consumed %d of %d bytes", n, len(src))
+		}
+		enc1, err := AppendFrame(nil, &fr)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		fr2, n2, err := DecodeFrame(enc1)
+		if err != nil || n2 != len(enc1) {
+			t.Fatalf("decode of re-encoding failed: n=%d err=%v", n2, err)
+		}
+		enc2, err := AppendFrame(nil, &fr2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("re-encoding not idempotent:\n first %x\nsecond %x", enc1, enc2)
+		}
+		if !framesEqual(&fr, &fr2) {
+			t.Fatalf("decoded frames differ:\n first %+v\nsecond %+v", fr, fr2)
+		}
+	})
+}
+
+// FuzzDecodeHeaders applies the same discipline to the batch and
+// snapshot headers.
+func FuzzDecodeHeaders(f *testing.F) {
+	b := AppendBatchHeader(nil, BatchHeader{Seq: 5, Epoch: 2, Count: 9})
+	f.Add(b)
+	s, err := AppendSnapshotHeader(nil, &SnapshotHeader{Seq: 3, Epoch: 1, Delta: true, FollowerOf: "up", Removed: []string{"x"}, EntryCount: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(s)
+	f.Add([]byte{MagicBatch, Version})
+	f.Add([]byte{MagicSnapshot, Version, 0xff})
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if h, n, err := DecodeBatchHeader(src); err == nil {
+			if n <= 0 || n > len(src) {
+				t.Fatalf("batch consumed %d of %d", n, len(src))
+			}
+			enc := AppendBatchHeader(nil, h)
+			if h2, _, err := DecodeBatchHeader(enc); err != nil || h2 != h {
+				t.Fatalf("batch re-encode mismatch: %+v vs %+v (%v)", h, h2, err)
+			}
+		} else if !errors.Is(err, ErrShort) && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("batch: unexpected error class: %v", err)
+		}
+		if h, n, err := DecodeSnapshotHeader(src); err == nil {
+			if n <= 0 || n > len(src) {
+				t.Fatalf("snapshot consumed %d of %d", n, len(src))
+			}
+			enc, err := AppendSnapshotHeader(nil, &h)
+			if err != nil {
+				t.Fatalf("snapshot re-encode failed: %v", err)
+			}
+			h2, n2, err := DecodeSnapshotHeader(enc)
+			if err != nil || n2 != len(enc) {
+				t.Fatalf("snapshot re-decode failed: %v", err)
+			}
+			if h2.Seq != h.Seq || h2.Epoch != h.Epoch || h2.Delta != h.Delta ||
+				h2.FollowerOf != h.FollowerOf || h2.EntryCount != h.EntryCount ||
+				len(h2.Removed) != len(h.Removed) {
+				t.Fatalf("snapshot header mismatch: %+v vs %+v", h, h2)
+			}
+		} else if !errors.Is(err, ErrShort) && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("snapshot: unexpected error class: %v", err)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"errors"
+	"io"
+)
+
+// maxStreamBuffer caps how far the stream reader will grow its window
+// chasing a single record. The largest honest record is an evict frame
+// of a few thousand ids; anything forcing the window past this bound is
+// treated as damage rather than buffered indefinitely.
+const maxStreamBuffer = 8 << 20
+
+// ErrStreamTooLarge reports a record that kept demanding more bytes
+// past maxStreamBuffer.
+var ErrStreamTooLarge = errors.New("wire: record exceeds stream buffer cap")
+
+// Reader incrementally decodes wire records from an io.Reader, refilling
+// an internal window on ErrShort so a snapshot of a hundred thousand
+// entries never needs to be buffered whole. The zero value is not
+// usable; construct with NewReader.
+type Reader struct {
+	src  io.Reader
+	buf  []byte
+	r, w int
+}
+
+// NewReader wraps src with the given initial window size (a sensible
+// default is used when size is zero or negative).
+func NewReader(src io.Reader, size int) *Reader {
+	if size <= 0 {
+		size = 64 << 10
+	}
+	return &Reader{src: src, buf: make([]byte, size)}
+}
+
+// window returns the currently buffered, undecoded bytes.
+func (d *Reader) window() []byte { return d.buf[d.r:d.w] }
+
+// more compacts the window to the front of the buffer, growing it when
+// full, and reads at least one more byte from the source. io.EOF is
+// returned verbatim only at a record boundary; a partial record at EOF
+// surfaces as io.ErrUnexpectedEOF from the decode methods.
+func (d *Reader) more() error {
+	if d.r > 0 {
+		n := copy(d.buf, d.buf[d.r:d.w])
+		d.r, d.w = 0, n
+	}
+	if d.w == len(d.buf) {
+		if len(d.buf)*2 > maxStreamBuffer {
+			return ErrStreamTooLarge
+		}
+		grown := make([]byte, len(d.buf)*2)
+		d.w = copy(grown, d.buf[:d.w])
+		d.buf = grown
+	}
+	n, err := d.src.Read(d.buf[d.w:])
+	d.w += n
+	if n > 0 {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrNoProgress
+	}
+	return err
+}
+
+// decode runs fn over the buffered window, refilling on ErrShort, and
+// advances past the consumed bytes on success.
+func (d *Reader) decode(fn func([]byte) (int, error)) error {
+	for {
+		n, err := fn(d.window())
+		if err == nil {
+			d.r += n
+			return nil
+		}
+		if !errors.Is(err, ErrShort) {
+			return err
+		}
+		if ferr := d.more(); ferr != nil {
+			if ferr == io.EOF {
+				if d.r == d.w {
+					return io.EOF
+				}
+				return io.ErrUnexpectedEOF
+			}
+			return ferr
+		}
+	}
+}
+
+// ReadFrame decodes the next frame into fr, reusing its backing storage
+// where DecodeFrameInto can. It returns io.EOF cleanly when the stream
+// ends exactly at a frame boundary.
+func (d *Reader) ReadFrame(fr *Frame) error {
+	return d.decode(func(src []byte) (int, error) {
+		return DecodeFrameInto(fr, src)
+	})
+}
+
+// ReadBatchHeader decodes a /changes batch header.
+func (d *Reader) ReadBatchHeader() (BatchHeader, error) {
+	var h BatchHeader
+	err := d.decode(func(src []byte) (int, error) {
+		var n int
+		var err error
+		h, n, err = DecodeBatchHeader(src)
+		return n, err
+	})
+	return h, err
+}
+
+// ReadSnapshotHeader decodes a /snapshot header.
+func (d *Reader) ReadSnapshotHeader() (SnapshotHeader, error) {
+	var h SnapshotHeader
+	err := d.decode(func(src []byte) (int, error) {
+		var n int
+		var err error
+		h, n, err = DecodeSnapshotHeader(src)
+		return n, err
+	})
+	return h, err
+}
