@@ -12,6 +12,8 @@
 //	               or {"entries":[{...},{...}]} for batches
 //	POST /remove   {"id":"n1"}
 //	POST /nearest  {"coord":{"vec":[1,2,3]},"k":8}
+//	POST /nearest/batch  {"queries":[{"coord":...,"k":8},...]}
+//	               (many queries, one shard-major registry dispatch)
 //	GET  /nearest?id=n1&k=8            (centered on a registered node)
 //	GET  /estimate?a=n1&b=n2
 //	GET  /snapshot                     (full state + stream sequence)

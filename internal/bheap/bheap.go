@@ -20,6 +20,14 @@ func New[T any](cap int, before func(a, b T) bool) *Heap[T] {
 	return &Heap[T]{before: before, cap: cap}
 }
 
+// Reset empties the heap and rebounds it to keep cap elements, keeping
+// the backing array so a pooled heap reaches a steady state where Offer
+// never allocates. The order function is unchanged.
+func (h *Heap[T]) Reset(cap int) {
+	h.cap = cap
+	h.items = h.items[:0]
+}
+
 // Len reports how many elements are held.
 func (h *Heap[T]) Len() int { return len(h.items) }
 

@@ -49,6 +49,43 @@ func TestHeapZeroCap(t *testing.T) {
 	}
 }
 
+// Property: a Reset heap behaves exactly like a fresh one at the new
+// capacity, and steady-state reuse stops growing the backing array.
+func TestHeapResetReuses(t *testing.T) {
+	rng := xrand.NewStream(13)
+	intBefore := func(a, b int) bool { return a < b }
+	h := New(4, intBefore)
+	for trial := 0; trial < 200; trial++ {
+		k := rng.Intn(10)
+		h.Reset(k)
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: Reset left %d items", trial, h.Len())
+		}
+		n := 5 + rng.Intn(40)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(30)
+		}
+		fresh := New(k, intBefore)
+		for _, x := range in {
+			h.Offer(x)
+			fresh.Offer(x)
+		}
+		got := append([]int(nil), h.Items()...)
+		want := append([]int(nil), fresh.Items()...)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k=%d): reused kept %d, fresh kept %d", trial, k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (k=%d): reused %v, fresh %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
 func TestHeapWorstTracksRoot(t *testing.T) {
 	h := New(3, func(a, b int) bool { return a < b })
 	for _, x := range []int{5, 1, 9, 3, 2} {

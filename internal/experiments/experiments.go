@@ -37,6 +37,15 @@ type Scale struct {
 	// setting produces bit-identical results (the simulator's
 	// tick-barrier guarantee), so experiment output never depends on it.
 	Parallelism int
+	// SweepParallelism runs independent sweep points (the Fig 8-12
+	// parameter grids) concurrently: 0 or 1 keeps the sequential loop,
+	// higher values run that many whole simulations at once. Each point
+	// is an isolated runner over its own generator, so results are
+	// positionally identical to the sequential sweep. When > 1, each
+	// inner run is forced to the sequential engine — one core per
+	// simulation saturates better than nested worker pools fighting
+	// over the same cores.
+	SweepParallelism int
 }
 
 // runnerConfig assembles the common sim.Config for this scale, including
@@ -95,13 +104,20 @@ func (s Scale) network(mutate func(*netsim.Config)) (*netsim.Network, error) {
 	return netsim.New(cfg)
 }
 
-// generator builds the trace generator over a network.
-func (s Scale) generator(net *netsim.Network) (*trace.Generator, error) {
-	return trace.NewGenerator(net, trace.GeneratorConfig{
+// generatorConfig is the trace shape for this scale; runs that want
+// in-worker synthesis pass it to Runner.RunGenerated instead of
+// streaming through one Generator.
+func (s Scale) generatorConfig() trace.GeneratorConfig {
+	return trace.GeneratorConfig{
 		IntervalTicks: s.IntervalTicks,
 		DurationTicks: s.DurationTicks,
 		Seed:          s.Seed + 1,
-	})
+	}
+}
+
+// generator builds the trace generator over a network.
+func (s Scale) generator(net *netsim.Network) (*trace.Generator, error) {
+	return trace.NewGenerator(net, s.generatorConfig())
 }
 
 // runSpec describes one simulation run.
@@ -114,15 +130,14 @@ type runSpec struct {
 }
 
 // run executes one simulation and returns its runner for metric readout.
+// Generator-backed runs go through RunGenerated: trace synthesis happens
+// inside the compute workers instead of on a single prefetch goroutine,
+// which is what keeps the parallel engine saturated at experiment scale.
 func run(spec runSpec) (*sim.Runner, error) {
 	if err := spec.scale.Validate(); err != nil {
 		return nil, err
 	}
 	net, err := spec.scale.network(spec.netMutate)
-	if err != nil {
-		return nil, err
-	}
-	gen, err := spec.scale.generator(net)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +150,7 @@ func run(spec runSpec) (*sim.Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := runner.Run(gen); err != nil {
+	if err := runner.RunGenerated(net, spec.scale.generatorConfig()); err != nil {
 		return nil, err
 	}
 	return runner, nil

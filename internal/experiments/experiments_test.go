@@ -3,6 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"netcoord/internal/heuristic"
+	"netcoord/internal/sim"
 )
 
 // tinyScale keeps the full experiment suite runnable in CI seconds while
@@ -457,5 +460,40 @@ func TestExtensionChurnRobustness(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "Extension E2") {
 		t.Fatal("Render incomplete")
+	}
+}
+
+// TestSweepParallelismMatchesSequential pins the sweep grid's
+// determinism contract: running the Figure 8 parameter points
+// concurrently (SweepParallelism > 1, inner runs sequential) must
+// reproduce the sequential sweep's points bit for bit, in the same
+// positional order.
+func TestSweepParallelismMatchesSequential(t *testing.T) {
+	scale := tinyScale()
+	scale.DurationTicks = 300
+	build := func(tau float64) sim.PolicyFactory {
+		return func(dim int) (heuristic.Policy, error) {
+			return heuristic.NewEnergy(dim, heuristic.DefaultWindow, tau)
+		}
+	}
+	params := []float64{1, 4, 8, 32}
+
+	seq, err := sweep(scale, params, build)
+	if err != nil {
+		t.Fatalf("sequential sweep: %v", err)
+	}
+	parScale := scale
+	parScale.SweepParallelism = 3
+	par, err := sweep(parScale, params, build)
+	if err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sweep lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("point %d: sequential %+v != parallel %+v", i, seq[i], par[i])
+		}
 	}
 }

@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"netcoord/internal/heuristic"
-	"netcoord/internal/metrics"
 	"netcoord/internal/sim"
 )
 
@@ -18,25 +18,65 @@ type SweepPoint struct {
 }
 
 // sweep runs one policy configuration per parameter value and reads the
-// application-level metrics over the measurement half.
+// application-level metrics over the measurement half. Points are
+// independent simulations, so Scale.SweepParallelism > 1 runs that many
+// at once — experiment-level parallelism on top of (or instead of) the
+// per-run engine. Results are slotted by parameter index, so the output
+// is positionally identical to the sequential loop regardless of
+// completion order.
 func sweep(scale Scale, params []float64, build func(p float64) sim.PolicyFactory) ([]SweepPoint, error) {
 	from, to := scale.MeasureFrom(), scale.DurationTicks
-	out := make([]SweepPoint, 0, len(params))
-	for _, p := range params {
+	one := func(scale Scale, p float64) (SweepPoint, error) {
 		r, err := run(runSpec{scale: scale, filter: mpFactory, policy: build(p)})
 		if err != nil {
-			return nil, fmt.Errorf("sweep param %v: %w", p, err)
+			return SweepPoint{}, fmt.Errorf("sweep param %v: %w", p, err)
 		}
-		var s metrics.Summary
-		if s, err = r.App().Summarize(from, to); err != nil {
-			return nil, err
+		s, err := r.App().Summarize(from, to)
+		if err != nil {
+			return SweepPoint{}, err
 		}
-		out = append(out, SweepPoint{
+		return SweepPoint{
 			Param:              p,
 			MedianRelErr:       s.MedianRelErr,
 			MedianInstability:  s.MedianInstability,
 			MeanUpdateFraction: s.MeanUpdateFraction,
-		})
+		}, nil
+	}
+
+	if scale.SweepParallelism <= 1 {
+		out := make([]SweepPoint, 0, len(params))
+		for _, p := range params {
+			pt, err := one(scale, p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+		return out, nil
+	}
+
+	// Whole simulations in flight at once: a semaphore of grid slots,
+	// each run forced to the sequential engine so the grid, not nested
+	// worker pools, owns the cores.
+	inner := scale
+	inner.Parallelism = 1
+	out := make([]SweepPoint, len(params))
+	errs := make([]error, len(params))
+	sem := make(chan struct{}, scale.SweepParallelism)
+	var wg sync.WaitGroup
+	for i, p := range params {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p float64) {
+			defer func() { <-sem; wg.Done() }()
+			out[i], errs[i] = one(inner, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"slices"
 	"sort"
+	"sync/atomic"
 
 	"netcoord/internal/bheap"
 	"netcoord/internal/coord"
@@ -43,6 +45,50 @@ type Neighbor struct {
 	Coord coord.Coordinate
 	// Distance is coord.DistanceTo between the query and Coord.
 	Distance float64
+}
+
+// Bound is a monotonically tightening distance bound shared by searches
+// running concurrently against different trees: the Registry's parallel
+// fan-out gives every shard's search one Bound, each search tightens it
+// to its own kth-best distance as its heap fills, and every search prunes
+// against the global minimum — so the parallel walk visits no more of any
+// tree than the sequential walk with the same final bound would.
+//
+// Tightening is a CAS min over the float64 bit pattern, so a Bound is
+// safe for concurrent use without locks. Distances are non-negative, and
+// non-negative float64s order identically to their bit patterns, which is
+// what makes the uint64 CAS a correct float min.
+type Bound struct {
+	bits atomic.Uint64
+}
+
+// Reset initializes the bound to v (use math.Inf(1) for "no bound").
+// Not safe to call concurrently with Load/Tighten.
+func (b *Bound) Reset(v float64) {
+	b.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the current bound.
+//
+//nc:hotpath
+func (b *Bound) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Tighten lowers the bound to v if v is smaller.
+//
+//nc:hotpath
+func (b *Bound) Tighten(v float64) {
+	nb := math.Float64bits(v)
+	for {
+		old := b.bits.Load()
+		if nb >= old {
+			return
+		}
+		if b.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
 }
 
 // Index is the query contract shared by the kd-tree and the brute-force
@@ -417,26 +463,53 @@ func (t *Tree) KNearest(from coord.Coordinate, k int) ([]Neighbor, error) {
 // subtrees that cannot improve the merged result, instead of doing k
 // full nearest-neighbor searches per stripe.
 func (t *Tree) KNearestBound(from coord.Coordinate, k int, bound float64) ([]Neighbor, error) {
-	if err := from.Validate(t.dim); err != nil {
-		return nil, fmt.Errorf("index knearest: %w", err)
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("index knearest: k = %d, want > 0", k)
-	}
-	if math.IsNaN(bound) {
-		return nil, fmt.Errorf("index knearest: bound is NaN")
-	}
 	h := bheap.New(k, neighborBefore)
-	t.searchKNN(t.root, from, h, bound)
+	var b Bound
+	b.Reset(bound)
+	if err := t.KNearestInto(from, k, h, &b); err != nil {
+		return nil, err
+	}
 	res := h.Items()
 	sortNeighbors(res)
 	return res, nil
 }
 
+// KNearestInto is the allocation-free core of KNearestBound: it offers
+// the k nearest points at distance <= b into the caller-owned heap h
+// (which the caller must have Reset to capacity k) and leaves the
+// results UNSORTED in heap order — callers merging several trees sort
+// once at the end. b is both input and output: the search starts from
+// the bound it carries, tightens it to its own kth-best distance as the
+// heap fills, and prunes against its current value throughout, so
+// concurrent searches over different trees sharing one Bound prune each
+// other. The bound check is <= and the heap breaks distance ties by id,
+// so the kept set is exact under the (Distance, ID) total order no
+// matter how the bound tightens.
+//
+//nc:hotpath
+func (t *Tree) KNearestInto(from coord.Coordinate, k int, h *bheap.Heap[Neighbor], b *Bound) error {
+	if err := from.Validate(t.dim); err != nil {
+		//nc:allow(hotpath) validation-failure return: cold by definition
+		return fmt.Errorf("index knearest: %w", err)
+	}
+	if k <= 0 {
+		//nc:allow(hotpath) validation-failure return: cold by definition
+		return fmt.Errorf("index knearest: k = %d, want > 0", k)
+	}
+	if math.IsNaN(b.Load()) {
+		//nc:allow(hotpath) validation-failure return: cold by definition
+		return fmt.Errorf("index knearest: bound is NaN")
+	}
+	t.searchKNN(t.root, from, h, b)
+	return nil
+}
+
 // searchKNN walks the near side first, then visits the far side only if
 // the splitting-plane lower bound could still beat the current kth best
-// and the caller's bound.
-func (t *Tree) searchKNN(n *treeNode, from coord.Coordinate, h *bheap.Heap[Neighbor], bound float64) {
+// and the shared bound.
+//
+//nc:hotpath
+func (t *Tree) searchKNN(n *treeNode, from coord.Coordinate, h *bheap.Heap[Neighbor], b *Bound) {
 	if n == nil || n.size == 0 {
 		return
 	}
@@ -444,8 +517,14 @@ func (t *Tree) searchKNN(n *treeNode, from coord.Coordinate, h *bheap.Heap[Neigh
 		// Dimensions were validated at insert and query time, so the
 		// distance cannot fail.
 		d, _ := from.DistanceTo(n.c)
-		if d <= bound {
+		if d <= b.Load() {
 			h.Offer(Neighbor{ID: n.id, Coord: n.c, Distance: d})
+			if h.Full() {
+				// k candidates at distance <= Worst now exist, so the
+				// true kth-best cannot exceed it: a valid bound for this
+				// search and for every other search sharing b.
+				b.Tighten(h.Worst().Distance)
+			}
 		}
 	}
 	delta := from.Vec[n.axis] - n.c.Vec[n.axis]
@@ -455,14 +534,14 @@ func (t *Tree) searchKNN(n *treeNode, from coord.Coordinate, h *bheap.Heap[Neigh
 	}
 	if near != nil && near.size > 0 {
 		lb := from.Height + near.minHeight
-		if lb <= bound && (!h.Full() || lb <= h.Worst().Distance) {
-			t.searchKNN(near, from, h, bound)
+		if lb <= b.Load() && (!h.Full() || lb <= h.Worst().Distance) {
+			t.searchKNN(near, from, h, b)
 		}
 	}
 	if far != nil && far.size > 0 {
 		lb := math.Abs(delta) + from.Height + far.minHeight
-		if lb <= bound && (!h.Full() || lb <= h.Worst().Distance) {
-			t.searchKNN(far, from, h, bound)
+		if lb <= b.Load() && (!h.Full() || lb <= h.Worst().Distance) {
+			t.searchKNN(far, from, h, b)
 		}
 	}
 }
@@ -470,16 +549,34 @@ func (t *Tree) searchKNN(n *treeNode, from coord.Coordinate, h *bheap.Heap[Neigh
 // Within returns every point at distance <= radius, sorted by
 // (distance, id) ascending.
 func (t *Tree) Within(from coord.Coordinate, radius float64) ([]Neighbor, error) {
+	res, err := t.WithinInto(from, radius, nil)
+	if err != nil {
+		return nil, err
+	}
+	sortNeighbors(res)
+	return res, nil
+}
+
+// WithinInto is the merge-friendly core of Within: it appends every
+// point at distance <= radius to buf (which may carry results from
+// other trees) and returns the extended slice UNSORTED — callers
+// merging several trees size and sort the combined result once instead
+// of sorting per tree. Steady-state reuse of buf's backing array makes
+// repeated radius queries allocation-free once it has grown to the
+// working size.
+//
+//nc:hotpath
+func (t *Tree) WithinInto(from coord.Coordinate, radius float64, buf []Neighbor) ([]Neighbor, error) {
 	if err := from.Validate(t.dim); err != nil {
+		//nc:allow(hotpath) validation-failure return: cold by definition
 		return nil, fmt.Errorf("index within: %w", err)
 	}
 	if radius < 0 || math.IsNaN(radius) {
+		//nc:allow(hotpath) validation-failure return: cold by definition
 		return nil, fmt.Errorf("index within: radius %v, want >= 0", radius)
 	}
-	var res []Neighbor
-	t.searchRadius(t.root, from, radius, &res)
-	sortNeighbors(res)
-	return res, nil
+	t.searchRadius(t.root, from, radius, &buf)
+	return buf, nil
 }
 
 func (t *Tree) searchRadius(n *treeNode, from coord.Coordinate, radius float64, res *[]Neighbor) {
@@ -507,12 +604,50 @@ func (t *Tree) searchRadius(n *treeNode, from coord.Coordinate, radius float64, 
 
 // sortNeighbors orders results by (distance, id) ascending — the
 // deterministic order every Index implementation promises.
+// slices.SortFunc rather than sort.Slice: the latter boxes the slice
+// into an interface (an allocation the zero-alloc query path cannot
+// afford); the former is generic and allocation-free.
 func sortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool { return neighborBefore(ns[i], ns[j]) })
+	//nc:allow(hotpath) generic SortFunc: the slice binds a type parameter, no interface boxing happens at runtime
+	slices.SortFunc(ns, CompareNeighbors)
 }
+
+// SortNeighbors exposes the canonical (Distance, ID) ascending ordering
+// for callers that merge per-tree results themselves.
+//
+//nc:hotpath
+func SortNeighbors(ns []Neighbor) { sortNeighbors(ns) }
+
+// CompareNeighbors is the (Distance, ID) total order as a three-way
+// comparison, for slices.SortFunc.
+//
+//nc:hotpath
+func CompareNeighbors(a, b Neighbor) int {
+	switch {
+	case a.Distance < b.Distance:
+		return -1
+	case a.Distance > b.Distance:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// NeighborBefore reports whether a sorts before b under the canonical
+// (Distance, ID) order — the order function for caller-owned k-best
+// heaps fed through KNearestInto.
+//
+//nc:hotpath
+func NeighborBefore(a, b Neighbor) bool { return neighborBefore(a, b) }
 
 // neighborBefore is the (Distance, ID) total order every Index query
 // returns results in; it also drives the bounded k-best heap.
+//
+//nc:hotpath
 func neighborBefore(a, b Neighbor) bool {
 	if a.Distance != b.Distance {
 		return a.Distance < b.Distance

@@ -1,0 +1,185 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"netcoord/internal/bheap"
+	"netcoord/internal/xrand"
+)
+
+// TestBoundTightenIsAtomicMin hammers one Bound from several goroutines
+// and requires the survivor to be the global minimum offered.
+func TestBoundTightenIsAtomicMin(t *testing.T) {
+	var b Bound
+	b.Reset(math.Inf(1))
+	const workers, per = 8, 2000
+	min := math.Inf(1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewStream(uint64(w + 1))
+			local := math.Inf(1)
+			for i := 0; i < per; i++ {
+				v := rng.Uniform(0, 1000)
+				b.Tighten(v)
+				if v < local {
+					local = v
+				}
+				// Raising must never work.
+				b.Tighten(v + 1)
+			}
+			mu.Lock()
+			if local < min {
+				min = local
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Load(); got != min {
+		t.Fatalf("Bound = %v, want global min %v", got, min)
+	}
+}
+
+// TestKNearestIntoSharedBoundMatchesMerge splits one point set across
+// several trees, searches them all through KNearestInto with one shared
+// Bound (sequentially and concurrently), and requires the merged top-k
+// to be bit-identical to a single tree over the whole set — the
+// correctness contract of the Registry's cross-shard fan-out.
+func TestKNearestIntoSharedBoundMatchesMerge(t *testing.T) {
+	const dim = 3
+	for seed := uint64(1); seed <= 4; seed++ {
+		rng := xrand.NewStream(seed)
+		nTrees := 1 + rng.Intn(6)
+		trees := make([]*Tree, nTrees)
+		for i := range trees {
+			trees[i], _ = New(dim)
+		}
+		whole, _ := New(dim)
+		nPts := 50 + rng.Intn(400)
+		for p := 0; p < nPts; p++ {
+			id := fmt.Sprintf("node-%04d", p)
+			c := randomCoord(rng, dim)
+			if rng.Bernoulli(0.3) {
+				// Snap to a small grid so duplicate distances are common
+				// and tie-breaking by id is genuinely exercised.
+				for d := range c.Vec {
+					c.Vec[d] = float64(int(c.Vec[d]) / 40 * 40)
+				}
+				c.Height = 0
+			}
+			if err := whole.Insert(id, c); err != nil {
+				t.Fatal(err)
+			}
+			if err := trees[p%nTrees].Insert(id, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 30; trial++ {
+			q := randomCoord(rng, dim)
+			k := 1 + rng.Intn(12)
+			startBound := math.Inf(1)
+			if rng.Bernoulli(0.3) {
+				startBound = rng.Uniform(0, 250)
+			}
+			want, err := whole.KNearestBound(q, k, startBound)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Sequential walk: one heap carried across trees, bound
+			// tightening as it goes.
+			var b Bound
+			b.Reset(startBound)
+			h := bheap.New(k, NeighborBefore)
+			for _, tr := range trees {
+				if err := tr.KNearestInto(q, k, h, &b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := append([]Neighbor(nil), h.Items()...)
+			SortNeighbors(got)
+			if !neighborsEqual(got, want) {
+				t.Fatalf("seed %d trial %d: sequential merge %v != whole %v", seed, trial, got, want)
+			}
+
+			// Concurrent fan-out: one heap per tree, one shared bound,
+			// merged through a final heap.
+			var sb Bound
+			sb.Reset(startBound)
+			heaps := make([]*bheap.Heap[Neighbor], nTrees)
+			var wg sync.WaitGroup
+			for i, tr := range trees {
+				heaps[i] = bheap.New(k, NeighborBefore)
+				wg.Add(1)
+				go func(tr *Tree, h *bheap.Heap[Neighbor]) {
+					defer wg.Done()
+					if err := tr.KNearestInto(q, k, h, &sb); err != nil {
+						t.Error(err)
+					}
+				}(tr, heaps[i])
+			}
+			wg.Wait()
+			merge := bheap.New(k, NeighborBefore)
+			for _, h := range heaps {
+				for _, n := range h.Items() {
+					merge.Offer(n)
+				}
+			}
+			got = append(got[:0], merge.Items()...)
+			SortNeighbors(got)
+			if !neighborsEqual(got, want) {
+				t.Fatalf("seed %d trial %d: parallel merge %v != whole %v", seed, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestWithinIntoAppendsAcrossTrees checks the unsorted append contract:
+// chaining WithinInto over several trees and sorting once must equal the
+// whole-set Within.
+func TestWithinIntoAppendsAcrossTrees(t *testing.T) {
+	const dim = 3
+	rng := xrand.NewStream(7)
+	trees := make([]*Tree, 4)
+	for i := range trees {
+		trees[i], _ = New(dim)
+	}
+	whole, _ := New(dim)
+	for p := 0; p < 300; p++ {
+		id := fmt.Sprintf("node-%04d", p)
+		c := randomCoord(rng, dim)
+		if err := whole.Insert(id, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := trees[p%len(trees)].Insert(id, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []Neighbor
+	for trial := 0; trial < 20; trial++ {
+		q := randomCoord(rng, dim)
+		radius := rng.Uniform(0, 200)
+		want, err := whole.Within(q, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = buf[:0]
+		for _, tr := range trees {
+			buf, err = tr.WithinInto(q, radius, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		SortNeighbors(buf)
+		if !neighborsEqual(buf, want) {
+			t.Fatalf("trial %d r=%v: merged %d results, whole %d", trial, radius, len(buf), len(want))
+		}
+	}
+}

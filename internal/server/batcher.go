@@ -1,0 +1,119 @@
+package server
+
+import (
+	"sync"
+
+	"netcoord"
+)
+
+// queryBatcher coalesces concurrent single-point kNN lookups into
+// Registry.NearestBatch calls. The watch hub's resync path is its
+// customer: a write storm damages many watchers at once, each of which
+// recomputes its top-k on its own handler goroutine. Individually those
+// recomputes each pay a full fan-out dispatch; coalesced, one batch
+// dispatch answers a whole wavefront of watchers (shard-major, so every
+// shard lock is taken once per round instead of once per watcher).
+//
+// The scheme is leader/follower: every caller enqueues its query, the
+// first one in becomes the leader and drains rounds of pending queries
+// through NearestBatch until none remain, delivering each answer on the
+// waiter's channel. Followers just block on their channel. The leader's
+// own query rides the first round, so it never parks behind work it
+// is not contributing to.
+//
+// NearestBatch validates atomically — one malformed query would fail a
+// whole round — so a failed round is re-run query-by-query through the
+// single-shot Registry API, preserving per-caller error isolation at
+// the cost of a slow path that only malformed input pays.
+type queryBatcher struct {
+	reg *netcoord.Registry
+
+	mu      sync.Mutex
+	pending []batchWaiter
+	leading bool
+}
+
+type batchWaiter struct {
+	query netcoord.NearestQuery
+	done  chan batchAnswer
+}
+
+type batchAnswer struct {
+	res []netcoord.Ranked
+	err error
+}
+
+func newQueryBatcher(reg *netcoord.Registry) *queryBatcher {
+	return &queryBatcher{reg: reg}
+}
+
+// nearest answers one query, riding a shared NearestBatch round when
+// other callers are querying concurrently. Results are identical to
+// the equivalent single-shot Registry call.
+func (b *queryBatcher) nearest(q netcoord.NearestQuery) ([]netcoord.Ranked, error) {
+	done := make(chan batchAnswer, 1)
+	b.mu.Lock()
+	b.pending = append(b.pending, batchWaiter{query: q, done: done})
+	if b.leading {
+		// A leader is draining; it will pick this query up in a later
+		// round (it re-checks pending before stepping down).
+		b.mu.Unlock()
+		a := <-done
+		return a.res, a.err
+	}
+	b.leading = true
+	b.mu.Unlock()
+	for {
+		b.mu.Lock()
+		round := b.pending
+		b.pending = nil
+		if len(round) == 0 {
+			b.leading = false
+			b.mu.Unlock()
+			break
+		}
+		b.mu.Unlock()
+		b.runRound(round)
+	}
+	// The leader's own waiter was part of the first round, so its
+	// answer is already buffered.
+	a := <-done
+	return a.res, a.err
+}
+
+// runRound answers every waiter in one NearestBatch dispatch, falling
+// back to per-query calls if the batch rejects (atomic validation: one
+// malformed query must not fail its neighbors).
+func (b *queryBatcher) runRound(round []batchWaiter) {
+	queries := make([]netcoord.NearestQuery, len(round))
+	for i := range round {
+		queries[i] = round[i].query
+	}
+	results, err := b.reg.NearestBatch(queries)
+	if err != nil {
+		for i := range round {
+			res, qerr := b.single(round[i].query)
+			round[i].done <- batchAnswer{res: res, err: qerr}
+		}
+		return
+	}
+	for i := range round {
+		round[i].done <- batchAnswer{res: results[i]}
+	}
+}
+
+// single re-answers one query through the single-shot API so an error
+// is attributed to the query that caused it.
+func (b *queryBatcher) single(q netcoord.NearestQuery) ([]netcoord.Ranked, error) {
+	switch {
+	case q.HasRadius:
+		return b.reg.WithinLimit(q.From, q.RadiusMillis, q.K)
+	case q.Exclude != "":
+		// Watch id-mode: From was resolved from Exclude's entry just
+		// before enqueueing, so re-resolving through NearestTo matches
+		// (the watch layer re-resolves on every recompute anyway).
+		return b.reg.NearestTo(q.Exclude, q.K)
+	default:
+		return b.reg.Nearest(q.From, q.K)
+	}
+}

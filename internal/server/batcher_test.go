@@ -1,0 +1,178 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"netcoord"
+)
+
+// TestNearestBatchEndpoint checks POST /nearest/batch against the
+// single-query endpoints: positional answers, per-query modes (k,
+// default-k, radius with truncation flag), and atomic validation.
+func TestNearestBatchEndpoint(t *testing.T) {
+	ts := newTestService(t)
+
+	var entries []string
+	for i := 0; i < 40; i++ {
+		entries = append(entries, fmt.Sprintf(
+			`{"id":"n%02d","coord":{"vec":[%d,%d,0]}}`, i, (i%8)*25, (i/8)*25))
+	}
+	code, out := postJSON(t, ts.URL+"/upsert", `{"entries":[`+strings.Join(entries, ",")+`]}`)
+	if code != http.StatusOK {
+		t.Fatalf("seed: %d %v", code, out)
+	}
+
+	code, out = postJSON(t, ts.URL+"/nearest/batch", `{"queries":[
+		{"coord":{"vec":[1,1,0]},"k":3},
+		{"coord":{"vec":[180,90,0]}},
+		{"coord":{"vec":[50,50,0]},"radius_ms":40}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %v", code, out)
+	}
+	raw, ok := out["results"].([]any)
+	if !ok || len(raw) != 3 {
+		t.Fatalf("want 3 positional results, got %v", out)
+	}
+
+	// Each position must match its single-query equivalent.
+	single := []string{
+		`{"coord":{"vec":[1,1,0]},"k":3}`,
+		`{"coord":{"vec":[180,90,0]}}`,
+		`{"coord":{"vec":[50,50,0]},"radius_ms":40}`,
+	}
+	for i, body := range single {
+		sc, sout := postJSON(t, ts.URL+"/nearest", body)
+		if sc != http.StatusOK {
+			t.Fatalf("single %d: %d %v", i, sc, sout)
+		}
+		want := resultIDs(t, sout)
+		got := resultIDs(t, raw[i].(map[string]any))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: batch %v != single %v", i, got, want)
+		}
+		if i == 2 {
+			// Small radius over 40 nodes: present but not truncated.
+			if tr, _ := raw[i].(map[string]any)["truncated"].(bool); tr {
+				t.Fatalf("query %d unexpectedly truncated", i)
+			}
+		}
+	}
+
+	// Atomic validation: a bad k in the middle fails the whole batch.
+	code, out = postJSON(t, ts.URL+"/nearest/batch", `{"queries":[
+		{"coord":{"vec":[1,1,0]},"k":3},
+		{"coord":{"vec":[1,1,0]},"k":-2}]}`)
+	if code != http.StatusBadRequest || !strings.Contains(out["error"].(string), "query 1") {
+		t.Fatalf("bad k: %d %v", code, out)
+	}
+	// A dimension mismatch is caught registry-side, same atomicity.
+	code, out = postJSON(t, ts.URL+"/nearest/batch", `{"queries":[
+		{"coord":{"vec":[1,1,0]},"k":3},
+		{"coord":{"vec":[1,1]},"k":3}]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad dim: %d %v", code, out)
+	}
+	code, out = postJSON(t, ts.URL+"/nearest/batch", `{"queries":[]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d %v", code, out)
+	}
+	big := make([]string, maxBatchQueries+1)
+	for i := range big {
+		big[i] = `{"coord":{"vec":[1,1,0]},"k":1}`
+	}
+	code, out = postJSON(t, ts.URL+"/nearest/batch", `{"queries":[`+strings.Join(big, ",")+`]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %d %v", code, out)
+	}
+}
+
+// TestQueryBatcherMatchesSingleShot drives the watch-path coalescer
+// with many concurrent callers and checks every answer against the
+// single-shot Registry API, including error isolation: one malformed
+// query must fail only its own caller, not the round it rode in.
+func TestQueryBatcherMatchesSingleShot(t *testing.T) {
+	reg, err := netcoord.NewRegistry(netcoord.RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	var batch []netcoord.RegistryEntry
+	for i := 0; i < 200; i++ {
+		batch = append(batch, netcoord.RegistryEntry{
+			ID:    fmt.Sprintf("n%03d", i),
+			Coord: netcoord.Coordinate{Vec: []float64{float64((i % 20) * 13), float64((i / 20) * 17), float64(i % 7)}},
+		})
+	}
+	if err := reg.UpsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newQueryBatcher(reg)
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 25; iter++ {
+				switch w % 3 {
+				case 0: // vec-mode watcher
+					from := netcoord.Coordinate{Vec: []float64{float64(w), float64(iter), 0}}
+					got, err := b.nearest(netcoord.NearestQuery{From: from, K: 5})
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					want, err := reg.Nearest(from, 5)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if !reflect.DeepEqual(got, want) {
+						errs[w] = fmt.Errorf("vec caller %d iter %d: %v != %v", w, iter, got, want)
+						return
+					}
+				case 1: // id-mode watcher
+					id := fmt.Sprintf("n%03d", (w*25+iter)%200)
+					entry, ok := reg.Get(id)
+					if !ok {
+						errs[w] = fmt.Errorf("missing %s", id)
+						return
+					}
+					got, err := b.nearest(netcoord.NearestQuery{From: entry.Coord, K: 4, Exclude: id})
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					want, err := reg.NearestTo(id, 4)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if !reflect.DeepEqual(got, want) {
+						errs[w] = fmt.Errorf("id caller %d iter %d: %v != %v", w, iter, got, want)
+						return
+					}
+				case 2: // malformed: wrong dimension must fail this caller only
+					from := netcoord.Coordinate{Vec: []float64{1, 2}}
+					if _, err := b.nearest(netcoord.NearestQuery{From: from, K: 3}); err == nil {
+						errs[w] = fmt.Errorf("caller %d iter %d: bad-dim query succeeded", w, iter)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", w, err)
+		}
+	}
+}

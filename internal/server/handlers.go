@@ -148,7 +148,10 @@ func (s *Server) handlePromote(w http.ResponseWriter, req *http.Request) {
 }
 
 // handleNearestGet answers proximity queries centered on a registered
-// node: /nearest?id=n1&k=8, or radius mode with &radius_ms=50.
+// node: /nearest?id=n1&k=8, or radius mode with &radius_ms=50. Radius
+// mode goes through Registry.WithinLimit — the untrusted-radius entry
+// point, which caps the result set before ranking — so a huge or
+// adversarial radius_ms costs O(maxK log maxK), not O(n log n).
 func (s *Server) handleNearestGet(w http.ResponseWriter, req *http.Request) {
 	id := req.URL.Query().Get("id")
 	if id == "" {
@@ -205,7 +208,9 @@ func (s *Server) handleNearestGet(w http.ResponseWriter, req *http.Request) {
 
 // handleNearestPost answers proximity queries centered on an arbitrary
 // coordinate — the "nearest replicas to this client" call for clients
-// that are not registered themselves.
+// that are not registered themselves. Like the GET handler, radius mode
+// uses Registry.WithinLimit (the untrusted-radius entry point) so a
+// client-supplied radius can never rank more than maxK+1 results.
 func (s *Server) handleNearestPost(w http.ResponseWriter, req *http.Request) {
 	var body struct {
 		Coord    netcoord.Coordinate `json:"coord"`
@@ -242,6 +247,87 @@ func (s *Server) handleNearestPost(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": toRankedJSON(res)})
+}
+
+// maxBatchQueries caps how many queries one POST /nearest/batch request
+// may carry; combined with maxK it bounds the worst-case work a single
+// request can demand.
+const maxBatchQueries = 256
+
+// nearestBatchQuery is one element of a POST /nearest/batch request.
+// Shapes mirror POST /nearest exactly: k-mode by default, radius mode
+// when radius_ms is present.
+type nearestBatchQuery struct {
+	Coord    netcoord.Coordinate `json:"coord"`
+	K        int                 `json:"k"`
+	RadiusMS *float64            `json:"radius_ms"`
+}
+
+// nearestBatchResult is one element of the response, positionally
+// matching the request's queries array.
+type nearestBatchResult struct {
+	Results   []rankedJSON `json:"results"`
+	Truncated bool         `json:"truncated,omitempty"`
+}
+
+// handleNearestBatch answers many proximity queries in one request:
+// {"queries":[{"coord":...,"k":8},{"coord":...,"radius_ms":50},...]}.
+// The whole batch is answered by one Registry.NearestBatch dispatch —
+// shard-major, so each shard's lock is taken once for the entire
+// request instead of once per query — which is the cheap way to
+// resolve a client's full replica set or a mesh of candidate origins.
+// Validation is atomic: any malformed query fails the whole batch with
+// a 400 naming the offending index, and nothing is computed.
+func (s *Server) handleNearestBatch(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Queries []nearestBatchQuery `json:"queries"`
+	}
+	if !s.decode(w, req, &body) {
+		return
+	}
+	if len(body.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no queries in request"))
+		return
+	}
+	if len(body.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%d queries, want <= %d per request", len(body.Queries), maxBatchQueries))
+		return
+	}
+	queries := make([]netcoord.NearestQuery, len(body.Queries))
+	radiusMode := make([]bool, len(body.Queries))
+	for i, q := range body.Queries {
+		if q.RadiusMS != nil {
+			// Same shape as POST /nearest radius mode: WithinLimit-style
+			// bounding with +1 slack to detect truncation. Registry-side
+			// validation rejects negative/NaN radii for the whole batch.
+			queries[i] = netcoord.NearestQuery{From: q.Coord, K: maxK + 1, HasRadius: true, RadiusMillis: *q.RadiusMS}
+			radiusMode[i] = true
+			continue
+		}
+		k := q.K
+		if k == 0 {
+			k = defaultK
+		}
+		if k < 1 || k > maxK {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: k must be an integer in [1, %d]", i, maxK))
+			return
+		}
+		queries[i] = netcoord.NearestQuery{From: q.Coord, K: k}
+	}
+	results, err := s.reg.NearestBatch(queries)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]nearestBatchResult, len(results))
+	for i, res := range results {
+		truncated := radiusMode[i] && len(res) > maxK
+		if truncated {
+			res = res[:maxK]
+		}
+		out[i] = nearestBatchResult{Results: toRankedJSON(res), Truncated: truncated}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {

@@ -98,6 +98,10 @@ type Server struct {
 	hub      *WatchHub
 	notifier *notifier
 
+	// batcher coalesces concurrent watch recomputes into shard-major
+	// NearestBatch dispatches (see batcher.go).
+	batcher *queryBatcher
+
 	shutdown     chan struct{}
 	shutdownOnce sync.Once
 }
@@ -135,12 +139,14 @@ func New(cfg Config) *Server {
 	}
 	s.hub = newWatchHub(source, s.shutdown)
 	s.notifier = newNotifier(source, s.shutdown)
+	s.batcher = newQueryBatcher(cfg.Registry)
 	s.registerCollectors()
 	s.mux.HandleFunc("POST /upsert", s.instrument("/upsert", s.leaderOnly(s.handleUpsert)))
 	s.mux.HandleFunc("POST /remove", s.instrument("/remove", s.leaderOnly(s.handleRemove)))
 	s.mux.HandleFunc("POST /promote", s.instrument("/promote", s.handlePromote))
 	s.mux.HandleFunc("GET /nearest", s.instrument("/nearest", s.staleness(s.handleNearestGet)))
 	s.mux.HandleFunc("POST /nearest", s.instrument("/nearest", s.staleness(s.handleNearestPost)))
+	s.mux.HandleFunc("POST /nearest/batch", s.instrument("/nearest/batch", s.staleness(s.handleNearestBatch)))
 	s.mux.HandleFunc("GET /estimate", s.instrument("/estimate", s.staleness(s.handleEstimate)))
 	s.mux.HandleFunc("GET /snapshot", s.instrument("/snapshot", s.staleness(s.handleSnapshot)))
 	s.mux.HandleFunc("GET /changes", s.instrument("/changes", s.staleness(s.handleChanges)))

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"netcoord/internal/netsim"
+	"netcoord/internal/trace"
+)
+
+// RunGenerated drains a synthetic trace with in-worker synthesis: the
+// saturated form of the parallel engine for generator-backed runs.
+//
+// Run's engine synthesizes the whole trace on one prefetch goroutine
+// and fans the compute out; at high worker counts the single
+// synthesizer becomes the bottleneck (hash-stream latency synthesis is
+// a third of the per-sample cost). Here each worker owns a shard of
+// the nodes (From % workers) and synthesizes its own nodes' samples
+// directly via trace.NewGeneratorShard — no sample ever crosses a
+// goroutine before compute, and the coordinator only replays the
+// per-tick results.
+//
+// Bit-identity with the sequential engine holds by the same argument
+// as parallel.go, plus two generator facts: sharded generators emit
+// exactly the unsharded stream partitioned by From (per-node cursors
+// advance only when their node fires), and within one tick each node
+// fires at most once, in node order — so replaying slots in ascending
+// node index reproduces trace order exactly. The coordinator advances
+// the tick barrier for every tick, including sample-free ones; that
+// flushes dirty snapshots no later than the sequential engine would,
+// and no sample exists between the two flush points to observe the
+// difference.
+func (r *Runner) RunGenerated(net *netsim.Network, gcfg trace.GeneratorConfig) error {
+	workers := r.cfg.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(r.nodes) {
+		workers = len(r.nodes)
+	}
+	if workers < 2 {
+		g, err := trace.NewGenerator(net, gcfg)
+		if err != nil {
+			return err
+		}
+		return r.runSequential(g)
+	}
+
+	gens := make([]*trace.Generator, workers)
+	for w := range gens {
+		g, err := trace.NewGeneratorShard(net, gcfg, w, workers)
+		if err != nil {
+			return err
+		}
+		gens[w] = g
+	}
+
+	// Per-tick slots, one per node: worker w writes only nodes with
+	// index ≡ w (mod workers), each at most once per tick, so no two
+	// goroutines ever touch the same slot. The coordinator reads them
+	// only after the barrier.
+	n := len(r.nodes)
+	slots := make([]trace.Sample, n)
+	has := make([]bool, n)
+	results := make([]stepResult, n)
+	var tick uint64
+
+	start := make([]chan struct{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start[w] = make(chan struct{}, 1)
+		go func(w int) {
+			g := gens[w]
+			var pending trace.Sample
+			hasPending := false
+			for range start[w] {
+				for {
+					var s trace.Sample
+					if hasPending {
+						s = pending
+					} else {
+						var ok bool
+						if s, ok = g.Next(); !ok {
+							break
+						}
+					}
+					if s.Tick != tick {
+						// First sample of a later tick: park it for
+						// that tick's round.
+						pending, hasPending = s, true
+						break
+					}
+					hasPending = false
+					slots[s.From] = s
+					has[s.From] = true
+					if !s.Lost {
+						// Generator samples are well-formed by
+						// construction (both endpoints in range,
+						// From != To), so check is skipped.
+						r.compute(s, &results[s.From])
+					}
+				}
+				wg.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range start {
+			close(ch)
+		}
+	}()
+
+	for tick = 0; tick < gcfg.DurationTicks; tick++ {
+		r.advanceTo(tick)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			start[w] <- struct{}{}
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if !has[i] {
+				continue
+			}
+			has[i] = false
+			s := slots[i]
+			r.count(s)
+			if s.Lost {
+				continue
+			}
+			if err := r.record(s, &results[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"netcoord/internal/netsim"
+	"netcoord/internal/trace"
+	"netcoord/internal/vivaldi"
+)
+
+// TestRunGeneratedBitIdenticalToSequential is the oracle test for
+// in-worker synthesis: across seeds, populations, churn, and policies,
+// RunGenerated with several workers must reproduce the sequential
+// single-generator run bit for bit — the same contract
+// TestParallelBitIdenticalToSequential pins for the prefetch engine.
+func TestRunGeneratedBitIdenticalToSequential(t *testing.T) {
+	const seconds = 240
+	for _, seed := range []uint64{3, 17} {
+		for _, nodes := range []int{12, 33} {
+			for _, churn := range []bool{false, true} {
+				for name, policy := range policyFactories() {
+					name := fmt.Sprintf("seed%d_n%d_churn%v_%s", seed, nodes, churn, name)
+					policy := policy
+					nodes, seed, churn := nodes, seed, churn
+					t.Run(name, func(t *testing.T) {
+						gcfg := trace.GeneratorConfig{
+							IntervalTicks: 1,
+							DurationTicks: seconds,
+							Seed:          seed + 1,
+						}
+						if churn {
+							gcfg.JoinSpreadTicks = seconds * 3 / 4
+						}
+						newRunner := func(parallelism int) (*Runner, *netsim.Network) {
+							net, err := netsim.New(netsim.DefaultWideArea(nodes, seed))
+							if err != nil {
+								t.Fatalf("netsim.New: %v", err)
+							}
+							vcfg := vivaldi.DefaultConfig()
+							vcfg.Seed = seed + 2
+							r, err := NewRunner(Config{
+								Nodes:       nodes,
+								Vivaldi:     vcfg,
+								Filter:      mpFactory,
+								Policy:      policy,
+								Parallelism: parallelism,
+							})
+							if err != nil {
+								t.Fatalf("NewRunner: %v", err)
+							}
+							return r, net
+						}
+
+						seqRunner, seqNet := newRunner(1)
+						g, err := trace.NewGenerator(seqNet, gcfg)
+						if err != nil {
+							t.Fatalf("NewGenerator: %v", err)
+						}
+						if err := seqRunner.Run(g); err != nil {
+							t.Fatalf("Run: %v", err)
+						}
+						seq := fingerprint(t, seqRunner, nodes, seconds)
+
+						for _, workers := range []int{4, 5} {
+							parRunner, parNet := newRunner(workers)
+							if err := parRunner.RunGenerated(parNet, gcfg); err != nil {
+								t.Fatalf("RunGenerated(%d): %v", workers, err)
+							}
+							par := fingerprint(t, parRunner, nodes, seconds)
+							if msg, ok := seq.equal(par); !ok {
+								t.Fatalf("RunGenerated(%d workers) diverged from sequential: %s", workers, msg)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -62,6 +61,12 @@ type RegistryConfig struct {
 	// Shards is the lock-striping factor, rounded up to a power of two;
 	// 0 means DefaultRegistryShards.
 	Shards int
+	// QueryParallelism bounds the query fan-out worker pool: 0 means
+	// GOMAXPROCS, 1 forces the sequential walk (every proximity query
+	// runs on its caller's goroutine), higher values cap the pool. The
+	// pool is shared by all queries and started lazily on the first
+	// query large enough to fan out.
+	QueryParallelism int
 	// TTL evicts entries not upserted within this duration; 0 disables
 	// staleness eviction.
 	TTL time.Duration
@@ -172,6 +177,19 @@ type Registry struct {
 	evictions  atomic.Uint64
 	feedErrors atomic.Uint64
 
+	// live tracks the number of stored entries without taking shard
+	// locks; the query engine's fan-out crossover reads it per query.
+	// It is maintained by the mutation paths of this file only.
+	live atomic.Int64
+
+	// Query fan-out state (see query.go): the resolved worker count,
+	// the shared task channel, whether the lazy pool has started, and
+	// the pool of per-query scratch contexts.
+	queryWorkers int
+	qtasks       chan queryTask
+	qstarted     atomic.Bool
+	qctxPool     sync.Pool
+
 	// feed, when non-nil, is the change stream every applied mutation is
 	// published to (under the owning shard's lock, so per-id stream
 	// order matches apply order); persistence taps it, subscribers and
@@ -242,6 +260,13 @@ func newRegistry(cfg RegistryConfig) (*Registry, error) {
 	if cfg.ChangeStreamBuffer > 0 {
 		r.feed.Store(changefeed.New(cfg.ChangeStreamBuffer, 0))
 	}
+	r.queryWorkers = resolveQueryWorkers(cfg.QueryParallelism, shards)
+	if r.queryWorkers > 1 {
+		// Room for a few concurrent fan-outs; dispatch never blocks on
+		// a full channel (it runs the task inline instead).
+		r.qtasks = make(chan queryTask, 4*shards)
+	}
+	r.qctxPool.New = func() any { return newQueryCtx(r) }
 	for i := range r.shards {
 		tree, err := index.New(cfg.Dimension)
 		if err != nil {
@@ -379,6 +404,9 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 				if seq := r.publishUpsert(e); seq != 0 {
 					e.Seq = seq
 				}
+				if _, ok := s.entries[e.ID]; !ok {
+					r.live.Add(1)
+				}
 				s.entries[e.ID] = e // later duplicates win, as Build resolves them
 				r.upserts.Add(1)
 			}
@@ -387,7 +415,8 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 		}
 		for _, e := range group {
 			// Same pure-refresh shortcut as upsertEntry.
-			if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
+			old, existed := s.entries[e.ID]
+			if existed && old.Coord.Equal(e.Coord) {
 				if seq := r.publishUpsert(e); seq != 0 {
 					e.Seq = seq
 				}
@@ -406,6 +435,9 @@ func (r *Registry) UpsertBatch(entries []RegistryEntry) error {
 				e.Seq = seq
 			}
 			s.entries[e.ID] = e
+			if !existed {
+				r.live.Add(1)
+			}
 			r.upserts.Add(1)
 		}
 		s.mu.Unlock()
@@ -434,7 +466,8 @@ func (r *Registry) upsertEntry(e RegistryEntry) error {
 	// app-level coordinates are the norm); a pure refresh must not
 	// churn the index with tombstone+reinsert cycles and the rebuilds
 	// they trigger.
-	if old, ok := s.entries[e.ID]; ok && old.Coord.Equal(e.Coord) {
+	old, existed := s.entries[e.ID]
+	if existed && old.Coord.Equal(e.Coord) {
 		if seq := r.publishUpsert(e); seq != 0 {
 			e.Seq = seq
 		}
@@ -450,6 +483,9 @@ func (r *Registry) upsertEntry(e RegistryEntry) error {
 		e.Seq = seq
 	}
 	s.entries[e.ID] = e
+	if !existed {
+		r.live.Add(1)
+	}
 	r.upserts.Add(1)
 	return nil
 }
@@ -464,6 +500,7 @@ func (r *Registry) Remove(id string) bool {
 	}
 	delete(s.entries, id)
 	s.tree.Remove(id)
+	r.live.Add(-1)
 	r.removes.Add(1)
 	if feed := r.getFeed(); feed != nil {
 		feed.PublishRemove(id)
@@ -489,128 +526,6 @@ func (r *Registry) Len() int {
 		s.mu.RUnlock()
 	}
 	return n
-}
-
-// Nearest returns the k registered nodes with the smallest estimated RTT
-// from the given coordinate, ascending (ties broken by id). Fewer than k
-// are returned if the registry holds fewer. Each shard answers from its
-// spatial index and the per-shard bests are merged, so the result is
-// exact while the work stays O(shards · log n · k) instead of a full
-// scan.
-func (r *Registry) Nearest(from Coordinate, k int) ([]Ranked, error) {
-	return r.nearest(from, k, "", inf())
-}
-
-// NearestTo is Nearest centered on a registered node, excluding the node
-// itself — "which replicas are closest to this client".
-func (r *Registry) NearestTo(id string, k int) ([]Ranked, error) {
-	e, ok := r.Get(id)
-	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrUnknownID, id)
-	}
-	return r.nearest(e.Coord, k, id, inf())
-}
-
-// WithinLimit returns the up-to-limit nearest nodes with estimated RTT
-// <= radiusMillis, ascending — Within with a result bound, for callers
-// (like ncserve) that must not let one query rank an unbounded slice of
-// the registry. The radius doubles as the search's pruning bound, so
-// the work is proportional to the results returned, not the matches
-// that exist.
-func (r *Registry) WithinLimit(from Coordinate, radiusMillis float64, limit int) ([]Ranked, error) {
-	if radiusMillis < 0 || math.IsNaN(radiusMillis) {
-		return nil, fmt.Errorf("netcoord: registry within: radius %v, want >= 0", radiusMillis)
-	}
-	return r.nearest(from, limit, "", radiusMillis)
-}
-
-// nearest merges per-shard k-nearest answers, restricted to distance <=
-// bound (pass inf for pure kNN).
-func (r *Registry) nearest(from Coordinate, k int, exclude string, bound float64) ([]Ranked, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("netcoord: k = %d, want > 0", k)
-	}
-	r.queries.Add(1)
-	// Ask each shard for one extra result so dropping the excluded node
-	// still leaves k.
-	perShard := k
-	if exclude != "" {
-		perShard++
-	}
-	// Query shards sequentially, carrying the current worst of the best
-	// perShard distances as a pruning bound: after the first stripe the
-	// remaining trees only descend into regions that could still improve
-	// the merged answer. Ties are kept (the bound check is <=), so the
-	// result is identical to merging full per-shard answers.
-	var merged []index.Neighbor
-	for _, s := range r.shards {
-		s.mu.RLock()
-		ns, err := s.tree.KNearestBound(from, perShard, bound)
-		s.mu.RUnlock()
-		if err != nil {
-			return nil, fmt.Errorf("netcoord: registry nearest: %w", err)
-		}
-		merged = append(merged, ns...)
-		sort.Slice(merged, func(i, j int) bool {
-			if merged[i].Distance != merged[j].Distance {
-				return merged[i].Distance < merged[j].Distance
-			}
-			return merged[i].ID < merged[j].ID
-		})
-		if len(merged) > perShard {
-			merged = merged[:perShard]
-		}
-		if len(merged) == perShard {
-			bound = merged[len(merged)-1].Distance
-		}
-	}
-	out := make([]Ranked, 0, k)
-	for _, n := range merged {
-		if n.ID == exclude {
-			continue
-		}
-		out = append(out, Ranked{
-			Candidate:    Candidate{ID: n.ID, Coord: n.Coord},
-			EstimatedRTT: n.Distance,
-		})
-		if len(out) == k {
-			break
-		}
-	}
-	return out, nil
-}
-
-// Within returns every registered node with estimated RTT <= radiusMillis
-// from the given coordinate, ascending (ties broken by id) — the
-// "replicas inside my latency budget" query. Cost is proportional to the
-// number of matches; services exposed to untrusted radii should use
-// WithinLimit instead.
-func (r *Registry) Within(from Coordinate, radiusMillis float64) ([]Ranked, error) {
-	r.queries.Add(1)
-	var merged []index.Neighbor
-	for _, s := range r.shards {
-		s.mu.RLock()
-		ns, err := s.tree.Within(from, radiusMillis)
-		s.mu.RUnlock()
-		if err != nil {
-			return nil, fmt.Errorf("netcoord: registry within: %w", err)
-		}
-		merged = append(merged, ns...)
-	}
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Distance != merged[j].Distance {
-			return merged[i].Distance < merged[j].Distance
-		}
-		return merged[i].ID < merged[j].ID
-	})
-	out := make([]Ranked, len(merged))
-	for i, n := range merged {
-		out[i] = Ranked{
-			Candidate:    Candidate{ID: n.ID, Coord: n.Coord},
-			EstimatedRTT: n.Distance,
-		}
-	}
-	return out, nil
 }
 
 // Estimate predicts the RTT in milliseconds between two registered
@@ -649,6 +564,7 @@ func (r *Registry) EvictStale() int {
 			if e.UpdatedAt.Before(cutoff) {
 				delete(s.entries, id)
 				s.tree.Remove(id)
+				r.live.Add(-1)
 				evicted++
 				if feed != nil {
 					evictedIDs = append(evictedIDs, id)

@@ -24,8 +24,12 @@ var benchSizes = []int{10_000, 100_000, 1_000_000}
 // buildBenchRegistry populates a registry (and a parallel candidate
 // slice for the brute-force baseline) with n random coordinates.
 func buildBenchRegistry(b *testing.B, n int) (*Registry, []Candidate) {
+	return buildBenchRegistryCfg(b, n, RegistryConfig{})
+}
+
+func buildBenchRegistryCfg(b *testing.B, n int, cfg RegistryConfig) (*Registry, []Candidate) {
 	b.Helper()
-	r, err := NewRegistry(RegistryConfig{})
+	r, err := NewRegistry(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -64,24 +68,121 @@ func benchQuery(rng *xrand.Stream) Coordinate {
 	return q
 }
 
+// benchQueryCoords pre-generates query points so the measured loop pays
+// for the query engine only — required by the zero-alloc gates, since
+// building a Coordinate allocates its vector.
+func benchQueryCoords(seed uint64, n int) []Coordinate {
+	rng := xrand.NewStream(seed)
+	out := make([]Coordinate, n)
+	for i := range out {
+		out[i] = benchQuery(rng)
+	}
+	return out
+}
+
 // BenchmarkRegistryNearest measures k=8 proximity queries against the
-// sharded kd-tree registry.
+// sharded kd-tree registry through the zero-allocation NearestInto
+// path. CI gates allocs/op == 0 on every BenchmarkRegistryNearest*
+// variant via tools/benchjson -require-zero-alloc: the query context
+// pool plus caller-owned result storage make the steady-state read
+// path garbage-free at every population.
 func BenchmarkRegistryNearest(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			r, _ := buildBenchRegistry(b, n)
-			rng := xrand.NewStream(99)
+			queries := benchQueryCoords(99, 4096)
+			dst := make([]Ranked, 0, 8)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := r.Nearest(benchQuery(rng), 8)
+				res, err := r.NearestInto(queries[i&4095], 8, dst)
 				if err != nil {
 					b.Fatal(err)
 				}
 				if len(res) != 8 {
 					b.Fatalf("got %d results", len(res))
 				}
+				dst = res[:0]
 			}
 		})
+	}
+}
+
+// BenchmarkRegistryNearestSeq pins the sequential engine (one shard
+// walk carrying a single heap) as the fan-out's baseline: the speedup
+// claimed for the parallel path is Seq time over Parallel time on the
+// same population, and both must stay allocation-free.
+func BenchmarkRegistryNearestSeq(b *testing.B) {
+	for _, shards := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r, _ := buildBenchRegistryCfg(b, 100_000, RegistryConfig{Shards: shards, QueryParallelism: 1})
+			queries := benchQueryCoords(99, 4096)
+			dst := make([]Ranked, 0, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := r.NearestInto(queries[i&4095], 8, dst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dst = res[:0]
+			}
+		})
+	}
+}
+
+// BenchmarkRegistryNearestParallel exercises the cross-shard fan-out
+// across the shards × k grid at n=100k. QueryParallelism 0 resolves to
+// GOMAXPROCS, so on a single-core runner this measures the crossover
+// fallback (parity with Seq is the expectation there); on multi-core
+// CI it measures the fan-out itself.
+func BenchmarkRegistryNearestParallel(b *testing.B) {
+	for _, shards := range []int{4, 16, 64} {
+		for _, k := range []int{8, 64} {
+			b.Run(fmt.Sprintf("shards=%d/k=%d", shards, k), func(b *testing.B) {
+				r, _ := buildBenchRegistryCfg(b, 100_000, RegistryConfig{Shards: shards})
+				queries := benchQueryCoords(99, 4096)
+				dst := make([]Ranked, 0, k)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := r.NearestInto(queries[i&4095], k, dst)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res) != k {
+						b.Fatalf("got %d results", len(res))
+					}
+					dst = res[:0]
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNearestBatch measures the shard-major batched read path: 256
+// queries answered in one Registry dispatch, the shape the /nearest/batch
+// endpoint and the watch hub's coalesced resyncs produce. Reported
+// per-op time covers the whole batch; divide by 256 to compare with
+// BenchmarkRegistryNearest.
+func BenchmarkNearestBatch(b *testing.B) {
+	const batchSize = 256
+	r, _ := buildBenchRegistry(b, 100_000)
+	coords := benchQueryCoords(99, batchSize)
+	queries := make([]NearestQuery, batchSize)
+	for i := range queries {
+		queries[i] = NearestQuery{From: coords[i], K: 8}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.NearestBatch(queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != batchSize {
+			b.Fatalf("got %d result sets", len(res))
+		}
 	}
 }
 

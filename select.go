@@ -2,7 +2,7 @@ package netcoord
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"netcoord/internal/bheap"
 )
@@ -54,7 +54,18 @@ func Nearest(from Coordinate, candidates []Candidate, k int) ([]Ranked, error) {
 		h.Offer(rankedAt{Ranked: Ranked{Candidate: c, EstimatedRTT: d}, pos: i})
 	}
 	kept := h.Items()
-	sort.Slice(kept, func(i, j int) bool { return rankedBefore(kept[i], kept[j]) })
+	// slices.SortFunc rather than sort.Slice: no interface boxing of the
+	// slice header, so the sort itself contributes no allocations.
+	//nc:allow(hotpath) generic SortFunc: the slice binds a type parameter, no interface boxing happens at runtime
+	slices.SortFunc(kept, func(a, b rankedAt) int {
+		if rankedBefore(a, b) {
+			return -1
+		}
+		if rankedBefore(b, a) {
+			return 1
+		}
+		return 0
+	})
 	out := make([]Ranked, len(kept))
 	for i, it := range kept {
 		out[i] = it.Ranked
